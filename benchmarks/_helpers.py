@@ -1,0 +1,36 @@
+"""Shared builders for the benchmark harness."""
+
+from __future__ import annotations
+
+from repro import Database
+from repro.workloads import employee_records
+
+
+def build_employee_db(rows: int, index: bool = True,
+                      page_size: int = 4096,
+                      buffer_capacity: int = 512) -> Database:
+    db = Database(page_size=page_size, buffer_capacity=buffer_capacity)
+    table = db.create_table("employee", [
+        ("id", "INT", False), ("name", "STRING"), ("dept", "STRING"),
+        ("salary", "FLOAT"), ("active", "BOOL")])
+    table.insert_many(employee_records(rows))
+    if index:
+        db.create_index("emp_id", "employee", ["id"], unique=True)
+    return db
+
+
+def drain(scan):
+    out = []
+    while True:
+        item = scan.next()
+        if item is None:
+            return out
+        out.append(item)
+
+
+def pages_touched(db, fn):
+    """Run ``fn`` and return the pages it touched (reads + buffer hits)."""
+    stats = db.services.stats
+    before = stats.get("disk.reads") + stats.get("buffer.hits")
+    fn()
+    return stats.get("disk.reads") + stats.get("buffer.hits") - before

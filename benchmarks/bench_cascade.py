@@ -1,0 +1,75 @@
+"""E13 — cascaded modifications through attached procedures.
+
+The paper: "Attachments may access or modify other data in the database
+by calling the appropriate storage method or attachment routines.  In
+this manner, modifications may cascade in the database."  Shape: deleting
+the root of a k-level parent/child chain costs work proportional to the
+records reached, and the whole cascade is a single undoable operation.
+"""
+
+import pytest
+
+from repro import Database, ReferentialViolation
+
+FANOUT = 4
+
+
+def build_chain(levels, fanout=FANOUT):
+    """relation L0 <- L1 <- ... with `fanout` children per record."""
+    db = Database(buffer_capacity=2048)
+    db.create_table("l0", [("k", "INT")])
+    db.table("l0").insert((0,))
+    parent_rows = [0]
+    for level in range(1, levels + 1):
+        name = f"l{level}"
+        db.create_table(name, [("k", "INT"), ("fk", "INT")])
+        db.create_index(f"{name}_k", name, ["k"], unique=True)
+        db.create_attachment(name, "referential", f"{name}_fk",
+                             {"parent": f"l{level - 1}",
+                              "columns": ["fk"],
+                              "parent_columns": ["k"],
+                              "on_delete": "cascade"})
+        rows = []
+        next_key = 0
+        for parent in parent_rows:
+            for __ in range(fanout):
+                rows.append((next_key, parent))
+                next_key += 1
+        db.table(name).insert_many(rows)
+        parent_rows = [k for k, __ in rows]
+    return db
+
+
+@pytest.mark.parametrize("levels", [1, 2, 3, 4])
+def test_cascade_delete_depth(benchmark, levels):
+    def setup():
+        return (build_chain(levels),), {}
+
+    def cascade(db):
+        root_key = db.table("l0").scan()[0][0]
+        db.table("l0").delete(root_key)
+        return db
+
+    db = benchmark.pedantic(cascade, setup=setup, rounds=3)
+    for level in range(1, levels + 1):
+        assert db.table(f"l{level}").count() == 0
+    benchmark.extra_info["levels"] = levels
+    benchmark.extra_info["records_cascaded"] = sum(
+        FANOUT ** i for i in range(1, levels + 1))
+
+
+def test_cascade_is_atomically_undoable():
+    db = build_chain(2)
+    # A restrict constraint at the bottom blocks the entire cascade.
+    db.create_table("l3", [("k", "INT"), ("fk", "INT")])
+    db.create_attachment("l3", "referential", "l3_fk",
+                         {"parent": "l2", "columns": ["fk"],
+                          "parent_columns": ["k"],
+                          "on_delete": "restrict"})
+    db.table("l3").insert((0, 0))
+    before = (db.table("l1").count(), db.table("l2").count())
+    root_key = db.table("l0").scan()[0][0]
+    with pytest.raises(ReferentialViolation):
+        db.table("l0").delete(root_key)
+    assert (db.table("l1").count(), db.table("l2").count()) == before
+    assert db.table("l0").count() == 1

@@ -1,0 +1,64 @@
+"""E10 — deferred constraint evaluation via deferred-action queues.
+
+The paper: "certain integrity constraints cannot be evaluated when a
+single modification occurs but must be evaluated after all of the
+modifications have been made in the transaction" — the attachment queues
+an entry for the "before transaction enters the prepared state" event.
+
+Shape: a transaction that temporarily violates referential integrity and
+repairs it before commit succeeds only in deferred mode; immediate mode
+pays one parent check per modification, deferred mode batches them at
+commit.
+"""
+
+import pytest
+
+from repro import Database, ReferentialViolation
+
+CHILDREN = 300
+
+
+def build(deferred):
+    db = Database(buffer_capacity=1024)
+    parent = db.create_table("p", [("k", "INT")])
+    child = db.create_table("c", [("id", "INT"), ("fk", "INT")])
+    db.create_index("p_k", "p", ["k"], unique=True)
+    db.create_attachment("c", "referential", "c_fk",
+                         {"parent": "p", "columns": ["fk"],
+                          "parent_columns": ["k"], "deferred": deferred})
+    return db, parent, child
+
+
+@pytest.mark.parametrize("mode", ["immediate", "deferred"])
+def test_bulk_insert_with_fk_checking(benchmark, mode):
+    db, parent, child = build(deferred=(mode == "deferred"))
+    parent.insert_many([(i,) for i in range(50)])
+    counter = iter(range(10**9))
+
+    def run():
+        base = next(counter) * CHILDREN
+        db.begin()
+        for i in range(CHILDREN):
+            child.insert((base + i, i % 50))
+        db.commit()
+
+    benchmark.pedantic(run, rounds=3)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["children_per_transaction"] = CHILDREN
+
+
+def test_temporary_violation_needs_deferred_mode():
+    # Immediate mode rejects the out-of-order load ...
+    db, parent, child = build(deferred=False)
+    db.begin()
+    with pytest.raises(ReferentialViolation):
+        child.insert((1, 7))
+    db.rollback()
+    # ... deferred mode accepts it once the parent arrives before commit.
+    db, parent, child = build(deferred=True)
+    db.begin()
+    child.insert((1, 7))
+    parent.insert((7,))
+    db.commit()
+    assert child.count() == 1
+    assert db.services.stats.get("referential.deferred_checks") == 1

@@ -1,0 +1,71 @@
+"""E1 — procedure-vector dispatch.
+
+The paper: storage method and attachment identifiers "are small integers
+that serve as indexes into the vectors of procedures ... this approach
+makes the activation of the appropriate extension quite efficient."
+
+Compares three activation strategies for the same storage operation:
+vector indexing (the paper's design), name-based dictionary lookup (what
+the vectors replace), and a direct hard-wired call (the unreachable lower
+bound, since it forecloses extensibility).
+"""
+
+import pytest
+
+from repro import Database
+
+N = 20_000
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = Database()
+    table = db.create_table("t", [("id", "INT")], storage_method="memory")
+    key = table.insert((1,))
+    handle = db.catalog.handle("t")
+    method = db.registry.storage_method(handle.descriptor.storage_method_id)
+    by_name = {m.name: m for m in db.registry.storage_methods}
+    return db, handle, key, method, by_name
+
+
+def test_dispatch_via_procedure_vector(benchmark, env):
+    db, handle, key, method, __ = env
+    vector = db.registry.storage_fetch
+    method_id = handle.descriptor.storage_method_id
+
+    def run():
+        with db.autocommit() as ctx:
+            for __ in range(N):
+                vector[method_id](ctx, handle, key)
+
+    benchmark(run)
+    benchmark.extra_info["calls"] = N
+    benchmark.extra_info["strategy"] = "vector[method_id]"
+
+
+def test_dispatch_via_name_lookup(benchmark, env):
+    db, handle, key, method, by_name = env
+    name = method.name
+
+    def run():
+        with db.autocommit() as ctx:
+            for __ in range(N):
+                by_name[name].fetch(ctx, handle, key)
+
+    benchmark(run)
+    benchmark.extra_info["calls"] = N
+    benchmark.extra_info["strategy"] = "dict[name].fetch"
+
+
+def test_dispatch_direct_call(benchmark, env):
+    db, handle, key, method, __ = env
+    fetch = method.fetch
+
+    def run():
+        with db.autocommit() as ctx:
+            for __ in range(N):
+                fetch(ctx, handle, key)
+
+    benchmark(run)
+    benchmark.extra_info["calls"] = N
+    benchmark.extra_info["strategy"] = "hard-wired (non-extensible bound)"

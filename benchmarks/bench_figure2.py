@@ -1,0 +1,43 @@
+"""F2 — Figure 2: generic data management interfaces.
+
+Exercises every component of the interface inventory once per round:
+direct storage operations, direct access-path operations, attached
+procedures (as side effects), and common services (log, locks, events,
+predicate evaluator).
+"""
+
+import pytest
+
+from repro import AccessPath, Database
+
+
+def test_figure2_full_interface_sweep(benchmark):
+    db = Database()
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    db.create_index("t_id", "t", ["id"], unique=True)
+    att = db.registry.attachment_type_by_name("btree_index")
+    counter = iter(range(10**9))
+
+    def sweep():
+        i = next(counter)
+        # Direct relation modification operations (+ attached procedures).
+        key = table.insert((i, "x"))
+        key = table.update(key, {"v": "y"})
+        # Direct access: via the storage method (access path zero) ...
+        assert table.fetch(key, access_path=AccessPath(0)) is not None
+        # ... and via an access-path attachment instance.
+        assert table.fetch((i,), access_path=AccessPath(att.type_id, "t_id"))
+        # Key-sequential access with a filter predicate (common services).
+        table.scan(where="id = :i", params={"i": i})
+        table.delete(key)
+
+    benchmark(sweep)
+    registry = db.registry
+    benchmark.extra_info["storage_methods"] = [
+        m.name for m in registry.storage_methods]
+    benchmark.extra_info["attachment_types"] = [
+        a.name for a in registry.attachment_types]
+    benchmark.extra_info["direct_op_vectors"] = [
+        "insert", "update", "delete", "fetch", "open_scan"]
+    benchmark.extra_info["attached_procedure_vectors"] = [
+        "insert", "update", "delete"]

@@ -1,0 +1,76 @@
+"""E12 — the foreign-database gateway storage method.
+
+The paper: a storage method can "support access to a foreign database by
+simulating relation accesses via (remote) accesses to relations in the
+foreign database".  Shape: gateway accesses cost one message round trip
+each (point fetches are expensive relative to local), while scans ship
+the filter to the remote side and block-fetch the result in one message.
+"""
+
+import pytest
+
+from repro import Database
+
+ROWS = 2_000
+
+
+@pytest.fixture(scope="module")
+def federation():
+    remote = Database(buffer_capacity=1024)
+    remote_table = remote.create_table("inventory",
+                                       [("sku", "INT"), ("qty", "INT")])
+    remote_table.insert_many([(i, i * 3) for i in range(ROWS)])
+    local = Database(buffer_capacity=1024)
+    local.create_table("inv_gw", [("sku", "INT"), ("qty", "INT")],
+                       storage_method="foreign",
+                       attributes={"database": remote,
+                                   "relation": "inventory",
+                                   "latency": 2.0})
+    local.create_table("inv_local", [("sku", "INT"), ("qty", "INT")])
+    local.table("inv_local").insert_many([(i, i * 3) for i in range(ROWS)])
+    return local, remote
+
+
+def test_point_fetch_via_gateway(benchmark, federation):
+    local, remote = federation
+    keys = [k for k, __ in local.table("inv_gw").scan()]
+    counter = iter(range(10**9))
+
+    def run():
+        return local.table("inv_gw").fetch(keys[next(counter) % len(keys)])
+
+    assert benchmark(run) is not None
+    benchmark.extra_info["route"] = "one message per fetch"
+
+
+def test_point_fetch_local_baseline(benchmark, federation):
+    local, __ = federation
+    keys = [k for k, __ in local.table("inv_local").scan()]
+    counter = iter(range(10**9))
+
+    def run():
+        return local.table("inv_local").fetch(
+            keys[next(counter) % len(keys)])
+
+    assert benchmark(run) is not None
+
+
+def test_filtered_scan_via_gateway(benchmark, federation):
+    local, __ = federation
+    result = benchmark(
+        lambda: local.table("inv_gw").rows(where="qty >= 5700"))
+    assert len(result) == 100
+    benchmark.extra_info["route"] = "filter shipped, one block fetch"
+
+
+def test_scan_costs_one_message_filter_pushed(federation):
+    local, remote = federation
+    stats = local.services.stats
+    before_messages = stats.get("foreign.messages")
+    before_remote_tuples = remote.services.stats.get("heap.tuples_scanned")
+    rows = local.table("inv_gw").rows(where="qty >= 5700")
+    assert len(rows) == 100
+    assert stats.get("foreign.messages") - before_messages == 1
+    # The filter ran on the remote side: all tuples examined *there*.
+    assert remote.services.stats.get("heap.tuples_scanned") \
+        - before_remote_tuples == ROWS

@@ -1,0 +1,60 @@
+"""E8 — log-driven partial rollback.
+
+The paper relies on the common log to "undo the partial effects of the
+aborted relation modification" and to support savepoints.  Shape: the
+cost of rolling back to a savepoint is proportional to the number of
+operations undone (measured by CLRs written), independent of the work
+that preceded the savepoint.
+"""
+
+import pytest
+
+from repro import Database
+from repro.services import wal
+
+
+def build():
+    db = Database(buffer_capacity=2048)
+    db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    db.create_index("t_id", "t", ["id"])
+    return db, db.table("t")
+
+
+@pytest.mark.parametrize("ops", [10, 100, 500, 2000])
+def test_rollback_cost_scales_with_operations_undone(benchmark, ops):
+    db, table = build()
+    counter = iter(range(10**9))
+
+    def setup():
+        db.begin()
+        base = next(counter) * ops * 2
+        for i in range(ops):
+            table.insert((base + i, "x"))
+        db.savepoint("sp")
+        return (), {}
+
+    def rollback(*args):
+        db.rollback_to("sp")
+        db.rollback()
+
+    benchmark.pedantic(rollback, setup=setup, rounds=5)
+    benchmark.extra_info["operations_per_transaction"] = ops
+
+
+def test_partial_rollback_undoes_only_the_suffix():
+    db, table = build()
+    db.begin()
+    for i in range(100):
+        table.insert((i, "keep"))
+    db.savepoint("sp")
+    for i in range(100, 150):
+        table.insert((i, "drop"))
+    clrs_before = sum(1 for r in db.services.wal.forward()
+                      if r.kind == wal.CLR)
+    db.rollback_to("sp")
+    clrs = sum(1 for r in db.services.wal.forward()
+               if r.kind == wal.CLR) - clrs_before
+    db.commit()
+    assert table.count() == 100
+    # One CLR per storage insert + one per index maintenance op.
+    assert clrs == 50 * 2

@@ -1,0 +1,85 @@
+"""E9 — alternative relation storage methods.
+
+One series per built-in storage method (temporary memory, recoverable
+heap, B-tree-organised, read-only publishing): bulk load, full scan, and
+direct-by-key fetch.  Shape: memory is fastest and does no page I/O; the
+B-tree-organised file serves keyed fetches without a separate access
+path; the read-only method loads fastest per record (no logging).
+"""
+
+import pytest
+
+from repro import Database
+
+ROWS = 3_000
+
+
+def make(storage):
+    db = Database(buffer_capacity=2048)
+    if storage == "btree_file":
+        db.create_table("t", [("id", "INT"), ("v", "STRING")],
+                        storage_method=storage, attributes={"key": ["id"]})
+    else:
+        db.create_table("t", [("id", "INT"), ("v", "STRING")],
+                        storage_method=storage)
+    return db, db.table("t")
+
+
+def load(db, table, storage, rows=ROWS):
+    records = [(i, f"value_{i}") for i in range(rows)]
+    if storage == "readonly":
+        handle = db.catalog.handle("t")
+        method = db.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        with db.autocommit() as ctx:
+            method.publish(ctx, handle, records)
+    else:
+        table.insert_many(records)
+
+
+@pytest.mark.parametrize("storage", ["memory", "heap", "btree_file",
+                                     "readonly"])
+def test_bulk_load(benchmark, storage):
+    def run():
+        db, table = make(storage)
+        load(db, table, storage, rows=500)
+        return table
+
+    table = benchmark(run)
+    assert table.count() == 500
+    benchmark.extra_info["storage_method"] = storage
+
+
+@pytest.mark.parametrize("storage", ["memory", "heap", "btree_file",
+                                     "readonly"])
+def test_full_scan(benchmark, storage):
+    db, table = make(storage)
+    load(db, table, storage)
+    result = benchmark(lambda: table.rows(where="id >= 0"))
+    assert len(result) == ROWS
+    benchmark.extra_info["storage_method"] = storage
+    benchmark.extra_info["pages"] = db.services.disk.allocated_pages
+
+
+@pytest.mark.parametrize("storage", ["memory", "heap", "btree_file",
+                                     "readonly"])
+def test_point_fetch(benchmark, storage):
+    db, table = make(storage)
+    load(db, table, storage)
+    # Record keys differ per storage method: collect them once.
+    keys = [key for key, __ in table.scan()]
+    counter = iter(range(10**9))
+
+    def run():
+        return table.fetch(keys[next(counter) % ROWS])
+
+    result = benchmark(run)
+    assert result is not None
+    benchmark.extra_info["storage_method"] = storage
+
+
+def test_memory_does_no_page_io():
+    db, table = make("memory")
+    load(db, table, "memory")
+    table.rows()
+    assert db.services.disk.reads == 0

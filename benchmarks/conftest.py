@@ -1,0 +1,9 @@
+"""Benchmark-suite conftest.
+
+Every bench regenerates one row/series of the experiment index in
+DESIGN.md.  The paper's evaluation is architectural (no numeric tables),
+so each bench (a) measures the operation under test with pytest-benchmark
+and (b) asserts the *shape* the paper claims through deterministic work
+counters (page reads, dispatch counts), which do not depend on wall-clock
+noise.  Shared builders live in :mod:`benchmarks._helpers`.
+"""

@@ -1,0 +1,89 @@
+"""Referential integrity, cascades, triggers, and deferred constraints.
+
+A customers / orders / line-items schema exercising the paper's
+attachment machinery end to end:
+
+* referential integrity with cascade delete across two levels (the
+  paper's worked example of cascaded modifications);
+* a trigger that maintains an audit relation inside the same operation;
+* a deferred trigger modelling an action *outside* the database (an
+  email outbox that must not fire for aborted transactions);
+* a deferred check constraint repaired before commit.
+
+Run:  python examples/orders_referential.py
+"""
+
+from repro import Database, ReferentialViolation
+
+
+def main() -> None:
+    db = Database(buffer_capacity=1024)
+
+    customers = db.create_table("customers", [("id", "INT"),
+                                              ("name", "STRING")])
+    orders = db.create_table("orders", [("id", "INT"), ("customer", "INT"),
+                                        ("total", "FLOAT")])
+    items = db.create_table("items", [("id", "INT"), ("order_id", "INT"),
+                                      ("amount", "FLOAT")])
+    audit = db.create_table("audit", [("what", "STRING")])
+
+    db.create_index("customers_id", "customers", ["id"], unique=True)
+    db.create_index("orders_id", "orders", ["id"], unique=True)
+
+    db.create_attachment("orders", "referential", "orders_fk",
+                         {"parent": "customers", "columns": ["customer"],
+                          "parent_columns": ["id"], "on_delete": "cascade"})
+    db.create_attachment("items", "referential", "items_fk",
+                         {"parent": "orders", "columns": ["order_id"],
+                          "parent_columns": ["id"], "on_delete": "cascade"})
+
+    # Immediate trigger: an in-database action riding the same operation.
+    db.create_attachment(
+        "orders", "trigger", "orders_audit",
+        {"on": ["insert", "delete"],
+         "routine": lambda e: e.database.table("audit").insert(
+             (f"{e.operation} order",))})
+
+    # Deferred trigger: an action outside the database, at commit only.
+    outbox = []
+    db.create_attachment(
+        "orders", "trigger", "orders_email",
+        {"on": ["insert"], "timing": "deferred",
+         "routine": lambda e: outbox.append(f"order {e.new[0]} confirmed")})
+
+    customers.insert_many([(1, "ada"), (2, "grace")])
+    orders.insert_many([(10, 1, 99.0), (11, 1, 25.0), (12, 2, 7.0)])
+    items.insert_many([(100, 10, 50.0), (101, 10, 49.0), (102, 11, 25.0)])
+    print("emails sent after autocommits:", outbox)
+
+    # Orphaned order: the child-side check vetoes.
+    try:
+        orders.insert((13, 99, 1.0))
+    except ReferentialViolation as veto:
+        print("vetoed:", veto)
+
+    # Cascade: deleting ada removes her orders AND their items.
+    ada_key = customers.scan(where="id = 1")[0][0]
+    customers.delete(ada_key)
+    print("orders after cascade:", orders.rows())
+    print("items after cascade:", items.rows())
+    print("audit trail:", [r[0] for r in audit.rows()])
+
+    # A deferred trigger never fires for an aborted transaction.
+    db.begin()
+    orders.insert((20, 2, 5.0))
+    db.rollback()
+    print("emails after aborted order (unchanged):", outbox)
+
+    # Deferred check: transiently inconsistent, repaired before commit.
+    db.create_attachment("orders", "check", "total_positive",
+                         {"predicate": "total >= 0", "deferred": True})
+    db.begin()
+    key = orders.insert((21, 2, -1.0))   # placeholder total
+    orders.update(key, {"total": 12.0})  # repaired
+    db.commit()
+    print("orders at the end:", orders.rows())
+
+
+if __name__ == "__main__":
+    main()

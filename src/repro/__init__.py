@@ -1,0 +1,59 @@
+"""repro — a reproduction of "A Data Management Extension Architecture"
+(Bruce Lindsay, John McPherson, Hamid Pirahesh; SIGMOD 1987).
+
+The library implements the paper's extensible relational DBMS architecture:
+
+* **storage methods** — alternative relation storage implementations
+  (temporary memory, recoverable heap, B-tree-organised, read-only
+  publishing, foreign-database gateway) behind one generic abstraction;
+* **attachments** — access paths (B-tree, hash, R-tree, join index,
+  precomputed aggregates), integrity constraints (check, unique,
+  referential), and triggers, invoked as side effects of relation
+  modifications and able to veto them;
+* **procedure-vector dispatch** keyed by small-integer extension ids;
+* an **extensible relation descriptor** (header + field N per attachment
+  type);
+* **common services**: write-ahead log with savepoints and partial
+  rollback, restart recovery, hierarchical locking with deadlock
+  detection, event notification with deferred-action queues, a shared
+  filter-predicate evaluator, and scan-position bookkeeping;
+* a **query layer** with cost-based access path selection and cached
+  bound plans that are invalidated and automatically re-translated when
+  their dependencies change.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    emp = db.create_table("employee", [("id", "INT", False),
+                                       ("name", "STRING"),
+                                       ("salary", "FLOAT")])
+    db.create_index("emp_id", "employee", ["id"])
+    db.add_check("salary_positive", "employee", "salary >= 0")
+    emp.insert((1, "alice", 120000.0))
+    print(emp.rows(where="salary > 100000"))
+"""
+
+from __future__ import annotations
+
+from .core.database import Database
+from .core.dispatch import AccessPath, STORAGE_ACCESS
+from .core.records import Box, RecordView
+from .core.relation import Relation
+from .core.schema import Field, Schema
+from .core.storage_method import RelationHandle, StorageMethod
+from .core.attachment import AttachmentType
+from .errors import (CheckViolation, DeadlockError, IntegrityError,
+                     LockConflictError, ReferentialViolation, ReproError,
+                     TransactionAborted, UniqueViolation, VetoError)
+from .services.predicate import Predicate, parse_expression
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "AccessPath", "STORAGE_ACCESS", "Box", "RecordView",
+           "Relation", "Field", "Schema", "RelationHandle", "StorageMethod",
+           "AttachmentType", "CheckViolation", "DeadlockError",
+           "IntegrityError", "LockConflictError", "ReferentialViolation",
+           "ReproError", "TransactionAborted", "UniqueViolation",
+           "VetoError", "Predicate", "parse_expression", "__version__"]

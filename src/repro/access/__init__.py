@@ -1,0 +1,39 @@
+"""Access path attachment extensions (B-tree, hash, R-tree, join index,
+precomputed aggregates) plus the integrity/trigger attachments re-exported
+for registration order."""
+
+from __future__ import annotations
+
+__all__ = ["builtin_attachment_types"]
+
+
+def builtin_attachment_types():
+    """Fresh instances of the built-in attachment types, in id order.
+
+    The assigned small-integer identifiers index both the attached
+    procedure vectors and the relation descriptor fields, so this order is
+    stable across databases:
+
+    1. btree_index   2. hash_index   3. rtree   4. join_index
+    5. check   6. unique   7. referential   8. trigger   9. aggregate
+    """
+    from ..constraints.check import CheckConstraintAttachment
+    from ..constraints.referential import ReferentialIntegrityAttachment
+    from ..constraints.trigger import TriggerAttachment
+    from ..constraints.unique import UniqueConstraintAttachment
+    from .aggregate import AggregateAttachment
+    from .btree_index import BTreeIndexAttachment
+    from .hash_index import HashIndexAttachment
+    from .join_index import JoinIndexAttachment
+    from .rtree import RTreeAttachment
+    return [
+        BTreeIndexAttachment(),            # id 1
+        HashIndexAttachment(),             # id 2
+        RTreeAttachment(),                 # id 3
+        JoinIndexAttachment(),             # id 4
+        CheckConstraintAttachment(),       # id 5
+        UniqueConstraintAttachment(),      # id 6
+        ReferentialIntegrityAttachment(),  # id 7
+        TriggerAttachment(),               # id 8
+        AggregateAttachment(),             # id 9
+    ]

@@ -1,0 +1,213 @@
+"""Precomputed aggregate / statistics attachment.
+
+The paper distinguishes its attachments from plain triggers because "they
+may have associated storage.  This storage can be used to maintain access
+structures, and even to maintain statistics about relations or precomputed
+function values for data stored in relations."
+
+An aggregate instance maintains one function over one column (or the
+record count) incrementally as a side effect of relation modifications:
+
+* ``count`` and ``sum`` are exactly maintainable;
+* ``min`` and ``max`` are maintained incrementally on insert and marked
+  *stale* when the current extreme value is deleted; the next read
+  recomputes them with one scan (lazy repair).
+
+The current value is served in O(1) by :meth:`value` — the query engine
+uses it to answer ``SELECT COUNT(*)`` without touching the relation.
+
+DDL attributes: ``function`` ("count" | "sum" | "min" | "max"),
+``column`` (required except for count).
+"""
+
+from __future__ import annotations
+
+
+from ..core.attachment import AttachmentType
+from ..errors import StorageError
+from ..services.recovery import ResourceHandler
+
+__all__ = ["AggregateAttachment"]
+
+_FUNCTIONS = ("count", "sum", "min", "max")
+
+
+class _AggregateHandler(ResourceHandler):
+    def __init__(self, attachment: "AggregateAttachment"):
+        self.attachment = attachment
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        if getattr(services, "in_restart", False):
+            return
+        database = services.database
+        entry = database.catalog.entry_by_id(payload["relation_id"])
+        field = entry.handle.descriptor.attachment_field(
+            self.attachment.type_id)
+        if field is None:
+            return
+        instance = field["instances"].get(payload["instance"])
+        if instance is None:
+            return
+        instance["state"] = dict(payload["old_state"])
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        """No redo: recomputed from the base relation after restart."""
+
+
+class AggregateAttachment(AttachmentType):
+    """Incrementally maintained aggregate values with lazy min/max repair."""
+
+    name = "aggregate"
+    is_access_path = False   # it answers values, not record keys
+    recoverable = True
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        function = attributes.pop("function", None)
+        column = attributes.pop("column", None)
+        if attributes:
+            raise StorageError(
+                f"aggregate: unknown attributes {sorted(attributes)}")
+        if function not in _FUNCTIONS:
+            raise StorageError(
+                f"aggregate: function must be one of {_FUNCTIONS}, got "
+                f"{function!r}")
+        if function != "count":
+            if not column:
+                raise StorageError(
+                    f"aggregate {function!r} requires a 'column' attribute")
+            type_code = schema.field(column).type_code
+            if function == "sum" and type_code not in ("INT", "FLOAT"):
+                raise StorageError(
+                    f"aggregate sum needs a numeric column, {column!r} is "
+                    f"{type_code}")
+        return {"function": function, "column": column}
+
+    def create_instance(self, ctx, handle, instance_name, attributes) -> dict:
+        instance = {"name": instance_name,
+                    "function": attributes["function"],
+                    "column": attributes["column"],
+                    "field_index": (handle.schema.field_index(
+                        attributes["column"])
+                        if attributes["column"] else None),
+                    "state": {"count": 0, "sum": 0, "extreme": None,
+                              "stale": False}}
+        self._recompute(ctx, handle, instance)
+        return instance
+
+    def destroy_instance(self, ctx, handle, instance_name, instance) -> None:
+        instance["state"] = {"count": 0, "sum": 0, "extreme": None,
+                             "stale": False}
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _AggregateHandler(self)
+
+    def rebuild(self, ctx, handle, field) -> None:
+        for instance in field["instances"].values():
+            self._recompute(ctx, handle, instance)
+        ctx.stats.bump("aggregate.rebuilds")
+
+    def _recompute(self, ctx, handle, instance) -> None:
+        """One full scan re-derives the aggregate state."""
+        function = instance["function"]
+        index = instance["field_index"]
+        count = 0
+        total = 0
+        extreme = None
+        method = ctx.database.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        scan = method.open_scan(ctx, handle)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    break
+                __, record = item
+                value = record[index] if index is not None else None
+                if index is not None and value is None:
+                    continue  # SQL aggregates ignore NULLs
+                count += 1
+                if function == "sum":
+                    total += value
+                elif function == "min":
+                    extreme = value if extreme is None else min(extreme, value)
+                elif function == "max":
+                    extreme = value if extreme is None else max(extreme, value)
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+        instance["state"] = {"count": count, "sum": total,
+                             "extreme": extreme, "stale": False}
+        ctx.stats.bump("aggregate.recomputations")
+
+    # -- attached procedures -------------------------------------------------------------
+    def on_insert(self, ctx, handle, field, key, new_record) -> None:
+        for instance in field["instances"].values():
+            self._log_old(ctx, handle, instance)
+            self._apply(instance, new_record, +1)
+            ctx.stats.bump("aggregate.maintenance_ops")
+
+    def on_update(self, ctx, handle, field, old_key, new_key, old_record,
+                  new_record) -> None:
+        for instance in field["instances"].values():
+            index = instance["field_index"]
+            if index is not None \
+                    and old_record[index] == new_record[index]:
+                ctx.stats.bump("aggregate.update_skips")
+                continue
+            self._log_old(ctx, handle, instance)
+            self._apply(instance, old_record, -1)
+            self._apply(instance, new_record, +1)
+            ctx.stats.bump("aggregate.maintenance_ops")
+
+    def on_delete(self, ctx, handle, field, key, old_record) -> None:
+        for instance in field["instances"].values():
+            self._log_old(ctx, handle, instance)
+            self._apply(instance, old_record, -1)
+            ctx.stats.bump("aggregate.maintenance_ops")
+
+    def _log_old(self, ctx, handle, instance) -> None:
+        ctx.log(self.resource, {
+            "relation_id": handle.relation_id, "instance": instance["name"],
+            "old_state": dict(instance["state"])})
+
+    def _apply(self, instance: dict, record, direction: int) -> None:
+        state = instance["state"]
+        function = instance["function"]
+        index = instance["field_index"]
+        value = record[index] if index is not None else None
+        if index is not None and value is None:
+            return  # NULLs do not contribute
+        state["count"] += direction
+        if function == "sum":
+            state["sum"] += direction * value
+        elif function in ("min", "max"):
+            if direction > 0:
+                if state["extreme"] is None:
+                    state["extreme"] = value
+                elif function == "min":
+                    state["extreme"] = min(state["extreme"], value)
+                else:
+                    state["extreme"] = max(state["extreme"], value)
+            else:
+                # Removing the current extreme invalidates it lazily.
+                if value == state["extreme"]:
+                    state["stale"] = True
+                if state["count"] == 0:
+                    state["extreme"] = None
+                    state["stale"] = False
+
+    # -- reading -------------------------------------------------------------------------
+    def value(self, ctx, handle, instance):
+        """Current aggregate value (repairing a stale min/max lazily)."""
+        state = instance["state"]
+        function = instance["function"]
+        if function == "count":
+            return state["count"]
+        if function == "sum":
+            return state["sum"] if state["count"] else None
+        if state["stale"]:
+            self._recompute(ctx, handle, instance)
+            state = instance["state"]
+        return state["extreme"]

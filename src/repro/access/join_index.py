@@ -1,0 +1,314 @@
+"""Join index attachment.
+
+The paper: "Access paths need not be limited to a single table (e.g., join
+indexes [VALDURIEZ 85])" and, on descriptors, "more elaborate extensions
+would have correspondingly more complex descriptors, including embedded
+references to descriptors for other relations whenever the extension
+involves multiple tables (e.g. referential integrity constraints or join
+indexes)".
+
+A join index instance is created on the *left* relation with attributes
+naming the *right* relation and the equi-join columns.  It maintains the
+set of matching ``(left record key, right record key)`` pairs.  Creating
+the instance installs a **mirror instance** on the right relation's
+descriptor (sharing the same pair store) so that modifications of either
+relation keep the pairs current — the attached procedure of this type is
+invoked on both relations.
+
+Pair storage is an in-memory two-directional map owned by the attachment
+(the paper's point that attachments "may have associated storage"); undo
+is logical, redo is rebuild-on-restart like the other access paths.
+
+DDL attributes: ``other`` (right relation name), ``column`` (left join
+column), ``other_column`` (right join column).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.attachment import AttachmentType
+from ..errors import StorageError
+from ..query.cost import AccessCost
+from ..services.recovery import ResourceHandler
+
+__all__ = ["JoinIndexAttachment"]
+
+
+class _JoinIndexHandler(ResourceHandler):
+    def __init__(self, attachment: "JoinIndexAttachment"):
+        self.attachment = attachment
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        if getattr(services, "in_restart", False):
+            return
+        database = services.database
+        entry = database.catalog.entry_by_id(payload["relation_id"])
+        field = entry.handle.descriptor.attachment_field(
+            self.attachment.type_id)
+        if field is None:
+            return
+        instance = field["instances"].get(payload["instance"])
+        if instance is None:
+            return
+        pairs = instance["pairs"]
+        left_key, right_key = payload["left_key"], payload["right_key"]
+        if payload["op"] == "add_pair":
+            _remove_pair(pairs, left_key, right_key)
+        elif payload["op"] == "remove_pair":
+            _add_pair(pairs, left_key, right_key)
+        else:
+            raise StorageError(f"join_index cannot undo {payload['op']!r}")
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        """No redo: pairs are rebuilt from both relations after restart."""
+
+
+def _add_pair(pairs: dict, left_key, right_key) -> None:
+    pairs["by_left"].setdefault(left_key, set()).add(right_key)
+    pairs["by_right"].setdefault(right_key, set()).add(left_key)
+    pairs["count"] += 1
+
+
+def _remove_pair(pairs: dict, left_key, right_key) -> None:
+    lefts = pairs["by_left"].get(left_key)
+    if lefts and right_key in lefts:
+        lefts.discard(right_key)
+        if not lefts:
+            del pairs["by_left"][left_key]
+        rights = pairs["by_right"].get(right_key)
+        if rights is not None:
+            rights.discard(left_key)
+            if not rights:
+                del pairs["by_right"][right_key]
+        pairs["count"] -= 1
+
+
+class JoinIndexAttachment(AttachmentType):
+    """Maintains (left key, right key) pairs for one equi-join predicate."""
+
+    name = "join_index"
+    is_access_path = True
+    recoverable = True
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        other = attributes.pop("other", None)
+        column = attributes.pop("column", None)
+        other_column = attributes.pop("other_column", None)
+        if attributes:
+            raise StorageError(
+                f"join_index: unknown attributes {sorted(attributes)}")
+        if not other or not column or not other_column:
+            raise StorageError(
+                "join_index requires 'other', 'column', and 'other_column' "
+                "attributes")
+        schema.field(column)
+        return {"other": other.lower(), "column": column,
+                "other_column": other_column}
+
+    def create_instance(self, ctx, handle, instance_name, attributes) -> dict:
+        database = ctx.database
+        other_handle = database.catalog.handle(attributes["other"])
+        other_handle.schema.field(attributes["other_column"])
+        pairs = {"by_left": {}, "by_right": {}, "count": 0}
+        instance = {
+            "name": instance_name, "role": "left",
+            "relation": handle.name, "other": other_handle.name,
+            "column": attributes["column"],
+            "other_column": attributes["other_column"],
+            "field_index": handle.schema.field_index(attributes["column"]),
+            "other_field_index":
+                other_handle.schema.field_index(attributes["other_column"]),
+            "pairs": pairs,
+        }
+        # Embedded reference to the other relation: install the mirror so
+        # the attached procedure fires on modifications of either side.
+        mirror = dict(instance, role="right", name=instance_name + "@right")
+        other_field = other_handle.descriptor.attachment_field(self.type_id)
+        if other_field is None:
+            other_field = self.new_field_descriptor()
+            other_handle.descriptor.set_attachment_field(self.type_id,
+                                                         other_field)
+        other_field["instances"][mirror["name"]] = mirror
+        self._build(ctx, handle, other_handle, instance)
+        return instance
+
+    def destroy_instance(self, ctx, handle, instance_name, instance) -> None:
+        if instance["role"] != "left":
+            return
+        database = ctx.database
+        try:
+            other_handle = database.catalog.handle(instance["other"])
+        except Exception:
+            return  # the other relation is already gone
+        other_field = other_handle.descriptor.attachment_field(self.type_id)
+        if other_field is not None:
+            other_field["instances"].pop(instance["name"] + "@right", None)
+            if not other_field["instances"]:
+                other_handle.descriptor.set_attachment_field(self.type_id,
+                                                             None)
+        instance["pairs"]["by_left"].clear()
+        instance["pairs"]["by_right"].clear()
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _JoinIndexHandler(self)
+
+    def _build(self, ctx, handle, other_handle, instance) -> None:
+        """Compute the initial pair set with one nested scan."""
+        database = ctx.database
+        left_method = database.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        right_method = database.registry.storage_method(
+            other_handle.descriptor.storage_method_id)
+        rights: Dict[object, List] = {}
+        scan = right_method.open_scan(ctx, other_handle)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    break
+                right_key, record = item
+                value = record[instance["other_field_index"]]
+                rights.setdefault(value, []).append(right_key)
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+        scan = left_method.open_scan(ctx, handle)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    break
+                left_key, record = item
+                value = record[instance["field_index"]]
+                for right_key in rights.get(value, ()):
+                    _add_pair(instance["pairs"], left_key, right_key)
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+        ctx.stats.bump("join_index.builds")
+
+    def rebuild(self, ctx, handle, field) -> None:
+        database = ctx.database
+        for instance in field["instances"].values():
+            if instance["role"] != "left":
+                continue
+            instance["pairs"]["by_left"].clear()
+            instance["pairs"]["by_right"].clear()
+            instance["pairs"]["count"] = 0
+            other_handle = database.catalog.handle(instance["other"])
+            self._build(ctx, handle, other_handle, instance)
+        ctx.stats.bump("join_index.rebuilds")
+
+    # -- attached procedures -------------------------------------------------------------
+    def on_insert(self, ctx, handle, field, key, new_record) -> None:
+        for instance in field["instances"].values():
+            self._pair_up(ctx, handle, instance, key, new_record, add=True)
+
+    def on_update(self, ctx, handle, field, old_key, new_key, old_record,
+                  new_record) -> None:
+        for instance in field["instances"].values():
+            side_index = (instance["field_index"]
+                          if instance["role"] == "left"
+                          else instance["other_field_index"])
+            if old_record[side_index] == new_record[side_index] \
+                    and old_key == new_key:
+                ctx.stats.bump("join_index.update_skips")
+                continue
+            self._pair_up(ctx, handle, instance, old_key, old_record,
+                          add=False)
+            self._pair_up(ctx, handle, instance, new_key, new_record,
+                          add=True)
+
+    def on_delete(self, ctx, handle, field, key, old_record) -> None:
+        for instance in field["instances"].values():
+            self._pair_up(ctx, handle, instance, key, old_record, add=False)
+
+    def _pair_up(self, ctx, handle, instance, key, record, add: bool) -> None:
+        """Add or remove the pairs this record participates in."""
+        database = ctx.database
+        if instance["role"] == "left":
+            value = record[instance["field_index"]]
+            other_handle = database.catalog.handle(instance["other"])
+            other_index = instance["other_field_index"]
+            matches = self._matching_keys(ctx, other_handle, other_index,
+                                          value)
+            pair_list = [(key, m) for m in matches]
+        else:
+            value = record[instance["other_field_index"]]
+            other_handle = database.catalog.handle(instance["relation"])
+            other_index = instance["field_index"]
+            matches = self._matching_keys(ctx, other_handle, other_index,
+                                          value)
+            pair_list = [(m, key) for m in matches]
+        owner_name = (instance["relation"] if instance["role"] == "left"
+                      else instance["relation"])
+        owner_id = database.catalog.handle(instance["relation"]).relation_id
+        base_name = instance["name"].replace("@right", "")
+        for left_key, right_key in pair_list:
+            if add:
+                _add_pair(instance["pairs"], left_key, right_key)
+                op = "add_pair"
+            else:
+                _remove_pair(instance["pairs"], left_key, right_key)
+                op = "remove_pair"
+            ctx.log(self.resource, {
+                "op": op, "relation_id": owner_id, "instance": base_name,
+                "left_key": left_key, "right_key": right_key})
+            ctx.stats.bump("join_index.maintenance_ops")
+
+    @staticmethod
+    def _matching_keys(ctx, other_handle, field_index: int, value) -> List:
+        if value is None:
+            return []
+        database = ctx.database
+        method = database.registry.storage_method(
+            other_handle.descriptor.storage_method_id)
+        matches: List = []
+        scan = method.open_scan(ctx, other_handle)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    break
+                other_key, record = item
+                if record[field_index] == value:
+                    matches.append(other_key)
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+        return matches
+
+    # -- direct access operations ------------------------------------------------------
+    def fetch(self, ctx, handle, instance, input_key) -> List:
+        """Map a record key of this side to the joined keys of the other."""
+        ctx.stats.bump("join_index.fetches")
+        if instance["role"] == "left":
+            return sorted(instance["pairs"]["by_left"].get(input_key, ()),
+                          key=repr)
+        return sorted(instance["pairs"]["by_right"].get(input_key, ()),
+                      key=repr)
+
+    def pairs(self, instance) -> List[Tuple[object, object]]:
+        """All (left key, right key) pairs (the join result's key set)."""
+        out = []
+        for left_key, rights in instance["pairs"]["by_left"].items():
+            for right_key in rights:
+                out.append((left_key, right_key))
+        return out
+
+    # -- cost estimation ------------------------------------------------------------------
+    def estimate_cost(self, ctx, handle, instance_name, instance, eligible
+                      ) -> Optional[AccessCost]:
+        """Join indexes answer join queries, not single-relation filters."""
+        return None
+
+    def join_cost(self, instance) -> AccessCost:
+        """Cost of producing the join's key pairs via the index."""
+        count = instance["pairs"]["count"]
+        # The pair store is memory-resident; fetching both records per pair
+        # costs two page reads.
+        return AccessCost(io_pages=2.0 * count, cpu_tuples=count,
+                          expected_tuples=count, route=("join_pairs",))

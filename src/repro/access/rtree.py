@@ -1,0 +1,565 @@
+"""R-tree spatial access-path attachment.
+
+The paper's motivating example for application-specific access paths:
+"spatial database applications can make use of an R-tree access path
+[GUTTMAN 84] to efficiently compute certain spatial predicates", and in
+cost estimation "the R-tree access path will recognize the ENCLOSES
+predicate and report a low cost".
+
+The structure is a Guttman R-tree with quadratic node split over
+buffer-pool pages (one pickled node per page).  Indexed values are the
+bounding :class:`~repro.core.records.Box` of a BOX column; supported query
+modes are the spatial predicates of the common evaluator: ``ENCLOSED_BY``
+(entries lying inside a query window), ``ENCLOSES`` (entries covering the
+query box), and ``OVERLAPS``.
+
+Crash recovery follows the rebuild-on-restart strategy shared by all
+access-path attachments; transactional undo is logical (inverse insert /
+delete).
+
+DDL attributes: ``column`` (a BOX column, required), ``max_entries``
+(node capacity, default 16).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import List, Optional, Tuple
+
+from ..core.attachment import AttachmentType
+from ..core.context import ExecutionContext
+from ..core.records import Box, RecordView
+from ..core.storage_method import RelationHandle
+from ..errors import PageError, StorageError
+from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
+from ..services.locks import LockMode
+from ..services.recovery import ResourceHandler
+from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
+
+__all__ = ["RTreeAttachment", "RTree", "RTreeScan"]
+
+PAGE_TYPE_RTREE_NODE = 6
+
+_SPATIAL_MODES = ("ENCLOSED_BY", "ENCLOSES", "OVERLAPS")
+
+
+def _box_tuple(box: Box) -> tuple:
+    return (box.x_lo, box.y_lo, box.x_hi, box.y_hi)
+
+
+def _tuple_box(t: tuple) -> Box:
+    return Box(*t)
+
+
+class _Node:
+    __slots__ = ("leaf", "entries")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        # leaf: [(box tuple, record key)]; interior: [(mbr tuple, child page)]
+        self.entries: List[Tuple[tuple, object]] = []
+
+    def dump(self) -> bytes:
+        return pickle.dumps((self.leaf, self.entries),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, raw: bytes) -> "_Node":
+        node = cls(True)
+        node.leaf, node.entries = pickle.loads(raw)
+        return node
+
+    def mbr(self) -> Optional[Box]:
+        if not self.entries:
+            return None
+        box = _tuple_box(self.entries[0][0])
+        for t, __ in self.entries[1:]:
+            box = box.union(_tuple_box(t))
+        return box
+
+
+class RTree:
+    """A Guttman R-tree bound to a buffer pool and a state dict."""
+
+    def __init__(self, buffer, state: dict, max_entries: int = 16):
+        self.buffer = buffer
+        self.state = state
+        self.max_entries = max_entries
+
+    @classmethod
+    def create(cls, buffer, state: Optional[dict] = None,
+               max_entries: int = 16) -> "RTree":
+        if state is None:
+            state = {}
+        tree = cls(buffer, state, max_entries)
+        state["root"] = tree._allocate(_Node(leaf=True))
+        state["height"] = 1
+        state["nentries"] = 0
+        state["pages"] = 1
+        return tree
+
+    def destroy(self) -> None:
+        self._free_subtree(self.state["root"])
+        self.state.update(root=-1, height=0, nentries=0, pages=0)
+
+    def reset(self) -> None:
+        if self.state.get("root", -1) != -1:
+            self._free_subtree(self.state["root"])
+        self.state["root"] = self._allocate(_Node(leaf=True))
+        self.state.update(height=1, nentries=0, pages=1)
+
+    def _free_subtree(self, page_id: int) -> None:
+        node = self._read(page_id)
+        if not node.leaf:
+            for __, child in node.entries:
+                self._free_subtree(child)
+        self.buffer.free_page(page_id)
+
+    # -- operations -------------------------------------------------------------
+    def insert(self, box: Box, value) -> None:
+        split = self._insert_into(self.state["root"], _box_tuple(box), value,
+                                  depth=1)
+        if split is not None:
+            left_page, right_page = split
+            root = _Node(leaf=False)
+            for page in (left_page, right_page):
+                child = self._read(page)
+                root.entries.append((_box_tuple(child.mbr()), page))
+            self.state["root"] = self._allocate(root)
+            self.state["height"] += 1
+        self.state["nentries"] += 1
+
+    def delete(self, box: Box, value) -> bool:
+        """Remove one (box, value) entry; no re-insertion compaction."""
+        target = _box_tuple(box)
+
+        def remove(page_id: int) -> bool:
+            node = self._read(page_id)
+            if node.leaf:
+                for i, (t, v) in enumerate(node.entries):
+                    if t == target and v == value:
+                        del node.entries[i]
+                        self._write(page_id, node)
+                        return True
+                return False
+            query = _tuple_box(target)
+            for t, child in node.entries:
+                if _tuple_box(t).encloses(query) and remove(child):
+                    # Tighten the child's bounding rectangle.
+                    child_node = self._read(child)
+                    mbr = child_node.mbr()
+                    refreshed = [(e_t, e_c) if e_c != child
+                                 else ((_box_tuple(mbr), e_c) if mbr
+                                       else None)
+                                 for e_t, e_c in node.entries]
+                    node.entries = [e for e in refreshed if e is not None]
+                    self._write(page_id, node)
+                    return True
+            return False
+
+        if remove(self.state["root"]):
+            self.state["nentries"] -= 1
+            return True
+        return False
+
+    def search(self, query: Box, mode: str) -> List[Tuple[Box, object]]:
+        """All (box, value) entries satisfying ``entry.box <mode> query``."""
+        if mode not in _SPATIAL_MODES:
+            raise StorageError(f"unknown spatial search mode {mode!r}")
+        out: List[Tuple[Box, object]] = []
+
+        def visit(page_id: int) -> None:
+            node = self._read(page_id)
+            for t, payload in node.entries:
+                box = _tuple_box(t)
+                if node.leaf:
+                    if self._matches(box, query, mode):
+                        out.append((box, payload))
+                else:
+                    # Prune: the subtree MBR must overlap the query for any
+                    # mode to be satisfiable below (and must enclose it for
+                    # ENCLOSES).
+                    if mode == "ENCLOSES":
+                        if box.encloses(query):
+                            visit(payload)
+                    elif box.overlaps(query):
+                        visit(payload)
+
+        visit(self.state["root"])
+        return out
+
+    @staticmethod
+    def _matches(box: Box, query: Box, mode: str) -> bool:
+        if mode == "ENCLOSED_BY":
+            return query.encloses(box)
+        if mode == "ENCLOSES":
+            return box.encloses(query)
+        return box.overlaps(query)
+
+    # -- internals ------------------------------------------------------------------
+    def _insert_into(self, page_id: int, box_t: tuple, value, depth: int
+                     ) -> Optional[Tuple[int, int]]:
+        node = self._read(page_id)
+        if node.leaf:
+            node.entries.append((box_t, value))
+            if len(node.entries) > self.max_entries:
+                return self._split(page_id, node)
+            self._write(page_id, node)
+            return None
+        index = self._choose_child(node, box_t)
+        child_mbr, child_page = node.entries[index]
+        split = self._insert_into(child_page, box_t, value, depth + 1)
+        if split is None:
+            # Grow the child's bounding rectangle.
+            grown = _tuple_box(child_mbr).union(_tuple_box(box_t))
+            node.entries[index] = (_box_tuple(grown), child_page)
+            self._write(page_id, node)
+            return None
+        left_page, right_page = split
+        del node.entries[index]
+        for page in (left_page, right_page):
+            child = self._read(page)
+            node.entries.append((_box_tuple(child.mbr()), page))
+        if len(node.entries) > self.max_entries:
+            return self._split(page_id, node)
+        self._write(page_id, node)
+        return None
+
+    def _choose_child(self, node: _Node, box_t: tuple) -> int:
+        """Guttman: the child needing least enlargement (ties by area)."""
+        box = _tuple_box(box_t)
+        best = None
+        best_key = None
+        for i, (t, __) in enumerate(node.entries):
+            mbr = _tuple_box(t)
+            key = (mbr.enlargement(box), mbr.area())
+            if best_key is None or key < best_key:
+                best_key = key
+                best = i
+        return best
+
+    def _split(self, page_id: int, node: _Node) -> Tuple[int, int]:
+        """Guttman quadratic split."""
+        entries = node.entries
+        # Pick the pair of seeds wasting the most area together.
+        worst = None
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            box_i = _tuple_box(entries[i][0])
+            for j in range(i + 1, len(entries)):
+                box_j = _tuple_box(entries[j][0])
+                waste = (box_i.union(box_j).area() - box_i.area()
+                         - box_j.area())
+                if worst is None or waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        mbr_a = _tuple_box(entries[seeds[0]][0])
+        mbr_b = _tuple_box(entries[seeds[1]][0])
+        rest = [e for k, e in enumerate(entries) if k not in seeds]
+        minimum = max(1, self.max_entries // 3)
+        for index, entry in enumerate(rest):
+            box = _tuple_box(entry[0])
+            remaining = len(rest) - index
+            # Force-assign when one group must take all remaining entries
+            # to reach the minimum fill.
+            if len(group_a) + remaining <= minimum:
+                group_a.append(entry)
+                mbr_a = mbr_a.union(box)
+                continue
+            if len(group_b) + remaining <= minimum:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(box)
+                continue
+            grow_a = mbr_a.enlargement(box)
+            grow_b = mbr_b.enlargement(box)
+            if grow_a < grow_b or (grow_a == grow_b
+                                   and mbr_a.area() <= mbr_b.area()):
+                group_a.append(entry)
+                mbr_a = mbr_a.union(box)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(box)
+        node.entries = group_a
+        self._write(page_id, node)
+        right = _Node(leaf=node.leaf)
+        right.entries = group_b
+        right_page = self._allocate(right)
+        return page_id, right_page
+
+    def _read(self, page_id: int) -> _Node:
+        page = self.buffer.fetch(page_id)
+        try:
+            return _Node.load(page.read(0))
+        finally:
+            self.buffer.unpin(page_id)
+
+    def _write(self, page_id: int, node: _Node) -> None:
+        page = self.buffer.fetch(page_id)
+        try:
+            page.update(0, node.dump())
+        finally:
+            self.buffer.unpin(page_id, dirty=True)
+
+    def _allocate(self, node: _Node) -> int:
+        page = self.buffer.new_page(PAGE_TYPE_RTREE_NODE)
+        try:
+            page.insert(node.dump())
+        finally:
+            self.buffer.unpin(page.page_id, dirty=True)
+        self.state["pages"] = self.state.get("pages", 0) + 1
+        return page.page_id
+
+
+class _RTreeHandler(ResourceHandler):
+    def __init__(self, attachment: "RTreeAttachment"):
+        self.attachment = attachment
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        if getattr(services, "in_restart", False):
+            return
+        database = services.database
+        entry = database.catalog.entry_by_id(payload["relation_id"])
+        field = entry.handle.descriptor.attachment_field(
+            self.attachment.type_id)
+        if field is None:
+            return
+        instance = field["instances"].get(payload["instance"])
+        if instance is None:
+            return
+        tree = RTree(services.buffer, instance["tree"],
+                     instance["max_entries"])
+        box = Box(*payload["box"])
+        if payload["op"] == "add":
+            tree.delete(box, payload["value"])
+        elif payload["op"] == "remove":
+            tree.insert(box, payload["value"])
+        else:
+            raise StorageError(f"rtree cannot undo {payload['op']!r}")
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        """No redo: rebuilt from the base relation after restart."""
+
+
+class RTreeScan(Scan):
+    """Scan over the result set of one spatial search.
+
+    The R-tree materialises the qualifying entries at open (a spatial
+    search is not a key-sequential order), then plays them back under the
+    common scan protocol.
+    """
+
+    def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
+                 instance: dict, matches: List[Tuple[Box, object]]):
+        super().__init__(ctx.txn_id)
+        self.ctx = ctx
+        self.handle = handle
+        self.field_index = instance["field_index"]
+        self.matches = matches
+        self.state = BEFORE
+        self.position: Optional[int] = None
+
+    def next(self):
+        self._check_open()
+        index = 0 if self.position is None else self.position + 1
+        if index >= len(self.matches):
+            self.state = AFTER
+            return None
+        self.position = index
+        self.state = ON
+        box, value = self.matches[index]
+        self.ctx.stats.bump("rtree.entries_scanned")
+        self.ctx.lock_record(self.handle.relation_id, value, LockMode.S)
+        return value, RecordView.from_fields((self.field_index,), (box,))
+
+    def save_position(self) -> ScanPosition:
+        return ScanPosition(self.state, self.position)
+
+    def restore_position(self, saved: ScanPosition) -> None:
+        self.state = saved.state
+        self.position = saved.item
+
+
+class RTreeAttachment(AttachmentType):
+    """Spatial access path recognising ENCLOSES / ENCLOSED_BY / OVERLAPS."""
+
+    name = "rtree"
+    is_access_path = True
+    recoverable = True
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        # Accept "columns": [col] for uniformity with create_index().
+        column = attributes.pop("column", None)
+        columns = attributes.pop("columns", None)
+        max_entries = attributes.pop("max_entries", 16)
+        if attributes:
+            raise StorageError(
+                f"rtree: unknown attributes {sorted(attributes)}")
+        if column is None:
+            if not columns or len(columns) != 1:
+                raise StorageError(
+                    "rtree requires a single BOX column ('column' or a "
+                    "one-element 'columns')")
+            column = columns[0]
+        if schema.field(column).type_code != "BOX":
+            raise StorageError(
+                f"rtree column {column!r} must be BOX, is "
+                f"{schema.field(column).type_code}")
+        if not isinstance(max_entries, int) or max_entries < 4:
+            raise StorageError(
+                f"rtree: max_entries must be an int >= 4, got {max_entries!r}")
+        return {"column": column, "max_entries": max_entries}
+
+    def create_instance(self, ctx, handle, instance_name, attributes) -> dict:
+        field_index = handle.schema.field_index(attributes["column"])
+        instance = {"name": instance_name, "column": attributes["column"],
+                    "field_index": field_index,
+                    "max_entries": attributes["max_entries"], "tree": {}}
+        RTree.create(ctx.buffer, instance["tree"], attributes["max_entries"])
+        self._build(ctx, handle, instance)
+        return instance
+
+    def destroy_instance(self, ctx, handle, instance_name, instance) -> None:
+        tree = RTree(ctx.buffer, instance["tree"], instance["max_entries"])
+        try:
+            tree.destroy()
+        except PageError:
+            pass
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _RTreeHandler(self)
+
+    def _build(self, ctx, handle, instance) -> None:
+        tree = RTree(ctx.buffer, instance["tree"], instance["max_entries"])
+        method = ctx.database.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        scan = method.open_scan(ctx, handle)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    break
+                record_key, record = item
+                box = record[instance["field_index"]]
+                if box is not None:
+                    tree.insert(box, record_key)
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+        ctx.stats.bump("rtree.builds")
+
+    def rebuild(self, ctx, handle, field) -> None:
+        for instance in field["instances"].values():
+            tree = RTree(ctx.buffer, instance["tree"],
+                         instance["max_entries"])
+            try:
+                tree.reset()
+            except PageError:
+                instance["tree"].clear()
+                RTree.create(ctx.buffer, instance["tree"],
+                             instance["max_entries"])
+            self._build(ctx, handle, instance)
+        ctx.stats.bump("rtree.rebuilds")
+
+    # -- attached procedures -------------------------------------------------------------
+    def on_insert(self, ctx, handle, field, key, new_record) -> None:
+        for instance in field["instances"].values():
+            box = new_record[instance["field_index"]]
+            if box is None:
+                continue
+            tree = RTree(ctx.buffer, instance["tree"],
+                         instance["max_entries"])
+            tree.insert(box, key)
+            ctx.log(self.resource, {
+                "op": "add", "relation_id": handle.relation_id,
+                "instance": instance["name"], "box": _box_tuple(box),
+                "value": key})
+            ctx.stats.bump("rtree.maintenance_ops")
+
+    def on_update(self, ctx, handle, field, old_key, new_key, old_record,
+                  new_record) -> None:
+        for instance in field["instances"].values():
+            old_box = old_record[instance["field_index"]]
+            new_box = new_record[instance["field_index"]]
+            if old_box == new_box and old_key == new_key:
+                ctx.stats.bump("rtree.update_skips")
+                continue
+            tree = RTree(ctx.buffer, instance["tree"],
+                         instance["max_entries"])
+            if old_box is not None:
+                tree.delete(old_box, old_key)
+                ctx.log(self.resource, {
+                    "op": "remove", "relation_id": handle.relation_id,
+                    "instance": instance["name"],
+                    "box": _box_tuple(old_box), "value": old_key})
+            if new_box is not None:
+                tree.insert(new_box, new_key)
+                ctx.log(self.resource, {
+                    "op": "add", "relation_id": handle.relation_id,
+                    "instance": instance["name"],
+                    "box": _box_tuple(new_box), "value": new_key})
+            ctx.stats.bump("rtree.maintenance_ops")
+
+    def on_delete(self, ctx, handle, field, key, old_record) -> None:
+        for instance in field["instances"].values():
+            box = old_record[instance["field_index"]]
+            if box is None:
+                continue
+            tree = RTree(ctx.buffer, instance["tree"],
+                         instance["max_entries"])
+            tree.delete(box, key)
+            ctx.log(self.resource, {
+                "op": "remove", "relation_id": handle.relation_id,
+                "instance": instance["name"], "box": _box_tuple(box),
+                "value": key})
+            ctx.stats.bump("rtree.maintenance_ops")
+
+    # -- direct access operations ------------------------------------------------------
+    def fetch(self, ctx, handle, instance, input_key) -> List:
+        """Input key: ``(mode, Box)``; returns matching record keys."""
+        mode, box = input_key
+        tree = RTree(ctx.buffer, instance["tree"], instance["max_entries"])
+        ctx.stats.bump("rtree.searches")
+        return [value for __, value in tree.search(box, mode.upper())]
+
+    def open_scan(self, ctx, handle, instance, predicate=None,
+                  route=None) -> Scan:
+        if route is None or route[0] != "rtree_search":
+            raise StorageError(
+                "rtree scans need an ('rtree_search', mode, box) route")
+        __, mode, box = route
+        tree = RTree(ctx.buffer, instance["tree"], instance["max_entries"])
+        ctx.stats.bump("rtree.searches")
+        matches = tree.search(box, mode.upper())
+        scan = RTreeScan(ctx, handle, instance, matches)
+        ctx.services.scans.register(scan)
+        return scan
+
+    # -- cost estimation ------------------------------------------------------------------
+    def estimate_cost(self, ctx, handle, instance_name, instance, eligible
+                      ) -> Optional[AccessCost]:
+        """Recognises the spatial predicates and reports a low cost."""
+        relevant = [p for p in eligible
+                    if p.is_simple and p.op in _SPATIAL_MODES
+                    and p.field_index == instance["field_index"]]
+        if not relevant:
+            return None
+        method = ctx.database.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        tuples = max(1, method.record_count(ctx, handle))
+        selectivity = 1.0
+        for pred in relevant:
+            selectivity *= DEFAULT_SELECTIVITY.get(pred.op, 0.05)
+        expected = max(1.0, tuples * selectivity)
+        tree_state = instance["tree"]
+        height = max(1, tree_state.get("height", 1))
+        touched = height + expected / 4.0 + expected  # search + base fetches
+        chosen = relevant[0]
+        return AccessCost(io_pages=touched, cpu_tuples=expected,
+                          expected_tuples=expected,
+                          relevant=(chosen,),
+                          route=("rtree_pred", chosen.field_index,
+                                 chosen.op))

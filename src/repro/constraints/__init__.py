@@ -1,0 +1,13 @@
+"""Integrity constraint and trigger attachment extensions."""
+
+from __future__ import annotations
+
+from .check import CheckConstraintAttachment
+from .referential import ReferentialIntegrityAttachment
+from .trigger import (TriggerAttachment, TriggerEvent,
+                      register_trigger_routine)
+from .unique import UniqueConstraintAttachment
+
+__all__ = ["CheckConstraintAttachment", "ReferentialIntegrityAttachment",
+           "TriggerAttachment", "TriggerEvent", "register_trigger_routine",
+           "UniqueConstraintAttachment"]

@@ -1,0 +1,152 @@
+"""Trigger attachment.
+
+The paper: attachments can "trigger relation updates which establish or
+maintain the desired data consistency" and "trigger additional actions
+within the database or even outside of the database system".
+
+A trigger instance names the events it fires on, a routine, and a timing:
+
+* **immediate** — the routine runs inside the attached procedure, so it
+  can perform further relation modifications through the dispatch layer
+  (which then cascade) or veto the operation by raising
+  :class:`~repro.errors.VetoError`;
+* **deferred** — the routine is queued on the at-commit deferred-action
+  queue (the paper's mechanism for actions that must wait for transaction
+  events), typically used for actions *outside* the database such as
+  notifications, which must not fire for aborted transactions.
+
+Trigger routines receive a :class:`TriggerEvent`.  Routines are passed
+either as a Python callable or as the name of a routine registered with
+:func:`register_trigger_routine` ("made at the factory", like every
+extension).
+
+DDL attributes: ``on`` (subset of insert/update/delete), ``routine``
+(callable or registered name), ``timing`` ("immediate" | "deferred").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.attachment import AttachmentType
+from ..errors import StorageError
+from ..services import events as ev
+
+__all__ = ["TriggerAttachment", "TriggerEvent", "register_trigger_routine"]
+
+_ROUTINES: Dict[str, Callable] = {}
+
+_EVENTS = ("insert", "update", "delete")
+_TIMINGS = ("immediate", "deferred")
+
+
+def register_trigger_routine(name: str, routine: Callable) -> None:
+    """Register a named trigger routine (linked in 'at the factory')."""
+    _ROUTINES[name.lower()] = routine
+
+
+class TriggerEvent:
+    """What a trigger routine sees: the modification and its context."""
+
+    __slots__ = ("ctx", "relation", "operation", "key", "old", "new")
+
+    def __init__(self, ctx, relation: str, operation: str, key, old, new):
+        self.ctx = ctx
+        self.relation = relation
+        self.operation = operation
+        self.key = key
+        self.old = old
+        self.new = new
+
+    @property
+    def database(self):
+        return self.ctx.database
+
+    def __repr__(self) -> str:
+        return (f"TriggerEvent({self.operation} on {self.relation!r}, "
+                f"key={self.key!r})")
+
+
+class TriggerAttachment(AttachmentType):
+    """User routines fired as side effects of relation modifications."""
+
+    name = "trigger"
+    is_access_path = False
+    recoverable = False   # actions log through the operations they perform
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        on = attributes.pop("on", None)
+        routine = attributes.pop("routine", None)
+        timing = attributes.pop("timing", "immediate")
+        if attributes:
+            raise StorageError(
+                f"trigger: unknown attributes {sorted(attributes)}")
+        if isinstance(on, str):
+            on = [on]
+        if not on or not set(on) <= set(_EVENTS):
+            raise StorageError(
+                f"trigger: 'on' must be a non-empty subset of {_EVENTS}, "
+                f"got {on!r}")
+        if routine is None:
+            raise StorageError("trigger requires a 'routine' attribute")
+        if isinstance(routine, str):
+            if routine.lower() not in _ROUTINES:
+                raise StorageError(
+                    f"trigger routine {routine!r} is not registered "
+                    f"(available: {sorted(_ROUTINES)})")
+        elif not callable(routine):
+            raise StorageError(
+                f"trigger routine must be callable or a registered name, "
+                f"got {type(routine).__name__}")
+        if timing not in _TIMINGS:
+            raise StorageError(
+                f"trigger: timing must be one of {_TIMINGS}, got {timing!r}")
+        return {"on": sorted(set(on)), "routine": routine, "timing": timing}
+
+    def create_instance(self, ctx, handle, instance_name, attributes) -> dict:
+        return {"name": instance_name, "on": attributes["on"],
+                "routine": attributes["routine"],
+                "timing": attributes["timing"], "fired": 0}
+
+    def destroy_instance(self, ctx, handle, instance_name, instance) -> None:
+        """Triggers hold no storage."""
+
+    @staticmethod
+    def _resolve(instance: dict) -> Callable:
+        routine = instance["routine"]
+        if isinstance(routine, str):
+            return _ROUTINES[routine.lower()]
+        return routine
+
+    def _fire(self, ctx, handle, instance: dict, operation: str, key, old,
+              new) -> None:
+        if operation not in instance["on"]:
+            return
+        event = TriggerEvent(ctx, handle.name, operation, key, old, new)
+        routine = self._resolve(instance)
+        if instance["timing"] == "immediate":
+            instance["fired"] += 1
+            routine(event)
+        else:
+            def deferred_fire(txn_id: int, data) -> None:
+                instance["fired"] += 1
+                routine(data)
+            ctx.defer(ev.AT_COMMIT, deferred_fire, event)
+        ctx.stats.bump("trigger.firings")
+
+    # -- attached procedures -------------------------------------------------------------
+    def on_insert(self, ctx, handle, field, key, new_record) -> None:
+        for instance in field["instances"].values():
+            self._fire(ctx, handle, instance, "insert", key, None, new_record)
+
+    def on_update(self, ctx, handle, field, old_key, new_key, old_record,
+                  new_record) -> None:
+        for instance in field["instances"].values():
+            self._fire(ctx, handle, instance, "update", new_key, old_record,
+                       new_record)
+
+    def on_delete(self, ctx, handle, field, key, old_record) -> None:
+        for instance in field["instances"].values():
+            self._fire(ctx, handle, instance, "delete", key, old_record, None)

@@ -1,0 +1,197 @@
+"""Uniqueness constraint attachment (a constraint *with storage*).
+
+The paper stresses that attachments differ from plain triggers "because
+they may have associated storage".  The unique constraint demonstrates
+exactly that: it maintains its own page-based B-tree keyed by the
+constrained columns purely to enforce uniqueness in O(log n), vetoing the
+modification with :class:`~repro.errors.UniqueViolation` on duplicates.
+
+SQL semantics: records with a NULL in any constrained column are exempt.
+
+DDL attributes: ``columns`` (list of column names, required).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..access.btree_core import BTree
+from ..core.attachment import AttachmentType
+from ..errors import PageError, StorageError, UniqueViolation
+from ..services.recovery import ResourceHandler
+
+__all__ = ["UniqueConstraintAttachment"]
+
+
+class _UniqueHandler(ResourceHandler):
+    def __init__(self, attachment: "UniqueConstraintAttachment"):
+        self.attachment = attachment
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        if getattr(services, "in_restart", False):
+            return
+        database = services.database
+        entry = database.catalog.entry_by_id(payload["relation_id"])
+        field = entry.handle.descriptor.attachment_field(
+            self.attachment.type_id)
+        if field is None:
+            return
+        instance = field["instances"].get(payload["instance"])
+        if instance is None:
+            return
+        tree = BTree(services.buffer, instance["tree"])
+        if payload["op"] == "add":
+            tree.delete(tuple(payload["key"]), payload["value"])
+        elif payload["op"] == "remove":
+            tree.insert(tuple(payload["key"]), payload["value"])
+        else:
+            raise StorageError(f"unique cannot undo {payload['op']!r}")
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        """No redo: the enforcement structure is rebuilt after restart."""
+
+
+class UniqueConstraintAttachment(AttachmentType):
+    """Vetoes modifications that would duplicate the constrained columns."""
+
+    name = "unique"
+    is_access_path = False
+    recoverable = True
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        columns = attributes.pop("columns", None)
+        if attributes:
+            raise StorageError(
+                f"unique: unknown attributes {sorted(attributes)}")
+        if not columns:
+            raise StorageError("unique requires a 'columns' attribute")
+        for column in columns:
+            if not schema.orderable(column):
+                raise StorageError(
+                    f"unique column {column!r} has unorderable type "
+                    f"{schema.field(column).type_code}")
+        return {"columns": list(columns)}
+
+    def create_instance(self, ctx, handle, instance_name, attributes) -> dict:
+        key_fields = list(handle.schema.indexes_of(attributes["columns"]))
+        instance = {"name": instance_name,
+                    "columns": list(attributes["columns"]),
+                    "key_fields": key_fields, "tree": {}}
+        BTree.create(ctx.buffer, instance["tree"])
+        self._build(ctx, handle, instance)
+        return instance
+
+    def destroy_instance(self, ctx, handle, instance_name, instance) -> None:
+        tree = BTree(ctx.buffer, instance["tree"])
+        try:
+            tree.destroy()
+        except PageError:
+            pass
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _UniqueHandler(self)
+
+    def _build(self, ctx, handle, instance) -> None:
+        tree = BTree(ctx.buffer, instance["tree"])
+        method = ctx.database.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        scan = method.open_scan(ctx, handle)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    break
+                record_key, record = item
+                key = self._key_of(instance, record)
+                if key is None:
+                    continue
+                if tree.search(key):
+                    raise UniqueViolation(
+                        self.name,
+                        f"existing records duplicate {instance['columns']} "
+                        f"= {key!r}")
+                tree.insert(key, record_key)
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+
+    def rebuild(self, ctx, handle, field) -> None:
+        for instance in field["instances"].values():
+            tree = BTree(ctx.buffer, instance["tree"])
+            try:
+                tree.reset()
+            except PageError:
+                instance["tree"].clear()
+                BTree.create(ctx.buffer, instance["tree"])
+            self._build(ctx, handle, instance)
+        ctx.stats.bump("unique.rebuilds")
+
+    # -- attached procedures -------------------------------------------------------------
+    @staticmethod
+    def _key_of(instance: dict, record) -> Optional[tuple]:
+        key = tuple(record[i] for i in instance["key_fields"])
+        if any(v is None for v in key):
+            return None  # NULLs are exempt from uniqueness
+        return key
+
+    def on_insert(self, ctx, handle, field, key, new_record) -> None:
+        for instance in field["instances"].values():
+            unique_key = self._key_of(instance, new_record)
+            if unique_key is None:
+                continue
+            tree = BTree(ctx.buffer, instance["tree"])
+            if tree.search(unique_key):
+                raise UniqueViolation(
+                    instance["name"],
+                    f"duplicate value {unique_key!r} for UNIQUE "
+                    f"({', '.join(instance['columns'])})")
+            tree.insert(unique_key, key)
+            ctx.log(self.resource, {
+                "op": "add", "relation_id": handle.relation_id,
+                "instance": instance["name"], "key": list(unique_key),
+                "value": key})
+            ctx.stats.bump("unique.maintenance_ops")
+
+    def on_update(self, ctx, handle, field, old_key, new_key, old_record,
+                  new_record) -> None:
+        for instance in field["instances"].values():
+            old_unique = self._key_of(instance, old_record)
+            new_unique = self._key_of(instance, new_record)
+            if old_unique == new_unique and old_key == new_key:
+                ctx.stats.bump("unique.update_skips")
+                continue
+            tree = BTree(ctx.buffer, instance["tree"])
+            if new_unique is not None and new_unique != old_unique \
+                    and tree.search(new_unique):
+                raise UniqueViolation(
+                    instance["name"],
+                    f"duplicate value {new_unique!r} for UNIQUE "
+                    f"({', '.join(instance['columns'])})")
+            if old_unique is not None:
+                tree.delete(old_unique, old_key)
+                ctx.log(self.resource, {
+                    "op": "remove", "relation_id": handle.relation_id,
+                    "instance": instance["name"], "key": list(old_unique),
+                    "value": old_key})
+            if new_unique is not None:
+                tree.insert(new_unique, new_key)
+                ctx.log(self.resource, {
+                    "op": "add", "relation_id": handle.relation_id,
+                    "instance": instance["name"], "key": list(new_unique),
+                    "value": new_key})
+            ctx.stats.bump("unique.maintenance_ops")
+
+    def on_delete(self, ctx, handle, field, key, old_record) -> None:
+        for instance in field["instances"].values():
+            unique_key = self._key_of(instance, old_record)
+            if unique_key is None:
+                continue
+            tree = BTree(ctx.buffer, instance["tree"])
+            tree.delete(unique_key, key)
+            ctx.log(self.resource, {
+                "op": "remove", "relation_id": handle.relation_id,
+                "instance": instance["name"], "key": list(unique_key),
+                "value": key})
+            ctx.stats.bump("unique.maintenance_ops")

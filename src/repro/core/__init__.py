@@ -1,0 +1,18 @@
+"""Core architecture: generic abstractions, registry, descriptor, dispatch."""
+
+from __future__ import annotations
+
+from .attachment import AttachmentType
+from .context import ExecutionContext
+from .descriptor import RelationDescriptor
+from .dispatch import AccessPath, DataManager, STORAGE_ACCESS
+from .records import Box, RecordView
+from .registry import ExtensionRegistry
+from .relation import Relation
+from .schema import Field, Schema
+from .storage_method import RelationHandle, StorageMethod
+
+__all__ = ["AttachmentType", "ExecutionContext", "RelationDescriptor",
+           "AccessPath", "DataManager", "STORAGE_ACCESS", "Box",
+           "RecordView", "ExtensionRegistry", "Relation", "Field", "Schema",
+           "RelationHandle", "StorageMethod"]

@@ -1,0 +1,159 @@
+"""The attachment generic abstraction.
+
+The paper: "Access path, integrity constraint, and trigger extensions are
+called 'attachments' ...  Unlike storage methods, attachment modification
+operations are not directly invoked by the data management facility user.
+Instead, attachment modification interfaces are invoked only as side
+effects of modification operations on relations ...  Any attachment can
+abort the relation operation if the operation violates any restrictions of
+the attachment."
+
+Key protocol points implemented here:
+
+* each attachment **type** is invoked at most once per relation
+  modification and must itself service *all instances* of its type defined
+  on the relation (the type receives the composite per-type field from the
+  relation descriptor);
+* attachments may **veto** by raising :class:`~repro.errors.VetoError` (or
+  a subclass); the dispatch layer then drives the log-based partial
+  rollback of the storage-method change and the attachments that already
+  ran;
+* access-path attachments additionally expose direct access operations
+  (direct-by-key and key-sequential over their mapping structures) and
+  cost estimation;
+* attachments may have their own storage (the paper distinguishes them
+  from plain triggers on exactly this point).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import UnknownObjectError
+from ..query.cost import AccessCost, EligiblePredicate
+from ..services.predicate import Predicate
+from ..services.scans import Scan
+from .context import ExecutionContext
+from .storage_method import RelationHandle
+
+__all__ = ["AttachmentType", "instances_of"]
+
+
+def instances_of(field: dict) -> Dict[str, dict]:
+    """The per-instance descriptors inside an attachment field descriptor.
+
+    By convention every attachment type keeps its instances under the
+    ``"instances"`` key of its field descriptor, mapping instance name →
+    instance descriptor.  The helper exists so the dispatch layer and tools
+    can enumerate instances without knowing the type.
+    """
+    return field.get("instances", {})
+
+
+class AttachmentType(abc.ABC):
+    """Base class for attachment extensions.
+
+    Class attributes:
+
+    * ``name`` — unique registry name (and recovery resource suffix);
+    * ``is_access_path`` — whether the type supports direct access
+      operations (fetch/scan/cost); integrity constraints and triggers
+      leave this False;
+    * ``recoverable`` — whether the attachment logs its own storage
+      changes (pure checks log nothing).
+    """
+
+    name: str = ""
+    is_access_path: bool = False
+    recoverable: bool = False
+
+    #: Assigned by the registry; indexes the attachment procedure vectors
+    #: and the relation descriptor fields.
+    type_id: int = -1
+
+    @property
+    def resource(self) -> str:
+        return f"attachment.{self.name}"
+
+    # -- data definition -----------------------------------------------------
+    def validate_attributes(self, schema, attributes: Dict[str, object]
+                            ) -> Dict[str, object]:
+        """Validate the DDL attribute/value list for a new instance."""
+        return dict(attributes)
+
+    def new_field_descriptor(self) -> dict:
+        """The descriptor stored in the relation descriptor's field for this
+        type when its first instance is created."""
+        return {"instances": {}}
+
+    @abc.abstractmethod
+    def create_instance(self, ctx: ExecutionContext, handle: RelationHandle,
+                        instance_name: str,
+                        attributes: Dict[str, object]) -> dict:
+        """Create one attachment instance; returns its instance descriptor.
+
+        Implementations must bring the instance up to date with records
+        already stored in the relation (e.g. bulk-build an index) and
+        install the descriptor under ``field["instances"][instance_name]``
+        themselves if they need intermediate state; the DDL layer installs
+        the returned descriptor after this call returns.
+        """
+
+    @abc.abstractmethod
+    def destroy_instance(self, ctx: ExecutionContext, handle: RelationHandle,
+                         instance_name: str, instance: dict) -> None:
+        """Release an instance's storage (deferred to commit by DDL)."""
+
+    # -- procedurally attached, indirect operations ------------------------------
+    def on_insert(self, ctx: ExecutionContext, handle: RelationHandle,
+                  field: dict, key, new_record: Tuple) -> None:
+        """Called once per record insert; must service all instances."""
+
+    def on_update(self, ctx: ExecutionContext, handle: RelationHandle,
+                  field: dict, old_key, new_key, old_record: Tuple,
+                  new_record: Tuple) -> None:
+        """Called once per record update with old and new values/keys."""
+
+    def on_delete(self, ctx: ExecutionContext, handle: RelationHandle,
+                  field: dict, key, old_record: Tuple) -> None:
+        """Called once per record delete with the old record value."""
+
+    # -- direct access operations (access paths only) --------------------------------
+    def fetch(self, ctx: ExecutionContext, handle: RelationHandle,
+              instance: dict, input_key) -> Sequence:
+        """Direct-by-key: map an access-path key to matching record keys."""
+        raise UnknownObjectError(
+            f"attachment type {self.name!r} is not an access path")
+
+    def open_scan(self, ctx: ExecutionContext, handle: RelationHandle,
+                  instance: dict,
+                  predicate: Optional[Predicate] = None,
+                  route=None) -> Scan:
+        """Key-sequential access over the mapping structure.
+
+        Yields ``(record_key, view)`` where ``view`` exposes whatever
+        record fields are present in the access-path key (so the common
+        predicate evaluator can filter before the base record is fetched).
+        """
+        raise UnknownObjectError(
+            f"attachment type {self.name!r} is not an access path")
+
+    def estimate_cost(self, ctx: ExecutionContext, handle: RelationHandle,
+                      instance_name: str, instance: dict,
+                      eligible: Sequence[EligiblePredicate]
+                      ) -> Optional[AccessCost]:
+        """Cost of answering via this instance, or ``None`` when the
+        eligible predicates are not relevant to it."""
+        return None
+
+    # -- helpers --------------------------------------------------------------------------
+    def instance(self, field: dict, name: str) -> dict:
+        try:
+            return field["instances"][name]
+        except KeyError:
+            raise UnknownObjectError(
+                f"attachment {self.name!r} has no instance {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"<AttachmentType {self.name} id={self.type_id}>"

@@ -1,0 +1,115 @@
+"""Uniform authorization facility.
+
+The paper: "Because extensions are alternative implementations of a common
+relation abstraction, a uniform authorization facility can be used to
+control user access to relations of all storage methods."
+
+Privileges are the four relation modification/access classes plus CONTROL
+(grant/revoke and DDL on the relation).  The owner of a relation holds
+every privilege implicitly; a designated superuser principal bypasses
+checks.  Authorization is enforced at the relation abstraction — storage
+methods and attachments never see it, which is exactly the uniformity the
+paper claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..errors import AuthorizationError
+
+__all__ = ["Privilege", "AuthorizationService",
+           "SELECT", "INSERT", "UPDATE", "DELETE", "CONTROL"]
+
+SELECT = "select"
+INSERT = "insert"
+UPDATE = "update"
+DELETE = "delete"
+CONTROL = "control"
+
+PRIVILEGES = frozenset({SELECT, INSERT, UPDATE, DELETE, CONTROL})
+
+#: Alias kept for introspection/tests.
+Privilege = str
+
+
+class AuthorizationService:
+    """Grant tables keyed by (relation name, principal)."""
+
+    def __init__(self, superuser: str = "admin"):
+        self.superuser = superuser
+        self._grants: Dict[Tuple[str, str], Set[str]] = {}
+        self._owners: Dict[str, str] = {}
+        self.enabled = True
+
+    # -- ownership ---------------------------------------------------------------
+    def set_owner(self, relation: str, owner: str) -> None:
+        self._owners[relation.lower()] = owner
+
+    def owner(self, relation: str) -> str:
+        return self._owners.get(relation.lower(), self.superuser)
+
+    def forget_relation(self, relation: str) -> None:
+        relation = relation.lower()
+        self._owners.pop(relation, None)
+        for key in [k for k in self._grants if k[0] == relation]:
+            del self._grants[key]
+
+    # -- grant / revoke -----------------------------------------------------------
+    def grant(self, granter: str, relation: str, principal: str,
+              privileges) -> None:
+        self._require(granter, relation, CONTROL)
+        privileges = self._normalise(privileges)
+        self._grants.setdefault((relation.lower(), principal),
+                                set()).update(privileges)
+
+    def revoke(self, revoker: str, relation: str, principal: str,
+               privileges) -> None:
+        self._require(revoker, relation, CONTROL)
+        privileges = self._normalise(privileges)
+        held = self._grants.get((relation.lower(), principal))
+        if held:
+            held.difference_update(privileges)
+
+    # -- checking ---------------------------------------------------------------------
+    def check(self, principal: str, relation: str, privilege: str) -> None:
+        """Raise :class:`AuthorizationError` unless allowed."""
+        if not self.enabled:
+            return
+        self._require(principal, relation, privilege)
+
+    def allowed(self, principal: str, relation: str, privilege: str) -> bool:
+        try:
+            self._require(principal, relation, privilege)
+        except AuthorizationError:
+            return False
+        return True
+
+    def privileges_of(self, principal: str, relation: str) -> FrozenSet[str]:
+        if principal == self.superuser or principal == self.owner(relation):
+            return frozenset(PRIVILEGES)
+        return frozenset(self._grants.get((relation.lower(), principal), ()))
+
+    # -- internals -----------------------------------------------------------------------
+    def _require(self, principal: str, relation: str, privilege: str) -> None:
+        if privilege not in PRIVILEGES:
+            raise AuthorizationError(f"unknown privilege {privilege!r}")
+        if principal == self.superuser:
+            return
+        if principal == self.owner(relation):
+            return
+        held = self._grants.get((relation.lower(), principal), ())
+        if privilege not in held:
+            raise AuthorizationError(
+                f"principal {principal!r} lacks {privilege.upper()} on "
+                f"{relation!r}")
+
+    @staticmethod
+    def _normalise(privileges) -> Set[str]:
+        if isinstance(privileges, str):
+            privileges = [privileges]
+        out = {p.lower() for p in privileges}
+        bad = out - PRIVILEGES
+        if bad:
+            raise AuthorizationError(f"unknown privileges {sorted(bad)}")
+        return out

@@ -1,0 +1,146 @@
+"""System catalogs.
+
+Run-time descriptors for relation and access path instances: "the common
+system will maintain and manage relation descriptors.  Each extension
+supplies and interprets the contents of its own descriptor data, but the
+common system manages the composite relation descriptor ...  This strategy
+allows the common system to fetch the relation descriptors from the system
+catalogs at query compilation time and store them in the query access
+plan."
+
+The catalog maps names to :class:`~repro.core.storage_method.RelationHandle`
+objects and tracks per-relation statistics (cardinality, pages) for cost
+estimation.  It also indexes attachment instances by name so DDL can drop
+an index or constraint without knowing which relation it lives on.
+
+Fidelity note (see DESIGN.md): the catalog is modelled as residing in
+non-volatile system storage — it survives the simulated crash, while user
+data pages and the buffer pool do not.  Transactional consistency of the
+catalog is preserved through logical undo records written by the DDL layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..errors import DuplicateObjectError, UnknownObjectError
+from .storage_method import RelationHandle
+
+__all__ = ["Catalog", "CatalogEntry"]
+
+
+class CatalogEntry:
+    """One relation's catalog row."""
+
+    __slots__ = ("handle", "owner", "storage_method_name", "attachments")
+
+    def __init__(self, handle: RelationHandle, owner: str,
+                 storage_method_name: str):
+        self.handle = handle
+        self.owner = owner
+        self.storage_method_name = storage_method_name
+        #: instance name -> attachment type name
+        self.attachments: Dict[str, str] = {}
+
+    def __repr__(self) -> str:
+        return (f"CatalogEntry({self.handle.name!r}, "
+                f"sm={self.storage_method_name}, owner={self.owner})")
+
+
+class Catalog:
+    """Name → relation entry mapping plus the attachment-instance index."""
+
+    def __init__(self):
+        self._by_name: Dict[str, CatalogEntry] = {}
+        self._by_id: Dict[int, CatalogEntry] = {}
+        # attachment instance name -> relation name (instances are globally
+        # named, like SQL indexes)
+        self._attachment_index: Dict[str, str] = {}
+        self._next_relation_id = 1
+
+    # -- relations -------------------------------------------------------------
+    def allocate_relation_id(self) -> int:
+        relation_id = self._next_relation_id
+        self._next_relation_id += 1
+        return relation_id
+
+    def install(self, entry: CatalogEntry) -> None:
+        name = entry.handle.name
+        if name in self._by_name:
+            raise DuplicateObjectError(f"relation {name!r} already exists")
+        self._by_name[name] = entry
+        self._by_id[entry.handle.relation_id] = entry
+
+    def remove(self, name: str) -> CatalogEntry:
+        entry = self.entry(name)
+        del self._by_name[name]
+        del self._by_id[entry.handle.relation_id]
+        for instance_name in entry.attachments:
+            self._attachment_index.pop(instance_name, None)
+        return entry
+
+    def reinstall(self, entry: CatalogEntry) -> None:
+        """Undo of a drop: put an entry (and its attachment names) back."""
+        self.install(entry)
+        for instance_name in entry.attachments:
+            self._attachment_index[instance_name] = entry.handle.name
+
+    def entry(self, name: str) -> CatalogEntry:
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise UnknownObjectError(f"no relation named {name!r}") from None
+
+    def entry_by_id(self, relation_id: int) -> CatalogEntry:
+        try:
+            return self._by_id[relation_id]
+        except KeyError:
+            raise UnknownObjectError(
+                f"no relation with id {relation_id}") from None
+
+    def handle(self, name: str) -> RelationHandle:
+        return self.entry(name).handle
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._by_name
+
+    def relations(self) -> Iterator[CatalogEntry]:
+        return iter(self._by_name.values())
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._by_name))
+
+    # -- attachment instances --------------------------------------------------------
+    def register_attachment(self, relation_name: str, instance_name: str,
+                            type_name: str) -> None:
+        instance_name = instance_name.lower()
+        if instance_name in self._attachment_index:
+            raise DuplicateObjectError(
+                f"attachment instance {instance_name!r} already exists")
+        entry = self.entry(relation_name)
+        entry.attachments[instance_name] = type_name
+        self._attachment_index[instance_name] = entry.handle.name
+
+    def unregister_attachment(self, instance_name: str) -> Tuple[str, str]:
+        """Remove an instance from the index; returns (relation, type name)."""
+        instance_name = instance_name.lower()
+        relation_name = self.find_attachment(instance_name)
+        entry = self.entry(relation_name)
+        type_name = entry.attachments.pop(instance_name)
+        del self._attachment_index[instance_name]
+        return relation_name, type_name
+
+    def find_attachment(self, instance_name: str) -> str:
+        """Relation name owning an attachment instance."""
+        try:
+            return self._attachment_index[instance_name.lower()]
+        except KeyError:
+            raise UnknownObjectError(
+                f"no attachment instance named {instance_name!r}") from None
+
+    def attachment_exists(self, instance_name: str) -> bool:
+        return instance_name.lower() in self._attachment_index
+
+    def __repr__(self) -> str:
+        return (f"Catalog({len(self._by_name)} relations, "
+                f"{len(self._attachment_index)} attachment instances)")

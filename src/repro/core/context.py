@@ -1,0 +1,67 @@
+"""Execution context passed through every generic operation.
+
+Extensions never reach for globals: each direct or indirect generic
+operation receives an :class:`ExecutionContext` carrying the transaction,
+the common services bundle, and the owning database (attachments use the
+latter to access *other* relations — e.g. referential integrity acting on a
+child relation, the paper's cascaded-modification example).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..services import SystemServices
+from ..services.locks import LockMode
+from ..services.transactions import Transaction
+from ..services.wal import LogRecord
+
+__all__ = ["ExecutionContext"]
+
+
+class ExecutionContext:
+    """Per-operation bundle: transaction + services + database."""
+
+    __slots__ = ("txn", "services", "database")
+
+    def __init__(self, txn: Transaction, services: SystemServices,
+                 database=None):
+        self.txn = txn
+        self.services = services
+        self.database = database
+
+    # -- convenience passthroughs used by every extension ----------------------
+    @property
+    def txn_id(self) -> int:
+        return self.txn.txn_id
+
+    @property
+    def buffer(self):
+        return self.services.buffer
+
+    @property
+    def stats(self):
+        return self.services.stats
+
+    def log(self, resource: str, payload: dict) -> LogRecord:
+        """Append a logical operation record for a recoverable extension."""
+        return self.services.recovery.log_update(self.txn_id, resource, payload)
+
+    def lock(self, resource: Hashable, mode: LockMode) -> None:
+        self.services.locks.acquire(self.txn_id, resource, mode)
+
+    def lock_relation(self, relation_id: int, mode: LockMode) -> None:
+        self.lock(("rel", relation_id), mode)
+
+    def lock_record(self, relation_id: int, key, mode: LockMode) -> None:
+        """Record lock under the usual IS/IX intent on the relation."""
+        intent = LockMode.IX if mode in (LockMode.X, LockMode.IX) else LockMode.IS
+        self.lock(("rel", relation_id), intent)
+        self.lock(("rec", relation_id, key), mode)
+
+    def defer(self, event: str, callback, data=None) -> None:
+        self.services.events.defer(self.txn_id, event, callback, data)
+
+    def spawn(self, txn: Transaction) -> "ExecutionContext":
+        """A context for the same services/database but another transaction."""
+        return ExecutionContext(txn, self.services, self.database)

@@ -1,0 +1,299 @@
+"""The Database: wiring of common services, registry, catalogs, and DDL.
+
+A :class:`Database` instance is the "integrated database supporting
+multiple applications" the paper targets.  Constructing one registers the
+built-in storage methods and attachment types "at the factory" — the
+Python analogue of compiling and linking extensions with the DBMS — after
+which the procedure vectors are fixed and dispatch is purely index-based.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Optional, Sequence, Union
+
+from ..errors import TransactionError
+from ..services import SystemServices
+from .authorization import AuthorizationService
+from .catalog import Catalog
+from .context import ExecutionContext
+from .ddl import DataDefinition
+from .dependency import DependencyTracker
+from .dispatch import DataManager
+from .registry import ExtensionRegistry
+from .relation import Relation
+from .schema import Field, Schema
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An extensible relational database instance."""
+
+    def __init__(self, page_size: int = 4096, buffer_capacity: int = 256,
+                 principal: str = "admin", register_builtins: bool = True):
+        self.services = SystemServices(page_size=page_size,
+                                       buffer_capacity=buffer_capacity)
+        self.services.database = self  # recovery handlers reach the catalog
+        self.services.in_restart = False
+        self.registry = ExtensionRegistry()
+        self.catalog = Catalog()
+        self.authorization = AuthorizationService(superuser=principal)
+        self.dependencies = DependencyTracker()
+        self.data = DataManager(self.registry, self.services)
+        self.ddl = DataDefinition(self)
+        self.principal = principal
+        self._session_txn = None
+        self._query_engine = None
+        if register_builtins:
+            self._register_builtins()
+
+    def _register_builtins(self) -> None:
+        from ..access import builtin_attachment_types
+        from ..storage import builtin_storage_methods
+        recovery = self.services.recovery
+        for method in builtin_storage_methods():
+            self.registry.register_storage_method(method, recovery)
+        for attachment in builtin_attachment_types():
+            self.registry.register_attachment_type(attachment, recovery)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self):
+        """Open an explicit session transaction."""
+        if self._session_txn is not None and self._session_txn.active:
+            raise TransactionError("a session transaction is already open")
+        self._session_txn = self.services.transactions.begin()
+        return self._session_txn
+
+    def commit(self) -> None:
+        txn = self._require_session()
+        self._session_txn = None
+        self.services.transactions.commit(txn)
+
+    def rollback(self) -> None:
+        txn = self._require_session()
+        self._session_txn = None
+        self.services.transactions.abort(txn)
+
+    def savepoint(self, name: str) -> int:
+        return self.services.transactions.savepoint(self._require_session(),
+                                                    name)
+
+    def rollback_to(self, name: str) -> int:
+        return self.services.transactions.rollback_to(self._require_session(),
+                                                      name)
+
+    @contextmanager
+    def transaction(self):
+        """``with db.transaction() as ctx:`` — commit on exit, abort on error."""
+        txn = self.begin()
+        try:
+            yield ExecutionContext(txn, self.services, self)
+        except Exception:
+            if txn.active:
+                self._session_txn = None
+                self.services.transactions.abort(txn)
+            raise
+        else:
+            self._session_txn = None
+            self.services.transactions.commit(txn)
+
+    @contextmanager
+    def autocommit(self):
+        """Join the open session transaction, or run one just for this call."""
+        if self._session_txn is not None and self._session_txn.active:
+            yield ExecutionContext(self._session_txn, self.services, self)
+            return
+        txn = self.services.transactions.begin()
+        try:
+            yield ExecutionContext(txn, self.services, self)
+        except Exception:
+            if txn.active:
+                self.services.transactions.abort(txn)
+            raise
+        else:
+            self.services.transactions.commit(txn)
+
+    def _require_session(self):
+        if self._session_txn is None or not self._session_txn.active:
+            raise TransactionError("no session transaction is open")
+        return self._session_txn
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._session_txn is not None and self._session_txn.active
+
+    # ------------------------------------------------------------------
+    # DDL conveniences
+    # ------------------------------------------------------------------
+    def create_table(self, name: str,
+                     columns: Union[Schema, Sequence],
+                     storage_method: str = "heap",
+                     attributes: Optional[Dict[str, object]] = None,
+                     owner: Optional[str] = None) -> Relation:
+        """Create a relation; ``columns`` is a Schema or
+        ``[(name, type[, nullable]), ...]``."""
+        schema = self._schema(name, columns)
+        with self.autocommit() as ctx:
+            self.ddl.create_relation(ctx, name, schema, storage_method,
+                                     attributes, owner)
+        return Relation(self, name)
+
+    def drop_table(self, name: str) -> None:
+        with self.autocommit() as ctx:
+            self.ddl.drop_relation(ctx, name)
+
+    def create_attachment(self, relation: str, type_name: str,
+                          instance_name: str,
+                          attributes: Optional[Dict[str, object]] = None
+                          ) -> dict:
+        with self.autocommit() as ctx:
+            return self.ddl.create_attachment(ctx, relation, type_name,
+                                              instance_name, attributes)
+
+    def drop_attachment(self, instance_name: str) -> None:
+        with self.autocommit() as ctx:
+            self.ddl.drop_attachment(ctx, instance_name)
+
+    def disable_attachment(self, instance_name: str) -> None:
+        """Take an attachment instance out of service (not maintained, not
+        planned) without dropping its definition."""
+        with self.autocommit() as ctx:
+            self.ddl.set_attachment_status(ctx, instance_name, enabled=False)
+
+    def enable_attachment(self, instance_name: str) -> None:
+        """Return a disabled instance to service, rebuilding its structure
+        from the base relation when the type supports rebuilding."""
+        with self.autocommit() as ctx:
+            self.ddl.set_attachment_status(ctx, instance_name, enabled=True)
+
+    def create_index(self, name: str, relation: str,
+                     columns: Sequence[str], kind: str = "btree_index",
+                     **attributes) -> dict:
+        """Convenience wrapper: a keyed access-path attachment."""
+        attributes = dict(attributes)
+        attributes["columns"] = list(columns)
+        return self.create_attachment(relation, kind, name, attributes)
+
+    def add_check(self, name: str, relation: str, predicate: str) -> dict:
+        return self.create_attachment(relation, "check", name,
+                                      {"predicate": predicate})
+
+    def table(self, name: str) -> Relation:
+        self.catalog.entry(name)  # fail fast on unknown names
+        return Relation(self, name)
+
+    @staticmethod
+    def _schema(name: str, columns) -> Schema:
+        if isinstance(columns, Schema):
+            return columns
+        fields = []
+        for column in columns:
+            if isinstance(column, Field):
+                fields.append(column)
+            else:
+                fields.append(Field(*column))
+        return Schema(name, fields)
+
+    # ------------------------------------------------------------------
+    # Authorization conveniences
+    # ------------------------------------------------------------------
+    def grant(self, relation: str, principal: str, privileges) -> None:
+        self.authorization.grant(self.principal, relation, principal,
+                                 privileges)
+
+    def revoke(self, relation: str, principal: str, privileges) -> None:
+        self.authorization.revoke(self.principal, relation, principal,
+                                  privileges)
+
+    @contextmanager
+    def as_principal(self, principal: str):
+        previous = self.principal
+        self.principal = principal
+        try:
+            yield self
+        finally:
+            self.principal = previous
+
+    # ------------------------------------------------------------------
+    # Queries (bound plans, cost-based access selection)
+    # ------------------------------------------------------------------
+    @property
+    def query_engine(self):
+        if self._query_engine is None:
+            from ..query.engine import QueryEngine
+            self._query_engine = QueryEngine(self)
+        return self._query_engine
+
+    def execute(self, statement: str, params: Optional[dict] = None):
+        """Parse/plan/execute a mini-SQL statement through the plan cache."""
+        return self.query_engine.execute(statement, params)
+
+    def explain(self, statement: str) -> dict:
+        return self.query_engine.explain(statement)
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Force the log and every dirty page to stable storage.
+
+        After a checkpoint, restart redo finds every page already at (or
+        past) the logged LSNs and skips the work — the page-LSN guard is
+        what makes redo idempotent.
+        """
+        self.services.checkpoint()
+        self.services.stats.bump("db.checkpoints")
+
+    def restart(self) -> dict:
+        """Simulate a crash and run restart recovery.
+
+        1. active transactions are forgotten (they become losers);
+        2. the buffer pool and unflushed log records are lost;
+        3. the common recovery driver performs analysis/redo/undo;
+        4. temporary (non-recoverable) relations are reset — they do not
+           survive a restart;
+        5. access-path attachment structures are rebuilt from their base
+           relations (index recovery by rebuild; see DESIGN.md).
+
+        Returns the recovery summary.
+        """
+        self._session_txn = None
+        lost = self.services.crash()
+        # Lock state is volatile: pre-crash transactions hold nothing now.
+        self.services.locks.reset()
+        self.services.in_restart = True
+        try:
+            summary = self.services.recovery.restart()
+        finally:
+            self.services.in_restart = False
+        summary["log_records_lost"] = lost
+        self.services.transactions._active.clear()
+
+        for entry in self.catalog.relations():
+            handle = entry.handle
+            method = self.registry.storage_method(
+                handle.descriptor.storage_method_id)
+            if not method.recoverable:
+                reset = getattr(method, "reset_instance", None)
+                if reset is not None:
+                    reset(handle.descriptor.storage_descriptor)
+
+        rebuilt = 0
+        with self.autocommit() as ctx:
+            for entry in self.catalog.relations():
+                handle = entry.handle
+                for type_id, field in handle.descriptor.present_attachments():
+                    attachment = self.registry.attachment_type(type_id)
+                    rebuild = getattr(attachment, "rebuild", None)
+                    if rebuild is not None:
+                        rebuild(ctx, handle, field)
+                        rebuilt += 1
+        summary["attachment_types_rebuilt"] = rebuilt
+        return summary
+
+    def __repr__(self) -> str:
+        return (f"Database({len(self.catalog.relation_names())} relations, "
+                f"{self.registry!r})")

@@ -1,0 +1,244 @@
+"""Direct generic operations and the attached-procedure driver.
+
+This module is the heart of the architecture — the paper's two-step
+execution of relation modification operations:
+
+  "The first step, using the storage method identifier from the relation
+  descriptor, calls the appropriate storage method modification routine
+  via the storage method operation vectors.  After completing the storage
+  method operation, the extensions attached to the relation are invoked
+  via the attached procedures vectors.  Again, the relation descriptor is
+  consulted to determine which attachment types have instances on the
+  relation and must, therefore, be notified of the relation modification
+  ...  The storage method operation or the procedurally-attached
+  extensions can abort the entire relation modification operation.
+  Common system facilities will be used to undo the effects of completed
+  storage method and attachment modifications if the relation
+  modification operation is aborted."
+
+Undo of a vetoed modification is driven through an *operation savepoint*
+established before the storage-method call; a veto (or any error) raised
+by the storage method or any attached procedure triggers a log-driven
+partial rollback to it, after which the error propagates to the caller.
+
+Data access operations take an access path selector: "Access path
+extensions are selected using their attachment identifier plus an instance
+number ...  Access path zero is interpreted as an access to the storage
+method."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..errors import ReadOnlyError, StorageError, UnknownObjectError
+from ..services.locks import LockMode
+from ..services.predicate import Predicate
+from .context import ExecutionContext
+from .registry import ExtensionRegistry
+from .storage_method import RelationHandle
+
+__all__ = ["DataManager", "AccessPath", "STORAGE_ACCESS"]
+
+#: The reserved access-path selector meaning "access via the storage method".
+STORAGE_ACCESS = 0
+
+
+class AccessPath:
+    """An access-path selector: attachment type id + instance name.
+
+    ``AccessPath(0)`` (or the module constant ``STORAGE_ACCESS``) selects
+    the relation's storage method itself.
+    """
+
+    __slots__ = ("type_id", "instance_name")
+
+    def __init__(self, type_id: int = STORAGE_ACCESS,
+                 instance_name: Optional[str] = None):
+        self.type_id = type_id
+        self.instance_name = instance_name
+
+    @property
+    def is_storage(self) -> bool:
+        return self.type_id == STORAGE_ACCESS
+
+    def __repr__(self) -> str:
+        if self.is_storage:
+            return "AccessPath(storage)"
+        return f"AccessPath(type={self.type_id}, instance={self.instance_name!r})"
+
+
+class DataManager:
+    """Executes the direct generic operations through the procedure vectors."""
+
+    def __init__(self, registry: ExtensionRegistry, services):
+        self.registry = registry
+        self.services = services
+        self._op_counter = 0
+
+    # ------------------------------------------------------------------
+    # Relation modification operations (two-step execution)
+    # ------------------------------------------------------------------
+    def insert(self, ctx: ExecutionContext, handle: RelationHandle,
+               record: Tuple):
+        """Insert a record; returns its record key."""
+        record = handle.schema.check_record(record)
+        method = self._modifiable_method(handle)
+        ctx.lock_relation(handle.relation_id, LockMode.IX)
+        with self._operation(ctx):
+            ctx.stats.bump("dispatch.inserts")
+            key = self.registry.storage_insert[method.method_id](
+                ctx, handle, record)
+            for type_id, field in handle.descriptor.present_attachments():
+                ctx.stats.bump("dispatch.attached_calls")
+                self.registry.attached_insert[type_id](
+                    ctx, handle, field, key, record)
+        return key
+
+    def update(self, ctx: ExecutionContext, handle: RelationHandle, key,
+               new_record: Tuple):
+        """Replace the record at ``key``; returns the (possibly new) key.
+
+        The old record value is fetched first — it is "available to the
+        extension routines on updates and deletes".
+        """
+        new_record = handle.schema.check_record(new_record)
+        method = self._modifiable_method(handle)
+        ctx.lock_relation(handle.relation_id, LockMode.IX)
+        old_record = self._require_record(ctx, handle, key)
+        with self._operation(ctx):
+            ctx.stats.bump("dispatch.updates")
+            new_key = self.registry.storage_update[method.method_id](
+                ctx, handle, key, old_record, new_record)
+            for type_id, field in handle.descriptor.present_attachments():
+                ctx.stats.bump("dispatch.attached_calls")
+                self.registry.attached_update[type_id](
+                    ctx, handle, field, key, new_key, old_record, new_record)
+        return new_key
+
+    def delete(self, ctx: ExecutionContext, handle: RelationHandle, key) -> None:
+        """Delete the record at ``key``."""
+        method = self._modifiable_method(handle)
+        ctx.lock_relation(handle.relation_id, LockMode.IX)
+        old_record = self._require_record(ctx, handle, key)
+        with self._operation(ctx):
+            ctx.stats.bump("dispatch.deletes")
+            self.registry.storage_delete[method.method_id](
+                ctx, handle, key, old_record)
+            for type_id, field in handle.descriptor.present_attachments():
+                ctx.stats.bump("dispatch.attached_calls")
+                self.registry.attached_delete[type_id](
+                    ctx, handle, field, key, old_record)
+
+    # ------------------------------------------------------------------
+    # Data access operations
+    # ------------------------------------------------------------------
+    def fetch(self, ctx: ExecutionContext, handle: RelationHandle, key,
+              fields: Optional[Sequence[int]] = None,
+              predicate: Optional[Predicate] = None,
+              access_path: Optional[AccessPath] = None):
+        """Direct-by-key access.
+
+        With the default access path (zero) ``key`` is a storage-method
+        record key and the matching record's fields are returned.  With an
+        access-path selector, ``key`` is an access-path input key and the
+        *record keys* it maps to are returned — "normally, access paths
+        will return record keys that can then be used to access the stored
+        record directly via its storage method implementation".
+        """
+        ctx.lock_relation(handle.relation_id, LockMode.IS)
+        if access_path is None or access_path.is_storage:
+            method = self.registry.storage_method(
+                handle.descriptor.storage_method_id)
+            return self.registry.storage_fetch[method.method_id](
+                ctx, handle, key, fields, predicate)
+        attachment = self.registry.attachment_type(access_path.type_id)
+        field = self._attachment_field(handle, access_path)
+        instance = attachment.instance(field, access_path.instance_name)
+        return attachment.fetch(ctx, handle, instance, key)
+
+    def open_scan(self, ctx: ExecutionContext, handle: RelationHandle,
+                  fields: Optional[Sequence[int]] = None,
+                  predicate: Optional[Predicate] = None,
+                  access_path: Optional[AccessPath] = None,
+                  route=None):
+        """Key-sequential access via the storage method or an access path."""
+        ctx.lock_relation(handle.relation_id, LockMode.IS)
+        if access_path is None or access_path.is_storage:
+            method = self.registry.storage_method(
+                handle.descriptor.storage_method_id)
+            return self.registry.storage_open_scan[method.method_id](
+                ctx, handle, fields, predicate)
+        attachment = self.registry.attachment_type(access_path.type_id)
+        field = self._attachment_field(handle, access_path)
+        instance = attachment.instance(field, access_path.instance_name)
+        return attachment.open_scan(ctx, handle, instance, predicate,
+                                    route=route)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _modifiable_method(self, handle: RelationHandle):
+        method = self.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        if not method.updatable:
+            raise ReadOnlyError(
+                f"relation {handle.name!r} uses read-only storage method "
+                f"{method.name!r}")
+        return method
+
+    def _require_record(self, ctx, handle, key) -> Tuple:
+        method = self.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        old = self.registry.storage_fetch[method.method_id](
+            ctx, handle, key, None, None)
+        if old is None:
+            raise StorageError(
+                f"relation {handle.name!r} has no record with key {key!r}")
+        return old
+
+    def _attachment_field(self, handle: RelationHandle,
+                          access_path: AccessPath) -> dict:
+        field = handle.descriptor.attachment_field(access_path.type_id)
+        if field is None:
+            raise UnknownObjectError(
+                f"relation {handle.name!r} has no attachments of type id "
+                f"{access_path.type_id}")
+        return field
+
+    def _operation(self, ctx: ExecutionContext):
+        """Context manager: operation savepoint + rollback-on-error.
+
+        Every relation modification runs inside an internal savepoint so a
+        veto by the k-th attachment undoes the storage-method change and
+        the k−1 attached procedures that already ran (including any
+        cascaded modifications they performed on other relations).
+        """
+        return _OperationScope(self, ctx)
+
+
+class _OperationScope:
+    __slots__ = ("manager", "ctx", "name")
+
+    def __init__(self, manager: DataManager, ctx: ExecutionContext):
+        self.manager = manager
+        self.ctx = ctx
+        manager._op_counter += 1
+        self.name = f"__op_{manager._op_counter}"
+
+    def __enter__(self):
+        txns = self.manager.services.transactions
+        txns.savepoint(self.ctx.txn, self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        txns = self.manager.services.transactions
+        if exc_type is None:
+            txns.release_savepoint(self.ctx.txn, self.name)
+            return False
+        # Undo the partial effects of the failed modification, then let the
+        # veto / error propagate to the caller.
+        txns.rollback_to(self.ctx.txn, self.name)
+        txns.release_savepoint(self.ctx.txn, self.name)
+        self.ctx.stats.bump("dispatch.vetoed_operations")
+        return False

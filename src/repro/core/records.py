@@ -1,0 +1,231 @@
+"""Common record and field-value representation.
+
+The paper: "The most obvious interface convention is the common record and
+field value representations needed to allow communication with the generic
+operations comprising the storage method and attachment extensions."
+
+Every storage method and attachment in this library exchanges records in
+one canonical form: a tuple of Python field values ordered by the relation
+schema, plus a binary wire form used on pages.  The binary form is a small
+self-describing row format (null bitmap + fixed header + variable-length
+tail) so that any extension can materialise only the fields it needs while
+the row is still in the buffer pool.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence, Tuple
+
+from ..errors import SchemaError
+
+__all__ = ["Box", "encode_value", "decode_value", "encode_record", "decode_record",
+           "record_fields", "RecordView"]
+
+
+class Box:
+    """An axis-aligned rectangle, the value type of spatial (BOX) fields.
+
+    Used by the R-tree attachment to evaluate the spatial predicates the
+    paper names (``ENCLOSES``) plus the usual companions.  Coordinates are
+    floats; ``lo`` is the lower-left corner and ``hi`` the upper-right.
+    """
+
+    __slots__ = ("x_lo", "y_lo", "x_hi", "y_hi")
+
+    def __init__(self, x_lo: float, y_lo: float, x_hi: float, y_hi: float):
+        if x_lo > x_hi or y_lo > y_hi:
+            raise SchemaError(f"degenerate box: ({x_lo},{y_lo})..({x_hi},{y_hi})")
+        self.x_lo = float(x_lo)
+        self.y_lo = float(y_lo)
+        self.x_hi = float(x_hi)
+        self.y_hi = float(y_hi)
+
+    # -- spatial predicates -------------------------------------------------
+    def encloses(self, other: "Box") -> bool:
+        """True when this box fully contains ``other`` (paper's ENCLOSES)."""
+        return (self.x_lo <= other.x_lo and self.y_lo <= other.y_lo
+                and self.x_hi >= other.x_hi and self.y_hi >= other.y_hi)
+
+    def enclosed_by(self, other: "Box") -> bool:
+        return other.encloses(self)
+
+    def overlaps(self, other: "Box") -> bool:
+        return not (self.x_hi < other.x_lo or other.x_hi < self.x_lo
+                    or self.y_hi < other.y_lo or other.y_hi < self.y_lo)
+
+    # -- geometry helpers used by the R-tree --------------------------------
+    def area(self) -> float:
+        return (self.x_hi - self.x_lo) * (self.y_hi - self.y_lo)
+
+    def union(self, other: "Box") -> "Box":
+        return Box(min(self.x_lo, other.x_lo), min(self.y_lo, other.y_lo),
+                   max(self.x_hi, other.x_hi), max(self.y_hi, other.y_hi))
+
+    def enlargement(self, other: "Box") -> float:
+        """Area growth needed for this box to cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    # -- value protocol ------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Box)
+                and (self.x_lo, self.y_lo, self.x_hi, self.y_hi)
+                == (other.x_lo, other.y_lo, other.x_hi, other.y_hi))
+
+    def __hash__(self) -> int:
+        return hash((self.x_lo, self.y_lo, self.x_hi, self.y_hi))
+
+    def __repr__(self) -> str:
+        return f"Box({self.x_lo}, {self.y_lo}, {self.x_hi}, {self.y_hi})"
+
+
+# ---------------------------------------------------------------------------
+# Binary field encoding.
+#
+# Wire format per value (type tags come from the schema, not the wire):
+#   INT    -> 8-byte signed little-endian
+#   FLOAT  -> 8-byte IEEE double
+#   BOOL   -> 1 byte
+#   STRING -> u16 length + utf-8 bytes
+#   BYTES  -> u16 length + raw bytes
+#   BOX    -> 4 IEEE doubles
+# ---------------------------------------------------------------------------
+
+_INT = struct.Struct("<q")
+_FLOAT = struct.Struct("<d")
+_BOOL = struct.Struct("<B")
+_LEN = struct.Struct("<H")
+_BOX = struct.Struct("<dddd")
+
+
+def encode_value(type_code: str, value) -> bytes:
+    """Encode one non-null field value to its binary wire form."""
+    if type_code == "INT":
+        return _INT.pack(value)
+    if type_code == "FLOAT":
+        return _FLOAT.pack(value)
+    if type_code == "BOOL":
+        return _BOOL.pack(1 if value else 0)
+    if type_code == "STRING":
+        raw = value.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise SchemaError(f"string too long ({len(raw)} bytes)")
+        return _LEN.pack(len(raw)) + raw
+    if type_code == "BYTES":
+        if len(value) > 0xFFFF:
+            raise SchemaError(f"bytes too long ({len(value)} bytes)")
+        return _LEN.pack(len(value)) + bytes(value)
+    if type_code == "BOX":
+        return _BOX.pack(value.x_lo, value.y_lo, value.x_hi, value.y_hi)
+    raise SchemaError(f"unknown field type {type_code!r}")
+
+
+def decode_value(type_code: str, buf: memoryview, offset: int):
+    """Decode one field value; returns ``(value, next_offset)``."""
+    if type_code == "INT":
+        return _INT.unpack_from(buf, offset)[0], offset + 8
+    if type_code == "FLOAT":
+        return _FLOAT.unpack_from(buf, offset)[0], offset + 8
+    if type_code == "BOOL":
+        return bool(_BOOL.unpack_from(buf, offset)[0]), offset + 1
+    if type_code == "STRING":
+        (n,) = _LEN.unpack_from(buf, offset)
+        start = offset + 2
+        return bytes(buf[start:start + n]).decode("utf-8"), start + n
+    if type_code == "BYTES":
+        (n,) = _LEN.unpack_from(buf, offset)
+        start = offset + 2
+        return bytes(buf[start:start + n]), start + n
+    if type_code == "BOX":
+        x_lo, y_lo, x_hi, y_hi = _BOX.unpack_from(buf, offset)
+        return Box(x_lo, y_lo, x_hi, y_hi), offset + 32
+    raise SchemaError(f"unknown field type {type_code!r}")
+
+
+def encode_record(schema, record: Sequence) -> bytes:
+    """Encode a full record to the on-page wire form.
+
+    Layout: null bitmap (one bit per field, 1 = NULL), then the non-null
+    field values in schema order.
+    """
+    n = len(schema.fields)
+    if len(record) != n:
+        raise SchemaError(
+            f"record has {len(record)} fields, schema {schema.name!r} has {n}")
+    bitmap = bytearray((n + 7) // 8)
+    parts = [bytes(bitmap)]  # placeholder, replaced below
+    body = []
+    for i, (field, value) in enumerate(zip(schema.fields, record)):
+        if value is None:
+            bitmap[i // 8] |= 1 << (i % 8)
+        else:
+            body.append(encode_value(field.type_code, value))
+    parts[0] = bytes(bitmap)
+    return b"".join(parts + body)
+
+
+def decode_record(schema, raw: bytes) -> Tuple:
+    """Decode the on-page wire form back to a value tuple."""
+    n = len(schema.fields)
+    buf = memoryview(raw)
+    bitmap = raw[: (n + 7) // 8]
+    offset = (n + 7) // 8
+    values = []
+    for i, field in enumerate(schema.fields):
+        if bitmap[i // 8] & (1 << (i % 8)):
+            values.append(None)
+        else:
+            value, offset = decode_value(field.type_code, buf, offset)
+            values.append(value)
+    return tuple(values)
+
+
+def record_fields(record: Sequence, indexes: Iterable[int]) -> Tuple:
+    """Project the given field positions out of a record tuple."""
+    return tuple(record[i] for i in indexes)
+
+
+class RecordView:
+    """A partial view of a record: only selected fields are materialised.
+
+    Access paths evaluate filter predicates against the fields available in
+    their keys *before* fetching the full record (the paper's early
+    filtering).  A ``RecordView`` lets the common predicate evaluator treat
+    a full record and a partial key uniformly: it maps schema field index →
+    value and reports which fields are available.
+    """
+
+    __slots__ = ("_values", "_available")
+
+    def __init__(self, values: dict):
+        self._values = values
+        self._available = frozenset(values)
+
+    @classmethod
+    def from_record(cls, record: Sequence) -> "RecordView":
+        return cls({i: v for i, v in enumerate(record)})
+
+    @classmethod
+    def from_fields(cls, indexes: Sequence[int], values: Sequence) -> "RecordView":
+        return cls(dict(zip(indexes, values)))
+
+    @property
+    def available(self) -> frozenset:
+        return self._available
+
+    def covers(self, indexes: Iterable[int]) -> bool:
+        """True when every listed field position is available in the view."""
+        return all(i in self._available for i in indexes)
+
+    def __getitem__(self, index: int):
+        try:
+            return self._values[index]
+        except KeyError:
+            raise SchemaError(f"field {index} not available in this view") from None
+
+    def get(self, index: int, default=None):
+        return self._values.get(index, default)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{i}={self._values[i]!r}" for i in sorted(self._values))
+        return f"RecordView({inner})"

@@ -1,0 +1,156 @@
+"""User-level relation facade.
+
+Applications manipulate relations through :class:`Relation`, which routes
+every operation through the uniform authorization facility and the
+dispatch layer's direct generic operations.  The facade adds the
+conveniences a library user expects (field names instead of indexes,
+predicate strings, autocommit) without bypassing any architecture layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import StorageError
+from ..services.predicate import Predicate
+from .authorization import DELETE, INSERT, SELECT, UPDATE
+from .dispatch import AccessPath
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A bound, authorized view of one relation for the current principal."""
+
+    def __init__(self, database, name: str):
+        self.database = database
+        self.name = name.lower()
+
+    @property
+    def handle(self):
+        return self.database.catalog.handle(self.name)
+
+    @property
+    def schema(self):
+        return self.handle.schema
+
+    # ------------------------------------------------------------------
+    # Modification
+    # ------------------------------------------------------------------
+    def insert(self, record: Sequence):
+        """Insert one record (values in schema order); returns its key."""
+        db = self.database
+        db.authorization.check(db.principal, self.name, INSERT)
+        with db.autocommit() as ctx:
+            return db.data.insert(ctx, self.handle, tuple(record))
+
+    def insert_many(self, records: Sequence[Sequence]) -> List:
+        """Insert several records in one transaction; returns their keys."""
+        db = self.database
+        db.authorization.check(db.principal, self.name, INSERT)
+        with db.autocommit() as ctx:
+            handle = self.handle
+            return [db.data.insert(ctx, handle, tuple(r)) for r in records]
+
+    def update(self, key, changes: Dict[str, object]):
+        """Update named fields of the record at ``key``; returns its
+        (possibly new) key."""
+        db = self.database
+        db.authorization.check(db.principal, self.name, UPDATE)
+        handle = self.handle
+        updates = handle.schema.check_partial(changes)
+        with db.autocommit() as ctx:
+            old = db.data.fetch(ctx, handle, key)
+            if old is None:
+                raise StorageError(
+                    f"relation {self.name!r} has no record with key {key!r}")
+            new_record = handle.schema.apply_update(old, updates)
+            return db.data.update(ctx, handle, key, new_record)
+
+    def delete(self, key) -> None:
+        db = self.database
+        db.authorization.check(db.principal, self.name, DELETE)
+        with db.autocommit() as ctx:
+            db.data.delete(ctx, self.handle, key)
+
+    def delete_where(self, where: str, params: Optional[dict] = None) -> int:
+        """Delete all records matching a predicate; returns how many."""
+        victims = [key for key, __ in self.scan(where=where, params=params)]
+        db = self.database
+        db.authorization.check(db.principal, self.name, DELETE)
+        with db.autocommit() as ctx:
+            handle = self.handle
+            for key in victims:
+                db.data.delete(ctx, handle, key)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def fetch(self, key, fields: Optional[Sequence[str]] = None,
+              access_path: Optional[AccessPath] = None):
+        """Direct-by-key access; returns the record tuple (or selected
+        fields), or None."""
+        db = self.database
+        db.authorization.check(db.principal, self.name, SELECT)
+        handle = self.handle
+        indexes = handle.schema.indexes_of(fields) if fields else None
+        with db.autocommit() as ctx:
+            return db.data.fetch(ctx, handle, key, indexes,
+                                 access_path=access_path)
+
+    def scan(self, where=None, fields: Optional[Sequence[str]] = None,
+             params: Optional[dict] = None) -> List[Tuple]:
+        """Key-sequential access; returns ``[(key, values), ...]``.
+
+        ``where`` may be a predicate string (parsed and evaluated by the
+        common predicate service, inside the storage method, while records
+        are still in the buffer pool) or a pre-built
+        :class:`~repro.services.predicate.Predicate`.
+        """
+        db = self.database
+        db.authorization.check(db.principal, self.name, SELECT)
+        handle = self.handle
+        predicate = self._predicate(where, params)
+        indexes = handle.schema.indexes_of(fields) if fields else None
+        out: List[Tuple] = []
+        with db.autocommit() as ctx:
+            scan = db.data.open_scan(ctx, handle, indexes, predicate)
+            try:
+                while True:
+                    item = scan.next()
+                    if item is None:
+                        break
+                    out.append(item)
+            finally:
+                scan.close()
+                db.services.scans.unregister(scan)
+        return out
+
+    def rows(self, where=None, fields: Optional[Sequence[str]] = None,
+             params: Optional[dict] = None) -> List[Tuple]:
+        """Like :meth:`scan` but returns just the value tuples."""
+        return [values for __, values in self.scan(where, fields, params)]
+
+    def count(self, where=None, params: Optional[dict] = None) -> int:
+        if where is None:
+            db = self.database
+            db.authorization.check(db.principal, self.name, SELECT)
+            method = db.registry.storage_method(
+                self.handle.descriptor.storage_method_id)
+            with db.autocommit() as ctx:
+                return method.record_count(ctx, self.handle)
+        return len(self.scan(where=where, params=params))
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _predicate(self, where, params) -> Optional[Predicate]:
+        if where is None:
+            return None
+        if isinstance(where, Predicate):
+            return where.with_params(params) if params else where
+        return Predicate.parse(where, self.schema, params)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r})"

@@ -1,0 +1,156 @@
+"""Relation schemas: field definitions, typing, and record validation.
+
+A :class:`Schema` is the common, extension-independent description of a
+relation's record layout.  It is stored in the system catalogs, embedded in
+relation descriptors, and consulted by every storage method and attachment
+when encoding, decoding, or projecting records.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import SchemaError
+from .records import Box
+
+__all__ = ["FIELD_TYPES", "Field", "Schema"]
+
+#: The supported field type codes and a Python-level type check for each.
+FIELD_TYPES = {
+    "INT": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "FLOAT": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "STRING": lambda v: isinstance(v, str),
+    "BOOL": lambda v: isinstance(v, bool),
+    "BYTES": lambda v: isinstance(v, (bytes, bytearray)),
+    "BOX": lambda v: isinstance(v, Box),
+}
+
+#: Types on which ordering comparisons (and therefore B-tree keys and
+#: key-sequential ordering) are defined.
+ORDERABLE_TYPES = frozenset({"INT", "FLOAT", "STRING", "BOOL", "BYTES"})
+
+
+class Field:
+    """One field (column) of a relation schema."""
+
+    __slots__ = ("name", "type_code", "nullable")
+
+    def __init__(self, name: str, type_code: str, nullable: bool = True):
+        # Dots are allowed so the query layer can synthesise qualified
+        # (table.column) names for join output schemas.
+        if not name or not name.replace("_", "").replace(".", "").isalnum():
+            raise SchemaError(f"bad field name {name!r}")
+        if type_code not in FIELD_TYPES:
+            raise SchemaError(
+                f"unknown field type {type_code!r} (expected one of "
+                f"{sorted(FIELD_TYPES)})")
+        self.name = name.lower()
+        self.type_code = type_code
+        self.nullable = nullable
+
+    def check_value(self, value) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits this field."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"field {self.name!r} is not nullable")
+            return
+        if not FIELD_TYPES[self.type_code](value):
+            raise SchemaError(
+                f"field {self.name!r} expects {self.type_code}, got "
+                f"{type(value).__name__} {value!r}")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Field)
+                and (self.name, self.type_code, self.nullable)
+                == (other.name, other.type_code, other.nullable))
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.type_code, self.nullable))
+
+    def __repr__(self) -> str:
+        null = "" if self.nullable else " NOT NULL"
+        return f"Field({self.name} {self.type_code}{null})"
+
+
+class Schema:
+    """An ordered collection of fields describing a relation's records."""
+
+    def __init__(self, name: str, fields: Sequence[Field]):
+        if not fields:
+            raise SchemaError("a schema needs at least one field")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate field names in schema {name!r}")
+        self.name = name.lower()
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        self._index = {f.name: i for i, f in enumerate(self.fields)}
+
+    # -- lookups -------------------------------------------------------------
+    def field_index(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no field {name!r} "
+                f"(fields: {', '.join(self._index)})") from None
+
+    def field(self, name: str) -> Field:
+        return self.fields[self.field_index(name)]
+
+    def has_field(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def indexes_of(self, names: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(self.field_index(n) for n in names)
+
+    # -- validation ----------------------------------------------------------
+    def check_record(self, record: Sequence) -> Tuple:
+        """Validate and normalise a record against this schema.
+
+        Accepts any sequence of values in field order and returns the
+        canonical tuple form.  Raises :class:`SchemaError` on arity or type
+        mismatches.
+        """
+        if len(record) != len(self.fields):
+            raise SchemaError(
+                f"record has {len(record)} values, schema {self.name!r} "
+                f"has {len(self.fields)} fields")
+        for field, value in zip(self.fields, record):
+            field.check_value(value)
+        return tuple(record)
+
+    def check_partial(self, updates: dict) -> dict:
+        """Validate a {field name: value} partial update; returns
+        {field index: value}."""
+        normalised = {}
+        for name, value in updates.items():
+            i = self.field_index(name)
+            self.fields[i].check_value(value)
+            normalised[i] = value
+        return normalised
+
+    def apply_update(self, record: Sequence, updates: dict) -> Tuple:
+        """Return a new record tuple with ``updates`` ({index: value})
+        applied."""
+        values = list(record)
+        for i, value in updates.items():
+            values[i] = value
+        return self.check_record(values)
+
+    def orderable(self, name: str) -> bool:
+        return self.field(name).type_code in ORDERABLE_TYPES
+
+    # -- value protocol --------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Schema) and self.name == other.name
+                and self.fields == other.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{f.name} {f.type_code}" for f in self.fields)
+        return f"Schema({self.name}: {cols})"

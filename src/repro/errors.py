@@ -1,0 +1,158 @@
+"""Exception hierarchy for the data management extension architecture.
+
+The paper distinguishes several failure classes that the common services
+must coordinate: attachment *vetoes* of relation modifications, integrity
+violations surfaced to the user, lock conflicts and deadlocks detected by
+the common concurrency controller, and internal protocol violations by
+extension implementations.  Every exception raised by the library derives
+from :class:`ReproError` so applications can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A record, field value, or schema definition is malformed."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup failed or a catalog invariant was violated."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An object (relation, attachment, extension) already exists."""
+
+
+class UnknownObjectError(CatalogError):
+    """A named object does not exist in the catalogs."""
+
+
+class RegistryError(ReproError):
+    """An extension registration problem (duplicate id, unknown id, ...)."""
+
+
+class DescriptorError(ReproError):
+    """A relation descriptor is structurally invalid."""
+
+
+class StorageError(ReproError):
+    """A storage method could not complete an operation."""
+
+
+class ReadOnlyError(StorageError):
+    """A modification was attempted on a read-only storage method."""
+
+
+class RecordNotFoundError(StorageError):
+    """A direct-by-key access referenced a non-existent record key."""
+
+
+class PageError(StorageError):
+    """A page-level invariant was violated (overflow, bad slot, ...)."""
+
+
+class BufferError_(ReproError):
+    """Buffer pool protocol violation (unpin of unpinned page, ...)."""
+
+
+class VetoError(ReproError):
+    """Raised by an attachment to veto the relation modification.
+
+    The dispatch layer converts a veto into a partial rollback of the
+    storage-method change and of every attached procedure that already ran,
+    then re-raises the veto to the caller.
+    """
+
+    def __init__(self, attachment: str, reason: str):
+        super().__init__(f"attachment {attachment!r} vetoed operation: {reason}")
+        self.attachment = attachment
+        self.reason = reason
+
+
+class IntegrityError(VetoError):
+    """An integrity constraint attachment rejected a modification."""
+
+
+class CheckViolation(IntegrityError):
+    """A single-record (intra-record) predicate was not satisfied."""
+
+
+class UniqueViolation(IntegrityError):
+    """A uniqueness constraint was violated."""
+
+
+class ReferentialViolation(IntegrityError):
+    """A referential integrity constraint was violated."""
+
+
+class TransactionError(ReproError):
+    """Transaction protocol violation (use after commit, bad savepoint, ...)."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted and rolled back."""
+
+
+class LockError(ReproError):
+    """Base class for concurrency control failures."""
+
+
+class LockConflictError(LockError):
+    """A lock request conflicts with locks held by other transactions.
+
+    The library is deterministic and single-threaded: instead of blocking,
+    a conflicting request either registers a wait (and the caller retries)
+    or fails immediately, carrying the blocking transaction ids.
+    """
+
+    def __init__(self, resource, mode, holders):
+        super().__init__(
+            f"lock {mode.name} on {resource!r} conflicts with holders {sorted(holders)}"
+        )
+        self.resource = resource
+        self.mode = mode
+        self.holders = frozenset(holders)
+
+
+class DeadlockError(LockError):
+    """A cycle was found in the waits-for graph; the requester is the victim."""
+
+    def __init__(self, cycle):
+        super().__init__(f"deadlock detected, waits-for cycle: {list(cycle)}")
+        self.cycle = tuple(cycle)
+
+
+class RecoveryError(ReproError):
+    """The recovery protocol detected an inconsistency."""
+
+
+class AuthorizationError(ReproError):
+    """The uniform authorization facility denied an operation."""
+
+
+class PlanInvalidatedError(ReproError):
+    """A bound plan refers to a dropped relation or access path.
+
+    Callers normally never see this: the plan cache catches it and
+    automatically re-translates the query (the paper's behaviour).
+    """
+
+
+class QueryError(ReproError):
+    """A query could not be parsed, planned, or executed."""
+
+
+class PredicateError(QueryError):
+    """A filter-predicate expression is malformed or mistyped."""
+
+
+class ScanError(ReproError):
+    """Scan protocol violation (use after close, bad position restore, ...)."""
+
+
+class ForeignError(StorageError):
+    """The foreign-database gateway could not complete a remote access."""

@@ -1,0 +1,7 @@
+"""Query layer: cost-based access path selection and cached bound plans."""
+
+from __future__ import annotations
+
+from .cost import AccessCost, EligiblePredicate
+
+__all__ = ["AccessCost", "EligiblePredicate"]

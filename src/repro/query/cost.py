@@ -1,0 +1,102 @@
+"""Cost model types shared by storage methods, attachments, and the planner.
+
+The paper: "Given a list of 'eligible' predicates supplied by the query
+planner, the storage method or access attachment can determine the
+'relevance' of the predicates to the access path instance and then estimate
+the I/O and CPU costs to return the record fields or keys that satisfy the
+predicates."
+
+This module deliberately has no dependencies on the rest of the library so
+that every extension can import it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["AccessCost", "EligiblePredicate", "DEFAULT_SELECTIVITY"]
+
+#: Selectivity guesses per comparison operator, used when an extension has
+#: no better information (classic System R constants).
+DEFAULT_SELECTIVITY = {
+    "=": 0.05,
+    "!=": 0.95,
+    "<": 0.33,
+    "<=": 0.33,
+    ">": 0.33,
+    ">=": 0.33,
+    "ENCLOSES": 0.02,
+    "ENCLOSED_BY": 0.02,
+    "OVERLAPS": 0.05,
+}
+
+
+class EligiblePredicate:
+    """One conjunct offered to an extension for relevance testing.
+
+    ``field_index``/``op``/``operand`` are filled for simple
+    column-vs-constant comparisons (the form access paths can exploit);
+    ``expr`` always carries the full bound expression so extensions can do
+    deeper analysis if they wish.
+    """
+
+    __slots__ = ("expr", "field_index", "op", "operand")
+
+    def __init__(self, expr, field_index=None, op=None, operand=None):
+        self.expr = expr
+        self.field_index = field_index
+        self.op = op
+        self.operand = operand
+
+    @property
+    def is_simple(self) -> bool:
+        return self.field_index is not None
+
+    def __repr__(self) -> str:
+        if self.is_simple:
+            return f"EligiblePredicate(col{self.field_index} {self.op} ...)"
+        return f"EligiblePredicate({self.expr!r})"
+
+
+class AccessCost:
+    """An extension's estimate for one access route.
+
+    * ``io_pages`` — page reads expected;
+    * ``cpu_tuples`` — tuples or entries touched (CPU work);
+    * ``expected_tuples`` — result cardinality estimate;
+    * ``relevant`` — the eligible predicates this route will apply itself
+      (the planner re-checks the rest as residual filters);
+    * ``ordered_by`` — field indexes the output is ordered by, or None;
+    * ``route`` — opaque extension data the executor hands back when the
+      route is chosen (e.g. which B-tree instance, key range bounds).
+    """
+
+    __slots__ = ("io_pages", "cpu_tuples", "expected_tuples", "relevant",
+                 "ordered_by", "route")
+
+    def __init__(self, io_pages: float, cpu_tuples: float,
+                 expected_tuples: float,
+                 relevant: Sequence[EligiblePredicate] = (),
+                 ordered_by: Optional[Tuple[int, ...]] = None,
+                 route=None):
+        self.io_pages = float(io_pages)
+        self.cpu_tuples = float(cpu_tuples)
+        self.expected_tuples = float(expected_tuples)
+        self.relevant = tuple(relevant)
+        self.ordered_by = ordered_by
+        self.route = route
+
+    #: Relative weight of a page read versus touching one tuple.
+    IO_WEIGHT = 10.0
+
+    @property
+    def total(self) -> float:
+        """Scalar cost used for comparisons: weighted I/O plus CPU."""
+        return self.IO_WEIGHT * self.io_pages + self.cpu_tuples
+
+    def __lt__(self, other: "AccessCost") -> bool:
+        return self.total < other.total
+
+    def __repr__(self) -> str:
+        return (f"AccessCost(io={self.io_pages:.1f}, cpu={self.cpu_tuples:.1f}, "
+                f"rows={self.expected_tuples:.1f}, total={self.total:.1f})")

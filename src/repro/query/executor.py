@@ -1,0 +1,455 @@
+"""Tuple-at-a-time plan execution.
+
+The executor drives bound plans through the dispatch layer's direct
+generic operations: storage scans with pushed-down filter predicates,
+access-path probes that map input keys to record keys followed by
+direct-by-key fetches ("first the access path is accessed to obtain a
+record key, which is then used to access the relation record in the
+storage method"), and the three join methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.records import RecordView
+from ..errors import QueryError
+from ..services.predicate import Predicate
+from .cost import EligiblePredicate
+from .planner import JoinStep, SelectPlan, TableAccess
+
+__all__ = ["Executor"]
+
+_EMPTY_VIEW = RecordView({})
+
+
+class Executor:
+    """Executes bound plans against one database."""
+
+    def __init__(self, database):
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def run_select(self, ctx, plan: SelectPlan,
+                   params: Optional[dict]) -> List[Tuple]:
+        params = params or {}
+        fast = self._aggregate_fast_path(ctx, plan)
+        if fast is not None:
+            return fast
+        left_handle = plan.handles[plan.alias]
+        rows: Iterator[Tuple]
+        if plan.join is None:
+            if getattr(plan, "covering", False):
+                rows = self._covering_rows(ctx, left_handle, plan, params)
+            else:
+                rows = (record for __, record in
+                        self._access_rows(ctx, left_handle, plan.access,
+                                          params))
+        else:
+            rows = self._join_rows(ctx, plan, params)
+        if plan.where is not None and plan.join is not None:
+            cross = Predicate.from_bound(plan.where, plan.combined_schema,
+                                         params)
+            rows = (row for row in rows if cross.matches(row))
+        materialised = list(rows)
+        if any(aggregate for __, __, aggregate in plan.items):
+            return self._aggregate(plan, materialised, params)
+        if plan.order_by and plan.needs_sort:
+            for index, ascending in reversed(plan.order_by):
+                materialised.sort(key=lambda row: row[index],
+                                  reverse=not ascending)
+            ctx.stats.bump("executor.sorts")
+        if plan.limit is not None:
+            materialised = materialised[:plan.limit]
+        if plan.star:
+            return materialised
+        projected = []
+        for row in materialised:
+            view = RecordView.from_record(row)
+            projected.append(tuple(expr.eval(view, params)
+                                   for expr, __, __ in plan.items))
+        return projected
+
+    # ------------------------------------------------------------------
+    # Access routes
+    # ------------------------------------------------------------------
+    def _access_rows(self, ctx, handle, access: TableAccess,
+                     params: dict) -> Iterator[Tuple[object, Tuple]]:
+        """Yield (record key, full record) through the chosen route."""
+        database = self.database
+        predicate = None
+        if access.predicate is not None:
+            predicate = Predicate.from_bound(access.predicate, handle.schema,
+                                             params)
+        if access.is_storage:
+            method = database.registry.storage_method(
+                handle.descriptor.storage_method_id)
+            scan = method.open_scan(ctx, handle, None, predicate)
+            try:
+                while True:
+                    item = scan.next()
+                    if item is None:
+                        return
+                    yield item
+            finally:
+                scan.close()
+                ctx.services.scans.unregister(scan)
+            return
+        __, type_id, instance_name, type_name = access.access
+        attachment = database.registry.attachment_type(type_id)
+        field = handle.descriptor.attachment_field(type_id)
+        if field is None:
+            raise QueryError(
+                f"plan refers to dropped attachments on {handle.name!r}")
+        instance = attachment.instance(field, instance_name)
+        method = database.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        if type_name == "hash_index":
+            probe = self._hash_probe_key(instance, access.relevant, params)
+            for record_key in attachment.fetch(ctx, handle, instance, probe):
+                record = method.fetch(ctx, handle, record_key, None,
+                                      predicate)
+                if record is not None:
+                    yield record_key, record
+            return
+        route = None
+        if type_name == "btree_index":
+            route = self._btree_route(access.relevant, params)
+        elif type_name == "rtree":
+            route = self._rtree_route(access.relevant, params)
+        scan = attachment.open_scan(ctx, handle, instance, predicate, route)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    return
+                record_key, __ = item
+                # The access path returned a record key; fetch the record
+                # via its storage method, filtering in the buffer pool.
+                record = method.fetch(ctx, handle, record_key, None,
+                                      predicate)
+                if record is not None:
+                    yield record_key, record
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+
+    def _covering_rows(self, ctx, handle, plan: SelectPlan,
+                       params: dict) -> Iterator[Tuple]:
+        """Answer entirely from a B-tree index: the access path returns the
+        record fields present in its key; the base relation is never
+        touched."""
+        database = self.database
+        access = plan.access
+        __, type_id, instance_name, __name = access.access
+        attachment = database.registry.attachment_type(type_id)
+        field = handle.descriptor.attachment_field(type_id)
+        if field is None:
+            raise QueryError(
+                f"plan refers to dropped attachments on {handle.name!r}")
+        instance = attachment.instance(field, instance_name)
+        predicate = None
+        if access.predicate is not None:
+            predicate = Predicate.from_bound(access.predicate, handle.schema,
+                                             params)
+        route = self._btree_route(access.relevant, params)
+        width = len(handle.schema)
+        key_fields = instance["key_fields"]
+        ctx.stats.bump("executor.covering_scans")
+        scan = attachment.open_scan(ctx, handle, instance, predicate, route)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    return
+                __, view = item
+                row = [None] * width
+                for index in key_fields:
+                    row[index] = view[index]
+                yield tuple(row)
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+
+    @staticmethod
+    def _operand_value(pred: EligiblePredicate, params: dict):
+        return pred.operand.eval(_EMPTY_VIEW, params)
+
+    def _btree_route(self, relevant, params: dict):
+        low = high = None
+        low_inclusive = high_inclusive = True
+        for pred in relevant:
+            value = self._operand_value(pred, params)
+            if pred.op == "=":
+                low = high = (value,)
+                low_inclusive = high_inclusive = True
+            elif pred.op in (">", ">="):
+                if low is None or (value,) > low:
+                    low = (value,)
+                    low_inclusive = pred.op == ">="
+            elif pred.op in ("<", "<="):
+                if high is None or (value,) < high:
+                    high = (value,)
+                    high_inclusive = pred.op == "<="
+        return ("btree_range", low, high, low_inclusive, high_inclusive)
+
+    def _hash_probe_key(self, instance: dict, relevant, params: dict
+                        ) -> tuple:
+        by_field = {pred.field_index: self._operand_value(pred, params)
+                    for pred in relevant if pred.op == "="}
+        try:
+            return tuple(by_field[i] for i in instance["key_fields"])
+        except KeyError:
+            raise QueryError(
+                "hash probe plan lost its equality predicates") from None
+
+    def _rtree_route(self, relevant, params: dict):
+        pred = relevant[0]
+        box = self._operand_value(pred, params)
+        return ("rtree_search", pred.op, box)
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _join_rows(self, ctx, plan: SelectPlan,
+                   params: dict) -> Iterator[Tuple]:
+        join: JoinStep = plan.join
+        left_handle = plan.handles[plan.alias]
+        right_handle = None
+        for alias, handle in plan.handles.items():
+            if alias != plan.alias:
+                right_handle = handle
+        if right_handle is None:
+            raise QueryError("join plan lost its right relation")
+        if join.method == "join_index":
+            yield from self._join_via_index(ctx, plan, join, left_handle,
+                                            right_handle, params)
+            return
+        if join.method == "index_nl":
+            yield from self._join_index_nl(ctx, plan, join, left_handle,
+                                           right_handle, params)
+            return
+        yield from self._join_nested_loop(ctx, plan, join, left_handle,
+                                          right_handle, params)
+
+    def _join_via_index(self, ctx, plan, join, left_handle, right_handle,
+                        params):
+        database = self.database
+        attachment = database.registry.attachment_type_by_name("join_index")
+        field = left_handle.descriptor.attachment_field(attachment.type_id)
+        instance = attachment.instance(field, join.join_index_instance)
+        left_method = database.registry.storage_method(
+            left_handle.descriptor.storage_method_id)
+        right_method = database.registry.storage_method(
+            right_handle.descriptor.storage_method_id)
+        left_predicate = (Predicate.from_bound(plan.access.predicate,
+                                               left_handle.schema, params)
+                          if plan.access.predicate is not None else None)
+        right_predicate = (Predicate.from_bound(
+            join.right_access.predicate, right_handle.schema, params)
+            if join.right_access.predicate is not None else None)
+        ctx.stats.bump("executor.join_index_joins")
+        # Many pairs share one inner record (foreign-key joins); memoise
+        # right-side fetches for the duration of the operation (the locks
+        # taken by the first fetch protect the cached copy).
+        right_cache: Dict[object, Optional[Tuple]] = {}
+        for left_key, right_key in attachment.pairs(instance):
+            left_record = left_method.fetch(ctx, left_handle, left_key,
+                                            None, left_predicate)
+            if left_record is None:
+                continue
+            if right_key in right_cache:
+                right_record = right_cache[right_key]
+            else:
+                right_record = right_method.fetch(ctx, right_handle,
+                                                  right_key, None,
+                                                  right_predicate)
+                right_cache[right_key] = right_record
+            if right_record is None:
+                continue
+            yield tuple(left_record) + tuple(right_record)
+
+    def _join_index_nl(self, ctx, plan, join, left_handle, right_handle,
+                       params):
+        database = self.database
+        right_method = database.registry.storage_method(
+            right_handle.descriptor.storage_method_id)
+        right_predicate = (Predicate.from_bound(
+            join.right_access.predicate, right_handle.schema, params)
+            if join.right_access.predicate is not None else None)
+        probe = self._resolve_probe(right_handle, join.right_index)
+        ctx.stats.bump("executor.index_nl_joins")
+        for __, left_record in self._access_rows(ctx, left_handle,
+                                                 plan.access, params):
+            value = left_record[join.left_index]
+            if value is None:
+                continue
+            for right_key in probe(ctx, value):
+                right_record = right_method.fetch(ctx, right_handle,
+                                                  right_key, None,
+                                                  right_predicate)
+                if right_record is not None:
+                    yield tuple(left_record) + tuple(right_record)
+
+    def _resolve_probe(self, right_handle, right_index: int):
+        """A callable mapping a join value to inner record keys."""
+        database = self.database
+        for type_name in ("hash_index", "btree_index"):
+            attachment = database.registry.attachment_type_by_name(type_name)
+            field = right_handle.descriptor.attachment_field(
+                attachment.type_id)
+            if field is None:
+                continue
+            for instance in field["instances"].values():
+                if list(instance["key_fields"]) == [right_index]:
+                    def probe(ctx, value, attachment=attachment,
+                              instance=instance):
+                        return attachment.fetch(ctx, right_handle, instance,
+                                                (value,))
+                    return probe
+        method = database.registry.storage_method(
+            right_handle.descriptor.storage_method_id)
+        if tuple(method.key_fields(right_handle)) == (right_index,):
+            def probe(ctx, value):
+                record = method.fetch(ctx, right_handle, (value,))
+                return [(value,)] if record is not None else []
+            return probe
+        raise QueryError("index nested-loop plan lost its inner access path")
+
+    def _join_nested_loop(self, ctx, plan, join, left_handle, right_handle,
+                          params):
+        ctx.stats.bump("executor.nested_loop_joins")
+        right_rows = [record for __, record in
+                      self._access_rows(ctx, right_handle, join.right_access,
+                                        params)]
+        for __, left_record in self._access_rows(ctx, left_handle,
+                                                 plan.access, params):
+            value = left_record[join.left_index]
+            if value is None:
+                continue
+            for right_record in right_rows:
+                if right_record[join.right_index] == value:
+                    yield tuple(left_record) + tuple(right_record)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def _aggregate_fast_path(self, ctx, plan: SelectPlan) -> Optional[List]:
+        """Answer ``SELECT COUNT(*)`` from a precomputed aggregate
+        attachment when one exists (no scan at all)."""
+        if (plan.join is not None or plan.where is not None
+                or plan.group_index is not None or plan.star
+                or len(plan.items) != 1):
+            return None
+        expr, __, aggregate = plan.items[0]
+        if aggregate != "count" or expr is not None:
+            return None
+        handle = plan.handles[plan.alias]
+        attachment = self.database.registry.attachment_type_by_name(
+            "aggregate")
+        field = handle.descriptor.attachment_field(attachment.type_id)
+        if field is None:
+            return None
+        for instance in field["instances"].values():
+            if instance["function"] == "count":
+                ctx.stats.bump("executor.aggregate_fast_paths")
+                return [(attachment.value(ctx, handle, instance),)]
+        return None
+
+    def _aggregate(self, plan: SelectPlan, rows: List[Tuple],
+                   params: dict) -> List[Tuple]:
+        if plan.group_index is None:
+            return [self._fold(plan.items, rows, params)]
+        groups: Dict[object, List[Tuple]] = {}
+        for row in rows:
+            groups.setdefault(row[plan.group_index], []).append(row)
+        out = []
+        for value in sorted(groups, key=repr):
+            out.append(self._fold(plan.items, groups[value], params))
+        return out
+
+    @staticmethod
+    def _fold(items, rows: List[Tuple], params: dict) -> Tuple:
+        result = []
+        for expr, __, aggregate in items:
+            if aggregate is None:
+                # A plain item inside an aggregate query: its value from
+                # the first row (the grouping column in GROUP BY queries).
+                view = RecordView.from_record(rows[0]) if rows else None
+                result.append(expr.eval(view, params) if view else None)
+                continue
+            if aggregate == "count" and expr is None:
+                result.append(len(rows))
+                continue
+            values = []
+            for row in rows:
+                value = expr.eval(RecordView.from_record(row), params)
+                if value is not None:
+                    values.append(value)
+            if aggregate == "count":
+                result.append(len(values))
+            elif not values:
+                result.append(None)
+            elif aggregate == "sum":
+                result.append(sum(values))
+            elif aggregate == "min":
+                result.append(min(values))
+            elif aggregate == "max":
+                result.append(max(values))
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    # Modification statements
+    # ------------------------------------------------------------------
+    def run_insert(self, ctx, handle, columns: Optional[List[str]],
+                   rows: List[List], params: Optional[dict]) -> int:
+        params = params or {}
+        schema = handle.schema
+        database = self.database
+        count = 0
+        for row_exprs in rows:
+            values = [expr.eval(_EMPTY_VIEW, params) for expr in row_exprs]
+            if columns is None:
+                record = values
+                if len(record) != len(schema.fields):
+                    raise QueryError(
+                        f"INSERT supplies {len(record)} values for "
+                        f"{len(schema.fields)} columns")
+            else:
+                if len(columns) != len(values):
+                    raise QueryError(
+                        "INSERT column list and VALUES arity differ")
+                record = [None] * len(schema.fields)
+                for name, value in zip(columns, values):
+                    record[schema.field_index(name)] = value
+            database.data.insert(ctx, handle, tuple(record))
+            count += 1
+        return count
+
+    def run_update(self, ctx, handle, access: TableAccess,
+                   assignments: Dict[int, object],
+                   params: Optional[dict]) -> int:
+        params = params or {}
+        victims = list(self._access_rows(ctx, handle, access, params))
+        database = self.database
+        count = 0
+        for key, record in victims:
+            view = RecordView.from_record(record)
+            values = list(record)
+            for index, expr in assignments.items():
+                values[index] = expr.eval(view, params)
+            database.data.update(ctx, handle, key, tuple(values))
+            count += 1
+        return count
+
+    def run_delete(self, ctx, handle, access: TableAccess,
+                   params: Optional[dict]) -> int:
+        params = params or {}
+        victims = [key for key, __ in
+                   self._access_rows(ctx, handle, access, params)]
+        database = self.database
+        for key in victims:
+            database.data.delete(ctx, handle, key)
+        return len(victims)

@@ -1,0 +1,88 @@
+"""Bound plans and the plan cache.
+
+The paper: "In order to provide good performance for production
+databases, it is important to retain the translations of queries into
+query execution plans that directly invoke the relation and access path
+operations, and to use the saved query execution plans whenever the
+queries are subsequently executed.  This query binding approach avoids
+the non-trivial costs of accessing the relation descriptions and
+optimizing the query at query execution time ...  Invalidated execution
+plans are automatically re-translated, by the common system, the next
+time the query is invoked."
+
+A :class:`BoundPlan` embeds the relation handles (descriptors) captured at
+translation time, so execution touches no catalogs.  The dependency
+tracker invalidates plans whose relations or access paths change; the
+cache re-translates lazily on the next execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+__all__ = ["BoundPlan", "PlanCache"]
+
+
+class BoundPlan:
+    """One translated statement: kind, payload, and dependency tokens."""
+
+    __slots__ = ("text", "kind", "payload", "dependencies", "valid")
+
+    def __init__(self, text: str, kind: str, payload,
+                 dependencies: Set[str]):
+        self.text = text
+        self.kind = kind
+        self.payload = payload
+        self.dependencies = set(dependencies)
+        self.valid = True
+
+    def invalidate(self) -> None:
+        self.valid = False
+
+    def __repr__(self) -> str:
+        flag = "valid" if self.valid else "INVALIDATED"
+        return f"BoundPlan({self.kind}, {flag}, {self.text[:40]!r})"
+
+
+class PlanCache:
+    """Statement text → bound plan, with automatic re-translation."""
+
+    def __init__(self, database):
+        self.database = database
+        self._plans: Dict[str, BoundPlan] = {}
+
+    def execute(self, text: str,
+                translate: Callable[[], Tuple[str, object, Set[str]]]
+                ) -> BoundPlan:
+        """Return a valid bound plan, translating (or re-translating) as
+        needed."""
+        stats = self.database.services.stats
+        plan = self._plans.get(text)
+        if plan is not None and plan.valid:
+            stats.bump("plan_cache.hits")
+            return plan
+        if plan is not None:
+            stats.bump("plan_cache.retranslations")
+            self.database.dependencies.unregister(plan)
+        kind, payload, dependencies = translate()
+        plan = BoundPlan(text, kind, payload, dependencies)
+        self.database.dependencies.register(plan, dependencies)
+        self._plans[text] = plan
+        stats.bump("plan_cache.translations")
+        return plan
+
+    def forget(self, text: str) -> None:
+        plan = self._plans.pop(text, None)
+        if plan is not None:
+            self.database.dependencies.unregister(plan)
+
+    def clear(self) -> None:
+        for plan in self._plans.values():
+            self.database.dependencies.unregister(plan)
+        self._plans.clear()
+
+    def cached(self, text: str) -> Optional[BoundPlan]:
+        return self._plans.get(text)
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -1,0 +1,58 @@
+"""Common services environment.
+
+The paper's extension architecture embeds every storage method and
+attachment in a shared execution environment: the recovery log, the lock
+manager, event notification, the predicate evaluator, scan bookkeeping,
+and the buffer pool.  :class:`SystemServices` constructs and wires that
+bundle; a :class:`~repro.core.database.Database` owns exactly one.
+"""
+
+from __future__ import annotations
+
+from .buffer import BufferPool
+from .disk import BlockDevice, PAGE_SIZE
+from .events import EventService
+from .locks import LockManager, LockMode
+from .predicate import Predicate
+from .recovery import RecoveryManager, ResourceHandler
+from .scans import Scan, ScanService
+from .stats import StatsService
+from .transactions import Transaction, TransactionManager, TxnState
+from .wal import LogManager
+
+__all__ = ["SystemServices", "BufferPool", "BlockDevice", "EventService",
+           "LockManager", "LockMode", "Predicate", "RecoveryManager",
+           "ResourceHandler", "Scan", "ScanService", "StatsService",
+           "Transaction", "TransactionManager", "TxnState", "LogManager",
+           "PAGE_SIZE"]
+
+
+class SystemServices:
+    """The wired-up common services bundle for one database instance."""
+
+    def __init__(self, page_size: int = PAGE_SIZE, buffer_capacity: int = 256):
+        self.stats = StatsService()
+        self.disk = BlockDevice(page_size=page_size, stats=self.stats)
+        self.wal = LogManager()
+        self.buffer = BufferPool(self.disk, capacity=buffer_capacity,
+                                 wal_flush=self.wal.flush)
+        self.recovery = RecoveryManager(self.wal, services=self)
+        self.locks = LockManager()
+        self.events = EventService()
+        self.scans = ScanService(self.events)
+        self.transactions = TransactionManager(
+            self.wal, self.recovery, self.locks, self.events, self.scans)
+
+    def crash(self) -> int:
+        """Simulate a crash: the buffer pool and unflushed log are lost.
+
+        Returns the number of log records dropped.  Call
+        :meth:`RecoveryManager.restart` afterwards to recover.
+        """
+        self.buffer.crash()
+        return self.wal.lose_unflushed()
+
+    def checkpoint(self) -> None:
+        """Force all dirty pages (and therefore the log) to stable storage."""
+        self.wal.flush()
+        self.buffer.flush_all()

@@ -1,0 +1,167 @@
+"""Buffer pool.
+
+Caches device pages in memory frames with pin/unpin accounting, LRU
+replacement, and the write-ahead-logging protocol: before a dirty frame is
+written back to the device, the log is forced up to the frame's
+``page_lsn``.  The paper's common services let filter predicates be
+evaluated "while the field values from the relation storage or access path
+are still in the buffer pool" — storage methods and attachments here do
+exactly that, operating on pinned :class:`~repro.services.pages.PageView`
+objects.
+
+A *crash* is simulated by discarding every frame without flushing; restart
+recovery then rebuilds state from the device plus the stable prefix of the
+log.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional
+
+from ..errors import BufferError_
+from .disk import BlockDevice
+from .pages import PageView
+
+__all__ = ["BufferPool"]
+
+
+class _Frame:
+    __slots__ = ("page_id", "data", "pin_count", "dirty", "last_used")
+
+    def __init__(self, page_id: int, data: bytearray):
+        self.page_id = page_id
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+        self.last_used = 0
+
+
+class BufferPool:
+    """A fixed-capacity page cache over a :class:`BlockDevice`."""
+
+    def __init__(self, device: BlockDevice, capacity: int = 256,
+                 wal_flush: Optional[Callable[[int], None]] = None):
+        if capacity < 1:
+            raise BufferError_("buffer pool needs at least one frame")
+        self.device = device
+        self.capacity = capacity
+        self.stats = device.stats
+        self._wal_flush = wal_flush
+        self._frames: Dict[int, _Frame] = {}
+        self._clock = 0
+
+    def set_wal_flush(self, wal_flush: Callable[[int], None]) -> None:
+        """Install the log-force hook (wired up after the WAL is created)."""
+        self._wal_flush = wal_flush
+
+    # -- pinning -------------------------------------------------------------
+    def new_page(self, page_type: int) -> PageView:
+        """Allocate a device page, format it, and return it pinned."""
+        page_id = self.device.allocate()
+        frame = self._install(page_id, bytearray(self.device.page_size))
+        frame.pin_count += 1
+        frame.dirty = True
+        return PageView.format(page_id, frame.data, page_type)
+
+    def fetch(self, page_id: int) -> PageView:
+        """Return a pinned view of the page, reading it if not cached."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            self.stats.bump("buffer.misses")
+            frame = self._install(page_id, bytearray(self.device.read(page_id)))
+        else:
+            self.stats.bump("buffer.hits")
+        frame.pin_count += 1
+        self._clock += 1
+        frame.last_used = self._clock
+        return PageView(page_id, frame.data)
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count == 0:
+            raise BufferError_(f"unpin of unpinned page {page_id}")
+        frame.pin_count -= 1
+        frame.dirty = frame.dirty or dirty
+
+    @contextmanager
+    def pinned(self, page_id: int, dirty: bool = False):
+        """Context manager: pin a page, unpin on exit."""
+        page = self.fetch(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin(page_id, dirty)
+
+    # -- flushing / lifecycle ---------------------------------------------------
+    def flush_page(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.dirty:
+            self._write_back(frame)
+
+    def flush_all(self) -> None:
+        for frame in list(self._frames.values()):
+            if frame.dirty:
+                self._write_back(frame)
+
+    def free_page(self, page_id: int) -> None:
+        """Drop a page from the pool and the device (must be unpinned)."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            if frame.pin_count:
+                raise BufferError_(f"freeing pinned page {page_id}")
+            del self._frames[page_id]
+        self.device.free(page_id)
+
+    def crash(self) -> None:
+        """Simulate a crash: every frame is lost, nothing is flushed."""
+        for frame in self._frames.values():
+            if frame.pin_count:
+                raise BufferError_(
+                    f"page {frame.page_id} still pinned at crash — a storage "
+                    "method leaked a pin")
+        self._frames.clear()
+        self.stats.bump("buffer.crashes")
+
+    # -- internals -----------------------------------------------------------------
+    def _install(self, page_id: int, data: bytearray) -> _Frame:
+        if len(self._frames) >= self.capacity:
+            self._evict()
+        frame = _Frame(page_id, data)
+        self._clock += 1
+        frame.last_used = self._clock
+        self._frames[page_id] = frame
+        return frame
+
+    def _evict(self) -> None:
+        victim = None
+        for frame in self._frames.values():
+            if frame.pin_count == 0 and (victim is None
+                                         or frame.last_used < victim.last_used):
+                victim = frame
+        if victim is None:
+            raise BufferError_(
+                f"buffer pool exhausted: all {self.capacity} frames pinned")
+        if victim.dirty:
+            self._write_back(victim)
+        del self._frames[victim.page_id]
+        self.stats.bump("buffer.evictions")
+
+    def _write_back(self, frame: _Frame) -> None:
+        if self._wal_flush is not None:
+            page_lsn = PageView(frame.page_id, frame.data).page_lsn
+            self._wal_flush(page_lsn)
+        self.device.write(frame.page_id, bytes(frame.data))
+        frame.dirty = False
+
+    # -- introspection ----------------------------------------------------------------
+    @property
+    def cached_pages(self) -> int:
+        return len(self._frames)
+
+    def pin_count(self, page_id: int) -> int:
+        frame = self._frames.get(page_id)
+        return frame.pin_count if frame else 0
+
+    def __repr__(self) -> str:
+        return f"BufferPool({self.cached_pages}/{self.capacity} frames)"

@@ -1,0 +1,195 @@
+"""Lock-based concurrency control.
+
+The paper: "The data management extension architecture assumes that all
+storage method and attachment implementations will use a locking-based
+concurrency controller ... all lock controllers must be able to participate
+in transaction commit and system-wide deadlock detection events."
+
+The lock manager supports hierarchical modes (IS/IX/S/SIX/X) over arbitrary
+hashable resource names (conventionally ``("rel", rel_id)`` and
+``("rec", rel_id, key)``), lock upgrades, and deadlock detection over an
+explicit waits-for graph.
+
+The library is deterministic and single-threaded, so a conflicting request
+never blocks: it registers a wait edge, runs cycle detection, and raises
+either :class:`DeadlockError` (the requester is the victim) or
+:class:`LockConflictError` (the caller may retry once the holder finishes).
+Wait edges are cleared when the waiter retries successfully, releases its
+locks, or cancels the wait.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from ..errors import DeadlockError, LockConflictError, LockError
+
+__all__ = ["LockMode", "LockManager"]
+
+
+class LockMode(enum.IntEnum):
+    """Hierarchical lock modes, weakest to strongest."""
+
+    IS = 1
+    IX = 2
+    S = 3
+    SIX = 4
+    X = 5
+
+
+_M = LockMode
+#: Classic compatibility matrix for hierarchical locking.
+_COMPATIBLE: Dict[Tuple[LockMode, LockMode], bool] = {}
+for _a, _row in [
+    (_M.IS, {_M.IS: True, _M.IX: True, _M.S: True, _M.SIX: True, _M.X: False}),
+    (_M.IX, {_M.IS: True, _M.IX: True, _M.S: False, _M.SIX: False, _M.X: False}),
+    (_M.S, {_M.IS: True, _M.IX: False, _M.S: True, _M.SIX: False, _M.X: False}),
+    (_M.SIX, {_M.IS: True, _M.IX: False, _M.S: False, _M.SIX: False, _M.X: False}),
+    (_M.X, {_M.IS: False, _M.IX: False, _M.S: False, _M.SIX: False, _M.X: False}),
+]:
+    for _b, _ok in _row.items():
+        _COMPATIBLE[(_a, _b)] = _ok
+
+#: Mode join: the weakest mode at least as strong as both (for upgrades).
+_JOIN: Dict[Tuple[LockMode, LockMode], LockMode] = {}
+for _a in _M:
+    for _b in _M:
+        if _a == _b:
+            _JOIN[(_a, _b)] = _a
+        elif {_a, _b} == {_M.IS, _M.IX}:
+            _JOIN[(_a, _b)] = _M.IX
+        elif {_a, _b} == {_M.IS, _M.S}:
+            _JOIN[(_a, _b)] = _M.S
+        elif {_a, _b} == {_M.IS, _M.SIX} or {_a, _b} == {_M.IX, _M.S} \
+                or {_a, _b} == {_M.IX, _M.SIX} or {_a, _b} == {_M.S, _M.SIX}:
+            _JOIN[(_a, _b)] = _M.SIX
+        else:
+            _JOIN[(_a, _b)] = _M.X
+
+
+def compatible(a: LockMode, b: LockMode) -> bool:
+    return _COMPATIBLE[(a, b)]
+
+
+def join_modes(a: LockMode, b: LockMode) -> LockMode:
+    return _JOIN[(a, b)]
+
+
+class LockManager:
+    """Grants, upgrades, releases, and deadlock detection."""
+
+    def __init__(self):
+        # resource -> {txn_id: mode}
+        self._holders: Dict[Hashable, Dict[int, LockMode]] = {}
+        # txn_id -> set of resources held
+        self._held: Dict[int, Set[Hashable]] = {}
+        # waits-for graph: waiter txn -> set of holder txns
+        self._waits_for: Dict[int, Set[int]] = {}
+
+    # -- acquisition ------------------------------------------------------------
+    def acquire(self, txn_id: int, resource: Hashable, mode: LockMode) -> LockMode:
+        """Grant ``mode`` (or an upgrade) on ``resource`` to ``txn_id``.
+
+        Returns the mode now held.  Raises :class:`DeadlockError` when the
+        implied wait closes a cycle, :class:`LockConflictError` otherwise.
+        """
+        holders = self._holders.setdefault(resource, {})
+        current = holders.get(txn_id)
+        wanted = mode if current is None else join_modes(current, mode)
+        if current is not None and wanted == current:
+            return current  # already strong enough
+        blockers = {t for t, m in holders.items()
+                    if t != txn_id and not compatible(wanted, m)}
+        if blockers:
+            self._waits_for.setdefault(txn_id, set()).update(blockers)
+            cycle = self._find_cycle(txn_id)
+            if cycle:
+                self.cancel_wait(txn_id)
+                raise DeadlockError(cycle)
+            raise LockConflictError(resource, wanted, blockers)
+        holders[txn_id] = wanted
+        self._held.setdefault(txn_id, set()).add(resource)
+        self.cancel_wait(txn_id)
+        return wanted
+
+    def cancel_wait(self, txn_id: int) -> None:
+        """Withdraw any registered wait for the transaction."""
+        self._waits_for.pop(txn_id, None)
+
+    # -- release ------------------------------------------------------------------
+    def release(self, txn_id: int, resource: Hashable) -> None:
+        holders = self._holders.get(resource)
+        if not holders or txn_id not in holders:
+            raise LockError(f"transaction {txn_id} holds no lock on {resource!r}")
+        del holders[txn_id]
+        if not holders:
+            del self._holders[resource]
+        held = self._held.get(txn_id)
+        if held:
+            held.discard(resource)
+        self._unblock(txn_id)
+
+    def release_all(self, txn_id: int) -> int:
+        """Release every lock the transaction holds (commit/abort time)."""
+        resources = self._held.pop(txn_id, set())
+        for resource in resources:
+            holders = self._holders.get(resource)
+            if holders:
+                holders.pop(txn_id, None)
+                if not holders:
+                    del self._holders[resource]
+        self.cancel_wait(txn_id)
+        self._unblock(txn_id)
+        return len(resources)
+
+    def _unblock(self, released_txn: int) -> None:
+        for waiter in list(self._waits_for):
+            self._waits_for[waiter].discard(released_txn)
+            if not self._waits_for[waiter]:
+                del self._waits_for[waiter]
+
+    def reset(self) -> None:
+        """Forget every lock and wait (restart: lock state is volatile)."""
+        self._holders.clear()
+        self._held.clear()
+        self._waits_for.clear()
+
+    # -- introspection -----------------------------------------------------------------
+    def held_mode(self, txn_id: int, resource: Hashable) -> Optional[LockMode]:
+        return self._holders.get(resource, {}).get(txn_id)
+
+    def holders(self, resource: Hashable) -> Dict[int, LockMode]:
+        return dict(self._holders.get(resource, {}))
+
+    def locks_held(self, txn_id: int) -> FrozenSet[Hashable]:
+        return frozenset(self._held.get(txn_id, set()))
+
+    def waits_for(self) -> Dict[int, FrozenSet[int]]:
+        return {w: frozenset(hs) for w, hs in self._waits_for.items()}
+
+    # -- deadlock detection ---------------------------------------------------------------
+    def _find_cycle(self, start: int) -> Optional[List[int]]:
+        """Depth-first search for a cycle through ``start`` in waits-for."""
+        path: List[int] = []
+        visited: Set[int] = set()
+
+        def visit(node: int) -> Optional[List[int]]:
+            if node in path:
+                return path[path.index(node):] + [node]
+            if node in visited:
+                return None
+            visited.add(node)
+            path.append(node)
+            for succ in self._waits_for.get(node, ()):
+                found = visit(succ)
+                if found:
+                    return found
+            path.pop()
+            return None
+
+        return visit(start)
+
+    def __repr__(self) -> str:
+        return (f"LockManager({len(self._holders)} locked resources, "
+                f"{len(self._waits_for)} waiters)")

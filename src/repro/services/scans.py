@@ -1,0 +1,143 @@
+"""Scan position bookkeeping.
+
+The paper introduces the term *scan* for a key-sequential access position:
+"A scan may be *on*, *after*, or *before* an item of the relation or access
+path.  After a successful return from a key-sequential access, the scan is
+*on* the returned item.  If an item at the scan position is deleted, the
+scan will be positioned just *after* the deleted item."
+
+Two common-service obligations follow:
+
+* **End of transaction** — all key-sequential accesses must be terminated
+  when the transaction ends (locks protecting the positions are released),
+  so the service closes every scan the transaction still has open.
+* **Partial rollback** — scan position changes are *not logged* (for
+  performance), so when a savepoint is established the service asks every
+  open scan for its position, retains it, and restores it if the
+  transaction later rolls back to that savepoint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ScanError
+from . import events as ev
+from .events import EventService
+
+__all__ = ["ScanPosition", "Scan", "ScanService",
+           "BEFORE", "ON", "AFTER"]
+
+BEFORE = "before"
+ON = "on"
+AFTER = "after"
+
+
+class ScanPosition:
+    """An opaque (to the common system) saved scan position.
+
+    ``state`` is one of BEFORE / ON / AFTER relative to ``item``, whose
+    interpretation belongs to the scan's storage method or attachment.
+    """
+
+    __slots__ = ("state", "item")
+
+    def __init__(self, state: str, item):
+        if state not in (BEFORE, ON, AFTER):
+            raise ScanError(f"bad scan position state {state!r}")
+        self.state = state
+        self.item = item
+
+    def __eq__(self, other):
+        return (isinstance(other, ScanPosition)
+                and (self.state, self.item) == (other.state, other.item))
+
+    def __repr__(self) -> str:
+        return f"ScanPosition({self.state}, {self.item!r})"
+
+
+class Scan:
+    """Base protocol for key-sequential accesses.
+
+    Concrete scans are produced by storage methods and access-path
+    attachments.  The common system only relies on this protocol; the
+    *meaning* of positions stays inside the extension.
+    """
+
+    def __init__(self, txn_id: int):
+        self.txn_id = txn_id
+        self.closed = False
+
+    def next(self):
+        """Return the next item after the current position, or ``None`` at
+        the end of the key sequence (the scan is then *after* the last
+        item)."""
+        raise NotImplementedError
+
+    def save_position(self) -> ScanPosition:
+        raise NotImplementedError
+
+    def restore_position(self, position: ScanPosition) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ScanError("scan used after close")
+
+
+class ScanService:
+    """Tracks open scans per transaction; wires them to transaction events."""
+
+    def __init__(self, events: EventService):
+        self._open: Dict[int, List[Scan]] = {}
+        # (txn_id, savepoint name) -> [(scan, position)]
+        self._saved: Dict[Tuple[int, str], List[Tuple[Scan, ScanPosition]]] = {}
+        events.subscribe(ev.AT_END, self._on_txn_end)
+        events.subscribe(ev.SAVEPOINT_SET, self._on_savepoint_set)
+        events.subscribe(ev.SAVEPOINT_ROLLBACK, self._on_savepoint_rollback)
+
+    # -- registration (called by extensions when opening/closing scans) -------
+    def register(self, scan: Scan) -> Scan:
+        self._open.setdefault(scan.txn_id, []).append(scan)
+        return scan
+
+    def unregister(self, scan: Scan) -> None:
+        scans = self._open.get(scan.txn_id)
+        if scans and scan in scans:
+            scans.remove(scan)
+
+    def open_scans(self, txn_id: int) -> Tuple[Scan, ...]:
+        return tuple(self._open.get(txn_id, ()))
+
+    # -- event reactions ------------------------------------------------------------
+    def _on_txn_end(self, txn_id: int, info: dict) -> None:
+        for scan in self._open.pop(txn_id, []):
+            if not scan.closed:
+                scan.close()
+        for key in [k for k in self._saved if k[0] == txn_id]:
+            del self._saved[key]
+
+    def _on_savepoint_set(self, txn_id: int, info: dict) -> None:
+        name = info["name"]
+        captured = [(scan, scan.save_position())
+                    for scan in self._open.get(txn_id, ())
+                    if not scan.closed]
+        self._saved[(txn_id, name)] = captured
+
+    def _on_savepoint_rollback(self, txn_id: int, info: dict) -> None:
+        name = info["name"]
+        key = (txn_id, name)
+        if key not in self._saved:
+            return
+        for scan, position in self._saved[key]:
+            if not scan.closed:
+                scan.restore_position(position)
+        # Positions are retained until the savepoint is cancelled or used;
+        # a rollback *uses* it (and implicitly cancels deeper savepoints,
+        # which the transaction manager reports separately).
+
+    def cancel_savepoint(self, txn_id: int, name: str) -> None:
+        self._saved.pop((txn_id, name), None)

@@ -1,0 +1,46 @@
+"""Execution counters shared by the common services.
+
+The paper's cost-estimation interfaces reason in I/O and CPU units, and the
+benchmark harness validates the architecture's performance claims by
+*counting* work rather than timing a simulated disk.  Every common service
+and extension increments counters here; benchmarks and the query planner
+read them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["StatsService"]
+
+
+class StatsService:
+    """A named-counter sink with snapshot/delta support."""
+
+    def __init__(self):
+        self._counters = Counter()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._counters[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counters[name]
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def snapshot(self) -> dict:
+        return dict(self._counters)
+
+    def delta(self, before: dict) -> dict:
+        """Difference between the current counters and a prior snapshot."""
+        result = {}
+        for name, value in self._counters.items():
+            change = value - before.get(name, 0)
+            if change:
+                result[name] = change
+        return result
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatsService({inner})"

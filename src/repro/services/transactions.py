@@ -1,0 +1,173 @@
+"""Transaction management: begin/commit/abort, savepoints, prepared state.
+
+Coordinates the common services on the paper's transaction events:
+
+* **commit** — drain the "before the transaction enters the prepared state"
+  deferred-action queue (deferred integrity constraints may veto here and
+  abort the transaction), enter PREPARED, force the log through the COMMIT
+  record, run at-commit deferred actions (e.g. the deferred release of
+  dropped relation storage), release all locks, and notify end-of-
+  transaction listeners (the scan service closes open scans).
+* **abort** — drive the log-based rollback of every operation, then release
+  locks and notify listeners.
+* **savepoints** — write a SAVEPOINT record, let the scan service capture
+  key-sequential positions (their changes are not logged), and on partial
+  rollback drive the undo back to the savepoint LSN and restore positions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from ..errors import TransactionError
+from . import events as ev
+from . import wal as wal_records
+from .events import EventService
+from .locks import LockManager
+from .recovery import RecoveryManager
+from .scans import ScanService
+from .wal import LogManager
+
+__all__ = ["TxnState", "Transaction", "TransactionManager"]
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """A transaction handle.  All state changes go through the manager."""
+
+    def __init__(self, txn_id: int):
+        self.txn_id = txn_id
+        self.state = TxnState.ACTIVE
+        self.savepoints: Dict[str, int] = {}     # name -> SAVEPOINT record LSN
+        self._savepoint_order: list = []
+
+    @property
+    def active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    def check_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, not active")
+
+    def __repr__(self) -> str:
+        return f"Transaction(id={self.txn_id}, {self.state.value})"
+
+
+class TransactionManager:
+    """Owns transaction identity and the commit/abort/savepoint protocols."""
+
+    def __init__(self, wal: LogManager, recovery: RecoveryManager,
+                 locks: LockManager, events: EventService,
+                 scans: Optional[ScanService] = None):
+        self.wal = wal
+        self.recovery = recovery
+        self.locks = locks
+        self.events = events
+        self.scans = scans
+        self._next_id = 1
+        self._active: Dict[int, Transaction] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+    def begin(self) -> Transaction:
+        txn = Transaction(self._next_id)
+        self._next_id += 1
+        self._active[txn.txn_id] = txn
+        self.wal.append(txn.txn_id, wal_records.BEGIN)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit; a veto from a deferred action aborts instead."""
+        txn.check_active()
+        try:
+            # Deferred integrity constraints run here and may veto.
+            self.events.fire(txn.txn_id, ev.BEFORE_PREPARE)
+        except Exception:
+            self.abort(txn)
+            raise
+        txn.state = TxnState.PREPARED
+        self.wal.append(txn.txn_id, wal_records.COMMIT)
+        self.wal.flush()  # commit is durable once the log is stable
+        self.events.fire(txn.txn_id, ev.AT_COMMIT)
+        self.wal.append(txn.txn_id, wal_records.END)
+        self.locks.release_all(txn.txn_id)
+        txn.state = TxnState.COMMITTED
+        self.events.fire(txn.txn_id, ev.AT_END)
+        self._active.pop(txn.txn_id, None)
+
+    def abort(self, txn: Transaction) -> None:
+        if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            raise TransactionError(
+                f"transaction {txn.txn_id} already {txn.state.value}")
+        self.wal.append(txn.txn_id, wal_records.ABORT)
+        self.recovery.rollback(txn.txn_id, to_lsn=0)
+        self.wal.append(txn.txn_id, wal_records.END)
+        # Deferred actions never run for an aborted transaction.
+        self.events.discard(txn.txn_id)
+        try:
+            self.events.fire(txn.txn_id, ev.AT_ABORT)
+        finally:
+            self.locks.release_all(txn.txn_id)
+            txn.state = TxnState.ABORTED
+            self.events.fire(txn.txn_id, ev.AT_END)
+            self._active.pop(txn.txn_id, None)
+
+    # -- savepoints -----------------------------------------------------------------
+    def savepoint(self, txn: Transaction, name: str) -> int:
+        """Establish a rollback point; returns its LSN."""
+        txn.check_active()
+        if name in txn.savepoints:
+            raise TransactionError(f"savepoint {name!r} already exists")
+        record = self.wal.append(txn.txn_id, wal_records.SAVEPOINT,
+                                 payload={"name": name})
+        txn.savepoints[name] = record.lsn
+        txn._savepoint_order.append(name)
+        # Scan positions are captured now (their changes are not logged).
+        self.events.fire(txn.txn_id, ev.SAVEPOINT_SET, name=name)
+        return record.lsn
+
+    def rollback_to(self, txn: Transaction, name: str) -> int:
+        """Partial rollback to a savepoint; returns operations undone.
+
+        Savepoints established after ``name`` are cancelled; ``name`` itself
+        survives and can be rolled back to again (SQL semantics).
+        """
+        txn.check_active()
+        if name not in txn.savepoints:
+            raise TransactionError(f"no savepoint named {name!r}")
+        undone = self.recovery.rollback(txn.txn_id, to_lsn=txn.savepoints[name])
+        self.events.fire(txn.txn_id, ev.SAVEPOINT_ROLLBACK, name=name)
+        # Cancel savepoints nested inside the one we rolled back to.
+        while txn._savepoint_order and txn._savepoint_order[-1] != name:
+            inner = txn._savepoint_order.pop()
+            del txn.savepoints[inner]
+            if self.scans is not None:
+                self.scans.cancel_savepoint(txn.txn_id, inner)
+        return undone
+
+    def release_savepoint(self, txn: Transaction, name: str) -> None:
+        """Cancel a savepoint (its retained scan positions are dropped)."""
+        txn.check_active()
+        if name not in txn.savepoints:
+            raise TransactionError(f"no savepoint named {name!r}")
+        # Releasing an outer savepoint releases the ones nested inside it.
+        index = txn._savepoint_order.index(name)
+        for inner in txn._savepoint_order[index:]:
+            del txn.savepoints[inner]
+            if self.scans is not None:
+                self.scans.cancel_savepoint(txn.txn_id, inner)
+        del txn._savepoint_order[index:]
+
+    # -- introspection ------------------------------------------------------------------
+    def active_transactions(self) -> tuple:
+        return tuple(self._active.values())
+
+    def get(self, txn_id: int) -> Optional[Transaction]:
+        return self._active.get(txn_id)

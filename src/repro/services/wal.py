@@ -1,0 +1,141 @@
+"""Write-ahead log manager.
+
+The paper: "The data management extension architecture relies on the use of
+a common recovery facility to drive, not only system restart and
+transaction abort, but also the *partial rollback* of the actions of the
+transaction."
+
+The log is the single coordination point for undo.  Storage methods and
+attachments append logical *operation* records tagged with a resource name
+(``storage.heap``, ``attachment.btree_index``, ...); the recovery driver
+later calls the matching extension handler to undo or redo the operation.
+Compensation log records (CLRs) make rollback itself restartable, exactly
+as in ARIES-style systems.
+
+Stability is modelled explicitly: :meth:`LogManager.flush` advances the
+stable prefix, and a simulated crash discards everything after it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import RecoveryError
+
+__all__ = ["LogRecord", "LogManager",
+           "BEGIN", "UPDATE", "CLR", "SAVEPOINT", "COMMIT", "ABORT", "END"]
+
+# Log record kinds.
+BEGIN = "BEGIN"
+UPDATE = "UPDATE"          # a logical operation by a storage method/attachment
+CLR = "CLR"                # compensation: records one undone operation
+SAVEPOINT = "SAVEPOINT"
+COMMIT = "COMMIT"
+ABORT = "ABORT"
+END = "END"
+
+
+class LogRecord:
+    """One log record.
+
+    ``prev_lsn`` backchains records of the same transaction.  For ``CLR``
+    records, ``undo_next`` points at the next record to undo (the ``prev_lsn``
+    of the compensated record), so rollback never undoes an undo.
+    """
+
+    __slots__ = ("lsn", "prev_lsn", "txn_id", "kind", "resource", "payload",
+                 "undo_next")
+
+    def __init__(self, lsn: int, prev_lsn: int, txn_id: int, kind: str,
+                 resource: Optional[str] = None, payload: Optional[dict] = None,
+                 undo_next: Optional[int] = None):
+        self.lsn = lsn
+        self.prev_lsn = prev_lsn
+        self.txn_id = txn_id
+        self.kind = kind
+        self.resource = resource
+        self.payload = payload or {}
+        self.undo_next = undo_next
+
+    def __repr__(self) -> str:
+        extra = f" {self.resource}" if self.resource else ""
+        return (f"LogRecord(lsn={self.lsn}, txn={self.txn_id}, "
+                f"{self.kind}{extra}, prev={self.prev_lsn})")
+
+
+class LogManager:
+    """Append-only log with an explicitly tracked stable prefix."""
+
+    def __init__(self):
+        self._records: List[LogRecord] = []
+        self._flushed_lsn = 0
+        self._last_lsn: Dict[int, int] = {}  # txn_id -> last LSN written
+
+    # -- appending ------------------------------------------------------------
+    def append(self, txn_id: int, kind: str, resource: Optional[str] = None,
+               payload: Optional[dict] = None,
+               undo_next: Optional[int] = None) -> LogRecord:
+        lsn = len(self._records) + 1
+        prev = self._last_lsn.get(txn_id, 0)
+        record = LogRecord(lsn, prev, txn_id, kind, resource, payload, undo_next)
+        self._records.append(record)
+        self._last_lsn[txn_id] = lsn
+        return record
+
+    def last_lsn(self, txn_id: int) -> int:
+        return self._last_lsn.get(txn_id, 0)
+
+    # -- stability ----------------------------------------------------------------
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_lsn
+
+    @property
+    def current_lsn(self) -> int:
+        return len(self._records)
+
+    def flush(self, up_to_lsn: Optional[int] = None) -> None:
+        """Force the log to stable storage up to ``up_to_lsn`` (or all)."""
+        target = self.current_lsn if up_to_lsn is None else min(
+            up_to_lsn, self.current_lsn)
+        if target > self._flushed_lsn:
+            self._flushed_lsn = target
+
+    def lose_unflushed(self) -> int:
+        """Simulate a crash: records after the stable prefix are lost.
+
+        Returns the number of records dropped.  Per-transaction chains are
+        rebuilt from the surviving records.
+        """
+        lost = len(self._records) - self._flushed_lsn
+        del self._records[self._flushed_lsn:]
+        self._last_lsn = {}
+        for record in self._records:
+            self._last_lsn[record.txn_id] = record.lsn
+        return lost
+
+    # -- reading ----------------------------------------------------------------------
+    def record(self, lsn: int) -> LogRecord:
+        if not 1 <= lsn <= len(self._records):
+            raise RecoveryError(f"no log record with LSN {lsn}")
+        return self._records[lsn - 1]
+
+    def forward(self, from_lsn: int = 1) -> Iterator[LogRecord]:
+        """Iterate records in LSN order starting at ``from_lsn``."""
+        for i in range(from_lsn - 1, len(self._records)):
+            yield self._records[i]
+
+    def transaction_chain(self, txn_id: int) -> Iterator[LogRecord]:
+        """Walk one transaction's records newest-first via the backchain."""
+        lsn = self._last_lsn.get(txn_id, 0)
+        while lsn:
+            record = self.record(lsn)
+            yield record
+            lsn = record.prev_lsn
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (f"LogManager({len(self._records)} records, "
+                f"flushed={self._flushed_lsn})")

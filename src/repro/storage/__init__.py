@@ -1,0 +1,35 @@
+"""Relation storage method extensions.
+
+Each module implements one alternative relation storage method behind the
+generic :class:`~repro.core.storage_method.StorageMethod` abstraction.
+:func:`builtin_storage_methods` returns the set linked into every database
+"at the factory"; the temporary (memory) method is registered first so it
+receives the paper's internal identifier 1.
+"""
+
+from __future__ import annotations
+
+from .heap import HeapStorageMethod
+from .memory import MemoryStorageMethod
+
+__all__ = ["builtin_storage_methods", "HeapStorageMethod",
+           "MemoryStorageMethod"]
+
+
+def builtin_storage_methods():
+    """Fresh instances of the built-in storage methods, in id order.
+
+    Ordering is part of the architecture's contract: the temporary storage
+    method gets identifier 1 (the paper's example), the default recoverable
+    heap gets 2, and further methods follow.
+    """
+    from .btree_file import BTreeFileStorageMethod
+    from .foreign import ForeignStorageMethod
+    from .readonly import ReadOnlyStorageMethod
+    return [
+        MemoryStorageMethod(),      # id 1 — temporary relations
+        HeapStorageMethod(),        # id 2 — recoverable heap (default)
+        BTreeFileStorageMethod(),   # id 3 — records in the leaves of a B-tree
+        ReadOnlyStorageMethod(),    # id 4 — optical-disk publishing
+        ForeignStorageMethod(),     # id 5 — foreign-database gateway
+    ]

@@ -1,0 +1,428 @@
+"""B-tree-organised relation storage.
+
+The paper's second storage-method example: "the records of the relation
+... may be stored in the leaves of a B-tree index".  Record keys here are
+"composed from some subset of the fields of the records" — the DDL
+attribute list names the key columns, and the storage method enforces that
+key values are non-null and unique (the key must identify the record).
+
+Implementation: record bytes live in slotted pages exactly like the heap;
+the B-tree ordering layer is an ordered directory (key tuple → page, slot)
+kept in the storage descriptor, which resides in non-volatile catalog
+storage (see DESIGN.md).  This preserves every architecturally relevant
+behaviour — field-composed keys, key-ordered key-sequential access,
+cheap direct-by-key access, key changes on update — while reusing the
+heap's page-level crash recovery: page operations are logged and
+LSN-stamped, and the directory is maintained by the undo path (it survives
+crashes with the catalog, so redo leaves it alone).
+
+DDL attributes: ``key`` (list of column names, required), ``fill_hint``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.context import ExecutionContext
+from ..core.records import decode_record, encode_record
+from ..core.storage_method import RelationHandle, StorageMethod
+from ..errors import (PageError, RecordNotFoundError, StorageError,
+                      UniqueViolation)
+from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
+from ..services.locks import LockMode
+from ..services.predicate import Predicate
+from ..services.recovery import ResourceHandler
+from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
+from .heap import _ensure_formatted
+
+__all__ = ["BTreeFileStorageMethod", "BTreeFileScan"]
+
+PAGE_TYPE_BTREE_LEAF = 2
+
+
+def _descriptor_for(services, payload: dict):
+    """Storage descriptor, or None when the relation has been dropped."""
+    database = getattr(services, "database", None)
+    if database is None:
+        raise StorageError("recovery handler needs services.database wired")
+    from ..errors import UnknownObjectError
+    try:
+        entry = database.catalog.entry_by_id(payload["relation_id"])
+    except UnknownObjectError:
+        return None
+    return entry.handle.descriptor.storage_descriptor
+
+
+def _dir_insert(directory: List[list], key: tuple, page: int, slot: int) -> None:
+    index = bisect.bisect_left(directory, [list(key)])
+    directory.insert(index, [list(key), page, slot])
+
+
+def _dir_find(directory: List[list], key: tuple) -> Optional[int]:
+    index = bisect.bisect_left(directory, [list(key)])
+    if index < len(directory) and tuple(directory[index][0]) == tuple(key):
+        return index
+    return None
+
+
+def _dir_remove(directory: List[list], key: tuple) -> Tuple[int, int]:
+    index = _dir_find(directory, key)
+    if index is None:
+        raise RecordNotFoundError(f"no directory entry for key {key!r}")
+    __, page, slot = directory.pop(index)
+    return page, slot
+
+
+class _BTreeFileHandler(ResourceHandler):
+    """Undo/redo: pages are LSN-guarded; the directory is undo-only
+    (it lives in non-volatile catalog storage and survives the crash)."""
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        descriptor = _descriptor_for(services, payload)
+        if descriptor is None:
+            return  # the relation was dropped; nothing left to undo
+        op = payload["op"]
+        if op == "new_page":
+            page_id = payload["page"]
+            if page_id in descriptor["pages"]:
+                descriptor["pages"].remove(page_id)
+                services.buffer.free_page(page_id)
+            return
+        buffer = services.buffer
+        page = buffer.fetch(payload["page"])
+        try:
+            if op == "insert":
+                page.delete(payload["slot"])
+                _dir_remove(descriptor["directory"], tuple(payload["key"]))
+                descriptor["ntuples"] -= 1
+            elif op == "delete":
+                page.insert(payload["old_raw"], slot=payload["slot"])
+                _dir_insert(descriptor["directory"], tuple(payload["key"]),
+                            payload["page"], payload["slot"])
+                descriptor["ntuples"] += 1
+            elif op == "update":
+                page.update(payload["slot"], payload["old_raw"])
+            else:
+                raise StorageError(f"btree_file cannot undo op {op!r}")
+            page.page_lsn = clr_lsn
+        finally:
+            buffer.unpin(payload["page"], dirty=True)
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        op = payload["op"]
+        descriptor = _descriptor_for(services, payload)
+        if descriptor is None:
+            return  # the relation was dropped; its pages are gone
+        if op == "new_page":
+            if payload.get("compensates") is not None:
+                return
+            page_id = payload["page"]
+            if page_id in descriptor["pages"] and services.disk.exists(page_id):
+                page = services.buffer.fetch(page_id)
+                try:
+                    _ensure_formatted(page)
+                finally:
+                    services.buffer.unpin(page_id, dirty=True)
+            return
+        if not services.disk.exists(payload["page"]):
+            return
+        buffer = services.buffer
+        page = buffer.fetch(payload["page"])
+        dirty = False
+        try:
+            _ensure_formatted(page)
+            if page.page_lsn >= lsn:
+                return
+            if payload.get("compensates") is not None:
+                if op == "insert":
+                    page.delete(payload["slot"])
+                elif op == "delete":
+                    page.insert(payload["old_raw"], slot=payload["slot"])
+                elif op == "update":
+                    page.update(payload["slot"], payload["old_raw"])
+            elif op == "insert":
+                page.insert(payload["new_raw"], slot=payload["slot"])
+            elif op == "delete":
+                page.delete(payload["slot"])
+            elif op == "update":
+                page.update(payload["slot"], payload["new_raw"])
+            else:
+                raise StorageError(f"btree_file cannot redo op {op!r}")
+            page.page_lsn = lsn
+            dirty = True
+            services.stats.bump("recovery.redo_applied")
+        finally:
+            buffer.unpin(payload["page"], dirty=dirty)
+
+
+class BTreeFileScan(Scan):
+    """Key-sequential access in key order.
+
+    The position is the last key returned; a deletion at the position
+    leaves the scan just after it, because the next call advances to the
+    smallest stored key strictly greater than the position.
+    """
+
+    def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
+                 fields: Optional[Sequence[int]],
+                 predicate: Optional[Predicate],
+                 low: Optional[tuple] = None, high: Optional[tuple] = None):
+        super().__init__(ctx.txn_id)
+        self.ctx = ctx
+        self.handle = handle
+        self.fields = tuple(fields) if fields is not None else None
+        self.predicate = predicate
+        self.low = low
+        self.high = high
+        self.state = BEFORE
+        self.position: Optional[tuple] = None  # last key returned
+
+    def next(self):
+        self._check_open()
+        descriptor = self.handle.descriptor.storage_descriptor
+        directory = descriptor["directory"]
+        if self.position is None:
+            index = 0 if self.low is None else bisect.bisect_left(
+                directory, [list(self.low)])
+        else:
+            index = bisect.bisect_right(directory, [list(self.position),
+                                                    float("inf"), 0])
+        buffer = self.ctx.buffer
+        while index < len(directory):
+            key_list, page_id, slot = directory[index]
+            key = tuple(key_list)
+            if self.high is not None and key > self.high:
+                break
+            index += 1
+            self.position = key
+            self.state = ON
+            self.ctx.stats.bump("btree_file.tuples_scanned")
+            page = buffer.fetch(page_id)
+            try:
+                record = decode_record(self.handle.schema, page.read(slot))
+                if self.predicate is not None \
+                        and not self.predicate.matches(record):
+                    continue
+                self.ctx.lock_record(self.handle.relation_id, key, LockMode.S)
+                if self.fields is None:
+                    return key, record
+                return key, tuple(record[i] for i in self.fields)
+            finally:
+                buffer.unpin(page_id)
+        self.state = AFTER
+        return None
+
+    def save_position(self) -> ScanPosition:
+        return ScanPosition(self.state, self.position)
+
+    def restore_position(self, saved: ScanPosition) -> None:
+        self.state = saved.state
+        self.position = saved.item
+
+
+class BTreeFileStorageMethod(StorageMethod):
+    """Records stored in the leaves of a B-tree, keyed by chosen fields."""
+
+    name = "btree_file"
+    recoverable = True
+    updatable = True
+    ordered_by_key = True
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        key_columns = attributes.pop("key", None)
+        fill = attributes.pop("fill_hint", 1.0)
+        if attributes:
+            raise StorageError(
+                f"btree_file storage: unknown attributes {sorted(attributes)}")
+        if not key_columns:
+            raise StorageError(
+                "btree_file storage requires a 'key' attribute listing the "
+                "key columns")
+        for column in key_columns:
+            if not schema.orderable(column):
+                raise StorageError(
+                    f"btree_file key column {column!r} has unorderable type "
+                    f"{schema.field(column).type_code}")
+        return {"key": list(key_columns), "fill_hint": float(fill)}
+
+    def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
+        key_fields = list(schema.indexes_of(attributes["key"]))
+        return {"relation_id": relation_id, "pages": [], "ntuples": 0,
+                "key_fields": key_fields, "directory": [],
+                "attributes": dict(attributes)}
+
+    def destroy_instance(self, ctx, descriptor) -> None:
+        for page_id in descriptor["pages"]:
+            ctx.buffer.free_page(page_id)
+        descriptor["pages"] = []
+        descriptor["directory"] = []
+        descriptor["ntuples"] = 0
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _BTreeFileHandler()
+
+    def key_fields(self, handle) -> Tuple[int, ...]:
+        return tuple(handle.descriptor.storage_descriptor["key_fields"])
+
+    def key_of(self, handle, record: Tuple) -> tuple:
+        key = tuple(record[i]
+                    for i in handle.descriptor.storage_descriptor["key_fields"])
+        if any(v is None for v in key):
+            raise StorageError(
+                f"btree_file key fields must be non-null, got {key!r}")
+        return key
+
+    # -- modification ---------------------------------------------------------------
+    def insert(self, ctx, handle, record):
+        descriptor = handle.descriptor.storage_descriptor
+        key = self.key_of(handle, record)
+        if _dir_find(descriptor["directory"], key) is not None:
+            raise UniqueViolation(
+                self.name, f"duplicate storage key {key!r} in relation "
+                           f"{handle.name!r}")
+        ctx.lock_record(handle.relation_id, key, LockMode.X)
+        raw = encode_record(handle.schema, record)
+        page_id, page = self._page_with_room(ctx, descriptor, len(raw))
+        try:
+            slot = page.insert(raw)
+            log = ctx.log(self.resource, {
+                "op": "insert", "relation_id": descriptor["relation_id"],
+                "page": page_id, "slot": slot, "new_raw": raw,
+                "key": list(key)})
+            page.page_lsn = log.lsn
+        finally:
+            ctx.buffer.unpin(page_id, dirty=True)
+        _dir_insert(descriptor["directory"], key, page_id, slot)
+        descriptor["ntuples"] += 1
+        ctx.stats.bump("btree_file.inserts")
+        return key
+
+    def update(self, ctx, handle, key, old_record, new_record):
+        new_key = self.key_of(handle, new_record)
+        if tuple(new_key) != tuple(key):
+            # Key fields changed: the record moves within the key space.
+            self.delete(ctx, handle, key, old_record)
+            return self.insert(ctx, handle, new_record)
+        descriptor = handle.descriptor.storage_descriptor
+        index = _dir_find(descriptor["directory"], tuple(key))
+        if index is None:
+            raise RecordNotFoundError(
+                f"relation {handle.name!r} has no record with key {key!r}")
+        __, page_id, slot = descriptor["directory"][index]
+        ctx.lock_record(handle.relation_id, tuple(key), LockMode.X)
+        new_raw = encode_record(handle.schema, new_record)
+        page = ctx.buffer.fetch(page_id)
+        try:
+            old_raw = page.update(slot, new_raw)
+        except PageError:
+            ctx.buffer.unpin(page_id)
+            self.delete(ctx, handle, key, old_record)
+            return self.insert(ctx, handle, new_record)
+        try:
+            log = ctx.log(self.resource, {
+                "op": "update", "relation_id": descriptor["relation_id"],
+                "page": page_id, "slot": slot,
+                "old_raw": old_raw, "new_raw": new_raw, "key": list(key)})
+            page.page_lsn = log.lsn
+            ctx.stats.bump("btree_file.updates")
+            return tuple(key)
+        finally:
+            ctx.buffer.unpin(page_id, dirty=True)
+
+    def delete(self, ctx, handle, key, old_record) -> None:
+        descriptor = handle.descriptor.storage_descriptor
+        ctx.lock_record(handle.relation_id, tuple(key), LockMode.X)
+        page_id, slot = _dir_remove(descriptor["directory"], tuple(key))
+        page = ctx.buffer.fetch(page_id)
+        try:
+            old_raw = page.delete(slot)
+            log = ctx.log(self.resource, {
+                "op": "delete", "relation_id": descriptor["relation_id"],
+                "page": page_id, "slot": slot, "old_raw": old_raw,
+                "key": list(key)})
+            page.page_lsn = log.lsn
+        finally:
+            ctx.buffer.unpin(page_id, dirty=True)
+        descriptor["ntuples"] -= 1
+        ctx.stats.bump("btree_file.deletes")
+
+    # -- access -------------------------------------------------------------------------
+    def fetch(self, ctx, handle, key, fields=None, predicate=None):
+        descriptor = handle.descriptor.storage_descriptor
+        index = _dir_find(descriptor["directory"], tuple(key))
+        if index is None:
+            return None
+        __, page_id, slot = descriptor["directory"][index]
+        ctx.lock_record(handle.relation_id, tuple(key), LockMode.S)
+        page = ctx.buffer.fetch(page_id)
+        try:
+            record = decode_record(handle.schema, page.read(slot))
+        finally:
+            ctx.buffer.unpin(page_id)
+        ctx.stats.bump("btree_file.fetches")
+        if predicate is not None and not predicate.matches(record):
+            return None
+        if fields is None:
+            return record
+        return tuple(record[i] for i in fields)
+
+    def open_scan(self, ctx, handle, fields=None, predicate=None,
+                  low: Optional[tuple] = None,
+                  high: Optional[tuple] = None) -> Scan:
+        scan = BTreeFileScan(ctx, handle, fields, predicate, low, high)
+        ctx.services.scans.register(scan)
+        return scan
+
+    # -- planning ---------------------------------------------------------------------------
+    def record_count(self, ctx, handle) -> int:
+        return handle.descriptor.storage_descriptor["ntuples"]
+
+    def page_count(self, ctx, handle) -> int:
+        return len(handle.descriptor.storage_descriptor["pages"])
+
+    def estimate_cost(self, ctx, handle, eligible) -> AccessCost:
+        """Reports a low cost when predicates constrain the leading key
+        field (records are clustered in key order)."""
+        base = super().estimate_cost(ctx, handle, eligible)
+        key_fields = self.key_fields(handle)
+        if not key_fields:
+            return base
+        leading = key_fields[0]
+        constrained = [p for p in eligible
+                       if p.is_simple and p.field_index == leading
+                       and p.op in ("=", "<", "<=", ">", ">=")]
+        if not constrained:
+            return base
+        tuples = max(1, self.record_count(ctx, handle))
+        pages = max(1, self.page_count(ctx, handle))
+        selectivity = 1.0
+        for pred in constrained:
+            selectivity *= DEFAULT_SELECTIVITY.get(pred.op, 0.5)
+        expected = max(1.0, tuples * selectivity)
+        touched_pages = max(1.0, pages * expected / tuples)
+        return AccessCost(io_pages=touched_pages, cpu_tuples=expected,
+                          expected_tuples=expected,
+                          relevant=tuple(eligible),
+                          ordered_by=tuple(key_fields),
+                          route=("keyed_scan",))
+
+    # -- internals -----------------------------------------------------------------------------
+    def _page_with_room(self, ctx, descriptor: dict, length: int):
+        pages = descriptor["pages"]
+        if pages:
+            page_id = pages[-1]
+            page = ctx.buffer.fetch(page_id)
+            if page.fits(length):
+                return page_id, page
+            ctx.buffer.unpin(page_id)
+        page = ctx.buffer.new_page(PAGE_TYPE_BTREE_LEAF)
+        pages.append(page.page_id)
+        log = ctx.log(self.resource, {
+            "op": "new_page", "relation_id": descriptor["relation_id"],
+            "page": page.page_id})
+        page.page_lsn = log.lsn
+        ctx.stats.bump("btree_file.page_allocations")
+        return page.page_id, page

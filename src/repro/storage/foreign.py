@@ -1,0 +1,252 @@
+"""Foreign-database gateway storage method.
+
+The paper: "Another relation storage method might support access to a
+foreign database by simulating relation accesses via (remote) accesses to
+relations in the foreign database."
+
+The "remote" side is another in-process :class:`Database` instance (the
+closest laptop-scale equivalent of a remote DBMS; see DESIGN.md) reached
+through an explicit message layer that counts round trips and charges a
+configurable latency cost, so the cost model sees the remoteness even
+though the bytes never leave the process.
+
+Remote effects of a local transaction are made undoable saga-style: each
+local modification logs a compensation record, and the undo handler issues
+the inverse remote operation.  Redo after a local crash is a no-op — the
+remote database is its own durability domain.
+
+DDL attributes: ``database`` (the remote Database object), ``relation``
+(remote relation name), ``latency`` (I/O-page-equivalents charged per
+message, default 2.0).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.context import ExecutionContext
+from ..core.storage_method import RelationHandle, StorageMethod
+from ..errors import ForeignError, StorageError
+from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
+from ..services.predicate import Predicate
+from ..services.recovery import ResourceHandler
+from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
+
+__all__ = ["ForeignStorageMethod", "ForeignScan"]
+
+
+def _gateway_for(services, payload: dict):
+    database = getattr(services, "database", None)
+    if database is None:
+        raise StorageError("recovery handler needs services.database wired")
+    entry = database.catalog.entry_by_id(payload["relation_id"])
+    return entry.handle.descriptor.storage_descriptor
+
+
+def _remote_call(ctx_or_services, descriptor: dict, stats) -> None:
+    """Account one message round trip to the foreign database."""
+    stats.bump("foreign.messages")
+    stats.bump("foreign.latency_units",
+               int(descriptor.get("latency", 2.0) * 100))
+
+
+class _ForeignHandler(ResourceHandler):
+    """Saga-style undo: issue the inverse operation against the remote."""
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        descriptor = _gateway_for(services, payload)
+        remote = descriptor["database"]
+        table = remote.table(descriptor["relation"])
+        op = payload["op"]
+        _remote_call(services, descriptor, services.stats)
+        if op == "insert":
+            table.delete(payload["remote_key"])
+        elif op == "delete":
+            table.insert(payload["old"])
+        elif op == "update":
+            schema = table.schema
+            changes = {schema.fields[i].name: value
+                       for i, value in enumerate(payload["old"])}
+            table.update(payload["remote_key"], changes)
+        else:
+            raise ForeignError(f"foreign gateway cannot undo op {op!r}")
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        """The remote database is its own durability domain; no redo."""
+
+
+class ForeignScan(Scan):
+    """A local scan wrapper around a remote key-sequential access.
+
+    Results are shipped in one batch per open (a block-fetch protocol);
+    the position is the index into the shipped batch.
+    """
+
+    def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
+                 batch, fields: Optional[Sequence[int]]):
+        super().__init__(ctx.txn_id)
+        self.ctx = ctx
+        self.handle = handle
+        self.batch = batch
+        self.fields = tuple(fields) if fields is not None else None
+        self.state = BEFORE
+        self.position: Optional[int] = None
+
+    def next(self):
+        self._check_open()
+        index = 0 if self.position is None else self.position + 1
+        if index >= len(self.batch):
+            self.state = AFTER
+            return None
+        self.position = index
+        self.state = ON
+        key, record = self.batch[index]
+        self.ctx.stats.bump("foreign.tuples_scanned")
+        if self.fields is None:
+            return key, record
+        return key, tuple(record[i] for i in self.fields)
+
+    def save_position(self) -> ScanPosition:
+        return ScanPosition(self.state, self.position)
+
+    def restore_position(self, saved: ScanPosition) -> None:
+        self.state = saved.state
+        self.position = saved.item
+
+
+class ForeignStorageMethod(StorageMethod):
+    """Relation operations translated into remote accesses."""
+
+    name = "foreign"
+    recoverable = True   # undoable via compensation; durable remotely
+    updatable = True
+    ordered_by_key = False
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        remote_db = attributes.pop("database", None)
+        remote_relation = attributes.pop("relation", None)
+        latency = attributes.pop("latency", 2.0)
+        if attributes:
+            raise StorageError(
+                f"foreign storage: unknown attributes {sorted(attributes)}")
+        if remote_db is None or remote_relation is None:
+            raise StorageError(
+                "foreign storage requires 'database' and 'relation' "
+                "attributes")
+        if not isinstance(latency, (int, float)) or latency < 0:
+            raise StorageError(
+                f"foreign storage: latency must be non-negative, got "
+                f"{latency!r}")
+        remote_schema = remote_db.catalog.handle(remote_relation).schema
+        if tuple(f.type_code for f in remote_schema.fields) != \
+                tuple(f.type_code for f in schema.fields):
+            raise StorageError(
+                "foreign storage: local and remote schemas must have "
+                "matching field types")
+        return {"database": remote_db, "relation": remote_relation,
+                "latency": float(latency)}
+
+    def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
+        return {"relation_id": relation_id,
+                "database": attributes["database"],
+                "relation": attributes["relation"],
+                "latency": attributes["latency"]}
+
+    def destroy_instance(self, ctx, descriptor) -> None:
+        """Dropping the gateway never touches the foreign relation."""
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _ForeignHandler()
+
+    # -- modification ---------------------------------------------------------------
+    def insert(self, ctx, handle, record):
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"].table(descriptor["relation"])
+        _remote_call(ctx, descriptor, ctx.stats)
+        remote_key = remote.insert(record)
+        ctx.log(self.resource, {"op": "insert", "remote_key": remote_key,
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("foreign.inserts")
+        return remote_key
+
+    def update(self, ctx, handle, key, old_record, new_record):
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"].table(descriptor["relation"])
+        schema = handle.schema
+        changes = {schema.fields[i].name: value
+                   for i, value in enumerate(new_record)}
+        _remote_call(ctx, descriptor, ctx.stats)
+        new_key = remote.update(key, changes)
+        ctx.log(self.resource, {"op": "update", "remote_key": new_key,
+                                "old": old_record,
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("foreign.updates")
+        return new_key
+
+    def delete(self, ctx, handle, key, old_record) -> None:
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"].table(descriptor["relation"])
+        _remote_call(ctx, descriptor, ctx.stats)
+        remote.delete(key)
+        ctx.log(self.resource, {"op": "delete", "old": old_record,
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("foreign.deletes")
+
+    # -- access -------------------------------------------------------------------------
+    def fetch(self, ctx, handle, key, fields=None, predicate=None):
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"].table(descriptor["relation"])
+        _remote_call(ctx, descriptor, ctx.stats)
+        record = remote.fetch(key)
+        if record is None:
+            return None
+        ctx.stats.bump("foreign.fetches")
+        if predicate is not None and not predicate.matches(record):
+            return None
+        if fields is None:
+            return record
+        return tuple(record[i] for i in fields)
+
+    def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"].table(descriptor["relation"])
+        # Ship the filter to the remote side (predicate pushdown across the
+        # gateway), then block-fetch the result in one message.
+        _remote_call(ctx, descriptor, ctx.stats)
+        remote_predicate = None
+        if predicate is not None:
+            remote_schema = remote.schema
+            remote_predicate = Predicate(predicate.expr, remote_schema,
+                                         predicate.params)
+        batch = remote.scan(where=remote_predicate)
+        scan = ForeignScan(ctx, handle, batch, fields)
+        ctx.services.scans.register(scan)
+        return scan
+
+    # -- planning ---------------------------------------------------------------------------
+    def record_count(self, ctx, handle) -> int:
+        descriptor = handle.descriptor.storage_descriptor
+        return descriptor["database"].table(descriptor["relation"]).count()
+
+    def page_count(self, ctx, handle) -> int:
+        # Remote pages are invisible; cost comes from message latency.
+        return 0
+
+    def estimate_cost(self, ctx, handle, eligible) -> AccessCost:
+        descriptor = handle.descriptor.storage_descriptor
+        tuples = max(1, self.record_count(ctx, handle))
+        selectivity = 1.0
+        for pred in eligible:
+            if pred.is_simple:
+                selectivity *= DEFAULT_SELECTIVITY.get(pred.op, 0.5)
+            else:
+                selectivity *= 0.5
+        expected = max(1.0, tuples * selectivity)
+        # One message per scan plus shipping cost proportional to result.
+        latency = descriptor.get("latency", 2.0)
+        return AccessCost(io_pages=latency + expected / 50.0,
+                          cpu_tuples=tuples,
+                          expected_tuples=expected,
+                          relevant=tuple(eligible), route=("remote_scan",))

@@ -1,0 +1,366 @@
+"""Recoverable heap storage method.
+
+The paper's canonical example: "the records of the relation may be stored
+sequentially in a disk file" (Figure 1's EMPLOYEE relation uses the heap
+storage method).  Records live in slotted pages; the record key is the
+record's address, a ``(page_id, slot)`` pair — "record keys may be record
+addresses".
+
+Recovery: every modification writes a logical log record carrying the page,
+slot, and record images needed to undo and redo it.  Pages are stamped with
+the log record's LSN; the redo handler skips pages whose ``page_lsn`` is
+already at or past the record's LSN, making restart redo idempotent.  The
+page list lives in the storage descriptor (non-volatile catalog storage,
+see DESIGN.md), so structural recovery reduces to re-formatting pages that
+never reached the device.
+
+DDL attributes: ``fill_hint`` (float in (0, 1], advisory page fill target).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.context import ExecutionContext
+from ..core.records import decode_record, encode_record
+from ..core.storage_method import RelationHandle, StorageMethod
+from ..errors import PageError, RecordNotFoundError, StorageError
+from ..services.locks import LockMode
+from ..services.pages import HEADER_SIZE, PageView
+from ..services.predicate import Predicate
+from ..services.recovery import ResourceHandler
+from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
+
+__all__ = ["HeapStorageMethod", "HeapScan", "PAGE_TYPE_HEAP"]
+
+PAGE_TYPE_HEAP = 1
+
+
+def _descriptor_for(services, payload: dict):
+    """The relation's storage descriptor, or None when the relation no
+    longer exists (its operations are replayed after a committed DROP —
+    the pages are gone with it, so the op is skipped)."""
+    database = getattr(services, "database", None)
+    if database is None:
+        raise StorageError("recovery handler needs services.database wired")
+    from ..errors import UnknownObjectError
+    try:
+        entry = database.catalog.entry_by_id(payload["relation_id"])
+    except UnknownObjectError:
+        return None
+    return entry.handle.descriptor.storage_descriptor
+
+
+def _ensure_formatted(page: PageView) -> None:
+    """Format a page that never reached the device before the crash."""
+    if page.free_offset < HEADER_SIZE:
+        PageView.format(page.page_id, page.data, PAGE_TYPE_HEAP)
+
+
+class _HeapHandler(ResourceHandler):
+    """Page-stamped undo/redo for heap operations."""
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        op = payload["op"]
+        descriptor = _descriptor_for(services, payload)
+        if descriptor is None:
+            return  # the relation was dropped; nothing left to undo
+        if op == "new_page":
+            page_id = payload["page"]
+            if page_id in descriptor["pages"]:
+                descriptor["pages"].remove(page_id)
+                services.buffer.free_page(page_id)
+            return
+        buffer = services.buffer
+        page = buffer.fetch(payload["page"])
+        try:
+            if op == "insert":
+                page.delete(payload["slot"])
+                descriptor["ntuples"] -= 1
+            elif op == "delete":
+                page.insert(payload["old_raw"], slot=payload["slot"])
+                descriptor["ntuples"] += 1
+            elif op == "update":
+                page.update(payload["slot"], payload["old_raw"])
+            else:
+                raise StorageError(f"heap cannot undo op {op!r}")
+            page.page_lsn = clr_lsn
+        finally:
+            buffer.unpin(payload["page"], dirty=True)
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        op = payload["op"]
+        descriptor = _descriptor_for(services, payload)
+        if descriptor is None:
+            return  # the relation was dropped; its pages are gone
+        # Undo of new_page during rollback is compensated by a CLR whose
+        # redo must also be the page removal; both directions are handled
+        # by replaying against the (non-volatile) descriptor page list.
+        if op == "new_page":
+            if payload.get("compensates") is not None:
+                return  # CLR for new_page: removal already reflected
+            page_id = payload["page"]
+            if page_id in descriptor["pages"] and services.disk.exists(page_id):
+                page = services.buffer.fetch(page_id)
+                try:
+                    _ensure_formatted(page)
+                finally:
+                    services.buffer.unpin(page_id, dirty=True)
+            return
+        if not services.disk.exists(payload["page"]):
+            return  # page was freed by a later (replayed) compensation
+        buffer = services.buffer
+        page = buffer.fetch(payload["page"])
+        dirty = False
+        try:
+            _ensure_formatted(page)
+            if page.page_lsn >= lsn:
+                return  # already applied before the crash
+            if payload.get("compensates") is not None:
+                self._redo_compensation(page, payload)
+            elif op == "insert":
+                page.insert(payload["new_raw"], slot=payload["slot"])
+            elif op == "delete":
+                page.delete(payload["slot"])
+            elif op == "update":
+                page.update(payload["slot"], payload["new_raw"])
+            else:
+                raise StorageError(f"heap cannot redo op {op!r}")
+            page.page_lsn = lsn
+            dirty = True
+            services.stats.bump("recovery.redo_applied")
+        finally:
+            buffer.unpin(payload["page"], dirty=dirty)
+
+    @staticmethod
+    def _redo_compensation(page: PageView, payload: dict) -> None:
+        """A CLR's redo applies the *inverse* of the compensated operation."""
+        op = payload["op"]
+        if op == "insert":
+            page.delete(payload["slot"])
+        elif op == "delete":
+            page.insert(payload["old_raw"], slot=payload["slot"])
+        elif op == "update":
+            page.update(payload["slot"], payload["old_raw"])
+
+
+class HeapScan(Scan):
+    """Key-sequential scan in physical (page list, slot) order.
+
+    The position is the (page index, slot) last returned; records deleted
+    at the position are skipped on the next call, leaving the scan "just
+    after the deleted item".
+    """
+
+    def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
+                 fields: Optional[Sequence[int]],
+                 predicate: Optional[Predicate]):
+        super().__init__(ctx.txn_id)
+        self.ctx = ctx
+        self.handle = handle
+        self.fields = tuple(fields) if fields is not None else None
+        self.predicate = predicate
+        self.state = BEFORE
+        self.position: Optional[Tuple[int, int]] = None  # (page index, slot)
+
+    def next(self):
+        self._check_open()
+        descriptor = self.handle.descriptor.storage_descriptor
+        pages: List[int] = descriptor["pages"]
+        page_index, slot = (0, -1) if self.position is None else self.position
+        buffer = self.ctx.buffer
+        while page_index < len(pages):
+            page_id = pages[page_index]
+            page = buffer.fetch(page_id)
+            try:
+                for next_slot in range(slot + 1, page.slot_count):
+                    if not page.slot_in_use(next_slot):
+                        continue
+                    self.position = (page_index, next_slot)
+                    self.state = ON
+                    self.ctx.stats.bump("heap.tuples_scanned")
+                    raw = page.read(next_slot)
+                    record = decode_record(self.handle.schema, raw)
+                    # Filter while the record is still in the buffer pool.
+                    if self.predicate is not None \
+                            and not self.predicate.matches(record):
+                        continue
+                    key = (page_id, next_slot)
+                    self.ctx.lock_record(self.handle.relation_id, key,
+                                         LockMode.S)
+                    if self.fields is None:
+                        return key, record
+                    return key, tuple(record[i] for i in self.fields)
+            finally:
+                buffer.unpin(page_id)
+            page_index += 1
+            slot = -1
+            self.position = (page_index, -1)
+        self.state = AFTER
+        return None
+
+    def save_position(self) -> ScanPosition:
+        return ScanPosition(self.state, self.position)
+
+    def restore_position(self, saved: ScanPosition) -> None:
+        self.state = saved.state
+        self.position = saved.item
+
+
+class HeapStorageMethod(StorageMethod):
+    """Slotted-page heap with address record keys."""
+
+    name = "heap"
+    recoverable = True
+    updatable = True
+    ordered_by_key = False
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        fill = attributes.pop("fill_hint", 1.0)
+        if attributes:
+            raise StorageError(
+                f"heap storage: unknown attributes {sorted(attributes)}")
+        if not isinstance(fill, (int, float)) or not 0 < fill <= 1:
+            raise StorageError(
+                f"heap storage: fill_hint must be in (0, 1], got {fill!r}")
+        return {"fill_hint": float(fill)}
+
+    def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
+        return {"relation_id": relation_id, "pages": [], "ntuples": 0,
+                "attributes": dict(attributes)}
+
+    def destroy_instance(self, ctx, descriptor) -> None:
+        for page_id in descriptor["pages"]:
+            ctx.buffer.free_page(page_id)
+        descriptor["pages"] = []
+        descriptor["ntuples"] = 0
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _HeapHandler()
+
+    # -- modification ---------------------------------------------------------------
+    def insert(self, ctx, handle, record):
+        descriptor = handle.descriptor.storage_descriptor
+        raw = encode_record(handle.schema, record)
+        page_id, page = self._page_with_room(ctx, descriptor, len(raw))
+        try:
+            slot = page.insert(raw)
+            key = (page_id, slot)
+            ctx.lock_record(handle.relation_id, key, LockMode.X)
+            log = ctx.log(self.resource, {
+                "op": "insert", "relation_id": descriptor["relation_id"],
+                "page": page_id, "slot": slot, "new_raw": raw})
+            page.page_lsn = log.lsn
+            descriptor["ntuples"] += 1
+            ctx.stats.bump("heap.inserts")
+            return key
+        finally:
+            ctx.buffer.unpin(page_id, dirty=True)
+
+    def update(self, ctx, handle, key, old_record, new_record):
+        descriptor = handle.descriptor.storage_descriptor
+        page_id, slot = key
+        ctx.lock_record(handle.relation_id, key, LockMode.X)
+        new_raw = encode_record(handle.schema, new_record)
+        page = ctx.buffer.fetch(page_id)
+        try:
+            old_raw = page.update(slot, new_raw)
+        except PageError:
+            # Grown record that no longer fits: delete + reinsert, which
+            # moves the record and changes its address key.
+            ctx.buffer.unpin(page_id)
+            self.delete(ctx, handle, key, old_record)
+            new_key = self.insert(ctx, handle, new_record)
+            ctx.stats.bump("heap.relocating_updates")
+            return new_key
+        try:
+            log = ctx.log(self.resource, {
+                "op": "update", "relation_id": descriptor["relation_id"],
+                "page": page_id, "slot": slot,
+                "old_raw": old_raw, "new_raw": new_raw})
+            page.page_lsn = log.lsn
+            ctx.stats.bump("heap.updates")
+            return key
+        finally:
+            ctx.buffer.unpin(page_id, dirty=True)
+
+    def delete(self, ctx, handle, key, old_record) -> None:
+        descriptor = handle.descriptor.storage_descriptor
+        page_id, slot = key
+        ctx.lock_record(handle.relation_id, key, LockMode.X)
+        page = ctx.buffer.fetch(page_id)
+        try:
+            old_raw = page.delete(slot)
+            log = ctx.log(self.resource, {
+                "op": "delete", "relation_id": descriptor["relation_id"],
+                "page": page_id, "slot": slot, "old_raw": old_raw})
+            page.page_lsn = log.lsn
+            descriptor["ntuples"] -= 1
+            ctx.stats.bump("heap.deletes")
+        finally:
+            ctx.buffer.unpin(page_id, dirty=True)
+
+    # -- access -------------------------------------------------------------------------
+    def fetch(self, ctx, handle, key, fields=None, predicate=None):
+        try:
+            page_id, slot = key
+        except (TypeError, ValueError):
+            raise RecordNotFoundError(f"bad heap record key {key!r}") from None
+        descriptor = handle.descriptor.storage_descriptor
+        if page_id not in descriptor["pages"]:
+            return None
+        ctx.lock_record(handle.relation_id, key, LockMode.S)
+        page = ctx.buffer.fetch(page_id)
+        try:
+            if slot >= page.slot_count or not page.slot_in_use(slot):
+                return None
+            record = decode_record(handle.schema, page.read(slot))
+            ctx.stats.bump("heap.fetches")
+            if predicate is not None and not predicate.matches(record):
+                return None
+            if fields is None:
+                return record
+            return tuple(record[i] for i in fields)
+        finally:
+            ctx.buffer.unpin(page_id)
+
+    def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
+        scan = HeapScan(ctx, handle, fields, predicate)
+        ctx.services.scans.register(scan)
+        return scan
+
+    # -- planning ---------------------------------------------------------------------------
+    def record_count(self, ctx, handle) -> int:
+        return handle.descriptor.storage_descriptor["ntuples"]
+
+    def page_count(self, ctx, handle) -> int:
+        return len(handle.descriptor.storage_descriptor["pages"])
+
+    # -- internals -----------------------------------------------------------------------------
+    def _page_with_room(self, ctx, descriptor: dict, length: int):
+        """Pin a page with room for ``length`` bytes (last page or a new one).
+
+        The ``fill_hint`` attribute reserves free space on each page for
+        in-place record growth: a page is treated as full once its used
+        fraction would exceed the hint.
+        """
+        pages = descriptor["pages"]
+        fill_hint = descriptor.get("attributes", {}).get("fill_hint", 1.0)
+        page_size = ctx.buffer.device.page_size
+        if pages:
+            page_id = pages[-1]
+            page = ctx.buffer.fetch(page_id)
+            used_after = 1.0 - (page.free_space() - length) / page_size
+            if page.fits(length) and used_after <= fill_hint:
+                return page_id, page
+            ctx.buffer.unpin(page_id)
+        page = ctx.buffer.new_page(PAGE_TYPE_HEAP)
+        pages.append(page.page_id)
+        log = ctx.log(self.resource, {
+            "op": "new_page", "relation_id": descriptor["relation_id"],
+            "page": page.page_id})
+        page.page_lsn = log.lsn
+        ctx.stats.bump("heap.page_allocations")
+        return page.page_id, page

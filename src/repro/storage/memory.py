@@ -1,0 +1,224 @@
+"""Temporary main-memory storage method.
+
+The paper assigns "a storage method for implementing temporary relations
+... the internal identifier 1", and separately motivates "main memory data
+storage methods for selected high traffic relations".  This method plays
+both roles:
+
+* records live in a Python dict keyed by a surrogate integer record key —
+  the storage method controls key definition and interpretation;
+* modifications are *undoable* (they write logical undo records to the
+  common log so vetoed operations and transaction aborts coordinate
+  correctly with attachments), but **nothing survives a restart**: the redo
+  handler is a no-op and :meth:`reset_instance` empties the relation, which
+  is the temporary-relation contract.
+
+DDL attributes: ``initial_capacity`` (int, advisory, validated only).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.context import ExecutionContext
+from ..core.storage_method import RelationHandle, StorageMethod
+from ..errors import RecordNotFoundError, StorageError
+from ..services.locks import LockMode
+from ..services.predicate import Predicate
+from ..services.recovery import ResourceHandler
+from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
+
+__all__ = ["MemoryStorageMethod", "MemoryScan"]
+
+
+class MemoryScan(Scan):
+    """Key-sequential scan over a memory relation, in record-key order.
+
+    Record keys are monotonically assigned integers, so key order is
+    insertion order.  The scan snapshots the key sequence at open time and
+    tracks a *position* (the last key returned); deleting the record at the
+    position leaves the scan "just after the deleted item" because the next
+    call skips keys that no longer exist.
+    """
+
+    def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
+                 rows: Dict[int, Tuple],
+                 fields: Optional[Sequence[int]],
+                 predicate: Optional[Predicate]):
+        super().__init__(ctx.txn_id)
+        self.ctx = ctx
+        self.handle = handle
+        self.rows = rows
+        self.fields = tuple(fields) if fields is not None else None
+        self.predicate = predicate
+        self.state = BEFORE
+        self.position: Optional[int] = None  # last key returned
+        self._keys = sorted(rows)
+
+    def next(self):
+        self._check_open()
+        floor = self.position if self.position is not None else -1
+        index = bisect.bisect_right(self._keys, floor)
+        while index < len(self._keys):
+            key = self._keys[index]
+            index += 1
+            record = self.rows.get(key)
+            if record is None:
+                continue  # deleted after the scan opened
+            self.position = key
+            self.state = ON
+            self.ctx.stats.bump("memory.tuples_scanned")
+            if self.predicate is not None and not self.predicate.matches(record):
+                continue
+            self.ctx.lock_record(self.handle.relation_id, key, LockMode.S)
+            if self.fields is None:
+                return key, record
+            return key, tuple(record[i] for i in self.fields)
+        self.state = AFTER
+        return None
+
+    def save_position(self) -> ScanPosition:
+        return ScanPosition(self.state, self.position)
+
+    def restore_position(self, saved: ScanPosition) -> None:
+        self.state = saved.state
+        self.position = saved.item
+
+
+class _MemoryHandler(ResourceHandler):
+    """Undo-only recovery: temporary relations do not survive restart."""
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        descriptor = _descriptor_for(services, payload)
+        if descriptor is None:
+            return  # the relation was dropped; nothing left to undo
+        rows = descriptor["rows"]
+        op = payload["op"]
+        if op == "insert":
+            rows.pop(payload["key"], None)
+        elif op == "delete":
+            rows[payload["key"]] = tuple(payload["old"])
+        elif op == "update":
+            rows[payload["key"]] = tuple(payload["old"])
+        else:
+            raise StorageError(f"memory storage cannot undo op {op!r}")
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        """No redo: the temporary relation's contents are volatile."""
+
+
+def _descriptor_for(services, payload: dict):
+    """Storage descriptor, or None when the relation has been dropped."""
+    database = getattr(services, "database", None)
+    if database is None:
+        raise StorageError("recovery handler needs services.database wired")
+    from ..errors import UnknownObjectError
+    try:
+        entry = database.catalog.entry_by_id(payload["relation_id"])
+    except UnknownObjectError:
+        return None
+    return entry.handle.descriptor.storage_descriptor
+
+
+class MemoryStorageMethod(StorageMethod):
+    """Dict-backed temporary relations (paper's storage method 1)."""
+
+    name = "memory"
+    recoverable = False   # does not survive restart
+    updatable = True
+    ordered_by_key = False
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        capacity = attributes.pop("initial_capacity", 0)
+        if attributes:
+            raise StorageError(
+                f"memory storage: unknown attributes {sorted(attributes)}")
+        if not isinstance(capacity, int) or capacity < 0:
+            raise StorageError(
+                f"memory storage: initial_capacity must be a non-negative "
+                f"int, got {capacity!r}")
+        return {"initial_capacity": capacity}
+
+    def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
+        return {"relation_id": relation_id, "rows": {}, "next_key": 1,
+                "attributes": dict(attributes)}
+
+    def destroy_instance(self, ctx, descriptor) -> None:
+        descriptor["rows"].clear()
+
+    def reset_instance(self, descriptor: dict) -> None:
+        """Called at restart: temporary contents vanish."""
+        descriptor["rows"].clear()
+        descriptor["next_key"] = 1
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _MemoryHandler()
+
+    # -- modification ---------------------------------------------------------------
+    def insert(self, ctx, handle, record):
+        descriptor = handle.descriptor.storage_descriptor
+        key = descriptor["next_key"]
+        descriptor["next_key"] = key + 1
+        ctx.lock_record(handle.relation_id, key, LockMode.X)
+        descriptor["rows"][key] = record
+        ctx.log(self.resource, {"op": "insert", "key": key,
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("memory.inserts")
+        return key
+
+    def update(self, ctx, handle, key, old_record, new_record):
+        descriptor = handle.descriptor.storage_descriptor
+        self._require(descriptor, key)
+        ctx.lock_record(handle.relation_id, key, LockMode.X)
+        descriptor["rows"][key] = new_record
+        ctx.log(self.resource, {"op": "update", "key": key,
+                                "old": old_record,
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("memory.updates")
+        return key
+
+    def delete(self, ctx, handle, key, old_record) -> None:
+        descriptor = handle.descriptor.storage_descriptor
+        self._require(descriptor, key)
+        ctx.lock_record(handle.relation_id, key, LockMode.X)
+        del descriptor["rows"][key]
+        ctx.log(self.resource, {"op": "delete", "key": key,
+                                "old": old_record,
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("memory.deletes")
+
+    # -- access -------------------------------------------------------------------------
+    def fetch(self, ctx, handle, key, fields=None, predicate=None):
+        descriptor = handle.descriptor.storage_descriptor
+        record = descriptor["rows"].get(key)
+        if record is None:
+            return None
+        ctx.lock_record(handle.relation_id, key, LockMode.S)
+        ctx.stats.bump("memory.fetches")
+        if predicate is not None and not predicate.matches(record):
+            return None
+        if fields is None:
+            return record
+        return tuple(record[i] for i in fields)
+
+    def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
+        descriptor = handle.descriptor.storage_descriptor
+        scan = MemoryScan(ctx, handle, descriptor["rows"], fields, predicate)
+        ctx.services.scans.register(scan)
+        return scan
+
+    # -- planning ---------------------------------------------------------------------------
+    def record_count(self, ctx, handle) -> int:
+        return len(handle.descriptor.storage_descriptor["rows"])
+
+    def page_count(self, ctx, handle) -> int:
+        return 0  # main memory: no page I/O
+
+    def _require(self, descriptor, key) -> None:
+        if key not in descriptor["rows"]:
+            raise RecordNotFoundError(
+                f"memory relation {descriptor['relation_id']} has no record "
+                f"{key!r}")

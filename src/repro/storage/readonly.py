@@ -1,0 +1,192 @@
+"""Read-only publishing storage method.
+
+The paper motivates "special facilities to support (read-only) optical
+disk database publishing applications".  This storage method models a
+write-once medium:
+
+* a relation is *published* exactly once with :meth:`publish` (a bulk
+  load that packs records onto pages and flushes them to the device — the
+  mastering step);
+* afterwards the relation is immutable: the method reports
+  ``updatable = False`` and the dispatch layer rejects modification
+  operations before they reach the storage method;
+* nothing is ever logged — there is nothing to recover, the "platter"
+  is stable storage by construction;
+* record keys are ordinals (position on the platter), so direct-by-key
+  access costs one page read via the pre-computed address directory.
+
+DDL attributes: ``records_hint`` (int, advisory expected cardinality).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.context import ExecutionContext
+from ..core.records import decode_record, encode_record
+from ..core.storage_method import RelationHandle, StorageMethod
+from ..errors import ReadOnlyError, StorageError
+from ..services.locks import LockMode
+from ..services.predicate import Predicate
+from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
+
+__all__ = ["ReadOnlyStorageMethod", "ReadOnlyScan"]
+
+PAGE_TYPE_READONLY = 3
+
+
+class ReadOnlyScan(Scan):
+    """Sequential scan in ordinal order over the published records."""
+
+    def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
+                 fields: Optional[Sequence[int]],
+                 predicate: Optional[Predicate]):
+        super().__init__(ctx.txn_id)
+        self.ctx = ctx
+        self.handle = handle
+        self.fields = tuple(fields) if fields is not None else None
+        self.predicate = predicate
+        self.state = BEFORE
+        self.position: Optional[int] = None  # last ordinal returned
+
+    def next(self):
+        self._check_open()
+        descriptor = self.handle.descriptor.storage_descriptor
+        addresses = descriptor["addresses"]
+        ordinal = 0 if self.position is None else self.position + 1
+        buffer = self.ctx.buffer
+        while ordinal < len(addresses):
+            page_id, slot = addresses[ordinal]
+            self.position = ordinal
+            self.state = ON
+            self.ctx.stats.bump("readonly.tuples_scanned")
+            page = buffer.fetch(page_id)
+            try:
+                record = decode_record(self.handle.schema, page.read(slot))
+                if self.predicate is not None \
+                        and not self.predicate.matches(record):
+                    ordinal += 1
+                    continue
+                if self.fields is None:
+                    return ordinal, record
+                return ordinal, tuple(record[i] for i in self.fields)
+            finally:
+                buffer.unpin(page_id)
+        self.state = AFTER
+        return None
+
+    def save_position(self) -> ScanPosition:
+        return ScanPosition(self.state, self.position)
+
+    def restore_position(self, saved: ScanPosition) -> None:
+        self.state = saved.state
+        self.position = saved.item
+
+
+class ReadOnlyStorageMethod(StorageMethod):
+    """Write-once, read-many relation storage."""
+
+    name = "readonly"
+    recoverable = True   # survives restart (the platter is stable storage)
+    updatable = False
+    ordered_by_key = True  # ordinal order is the publication order
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        hint = attributes.pop("records_hint", 0)
+        if attributes:
+            raise StorageError(
+                f"readonly storage: unknown attributes {sorted(attributes)}")
+        if not isinstance(hint, int) or hint < 0:
+            raise StorageError(
+                f"readonly storage: records_hint must be a non-negative int, "
+                f"got {hint!r}")
+        return {"records_hint": hint}
+
+    def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
+        return {"relation_id": relation_id, "pages": [], "addresses": [],
+                "published": False, "attributes": dict(attributes)}
+
+    def destroy_instance(self, ctx, descriptor) -> None:
+        for page_id in descriptor["pages"]:
+            ctx.buffer.free_page(page_id)
+        descriptor["pages"] = []
+        descriptor["addresses"] = []
+
+    # -- publishing (the mastering step) ---------------------------------------------
+    def publish(self, ctx: ExecutionContext, handle: RelationHandle,
+                records: Sequence[Tuple]) -> int:
+        """Bulk-load the relation once; returns the record count.
+
+        Pages are packed full and written straight through to the device —
+        the published relation is durable immediately and no log records
+        are ever needed for it.
+        """
+        descriptor = handle.descriptor.storage_descriptor
+        if descriptor["published"]:
+            raise ReadOnlyError(
+                f"relation {handle.name!r} has already been published")
+        ctx.lock_relation(handle.relation_id, LockMode.X)
+        buffer = ctx.buffer
+        page = None
+        page_id = None
+        for record in records:
+            record = handle.schema.check_record(record)
+            raw = encode_record(handle.schema, record)
+            if page is None or not page.fits(len(raw)):
+                if page is not None:
+                    buffer.unpin(page_id, dirty=True)
+                    buffer.flush_page(page_id)
+                page = buffer.new_page(PAGE_TYPE_READONLY)
+                page_id = page.page_id
+                descriptor["pages"].append(page_id)
+            slot = page.insert(raw)
+            descriptor["addresses"].append((page_id, slot))
+        if page is not None:
+            buffer.unpin(page_id, dirty=True)
+            buffer.flush_page(page_id)
+        descriptor["published"] = True
+        ctx.stats.bump("readonly.publications")
+        return len(descriptor["addresses"])
+
+    # -- modification: rejected -------------------------------------------------------
+    def insert(self, ctx, handle, record):
+        raise ReadOnlyError(f"relation {handle.name!r} is read-only")
+
+    def update(self, ctx, handle, key, old_record, new_record):
+        raise ReadOnlyError(f"relation {handle.name!r} is read-only")
+
+    def delete(self, ctx, handle, key, old_record) -> None:
+        raise ReadOnlyError(f"relation {handle.name!r} is read-only")
+
+    # -- access -------------------------------------------------------------------------
+    def fetch(self, ctx, handle, key, fields=None, predicate=None):
+        descriptor = handle.descriptor.storage_descriptor
+        addresses = descriptor["addresses"]
+        if not isinstance(key, int) or not 0 <= key < len(addresses):
+            return None
+        page_id, slot = addresses[key]
+        page = ctx.buffer.fetch(page_id)
+        try:
+            record = decode_record(handle.schema, page.read(slot))
+        finally:
+            ctx.buffer.unpin(page_id)
+        ctx.stats.bump("readonly.fetches")
+        if predicate is not None and not predicate.matches(record):
+            return None
+        if fields is None:
+            return record
+        return tuple(record[i] for i in fields)
+
+    def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
+        scan = ReadOnlyScan(ctx, handle, fields, predicate)
+        ctx.services.scans.register(scan)
+        return scan
+
+    # -- planning ---------------------------------------------------------------------------
+    def record_count(self, ctx, handle) -> int:
+        return len(handle.descriptor.storage_descriptor["addresses"])
+
+    def page_count(self, ctx, handle) -> int:
+        return len(handle.descriptor.storage_descriptor["pages"])

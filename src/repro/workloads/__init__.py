@@ -1,0 +1,9 @@
+"""Deterministic workload and data generators for tests and benchmarks."""
+
+from __future__ import annotations
+
+from .generators import (employee_records, rectangle_records,
+                         parent_child_records, zipf_int, uniform_int)
+
+__all__ = ["employee_records", "rectangle_records", "parent_child_records",
+           "zipf_int", "uniform_int"]

@@ -1,0 +1,97 @@
+"""Deterministic data generators shared by tests, examples, and benchmarks.
+
+All generators take an explicit seed so every benchmark run sees the same
+data; none of them depend on global random state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..core.records import Box
+
+__all__ = ["employee_records", "rectangle_records", "parent_child_records",
+           "zipf_int", "uniform_int"]
+
+_DEPARTMENTS = ("engineering", "sales", "finance", "research", "support",
+                "operations", "legal", "design")
+
+_FIRST = ("alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+          "ivan", "judy", "mallory", "oscar", "peggy", "trent", "victor",
+          "wendy")
+
+
+def employee_records(n: int, seed: int = 7) -> List[Tuple]:
+    """``(id, name, department, salary, active)`` rows, ids 1..n."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(1, n + 1):
+        name = f"{rng.choice(_FIRST)}_{i}"
+        department = rng.choice(_DEPARTMENTS)
+        salary = round(rng.uniform(30000.0, 200000.0), 2)
+        active = rng.random() < 0.9
+        out.append((i, name, department, salary, active))
+    return out
+
+
+def rectangle_records(n: int, seed: int = 11, world: float = 1000.0,
+                      max_side: float = 10.0) -> List[Tuple]:
+    """``(id, region)`` rows with random small boxes in a square world."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(1, n + 1):
+        x = rng.uniform(0.0, world - max_side)
+        y = rng.uniform(0.0, world - max_side)
+        w = rng.uniform(0.5, max_side)
+        h = rng.uniform(0.5, max_side)
+        out.append((i, Box(x, y, x + w, y + h)))
+    return out
+
+
+def parent_child_records(parents: int, children_per_parent: int,
+                         seed: int = 13) -> Tuple[List[Tuple], List[Tuple]]:
+    """``(parent rows, child rows)`` for referential-integrity workloads.
+
+    Parents: ``(id, name)``.  Children: ``(id, parent_id, payload)``.
+    """
+    rng = random.Random(seed)
+    parent_rows = [(i, f"parent_{i}") for i in range(1, parents + 1)]
+    child_rows = []
+    child_id = 1
+    for parent_id in range(1, parents + 1):
+        for __ in range(children_per_parent):
+            child_rows.append((child_id, parent_id,
+                               round(rng.uniform(0, 100), 3)))
+            child_id += 1
+    return parent_rows, child_rows
+
+
+def uniform_int(n: int, low: int, high: int, seed: int = 17) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for __ in range(n)]
+
+
+def zipf_int(n: int, alpha: float = 1.2, max_value: int = 1000,
+             seed: int = 19) -> List[int]:
+    """Zipf-ish skewed integers in [1, max_value] (rejection-free inverse)."""
+    rng = random.Random(seed)
+    weights = [1.0 / (k ** alpha) for k in range(1, max_value + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    out = []
+    for __ in range(n):
+        u = rng.random()
+        lo, hi = 0, max_value - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        out.append(lo + 1)
+    return out

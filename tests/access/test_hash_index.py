@@ -1,0 +1,95 @@
+"""Hash index attachment: equality access, resizing, maintenance."""
+
+import pytest
+
+from repro import AccessPath, Database
+
+
+@pytest.fixture
+def hashed(db, employee):
+    db.create_attachment("employee", "hash_index", "emp_hash",
+                         {"columns": ["id"], "buckets": 4})
+    att = db.registry.attachment_type_by_name("hash_index")
+    return db, employee, att
+
+
+def test_probe_returns_record_keys(hashed):
+    db, employee, att = hashed
+    keys = employee.fetch((3,), access_path=AccessPath(att.type_id,
+                                                       "emp_hash"))
+    assert [employee.fetch(k)[1] for k in keys] == ["carol"]
+
+
+def test_probe_miss_returns_empty(hashed):
+    db, employee, att = hashed
+    assert employee.fetch((99,), access_path=AccessPath(att.type_id,
+                                                        "emp_hash")) == []
+
+
+def test_maintenance_on_modifications(hashed):
+    db, employee, att = hashed
+    ap = AccessPath(att.type_id, "emp_hash")
+    employee.insert((6, "frank", "ops", 1.0))
+    assert employee.fetch((6,), access_path=ap)
+    key = employee.scan(where="id = 6")[0][0]
+    employee.update(key, {"id": 60})
+    assert employee.fetch((6,), access_path=ap) == []
+    assert employee.fetch((60,), access_path=ap)
+    new_key = employee.scan(where="id = 60")[0][0]
+    employee.delete(new_key)
+    assert employee.fetch((60,), access_path=ap) == []
+
+
+def test_directory_doubles_under_load(db):
+    table = db.create_table("t", [("id", "INT")])
+    db.create_attachment("t", "hash_index", "t_hash",
+                         {"columns": ["id"], "buckets": 2, "max_load": 2})
+    table.insert_many([(i,) for i in range(40)])
+    handle = db.catalog.handle("t")
+    att = db.registry.attachment_type_by_name("hash_index")
+    instance = handle.descriptor.attachment_field(att.type_id)["instances"][
+        "t_hash"]
+    assert len(instance["buckets"]) > 2
+    ap = AccessPath(att.type_id, "t_hash")
+    for i in range(40):
+        assert table.fetch((i,), access_path=ap)
+
+
+def test_abort_undoes_hash_maintenance(hashed):
+    db, employee, att = hashed
+    ap = AccessPath(att.type_id, "emp_hash")
+    db.begin()
+    employee.insert((7, "gina", "ops", 1.0))
+    db.rollback()
+    assert employee.fetch((7,), access_path=ap) == []
+
+
+def test_planner_uses_hash_for_equality_only(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "INT")])
+    table.insert_many([(i, i) for i in range(500)])
+    db.create_attachment("t", "hash_index", "t_hash", {"columns": ["id"]})
+    equality = db.explain("SELECT * FROM t WHERE id = 5")
+    assert "hash_index" in equality["access"]["route"]
+    assert db.execute("SELECT v FROM t WHERE id = 5") == [(5,)]
+    ranged = db.explain("SELECT * FROM t WHERE id < 5")
+    assert "hash_index" not in ranged["access"]["route"]
+
+
+def test_rebuild_after_crash(hashed):
+    db, employee, att = hashed
+    employee.insert((8, "henk", "ops", 1.0))
+    db.restart()
+    ap = AccessPath(att.type_id, "emp_hash")
+    assert employee.fetch((8,), access_path=ap)
+    assert employee.fetch((1,), access_path=ap)
+
+
+def test_multi_column_hash_key(db):
+    table = db.create_table("mc", [("a", "INT"), ("b", "STRING")])
+    db.create_attachment("mc", "hash_index", "mc_h",
+                         {"columns": ["a", "b"]})
+    table.insert((1, "x"))
+    att = db.registry.attachment_type_by_name("hash_index")
+    ap = AccessPath(att.type_id, "mc_h")
+    assert table.fetch((1, "x"), access_path=ap)
+    assert table.fetch((1, "y"), access_path=ap) == []

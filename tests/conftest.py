@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.services import SystemServices
+
+
+@pytest.fixture
+def services() -> SystemServices:
+    return SystemServices(page_size=1024, buffer_capacity=64)
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database(page_size=1024, buffer_capacity=128)
+
+
+@pytest.fixture
+def employee(db):
+    """A populated EMPLOYEE relation (the paper's Figure 1 example)."""
+    table = db.create_table("employee", [
+        ("id", "INT", False), ("name", "STRING"), ("dept", "STRING"),
+        ("salary", "FLOAT")])
+    table.insert_many([
+        (1, "alice", "eng", 120000.0),
+        (2, "bob", "sales", 80000.0),
+        (3, "carol", "eng", 95000.0),
+        (4, "dave", "finance", 70000.0),
+        (5, "erin", "eng", 105000.0),
+    ])
+    return table

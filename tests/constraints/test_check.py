@@ -1,0 +1,119 @@
+"""Single-record constraint: immediate and deferred evaluation."""
+
+import pytest
+
+from repro import CheckViolation, Database
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def checked(db):
+    table = db.create_table("acct", [("id", "INT"), ("balance", "FLOAT")])
+    db.add_check("non_negative", "acct", "balance >= 0")
+    return db, table
+
+
+def test_insert_satisfying_predicate_passes(checked):
+    db, table = checked
+    table.insert((1, 10.0))
+    assert table.count() == 1
+
+
+def test_violating_insert_vetoed_and_undone(checked):
+    db, table = checked
+    with pytest.raises(CheckViolation):
+        table.insert((1, -5.0))
+    assert table.count() == 0
+
+
+def test_violating_update_vetoed(checked):
+    db, table = checked
+    key = table.insert((1, 10.0))
+    with pytest.raises(CheckViolation):
+        table.update(key, {"balance": -1.0})
+    assert table.fetch(key) == (1, 10.0)
+
+
+def test_delete_never_checked(checked):
+    db, table = checked
+    key = table.insert((1, 10.0))
+    table.delete(key)  # no veto possible
+
+
+def test_null_predicate_result_passes(checked):
+    """SQL semantics: CHECK fails only on FALSE, not on unknown."""
+    db, table = checked
+    table.insert((1, None))
+    assert table.count() == 1
+
+
+def test_predicate_validated_at_ddl_time(db):
+    db.create_table("t", [("v", "INT")])
+    with pytest.raises(Exception):
+        db.add_check("bad", "t", "v >=")
+    with pytest.raises(Exception):
+        db.add_check("bad", "t", "ghost_column > 0")
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "check", "bad", {})
+
+
+def test_existing_records_must_satisfy_new_constraint(db):
+    table = db.create_table("t", [("v", "INT")])
+    table.insert((-1,))
+    with pytest.raises(CheckViolation):
+        db.add_check("positive", "t", "v > 0")
+    assert not db.catalog.attachment_exists("positive")
+
+
+def test_multiple_instances_all_enforced(checked):
+    db, table = checked
+    db.add_check("small", "acct", "balance < 1000")
+    table.insert((1, 10.0))
+    with pytest.raises(CheckViolation):
+        table.insert((2, 5000.0))
+    with pytest.raises(CheckViolation):
+        table.insert((3, -1.0))
+
+
+def test_deferred_check_runs_before_prepare(db):
+    """The paper's deferred-action queue: the constraint is evaluated
+    'after all of the modifications have been made in the transaction'."""
+    table = db.create_table("pair", [("id", "INT"), ("total", "FLOAT")])
+    db.create_attachment("pair", "check", "sums_to_zero",
+                         {"predicate": "total = 0", "deferred": True})
+    db.begin()
+    key = table.insert((1, 5.0))       # temporarily violating
+    table.update(key, {"total": 0.0})  # repaired before commit
+    db.commit()
+    assert table.count() == 1
+
+
+def test_deferred_violation_aborts_at_commit(db):
+    table = db.create_table("pair", [("id", "INT"), ("total", "FLOAT")])
+    db.create_attachment("pair", "check", "sums_to_zero",
+                         {"predicate": "total = 0", "deferred": True})
+    db.begin()
+    table.insert((1, 5.0))
+    with pytest.raises(CheckViolation):
+        db.commit()
+    assert table.count() == 0  # the whole transaction was aborted
+
+
+def test_deferred_check_skips_rows_deleted_again(db):
+    table = db.create_table("pair", [("id", "INT"), ("total", "FLOAT")])
+    db.create_attachment("pair", "check", "sums_to_zero",
+                         {"predicate": "total = 0", "deferred": True})
+    db.begin()
+    key = table.insert((1, 5.0))
+    table.delete(key)
+    db.commit()  # nothing left to violate
+    assert table.count() == 0
+
+
+def test_check_on_memory_storage_method(db):
+    """Constraints work uniformly over any storage method."""
+    table = db.create_table("m", [("v", "INT")], storage_method="memory")
+    db.add_check("pos", "m", "v > 0")
+    with pytest.raises(CheckViolation):
+        table.insert((0,))
+    assert table.count() == 0

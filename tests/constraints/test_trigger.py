@@ -1,0 +1,134 @@
+"""Trigger attachment: immediate and deferred routines, vetoes, cascades."""
+
+import pytest
+
+from repro import Database, VetoError
+from repro.constraints.trigger import register_trigger_routine
+from repro.errors import StorageError
+
+
+def test_immediate_trigger_fires_on_selected_events(db):
+    table = db.create_table("t", [("id", "INT")])
+    events = []
+    db.create_attachment("t", "trigger", "t_log",
+                         {"on": ["insert", "delete"],
+                          "routine": lambda e: events.append(e.operation)})
+    key = table.insert((1,))
+    table.update(key, {"id": 2})  # not subscribed
+    table.delete(key)
+    assert events == ["insert", "delete"]
+
+
+def test_trigger_event_carries_old_and_new(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    seen = {}
+    db.create_attachment("t", "trigger", "t_watch",
+                         {"on": ["update"],
+                          "routine": lambda e: seen.update(old=e.old,
+                                                           new=e.new)})
+    key = table.insert((1, "before"))
+    table.update(key, {"v": "after"})
+    assert seen == {"old": (1, "before"), "new": (1, "after")}
+
+
+def test_trigger_can_veto(db):
+    table = db.create_table("t", [("id", "INT")])
+
+    def guard(event):
+        if event.new[0] > 100:
+            raise VetoError("t_guard", "id too large")
+
+    db.create_attachment("t", "trigger", "t_guard",
+                         {"on": ["insert"], "routine": guard})
+    table.insert((5,))
+    with pytest.raises(VetoError):
+        table.insert((500,))
+    assert table.count() == 1
+
+
+def test_trigger_cascades_modifications_to_other_relations(db):
+    """Triggers 'may access or modify other data in the database by
+    calling the appropriate storage method or attachment routines'."""
+    orders = db.create_table("orders", [("id", "INT"), ("amount", "FLOAT")])
+    audit = db.create_table("audit", [("order_id", "INT"),
+                                      ("note", "STRING")])
+
+    def log_order(event):
+        event.database.table("audit").insert((event.new[0], "created"))
+
+    db.create_attachment("orders", "trigger", "orders_audit",
+                         {"on": ["insert"], "routine": log_order})
+    orders.insert((1, 10.0))
+    orders.insert((2, 20.0))
+    assert sorted(r[0] for r in audit.rows()) == [1, 2]
+
+
+def test_vetoed_operation_undoes_trigger_side_effects(db):
+    """A later veto rolls back the relation modifications a trigger made."""
+    from repro import CheckViolation
+    orders = db.create_table("orders", [("id", "INT"), ("amount", "FLOAT")])
+    audit = db.create_table("audit", [("order_id", "INT")])
+    db.create_attachment("orders", "trigger", "orders_audit",
+                         {"on": ["insert"],
+                          "routine": lambda e: e.database.table("audit")
+                          .insert((e.new[0],))})
+    # The check attachment type id is larger than trigger's, so it runs
+    # after the trigger and can veto its effects.
+    db.add_check("amount_positive", "orders", "amount >= 0")
+    handle = db.catalog.handle("orders")
+    att_ids = [tid for tid, __ in handle.descriptor.present_attachments()]
+    assert att_ids == sorted(att_ids)
+    with pytest.raises(CheckViolation):
+        orders.insert((9, -1.0))
+    assert audit.count() == 0
+
+
+def test_deferred_trigger_fires_at_commit_only(db):
+    table = db.create_table("t", [("id", "INT")])
+    fired = []
+    db.create_attachment("t", "trigger", "t_notify",
+                         {"on": ["insert"], "timing": "deferred",
+                          "routine": lambda e: fired.append(e.key)})
+    db.begin()
+    table.insert((1,))
+    assert fired == []  # external action must wait for commit
+    db.commit()
+    assert len(fired) == 1
+
+
+def test_deferred_trigger_never_fires_on_abort(db):
+    table = db.create_table("t", [("id", "INT")])
+    fired = []
+    db.create_attachment("t", "trigger", "t_notify",
+                         {"on": ["insert"], "timing": "deferred",
+                          "routine": lambda e: fired.append(e.key)})
+    db.begin()
+    table.insert((1,))
+    db.rollback()
+    assert fired == []
+
+
+def test_registered_routine_by_name(db):
+    calls = []
+    register_trigger_routine("test_routine_xyz", lambda e: calls.append(1))
+    table = db.create_table("t", [("id", "INT")])
+    db.create_attachment("t", "trigger", "t_named",
+                         {"on": ["insert"], "routine": "test_routine_xyz"})
+    table.insert((1,))
+    assert calls == [1]
+
+
+def test_attribute_validation(db):
+    db.create_table("t", [("id", "INT")])
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "trigger", "bad", {"on": ["truncate"],
+                                                     "routine": print})
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "trigger", "bad", {"on": ["insert"]})
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "trigger", "bad",
+                             {"on": ["insert"], "routine": "unregistered"})
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "trigger", "bad",
+                             {"on": ["insert"], "routine": print,
+                              "timing": "someday"})

@@ -1,0 +1,98 @@
+"""Uniqueness constraint attachment (constraint with its own storage)."""
+
+import pytest
+
+from repro import Database, UniqueViolation
+
+
+@pytest.fixture
+def uniq(db):
+    table = db.create_table("users", [("id", "INT"), ("email", "STRING")])
+    db.create_attachment("users", "unique", "users_email",
+                         {"columns": ["email"]})
+    return db, table
+
+
+def test_duplicates_vetoed(uniq):
+    db, table = uniq
+    table.insert((1, "a@example.com"))
+    with pytest.raises(UniqueViolation):
+        table.insert((2, "a@example.com"))
+    assert table.count() == 1
+
+
+def test_nulls_are_exempt(uniq):
+    db, table = uniq
+    table.insert((1, None))
+    table.insert((2, None))
+    assert table.count() == 2
+
+
+def test_update_into_collision_vetoed(uniq):
+    db, table = uniq
+    table.insert((1, "a@x"))
+    key = table.insert((2, "b@x"))
+    with pytest.raises(UniqueViolation):
+        table.update(key, {"email": "a@x"})
+    assert table.fetch(key) == (2, "b@x")
+
+
+def test_update_keeping_value_allowed(uniq):
+    db, table = uniq
+    key = table.insert((1, "a@x"))
+    table.update(key, {"id": 99})  # unique column unchanged
+    assert table.fetch(key) == (99, "a@x")
+
+
+def test_delete_frees_value_for_reuse(uniq):
+    db, table = uniq
+    key = table.insert((1, "a@x"))
+    table.delete(key)
+    table.insert((2, "a@x"))
+    assert table.count() == 1
+
+
+def test_build_over_existing_duplicates_fails(db):
+    table = db.create_table("t", [("v", "STRING")])
+    table.insert_many([("dup",), ("dup",)])
+    with pytest.raises(UniqueViolation):
+        db.create_attachment("t", "unique", "t_v", {"columns": ["v"]})
+
+
+def test_abort_releases_reservation(uniq):
+    db, table = uniq
+    db.begin()
+    table.insert((1, "a@x"))
+    db.rollback()
+    table.insert((2, "a@x"))  # the aborted insert's entry must be gone
+    assert table.count() == 1
+
+
+def test_vetoed_insert_under_multiple_constraints(db):
+    """A veto by the second unique constraint undoes the first's entry."""
+    table = db.create_table("t", [("a", "INT"), ("b", "INT")])
+    db.create_attachment("t", "unique", "t_a", {"columns": ["a"]})
+    db.create_attachment("t", "unique", "t_b", {"columns": ["b"]})
+    table.insert((1, 1))
+    with pytest.raises(UniqueViolation):
+        table.insert((2, 1))  # a=2 passes t_a, b=1 trips t_b
+    # a=2 must be insertable again: t_a's entry was rolled back.
+    table.insert((2, 2))
+    assert table.count() == 2
+
+
+def test_composite_unique_key(db):
+    table = db.create_table("t", [("a", "INT"), ("b", "INT")])
+    db.create_attachment("t", "unique", "t_ab", {"columns": ["a", "b"]})
+    table.insert((1, 1))
+    table.insert((1, 2))
+    with pytest.raises(UniqueViolation):
+        table.insert((1, 1))
+
+
+def test_rebuilt_after_crash(uniq):
+    db, table = uniq
+    table.insert((1, "a@x"))
+    db.restart()
+    with pytest.raises(UniqueViolation):
+        table.insert((2, "a@x"))

@@ -1,0 +1,96 @@
+"""Uniform authorization facility across all storage methods."""
+
+import pytest
+
+from repro import Database
+from repro.core.authorization import (CONTROL, DELETE, INSERT, SELECT,
+                                      UPDATE, AuthorizationService)
+from repro.errors import AuthorizationError
+
+
+def test_owner_holds_all_privileges():
+    auth = AuthorizationService(superuser="root")
+    auth.set_owner("t", "alice")
+    for privilege in (SELECT, INSERT, UPDATE, DELETE, CONTROL):
+        auth.check("alice", "t", privilege)
+
+
+def test_superuser_bypasses_checks():
+    auth = AuthorizationService(superuser="root")
+    auth.set_owner("t", "alice")
+    auth.check("root", "t", CONTROL)
+
+
+def test_stranger_denied_until_granted():
+    auth = AuthorizationService(superuser="root")
+    auth.set_owner("t", "alice")
+    with pytest.raises(AuthorizationError):
+        auth.check("bob", "t", SELECT)
+    auth.grant("alice", "t", "bob", [SELECT, INSERT])
+    auth.check("bob", "t", SELECT)
+    with pytest.raises(AuthorizationError):
+        auth.check("bob", "t", DELETE)
+
+
+def test_grant_requires_control():
+    auth = AuthorizationService(superuser="root")
+    auth.set_owner("t", "alice")
+    with pytest.raises(AuthorizationError):
+        auth.grant("bob", "t", "carol", SELECT)
+
+
+def test_revoke_removes_privileges():
+    auth = AuthorizationService(superuser="root")
+    auth.set_owner("t", "alice")
+    auth.grant("alice", "t", "bob", SELECT)
+    auth.revoke("alice", "t", "bob", SELECT)
+    with pytest.raises(AuthorizationError):
+        auth.check("bob", "t", SELECT)
+
+
+def test_unknown_privilege_rejected():
+    auth = AuthorizationService()
+    with pytest.raises(AuthorizationError):
+        auth.check("x", "t", "drop")
+    with pytest.raises(AuthorizationError):
+        auth.grant("admin", "t", "x", ["fly"])
+
+
+def test_forget_relation_clears_grants():
+    auth = AuthorizationService(superuser="root")
+    auth.set_owner("t", "alice")
+    auth.grant("alice", "t", "bob", SELECT)
+    auth.forget_relation("t")
+    assert auth.owner("t") == "root"
+    assert auth.privileges_of("bob", "t") == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Enforcement at the relation abstraction (uniform over storage methods)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("storage,attrs", [
+    ("heap", None),
+    ("memory", None),
+    ("btree_file", {"key": ["id"]}),
+])
+def test_enforcement_is_uniform_across_storage_methods(storage, attrs):
+    db = Database(page_size=1024)
+    db.create_table("t", [("id", "INT")], storage_method=storage,
+                    attributes=attrs)
+    db.table("t").insert((1,))
+    db.grant("t", "reader", "select")
+    with db.as_principal("reader"):
+        assert db.table("t").rows() == [(1,)]
+        with pytest.raises(AuthorizationError):
+            db.table("t").insert((2,))
+        with pytest.raises(AuthorizationError):
+            db.drop_table("t")
+
+
+def test_query_layer_checks_select(db, employee):
+    db.grant("employee", "nobody", "insert")
+    with db.as_principal("nobody"):
+        with pytest.raises(AuthorizationError):
+            db.execute("SELECT * FROM employee")
+        db.execute("INSERT INTO employee VALUES (9, 'x', 'y', 1.0)")

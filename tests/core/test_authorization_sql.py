@@ -1,0 +1,75 @@
+"""Authorization enforcement on every SQL statement class."""
+
+import pytest
+
+from repro import Database
+from repro.errors import AuthorizationError
+
+
+@pytest.fixture
+def secured(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    table.insert_many([(1, "a"), (2, "b")])
+    return db
+
+
+def test_select_requires_select(secured):
+    with secured.as_principal("intern"):
+        with pytest.raises(AuthorizationError):
+            secured.execute("SELECT * FROM t")
+    secured.grant("t", "intern", "select")
+    with secured.as_principal("intern"):
+        assert len(secured.execute("SELECT * FROM t")) == 2
+
+
+def test_insert_update_delete_privileges_are_separate(secured):
+    secured.grant("t", "writer", ["insert"])
+    with secured.as_principal("writer"):
+        secured.execute("INSERT INTO t VALUES (3, 'c')")
+        with pytest.raises(AuthorizationError):
+            secured.execute("UPDATE t SET v = 'x'")
+        with pytest.raises(AuthorizationError):
+            secured.execute("DELETE FROM t")
+    secured.grant("t", "writer", ["update", "delete", "select"])
+    with secured.as_principal("writer"):
+        assert secured.execute("UPDATE t SET v = 'x' WHERE id = 1") == 1
+        assert secured.execute("DELETE FROM t WHERE id = 3") == 1
+
+
+def test_join_requires_select_on_both_tables(secured):
+    secured.create_table("u", [("id", "INT")])
+    secured.grant("t", "half", "select")
+    with secured.as_principal("half"):
+        with pytest.raises(AuthorizationError):
+            secured.execute("SELECT * FROM t JOIN u ON t.id = u.id")
+    secured.grant("u", "half", "select")
+    with secured.as_principal("half"):
+        secured.execute("SELECT * FROM t JOIN u ON t.id = u.id")
+
+
+def test_ddl_requires_control(secured):
+    with secured.as_principal("intern"):
+        with pytest.raises(AuthorizationError):
+            secured.execute("DROP TABLE t")
+        with pytest.raises(AuthorizationError):
+            secured.execute("CREATE INDEX t_id ON t (id)")
+
+
+def test_denied_statement_is_not_partially_applied(secured):
+    with secured.as_principal("intern"):
+        with pytest.raises(AuthorizationError):
+            secured.execute("DELETE FROM t")
+    assert secured.execute("SELECT COUNT(*) FROM t") == [(2,)]
+
+
+def test_cached_plan_rechecks_authorization_each_execution(secured):
+    """Plans are shared; the privilege check runs per execution, so a
+    revoke takes effect immediately even for bound statements."""
+    text = "SELECT v FROM t WHERE id = 1"
+    secured.grant("t", "temp", "select")
+    with secured.as_principal("temp"):
+        assert secured.execute(text) == [("a",)]
+    secured.revoke("t", "temp", "select")
+    with secured.as_principal("temp"):
+        with pytest.raises(AuthorizationError):
+            secured.execute(text)

@@ -1,0 +1,85 @@
+"""System catalogs: naming, attachment index, reinstall for undo."""
+
+import pytest
+
+from repro.core.catalog import Catalog, CatalogEntry
+from repro.core.descriptor import RelationDescriptor
+from repro.core.schema import Field, Schema
+from repro.core.storage_method import RelationHandle
+from repro.errors import DuplicateObjectError, UnknownObjectError
+
+
+def make_entry(catalog, name="t"):
+    schema = Schema(name, [Field("id", "INT")])
+    handle = RelationHandle(catalog.allocate_relation_id(), name, schema,
+                            RelationDescriptor(1, {}))
+    return CatalogEntry(handle, "admin", "heap")
+
+
+def test_install_and_lookup_by_name_and_id():
+    catalog = Catalog()
+    entry = make_entry(catalog)
+    catalog.install(entry)
+    assert catalog.entry("T") is entry
+    assert catalog.entry_by_id(entry.handle.relation_id) is entry
+    assert catalog.exists("t")
+
+
+def test_relation_ids_are_unique():
+    catalog = Catalog()
+    assert catalog.allocate_relation_id() != catalog.allocate_relation_id()
+
+
+def test_duplicate_install_rejected():
+    catalog = Catalog()
+    catalog.install(make_entry(catalog))
+    with pytest.raises(DuplicateObjectError):
+        catalog.install(make_entry(catalog))
+
+
+def test_remove_and_reinstall_preserves_attachments():
+    catalog = Catalog()
+    entry = make_entry(catalog)
+    catalog.install(entry)
+    catalog.register_attachment("t", "idx", "btree_index")
+    removed = catalog.remove("t")
+    assert not catalog.exists("t")
+    assert not catalog.attachment_exists("idx")
+    catalog.reinstall(removed)
+    assert catalog.exists("t")
+    assert catalog.find_attachment("idx") == "t"
+
+
+def test_attachment_names_are_globally_unique():
+    catalog = Catalog()
+    catalog.install(make_entry(catalog, "a"))
+    catalog.install(make_entry(catalog, "b"))
+    catalog.register_attachment("a", "idx", "btree_index")
+    with pytest.raises(DuplicateObjectError):
+        catalog.register_attachment("b", "idx", "hash_index")
+
+
+def test_unregister_attachment_returns_relation_and_type():
+    catalog = Catalog()
+    catalog.install(make_entry(catalog))
+    catalog.register_attachment("t", "idx", "btree_index")
+    assert catalog.unregister_attachment("idx") == ("t", "btree_index")
+    with pytest.raises(UnknownObjectError):
+        catalog.find_attachment("idx")
+
+
+def test_unknown_lookups_raise():
+    catalog = Catalog()
+    with pytest.raises(UnknownObjectError):
+        catalog.entry("ghost")
+    with pytest.raises(UnknownObjectError):
+        catalog.entry_by_id(99)
+    with pytest.raises(UnknownObjectError):
+        catalog.unregister_attachment("ghost")
+
+
+def test_relation_names_sorted():
+    catalog = Catalog()
+    for name in ("zeta", "alpha", "mid"):
+        catalog.install(make_entry(catalog, name))
+    assert catalog.relation_names() == ("alpha", "mid", "zeta")

@@ -1,0 +1,57 @@
+"""Execution context helpers."""
+
+import pytest
+
+from repro import Database
+from repro.core.context import ExecutionContext
+from repro.errors import RecoveryError
+from repro.services.locks import LockMode
+
+
+@pytest.fixture
+def ctx(db):
+    txn = db.services.transactions.begin()
+    return ExecutionContext(txn, db.services, db)
+
+
+def test_passthrough_properties(db, ctx):
+    assert ctx.txn_id == ctx.txn.txn_id
+    assert ctx.buffer is db.services.buffer
+    assert ctx.stats is db.services.stats
+    assert ctx.database is db
+
+
+def test_log_requires_registered_resource(ctx):
+    with pytest.raises(RecoveryError):
+        ctx.log("no.such.resource", {})
+    record = ctx.log("storage.heap", {"op": "insert", "relation_id": 0,
+                                      "page": 0, "slot": 0, "new_raw": b""})
+    assert record.txn_id == ctx.txn_id
+
+
+def test_lock_record_takes_intent_lock_on_relation(db, ctx):
+    ctx.lock_record(7, "key", LockMode.X)
+    locks = db.services.locks
+    assert locks.held_mode(ctx.txn_id, ("rel", 7)) is LockMode.IX
+    assert locks.held_mode(ctx.txn_id, ("rec", 7, "key")) is LockMode.X
+
+
+def test_lock_record_shared_takes_is(db, ctx):
+    ctx.lock_record(7, "key", LockMode.S)
+    locks = db.services.locks
+    assert locks.held_mode(ctx.txn_id, ("rel", 7)) is LockMode.IS
+
+
+def test_defer_queues_on_event_service(db, ctx):
+    from repro.services import events as ev
+    ran = []
+    ctx.defer(ev.AT_COMMIT, lambda t, d: ran.append(d), "payload")
+    db.services.transactions.commit(ctx.txn)
+    assert ran == ["payload"]
+
+
+def test_spawn_shares_services_with_other_transaction(db, ctx):
+    other = db.services.transactions.begin()
+    sibling = ctx.spawn(other)
+    assert sibling.services is ctx.services
+    assert sibling.txn_id != ctx.txn_id

@@ -1,0 +1,145 @@
+"""DDL: attribute lists, deferred destroy, undoable catalog changes."""
+
+import pytest
+
+from repro import Database
+from repro.errors import (DuplicateObjectError, StorageError,
+                          UnknownObjectError)
+
+
+def test_create_table_validates_storage_attributes(db):
+    with pytest.raises(StorageError):
+        db.create_table("t", [("id", "INT")], storage_method="heap",
+                        attributes={"bogus": 1})
+    with pytest.raises(StorageError):
+        db.create_table("t", [("id", "INT")], storage_method="heap",
+                        attributes={"fill_hint": 2.0})
+    db.create_table("t", [("id", "INT")], storage_method="heap",
+                    attributes={"fill_hint": 0.8})
+
+
+def test_btree_file_requires_key_attribute(db):
+    with pytest.raises(StorageError):
+        db.create_table("t", [("id", "INT")], storage_method="btree_file")
+    db.create_table("t", [("id", "INT")], storage_method="btree_file",
+                    attributes={"key": ["id"]})
+
+
+def test_duplicate_relation_rejected(db):
+    db.create_table("t", [("id", "INT")])
+    with pytest.raises(DuplicateObjectError):
+        db.create_table("T", [("id", "INT")])
+
+
+def test_attachment_attribute_validation(db):
+    db.create_table("t", [("id", "INT"), ("b", "BOX")])
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "btree_index", "i1", {})  # no columns
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "btree_index", "i2", {"columns": ["b"]})
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "rtree", "i3", {"column": "id"})
+
+
+def test_duplicate_attachment_instance_name_rejected(db):
+    db.create_table("a", [("id", "INT")])
+    db.create_table("b", [("id", "INT")])
+    db.create_index("idx", "a", ["id"])
+    with pytest.raises(DuplicateObjectError):
+        db.create_index("idx", "b", ["id"])  # instance names are global
+
+
+def test_drop_table_removes_catalog_entry_and_frees_pages_at_commit(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(50)])
+    pages_before = db.services.disk.allocated_pages
+    db.drop_table("t")
+    assert not db.catalog.exists("t")
+    # Deferred release already ran (autocommit): pages returned.
+    assert db.services.disk.allocated_pages < pages_before
+
+
+def test_drop_table_inside_aborted_transaction_is_undone(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((1,))
+    db.begin()
+    db.drop_table("t")
+    assert not db.catalog.exists("t")
+    db.rollback()
+    assert db.catalog.exists("t")
+    assert db.table("t").rows() == [(1,)]
+
+
+def test_deferred_release_happens_only_at_commit(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(50)])
+    pages_before = db.services.disk.allocated_pages
+    db.begin()
+    db.drop_table("t")
+    assert db.services.disk.allocated_pages == pages_before  # still held
+    db.commit()
+    assert db.services.disk.allocated_pages < pages_before
+
+
+def test_create_table_inside_aborted_transaction_is_undone(db):
+    db.begin()
+    db.create_table("t", [("id", "INT")])
+    db.table("t").insert((1,))
+    db.rollback()
+    assert not db.catalog.exists("t")
+
+
+def test_create_index_inside_aborted_transaction_is_undone(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((1,))
+    db.begin()
+    db.create_index("t_id", "t", ["id"])
+    db.rollback()
+    assert not db.catalog.attachment_exists("t_id")
+    handle = db.catalog.handle("t")
+    att = db.registry.attachment_type_by_name("btree_index")
+    assert handle.descriptor.attachment_field(att.type_id) is None
+
+
+def test_drop_attachment_nulls_descriptor_field_when_last(db):
+    db.create_table("t", [("id", "INT"), ("v", "INT")])
+    db.create_index("i1", "t", ["id"])
+    db.create_index("i2", "t", ["v"])
+    handle = db.catalog.handle("t")
+    att = db.registry.attachment_type_by_name("btree_index")
+    db.drop_attachment("i1")
+    assert handle.descriptor.attachment_field(att.type_id) is not None
+    db.drop_attachment("i2")
+    assert handle.descriptor.attachment_field(att.type_id) is None
+
+
+def test_drop_attachment_in_aborted_transaction_restored(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((7,))
+    db.create_index("t_id", "t", ["id"])
+    db.begin()
+    db.drop_attachment("t_id")
+    db.rollback()
+    assert db.catalog.attachment_exists("t_id")
+    from repro import AccessPath
+    att = db.registry.attachment_type_by_name("btree_index")
+    assert table.fetch((7,), access_path=AccessPath(att.type_id, "t_id"))
+
+
+def test_index_backfills_existing_records(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(10)])
+    db.create_index("t_id", "t", ["id"])
+    from repro import AccessPath
+    att = db.registry.attachment_type_by_name("btree_index")
+    for i in range(10):
+        assert table.fetch((i,), access_path=AccessPath(att.type_id, "t_id"))
+
+
+def test_unknown_objects_raise(db):
+    with pytest.raises(UnknownObjectError):
+        db.drop_table("ghost")
+    with pytest.raises(UnknownObjectError):
+        db.drop_attachment("ghost")
+    with pytest.raises(UnknownObjectError):
+        db.table("ghost")

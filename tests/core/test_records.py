@@ -1,0 +1,116 @@
+"""Record and field-value representation: encoding, views, boxes."""
+
+import pytest
+
+from repro.core.records import (Box, RecordView, decode_record,
+                                decode_value, encode_record, encode_value,
+                                record_fields)
+from repro.core.schema import Field, Schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema("t", [Field("id", "INT"), Field("name", "STRING"),
+                        Field("score", "FLOAT"), Field("flag", "BOOL"),
+                        Field("blob", "BYTES"), Field("area", "BOX")])
+
+
+def test_record_roundtrip_all_types(schema):
+    record = (42, "héllo", 3.25, True, b"\x00\x01", Box(1, 2, 3, 4))
+    assert decode_record(schema, encode_record(schema, record)) == record
+
+
+def test_record_roundtrip_with_nulls(schema):
+    record = (None, None, None, None, None, None)
+    assert decode_record(schema, encode_record(schema, record)) == record
+    mixed = (7, None, 1.5, None, b"", Box(0, 0, 0, 0))
+    assert decode_record(schema, encode_record(schema, mixed)) == mixed
+
+
+def test_encode_record_arity_checked(schema):
+    with pytest.raises(SchemaError):
+        encode_record(schema, (1, 2))
+
+
+def test_value_roundtrip_each_type():
+    cases = [("INT", -2**40), ("FLOAT", -0.125), ("BOOL", False),
+             ("STRING", "ünïcode"), ("BYTES", b"abc"),
+             ("BOX", Box(-1.5, 0, 2.5, 3))]
+    for code, value in cases:
+        raw = encode_value(code, value)
+        decoded, offset = decode_value(code, memoryview(raw), 0)
+        assert decoded == value
+        assert offset == len(raw)
+
+
+def test_string_length_limit():
+    with pytest.raises(SchemaError):
+        encode_value("STRING", "x" * 70000)
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(SchemaError):
+        encode_value("DECIMAL", 1)
+
+
+def test_record_fields_projection():
+    assert record_fields((10, 20, 30), (2, 0)) == (30, 10)
+
+
+# ---------------------------------------------------------------------------
+# RecordView
+# ---------------------------------------------------------------------------
+
+def test_view_from_record_covers_everything():
+    view = RecordView.from_record((1, 2, 3))
+    assert view.covers([0, 1, 2])
+    assert view[1] == 2
+
+
+def test_partial_view_reports_missing_fields():
+    view = RecordView.from_fields((0, 3), ("a", "d"))
+    assert view.covers([0, 3])
+    assert not view.covers([1])
+    assert view[3] == "d"
+    assert view.get(1, "missing") == "missing"
+    with pytest.raises(SchemaError):
+        view[1]
+
+
+# ---------------------------------------------------------------------------
+# Box geometry
+# ---------------------------------------------------------------------------
+
+def test_box_degenerate_rejected():
+    with pytest.raises(SchemaError):
+        Box(5, 0, 1, 1)
+
+
+def test_box_encloses_is_reflexive_and_antisymmetric():
+    a = Box(0, 0, 10, 10)
+    b = Box(2, 2, 5, 5)
+    assert a.encloses(a)
+    assert a.encloses(b)
+    assert not b.encloses(a)
+    assert b.enclosed_by(a)
+
+
+def test_box_overlap_touching_edges_counts():
+    assert Box(0, 0, 1, 1).overlaps(Box(1, 1, 2, 2))
+    assert not Box(0, 0, 1, 1).overlaps(Box(1.01, 0, 2, 1))
+
+
+def test_box_union_and_enlargement():
+    a = Box(0, 0, 1, 1)
+    b = Box(2, 2, 3, 3)
+    union = a.union(b)
+    assert (union.x_lo, union.y_lo, union.x_hi, union.y_hi) == (0, 0, 3, 3)
+    assert a.enlargement(b) == union.area() - a.area()
+    assert a.enlargement(Box(0.2, 0.2, 0.8, 0.8)) == 0
+
+
+def test_box_equality_and_hash():
+    assert Box(0, 0, 1, 1) == Box(0, 0, 1, 1)
+    assert hash(Box(0, 0, 1, 1)) == hash(Box(0, 0, 1, 1))
+    assert Box(0, 0, 1, 1) != Box(0, 0, 1, 2)

@@ -1,0 +1,86 @@
+"""Attachment status changes (the paper's "change mode or status of
+relation or attachment instances" management operation)."""
+
+import pytest
+
+from repro import AccessPath, CheckViolation, Database
+from repro.errors import AuthorizationError
+
+
+@pytest.fixture
+def indexed(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "FLOAT")])
+    table.insert_many([(i, float(i)) for i in range(50)])
+    db.create_index("t_id", "t", ["id"], unique=True)
+    db.add_check("t_pos", "t", "v >= 0")
+    return db, table
+
+
+def test_disabled_index_is_not_maintained_or_planned(indexed):
+    db, table = indexed
+    db.disable_attachment("t_id")
+    plan = db.explain("SELECT v FROM t WHERE id = 5")
+    assert "storage scan" in plan["access"]["route"]
+    # Maintenance stops: inserts do not drive the disabled instance.
+    before = db.services.stats.get("btree_index.maintenance_ops")
+    table.insert((100, 1.0))
+    assert db.services.stats.get("btree_index.maintenance_ops") == before
+
+
+def test_reenabling_rebuilds_the_index(indexed):
+    db, table = indexed
+    db.disable_attachment("t_id")
+    table.insert((100, 1.0))   # drift while disabled
+    db.enable_attachment("t_id")
+    att = db.registry.attachment_type_by_name("btree_index")
+    assert table.fetch((100,), access_path=AccessPath(att.type_id, "t_id"))
+    plan = db.explain("SELECT v FROM t WHERE id = 5")
+    assert "btree_index" in plan["access"]["route"]
+
+
+def test_disabled_check_stops_vetoing(indexed):
+    db, table = indexed
+    with pytest.raises(CheckViolation):
+        table.insert((200, -1.0))
+    db.disable_attachment("t_pos")
+    table.insert((200, -1.0))   # not enforced while disabled
+    db.enable_attachment("t_pos")
+    with pytest.raises(CheckViolation):
+        table.insert((201, -1.0))
+
+
+def test_status_changes_are_idempotent(indexed):
+    db, table = indexed
+    db.disable_attachment("t_id")
+    db.disable_attachment("t_id")
+    db.enable_attachment("t_id")
+    db.enable_attachment("t_id")
+    att = db.registry.attachment_type_by_name("btree_index")
+    assert table.fetch((5,), access_path=AccessPath(att.type_id, "t_id"))
+
+
+def test_disabled_instance_can_be_dropped(indexed):
+    db, table = indexed
+    db.disable_attachment("t_id")
+    db.drop_attachment("t_id")
+    assert not db.catalog.attachment_exists("t_id")
+    handle = db.catalog.handle("t")
+    att = db.registry.attachment_type_by_name("btree_index")
+    assert handle.descriptor.attachment_field(att.type_id) is None
+
+
+def test_status_change_requires_control(indexed):
+    db, table = indexed
+    with db.as_principal("nobody"):
+        with pytest.raises(AuthorizationError):
+            db.disable_attachment("t_id")
+
+
+def test_status_change_invalidates_bound_plans(indexed):
+    db, table = indexed
+    text = "SELECT v FROM t WHERE id = 5"
+    db.execute(text)
+    plan = db.query_engine.cache.cached(text)
+    db.disable_attachment("t_id")
+    assert not plan.valid
+    assert db.execute(text) == [(5.0,)]   # auto re-translated without it

@@ -1,0 +1,76 @@
+"""Covering-index reads: the access path returns record fields itself.
+
+The paper: "Some access path attachments may be able to return record
+fields when the access path key is a multi-field value and the access is
+specified using a partial key."  When a B-tree key covers every field a
+query touches, the executor answers from the index without fetching base
+records.
+"""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def covered(db):
+    table = db.create_table("t", [("a", "INT"), ("b", "INT"),
+                                  ("payload", "STRING")])
+    table.insert_many([(i, i * 10, "x" * 50) for i in range(300)])
+    db.create_index("t_ab", "t", ["a", "b"])
+    return db, table
+
+
+def test_covered_query_skips_base_fetches(covered):
+    db, table = covered
+    stats = db.services.stats
+    before_fetch = stats.get("heap.fetches")
+    rows = db.execute("SELECT b FROM t WHERE a = 7")
+    assert rows == [(70,)]
+    assert stats.get("executor.covering_scans") == 1
+    assert stats.get("heap.fetches") == before_fetch
+
+
+def test_covered_query_with_range_and_order(covered):
+    db, table = covered
+    rows = db.execute("SELECT a, b FROM t WHERE a >= 5 AND a <= 8 "
+                      "ORDER BY a")
+    assert rows == [(5, 50), (6, 60), (7, 70), (8, 80)]
+
+
+def test_uncovered_field_falls_back_to_base_fetch(covered):
+    db, table = covered
+    stats = db.services.stats
+    before = stats.get("executor.covering_scans")
+    rows = db.execute("SELECT payload FROM t WHERE a = 7")
+    assert rows == [("x" * 50,)]
+    assert stats.get("executor.covering_scans") == before
+
+
+def test_covered_aggregate(covered):
+    db, table = covered
+    assert db.execute("SELECT COUNT(b) FROM t WHERE a < 10") == [(10,)]
+
+
+def test_select_star_never_covered(covered):
+    db, table = covered
+    stats = db.services.stats
+    before = stats.get("executor.covering_scans")
+    db.execute("SELECT * FROM t WHERE a = 7")
+    assert stats.get("executor.covering_scans") == before
+
+
+def test_covered_results_match_uncovered(covered):
+    db, table = covered
+    covered_rows = db.execute("SELECT b FROM t WHERE a BETWEEN 10 AND 20")
+    full_rows = db.execute("SELECT b FROM t WHERE a + 0 BETWEEN 10 AND 20")
+    assert sorted(covered_rows) == sorted(full_rows)
+
+
+def test_covering_survives_modifications(covered):
+    db, table = covered
+    key = table.scan(where="a = 7")[0][0]
+    table.update(key, {"b": 777})
+    assert db.execute("SELECT b FROM t WHERE a = 7") == [(777,)]
+    table.delete(key)
+    assert db.execute("SELECT b FROM t WHERE a = 7") == []

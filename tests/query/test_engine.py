@@ -1,0 +1,145 @@
+"""End-to-end query execution."""
+
+import pytest
+
+from repro import Database
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def emp(db):
+    db.execute("CREATE TABLE emp (id INT NOT NULL, name STRING, "
+               "dept STRING, salary FLOAT)")
+    db.execute("INSERT INTO emp VALUES "
+               "(1, 'alice', 'eng', 120000.0), (2, 'bob', 'sales', 80000.0),"
+               "(3, 'carol', 'eng', 95000.0), (4, 'dave', 'finance', "
+               "70000.0), (5, 'erin', 'eng', 105000.0)")
+    return db
+
+
+def test_select_star(emp):
+    rows = emp.execute("SELECT * FROM emp")
+    assert len(rows) == 5
+    assert rows[0] == (1, "alice", "eng", 120000.0)
+
+
+def test_projection_and_expressions(emp):
+    rows = emp.execute("SELECT name, salary / 1000 FROM emp WHERE id = 1")
+    assert rows == [("alice", 120.0)]
+
+
+def test_where_with_parameters(emp):
+    rows = emp.execute("SELECT id FROM emp WHERE dept = :d AND salary > :s",
+                       {"d": "eng", "s": 100000})
+    assert sorted(r[0] for r in rows) == [1, 5]
+
+
+def test_same_plan_different_parameters(emp):
+    text = "SELECT name FROM emp WHERE id = :i"
+    assert emp.execute(text, {"i": 1}) == [("alice",)]
+    assert emp.execute(text, {"i": 4}) == [("dave",)]
+    assert emp.services.stats.get("plan_cache.hits") >= 1
+
+
+def test_order_by_asc_desc(emp):
+    rows = emp.execute("SELECT id FROM emp ORDER BY salary DESC LIMIT 2")
+    assert [r[0] for r in rows] == [1, 5]
+    rows = emp.execute("SELECT id FROM emp ORDER BY dept, salary")
+    assert [r[0] for r in rows] == [3, 5, 1, 4, 2]
+
+
+def test_limit_applies_after_sort(emp):
+    rows = emp.execute("SELECT id FROM emp ORDER BY id LIMIT 3")
+    assert [r[0] for r in rows] == [1, 2, 3]
+
+
+def test_aggregates_whole_table(emp):
+    assert emp.execute("SELECT COUNT(*) FROM emp") == [(5,)]
+    (row,) = emp.execute("SELECT MIN(salary), MAX(salary), SUM(salary) "
+                         "FROM emp")
+    assert row == (70000.0, 120000.0, 470000.0)
+
+
+def test_aggregate_with_filter(emp):
+    assert emp.execute("SELECT COUNT(*) FROM emp WHERE dept = 'eng'") \
+        == [(3,)]
+
+
+def test_group_by(emp):
+    rows = emp.execute("SELECT dept, COUNT(*), MAX(salary) FROM emp "
+                       "GROUP BY dept")
+    assert sorted(rows) == [("eng", 3, 120000.0), ("finance", 1, 70000.0),
+                            ("sales", 1, 80000.0)]
+
+
+def test_count_ignores_nulls_for_column(emp):
+    emp.execute("INSERT INTO emp (id, name) VALUES (9, 'nul')")
+    (row,) = emp.execute("SELECT COUNT(*), COUNT(salary) FROM emp")
+    assert row == (6, 5)
+
+
+def test_update_with_expression(emp):
+    n = emp.execute("UPDATE emp SET salary = salary * 2 WHERE dept = 'eng'")
+    assert n == 3
+    rows = emp.execute("SELECT salary FROM emp WHERE id = 1")
+    assert rows == [(240000.0,)]
+
+
+def test_delete_returns_count(emp):
+    assert emp.execute("DELETE FROM emp WHERE salary < 90000.0") == 2
+    assert emp.execute("SELECT COUNT(*) FROM emp") == [(3,)]
+
+
+def test_join_with_cross_predicate(emp):
+    emp.execute("CREATE TABLE dept (dname STRING, budget FLOAT)")
+    emp.execute("INSERT INTO dept VALUES ('eng', 10.0), ('sales', 2.0), "
+                "('finance', 5.0)")
+    rows = emp.execute(
+        "SELECT e.name, d.budget FROM emp e JOIN dept d "
+        "ON e.dept = d.dname WHERE d.budget > 3 AND e.salary > 90000")
+    assert sorted(rows) == [("alice", 10.0), ("carol", 10.0),
+                            ("erin", 10.0)]
+
+
+def test_join_output_is_left_then_right(emp):
+    emp.execute("CREATE TABLE dept (dname STRING, budget FLOAT)")
+    emp.execute("INSERT INTO dept VALUES ('eng', 10.0)")
+    rows = emp.execute("SELECT * FROM emp e JOIN dept d "
+                       "ON e.dept = d.dname WHERE e.id = 1")
+    assert rows == [(1, "alice", "eng", 120000.0, "eng", 10.0)]
+
+
+def test_ddl_through_execute(db):
+    db.execute("CREATE TABLE t (a INT)")
+    db.execute("CREATE INDEX t_a ON t (a)")
+    db.execute("INSERT INTO t VALUES (1)")
+    db.execute("DROP INDEX t_a")
+    db.execute("DROP TABLE t")
+    assert not db.catalog.exists("t")
+
+
+def test_insert_with_column_list_fills_nulls(db):
+    db.execute("CREATE TABLE t (a INT, b STRING)")
+    db.execute("INSERT INTO t (b) VALUES ('only-b')")
+    assert db.execute("SELECT * FROM t") == [(None, "only-b")]
+
+
+def test_queries_in_explicit_transaction(emp):
+    emp.begin()
+    emp.execute("INSERT INTO emp VALUES (10, 'tmp', 'x', 1.0)")
+    assert emp.execute("SELECT COUNT(*) FROM emp") == [(6,)]
+    emp.rollback()
+    assert emp.execute("SELECT COUNT(*) FROM emp") == [(5,)]
+
+
+def test_unsupported_statement_rejected(db):
+    with pytest.raises(QueryError):
+        db.execute("VACUUM")
+
+
+def test_arity_errors(db):
+    db.execute("CREATE TABLE t (a INT, b INT)")
+    with pytest.raises(QueryError):
+        db.execute("INSERT INTO t VALUES (1)")
+    with pytest.raises(QueryError):
+        db.execute("INSERT INTO t (a) VALUES (1, 2)")

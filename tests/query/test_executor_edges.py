@@ -1,0 +1,107 @@
+"""Executor edge cases."""
+
+import pytest
+
+from repro import Database
+from repro.errors import QueryError
+
+
+@pytest.fixture
+def data(db):
+    t = db.create_table("t", [("id", "INT"), ("grp", "STRING"),
+                              ("v", "FLOAT")])
+    t.insert_many([(1, "a", 10.0), (2, "a", None), (3, "b", 30.0),
+                   (4, None, 40.0)])
+    return db
+
+
+def test_empty_relation_queries(db):
+    db.create_table("e", [("v", "INT")])
+    assert db.execute("SELECT * FROM e") == []
+    assert db.execute("SELECT COUNT(*) FROM e") == [(0,)]
+    assert db.execute("SELECT MIN(v) FROM e") == [(None,)]
+    assert db.execute("DELETE FROM e") == 0
+    assert db.execute("UPDATE e SET v = 1") == 0
+
+
+def test_aggregates_skip_nulls(data):
+    (row,) = data.execute("SELECT COUNT(v), SUM(v), MIN(v) FROM t")
+    assert row == (3, 80.0, 10.0)
+
+
+def test_where_null_rows_filtered(data):
+    rows = data.execute("SELECT id FROM t WHERE v > 5")
+    assert sorted(r[0] for r in rows) == [1, 3, 4]
+    rows = data.execute("SELECT id FROM t WHERE v IS NULL")
+    assert [r[0] for r in rows] == [2]
+
+
+def test_group_by_null_group(data):
+    rows = data.execute("SELECT grp, COUNT(*) FROM t GROUP BY grp")
+    assert sorted(rows, key=repr) == sorted(
+        [("a", 2), ("b", 1), (None, 1)], key=repr)
+
+
+def test_order_by_multiple_columns(data):
+    rows = data.execute("SELECT grp, id FROM t WHERE grp IS NOT NULL "
+                        "ORDER BY grp DESC, id DESC")
+    assert rows == [("b", 3), ("a", 2), ("a", 1)]
+
+
+def test_limit_zero(data):
+    assert data.execute("SELECT * FROM t LIMIT 0") == []
+
+
+def test_expression_projection_with_functions(data):
+    rows = data.execute("SELECT upper(grp) FROM t WHERE id = 1")
+    assert rows == [("A",)]
+
+
+def test_update_all_rows_without_where(data):
+    assert data.execute("UPDATE t SET v = 0") == 4
+    assert data.execute("SELECT SUM(v) FROM t") == [(0,)]
+
+
+def test_join_with_empty_side(db):
+    db.create_table("l", [("k", "INT")])
+    db.create_table("r", [("k", "INT")])
+    db.table("l").insert((1,))
+    assert db.execute("SELECT * FROM l JOIN r ON l.k = r.k") == []
+
+
+def test_join_null_keys_never_match(db):
+    left = db.create_table("l", [("k", "INT")])
+    right = db.create_table("r", [("k", "INT")])
+    left.insert_many([(None,), (1,)])
+    right.insert_many([(None,), (1,)])
+    rows = db.execute("SELECT * FROM l JOIN r ON l.k = r.k")
+    assert rows == [(1, 1)]
+
+
+def test_self_join_with_aliases(db):
+    t = db.create_table("t", [("id", "INT"), ("boss", "INT")])
+    t.insert_many([(1, None), (2, 1), (3, 1)])
+    rows = db.execute("SELECT a.id, b.id FROM t a JOIN t b "
+                      "ON a.boss = b.id")
+    assert sorted(rows) == [(2, 1), (3, 1)]
+
+
+def test_ambiguous_column_in_join_rejected(db):
+    db.create_table("l", [("k", "INT")])
+    db.create_table("r", [("k", "INT")])
+    with pytest.raises(Exception):
+        db.execute("SELECT k FROM l JOIN r ON l.k = r.k")
+
+
+def test_join_condition_must_span_tables(db):
+    db.create_table("l", [("a", "INT"), ("b", "INT")])
+    db.create_table("r", [("c", "INT")])
+    with pytest.raises(QueryError):
+        db.execute("SELECT * FROM l JOIN r ON l.a = l.b")
+
+
+def test_parameters_in_update_and_delete(data):
+    assert data.execute("UPDATE t SET v = :nv WHERE id = :i",
+                        {"nv": 99.0, "i": 3}) == 1
+    assert data.execute("SELECT v FROM t WHERE id = 3") == [(99.0,)]
+    assert data.execute("DELETE FROM t WHERE id = :i", {"i": 3}) == 1

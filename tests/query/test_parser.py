@@ -1,0 +1,115 @@
+"""Mini-SQL parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.ast import (CreateIndexStmt, CreateTableStmt, DeleteStmt,
+                             DropIndexStmt, DropTableStmt, InsertStmt,
+                             SelectStmt, UpdateStmt)
+from repro.query.parser import parse_statement
+
+
+def test_select_star():
+    stmt = parse_statement("SELECT * FROM t")
+    assert isinstance(stmt, SelectStmt)
+    assert stmt.star and stmt.table == "t"
+    assert stmt.where is None
+
+
+def test_select_items_with_aliases_and_arithmetic():
+    stmt = parse_statement("SELECT a, b * 2 AS doubled FROM t")
+    assert not stmt.star
+    assert stmt.items[1].alias == "doubled"
+
+
+def test_select_where_order_limit():
+    stmt = parse_statement(
+        "SELECT * FROM t WHERE a > 1 ORDER BY b DESC, c LIMIT 10")
+    assert stmt.where is not None
+    assert stmt.order_by == [("b", False), ("c", True)]
+    assert stmt.limit == 10
+
+
+def test_select_aggregates():
+    stmt = parse_statement("SELECT COUNT(*), SUM(x), MIN(y) FROM t")
+    assert [i.aggregate for i in stmt.items] == ["count", "sum", "min"]
+    assert stmt.items[0].expr is None
+
+
+def test_select_group_by():
+    stmt = parse_statement("SELECT dept, COUNT(*) FROM t GROUP BY dept")
+    assert stmt.group_by == "dept"
+    assert stmt.items[0].aggregate is None
+
+
+def test_select_join_clause():
+    stmt = parse_statement(
+        "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.dname "
+        "WHERE d.budget > 1")
+    assert stmt.alias == "e"
+    assert stmt.join.table == "dept"
+    assert stmt.join.alias == "d"
+    assert stmt.join.left_column == "e.dept"
+    assert stmt.join.right_column == "d.dname"
+
+
+def test_column_named_like_aggregate_still_parses():
+    stmt = parse_statement("SELECT count FROM t")
+    assert stmt.items[0].aggregate is None
+
+
+def test_insert_forms():
+    stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+    assert isinstance(stmt, InsertStmt)
+    assert stmt.columns is None and len(stmt.rows) == 2
+    stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+    assert stmt.columns == ["a", "b"]
+
+
+def test_update_statement():
+    stmt = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE a < 5")
+    assert isinstance(stmt, UpdateStmt)
+    assert set(stmt.assignments) == {"a", "b"}
+    assert stmt.where is not None
+
+
+def test_delete_statement():
+    stmt = parse_statement("DELETE FROM t WHERE a = 1")
+    assert isinstance(stmt, DeleteStmt)
+    stmt = parse_statement("DELETE FROM t")
+    assert stmt.where is None
+
+
+def test_create_table_columns_and_storage():
+    stmt = parse_statement(
+        "CREATE TABLE t (id INT NOT NULL, name STRING, r BOX) USING memory")
+    assert isinstance(stmt, CreateTableStmt)
+    assert stmt.columns == [("id", "INT", False), ("name", "STRING", True),
+                            ("r", "BOX", True)]
+    assert stmt.storage_method == "memory"
+
+
+def test_create_index_variants():
+    stmt = parse_statement("CREATE UNIQUE INDEX i ON t (a, b)")
+    assert isinstance(stmt, CreateIndexStmt)
+    assert stmt.unique and stmt.columns == ["a", "b"]
+    stmt = parse_statement("CREATE INDEX i ON t (a) USING hash_index")
+    assert stmt.kind == "hash_index"
+
+
+def test_drop_statements():
+    assert isinstance(parse_statement("DROP TABLE t"), DropTableStmt)
+    assert isinstance(parse_statement("DROP INDEX i"), DropIndexStmt)
+
+
+def test_trailing_semicolon_accepted():
+    parse_statement("SELECT * FROM t;")
+
+
+def test_errors():
+    for bad in ("SELECT", "SELECT FROM t", "FOO BAR", "CREATE VIEW v",
+                "SELECT * FROM t LIMIT x", "INSERT INTO t",
+                "CREATE TABLE t (a DECIMAL)", "SELECT * FROM t extra junk(",
+                "UPDATE t", "CREATE UNIQUE TABLE t (a INT)"):
+        with pytest.raises(Exception):
+            parse_statement(bad)

@@ -1,0 +1,95 @@
+"""Bound plans: caching, dependency invalidation, auto re-translation."""
+
+import pytest
+
+from repro import Database
+from repro.core.dependency import attachment_token, relation_token
+
+
+@pytest.fixture
+def emp(db):
+    table = db.create_table("emp", [("id", "INT"), ("v", "STRING")])
+    table.insert_many([(i, f"v{i}") for i in range(300)])
+    db.create_index("emp_id", "emp", ["id"], unique=True)
+    return db
+
+
+def test_repeated_execution_translates_once(emp):
+    stats = emp.services.stats
+    text = "SELECT v FROM emp WHERE id = 42"
+    before = stats.get("plan_cache.translations")
+    for __ in range(10):
+        assert emp.execute(text) == [("v42",)]
+    assert stats.get("plan_cache.translations") - before == 1
+    assert stats.get("plan_cache.hits") >= 9
+
+
+def test_bound_plan_embeds_descriptor_no_catalog_access(emp):
+    """Execution reuses the handle captured at translation time."""
+    text = "SELECT v FROM emp WHERE id = 1"
+    emp.execute(text)
+    plan = emp.query_engine.cache.cached(text)
+    assert plan.valid
+    assert "emp" in plan.payload.handles
+    assert plan.payload.handles["emp"] is emp.catalog.handle("emp")
+
+
+def test_drop_index_invalidates_dependent_plan(emp):
+    text = "SELECT v FROM emp WHERE id = 7"
+    emp.execute(text)
+    plan = emp.query_engine.cache.cached(text)
+    assert attachment_token("emp_id") in plan.dependencies
+    emp.drop_attachment("emp_id")
+    assert not plan.valid
+
+
+def test_invalidated_plan_automatically_retranslated(emp):
+    text = "SELECT v FROM emp WHERE id = 7"
+    assert emp.execute(text) == [("v7",)]
+    emp.drop_attachment("emp_id")
+    # Next invocation re-translates (now without the index) and still runs.
+    assert emp.execute(text) == [("v7",)]
+    assert emp.services.stats.get("plan_cache.retranslations") == 1
+    new_plan = emp.query_engine.cache.cached(text)
+    assert new_plan.valid
+    assert attachment_token("emp_id") not in new_plan.dependencies
+
+
+def test_drop_table_invalidates_plans(emp):
+    text = "SELECT COUNT(*) FROM emp"
+    emp.execute(text)
+    plan = emp.query_engine.cache.cached(text)
+    assert relation_token("emp") in plan.dependencies
+    emp.drop_table("emp")
+    assert not plan.valid
+    with pytest.raises(Exception):
+        emp.execute(text)  # re-translation fails: the relation is gone
+
+
+def test_create_index_invalidates_so_plans_can_improve(emp):
+    text = "SELECT v FROM emp WHERE id = 3"
+    emp.drop_attachment("emp_id")
+    emp.execute(text)
+    first = emp.query_engine.cache.cached(text)
+    assert "storage scan" in first.payload.access.explain()["route"]
+    emp.create_index("emp_id2", "emp", ["id"], unique=True)
+    emp.execute(text)
+    second = emp.query_engine.cache.cached(text)
+    assert "btree_index" in second.payload.access.explain()["route"]
+
+
+def test_modification_plans_are_cached_too(emp):
+    stats = emp.services.stats
+    before = stats.get("plan_cache.translations")
+    for i in range(5):
+        emp.execute("UPDATE emp SET v = :v WHERE id = :i",
+                    {"v": "patched", "i": i})
+    assert stats.get("plan_cache.translations") - before == 1
+
+
+def test_distinct_statements_get_distinct_plans(emp):
+    emp.execute("SELECT v FROM emp WHERE id = 1")
+    emp.execute("SELECT v FROM emp WHERE id = 2")
+    assert len(emp.query_engine.cache) == 2
+    emp.query_engine.cache.clear()
+    assert len(emp.query_engine.cache) == 0

@@ -1,0 +1,70 @@
+"""Block device: allocation, I/O accounting, free-list reuse."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.services.disk import BlockDevice
+
+
+def test_allocate_returns_zeroed_page():
+    device = BlockDevice(page_size=256)
+    page_id = device.allocate()
+    assert device.read(page_id) == bytes(256)
+
+
+def test_allocation_ids_are_sequential_then_reused():
+    device = BlockDevice(page_size=256)
+    a = device.allocate()
+    b = device.allocate()
+    assert b == a + 1
+    device.free(a)
+    assert device.allocate() == a  # free list reuse
+
+
+def test_write_and_read_roundtrip():
+    device = BlockDevice(page_size=256)
+    page_id = device.allocate()
+    payload = bytes(range(256))
+    device.write(page_id, payload)
+    assert device.read(page_id) == payload
+
+
+def test_write_wrong_size_rejected():
+    device = BlockDevice(page_size=256)
+    page_id = device.allocate()
+    with pytest.raises(PageError):
+        device.write(page_id, b"short")
+
+
+def test_access_to_unallocated_page_rejected():
+    device = BlockDevice(page_size=256)
+    with pytest.raises(PageError):
+        device.read(99)
+    with pytest.raises(PageError):
+        device.write(99, bytes(256))
+    with pytest.raises(PageError):
+        device.free(99)
+
+
+def test_io_counters():
+    device = BlockDevice(page_size=256)
+    page_id = device.allocate()
+    device.write(page_id, bytes(256))
+    device.read(page_id)
+    device.read(page_id)
+    assert device.writes == 1
+    assert device.reads == 2
+
+
+def test_page_size_floor():
+    with pytest.raises(PageError):
+        BlockDevice(page_size=16)
+
+
+def test_allocated_pages_counter():
+    device = BlockDevice(page_size=256)
+    ids = [device.allocate() for __ in range(5)]
+    assert device.allocated_pages == 5
+    device.free(ids[0])
+    assert device.allocated_pages == 4
+    assert not device.exists(ids[0])

@@ -1,0 +1,126 @@
+"""Lock manager: modes, upgrades, conflicts, deadlock detection."""
+
+import pytest
+
+from repro.errors import DeadlockError, LockConflictError, LockError
+from repro.services.locks import LockManager, LockMode, compatible, join_modes
+
+
+def test_compatibility_matrix_classics():
+    assert compatible(LockMode.IS, LockMode.IX)
+    assert compatible(LockMode.S, LockMode.S)
+    assert not compatible(LockMode.S, LockMode.IX)
+    assert not compatible(LockMode.X, LockMode.IS)
+    assert compatible(LockMode.SIX, LockMode.IS)
+    assert not compatible(LockMode.SIX, LockMode.S)
+
+
+def test_join_modes_upgrade_lattice():
+    assert join_modes(LockMode.IS, LockMode.IX) is LockMode.IX
+    assert join_modes(LockMode.S, LockMode.IX) is LockMode.SIX
+    assert join_modes(LockMode.S, LockMode.X) is LockMode.X
+    assert join_modes(LockMode.IS, LockMode.S) is LockMode.S
+
+
+def test_shared_locks_coexist():
+    locks = LockManager()
+    locks.acquire(1, "r", LockMode.S)
+    locks.acquire(2, "r", LockMode.S)
+    assert set(locks.holders("r")) == {1, 2}
+
+
+def test_exclusive_conflicts_with_shared():
+    locks = LockManager()
+    locks.acquire(1, "r", LockMode.S)
+    with pytest.raises(LockConflictError) as info:
+        locks.acquire(2, "r", LockMode.X)
+    assert info.value.holders == frozenset({1})
+
+
+def test_reacquire_same_mode_is_noop():
+    locks = LockManager()
+    locks.acquire(1, "r", LockMode.X)
+    assert locks.acquire(1, "r", LockMode.S) is LockMode.X
+
+
+def test_upgrade_s_to_x_when_alone():
+    locks = LockManager()
+    locks.acquire(1, "r", LockMode.S)
+    assert locks.acquire(1, "r", LockMode.X) is LockMode.X
+
+
+def test_upgrade_blocked_by_other_sharer():
+    locks = LockManager()
+    locks.acquire(1, "r", LockMode.S)
+    locks.acquire(2, "r", LockMode.S)
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "r", LockMode.X)
+
+
+def test_deadlock_two_transactions():
+    locks = LockManager()
+    locks.acquire(1, "a", LockMode.X)
+    locks.acquire(2, "b", LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "b", LockMode.X)   # T1 waits for T2
+    with pytest.raises(DeadlockError) as info:
+        locks.acquire(2, "a", LockMode.X)   # closes the cycle; T2 is victim
+    assert set(info.value.cycle) >= {1, 2}
+
+
+def test_deadlock_three_way_cycle():
+    locks = LockManager()
+    for txn, resource in ((1, "a"), (2, "b"), (3, "c")):
+        locks.acquire(txn, resource, LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "b", LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(2, "c", LockMode.X)
+    with pytest.raises(DeadlockError):
+        locks.acquire(3, "a", LockMode.X)
+
+
+def test_release_all_unblocks_waiters():
+    locks = LockManager()
+    locks.acquire(1, "r", LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(2, "r", LockMode.X)
+    assert 2 in locks.waits_for()
+    locks.release_all(1)
+    assert 2 not in locks.waits_for()
+    locks.acquire(2, "r", LockMode.X)  # now granted
+
+
+def test_release_single_resource():
+    locks = LockManager()
+    locks.acquire(1, "a", LockMode.X)
+    locks.acquire(1, "b", LockMode.S)
+    locks.release(1, "a")
+    assert locks.held_mode(1, "a") is None
+    assert locks.held_mode(1, "b") is LockMode.S
+
+
+def test_release_unheld_rejected():
+    locks = LockManager()
+    with pytest.raises(LockError):
+        locks.release(1, "nothing")
+
+
+def test_release_all_returns_count_and_clears():
+    locks = LockManager()
+    locks.acquire(1, "a", LockMode.IS)
+    locks.acquire(1, "b", LockMode.IX)
+    assert locks.release_all(1) == 2
+    assert locks.locks_held(1) == frozenset()
+
+
+def test_intent_locks_allow_fine_grained_sharing():
+    """The hierarchical pattern storage methods use: IX on the relation,
+    X on distinct records, concurrently from two transactions."""
+    locks = LockManager()
+    locks.acquire(1, ("rel", 7), LockMode.IX)
+    locks.acquire(2, ("rel", 7), LockMode.IX)
+    locks.acquire(1, ("rec", 7, "k1"), LockMode.X)
+    locks.acquire(2, ("rec", 7, "k2"), LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(2, ("rec", 7, "k1"), LockMode.X)

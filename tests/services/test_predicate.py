@@ -1,0 +1,204 @@
+"""Common predicate evaluator: parsing, three-valued logic, analysis."""
+
+import pytest
+
+from repro.core.records import Box, RecordView
+from repro.core.schema import Field, Schema
+from repro.errors import PredicateError
+from repro.services.predicate import (And, Between, Cmp, Col, Const, Func,
+                                      InList, IsNull, Like, Not, Or, Param,
+                                      Predicate, conjuncts, parse_expression,
+                                      register_function, simple_comparison)
+
+
+@pytest.fixture
+def schema():
+    return Schema("t", [Field("id", "INT", False), Field("name", "STRING"),
+                        Field("salary", "FLOAT"), Field("active", "BOOL"),
+                        Field("region", "BOX")])
+
+
+def match(schema, text, record, params=None):
+    return Predicate.parse(text, schema, params).matches(record)
+
+
+ROW = (1, "alice", 100.0, True, Box(0, 0, 10, 10))
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def test_parse_comparison_and_precedence(schema):
+    expr = parse_expression("salary + 10 * 2 >= 120")
+    bound = expr.bind(schema)
+    assert bound.eval(RecordView.from_record(ROW)) is True
+
+
+def test_parse_and_or_not_precedence(schema):
+    # AND binds tighter than OR.
+    assert match(schema, "id = 2 or id = 1 and active", ROW)
+    assert not match(schema, "not (id = 1)", ROW)
+
+
+def test_parse_string_escapes(schema):
+    assert match(schema, "name != 'it''s'", ROW)
+
+
+def test_parse_in_between_like(schema):
+    assert match(schema, "id in (3, 2, 1)", ROW)
+    assert match(schema, "salary between 50 and 150", ROW)
+    assert match(schema, "name like 'al%'", ROW)
+    assert match(schema, "name like '_lice'", ROW)
+    assert not match(schema, "name like 'al'", ROW)
+    assert match(schema, "id not in (5, 6)", ROW)
+    assert match(schema, "salary not between 200 and 300", ROW)
+
+
+def test_parse_is_null(schema):
+    row = (1, None, 100.0, True, None)
+    assert match(schema, "name is null", row)
+    assert match(schema, "salary is not null", row)
+
+
+def test_parse_functions(schema):
+    assert match(schema, "upper(name) = 'ALICE'", ROW)
+    assert match(schema, "length(name) = 5", ROW)
+    assert match(schema, "abs(0 - salary) = 100", ROW)
+
+
+def test_parse_spatial_predicates(schema):
+    assert match(schema, "region encloses box(2, 2, 3, 3)", ROW)
+    assert match(schema, "region enclosed_by box(0, 0, 100, 100)", ROW)
+    assert match(schema, "region overlaps box(5, 5, 50, 50)", ROW)
+    assert not match(schema, "region encloses box(5, 5, 50, 50)", ROW)
+
+
+def test_parse_errors_are_reported(schema):
+    with pytest.raises(PredicateError):
+        parse_expression("salary >")
+    with pytest.raises(PredicateError):
+        parse_expression("salary = 1 extra")
+    with pytest.raises(PredicateError):
+        parse_expression("@nonsense")
+    with pytest.raises(PredicateError):
+        parse_expression("unknown_fn(1)")
+
+
+def test_unknown_column_fails_at_bind_time(schema):
+    with pytest.raises(Exception):
+        Predicate.parse("no_such = 1", schema)
+
+
+def test_to_text_roundtrips_through_parser(schema):
+    texts = ["salary >= 100 AND id = 1", "name LIKE 'a%' OR id IN (1, 2)",
+             "NOT (active = true)", "salary BETWEEN 1 AND 2"]
+    for text in texts:
+        expr = parse_expression(text)
+        again = parse_expression(expr.to_text())
+        view = RecordView.from_record(ROW)
+        assert expr.bind(schema).eval(view) == again.bind(schema).eval(view)
+
+
+# ---------------------------------------------------------------------------
+# Three-valued logic
+# ---------------------------------------------------------------------------
+
+def test_null_comparison_is_unknown(schema):
+    row = (1, None, None, True, None)
+    predicate = Predicate.parse("salary > 10", schema)
+    view = RecordView.from_record(row)
+    assert predicate.expr.eval(view) is None
+    assert predicate.matches(row) is False  # unknown rows are filtered out
+
+
+def test_kleene_and_or(schema):
+    row = (1, None, None, True, None)
+    view = RecordView.from_record(row)
+    # unknown AND false = false; unknown OR true = true
+    assert parse_expression("salary > 1 and id = 99").bind(schema) \
+        .eval(view) is False
+    assert parse_expression("salary > 1 or id = 1").bind(schema) \
+        .eval(view) is True
+    assert parse_expression("salary > 1 or id = 99").bind(schema) \
+        .eval(view) is None
+    assert parse_expression("not (salary > 1)").bind(schema).eval(view) is None
+
+
+def test_null_in_list_semantics(schema):
+    view = RecordView.from_record((1, "alice", 100.0, True, None))
+    assert parse_expression("id in (2, null)").bind(schema).eval(view) is None
+    assert parse_expression("id in (1, null)").bind(schema).eval(view) is True
+
+
+# ---------------------------------------------------------------------------
+# Parameters and partial views
+# ---------------------------------------------------------------------------
+
+def test_parameters_supplied_at_evaluation(schema):
+    predicate = Predicate.parse("salary > :floor", schema,
+                                {"floor": 50.0})
+    assert predicate.matches(ROW)
+    rebound = predicate.with_params({"floor": 500.0})
+    assert not rebound.matches(ROW)
+
+
+def test_missing_parameter_raises(schema):
+    predicate = Predicate.parse("salary > :floor", schema)
+    with pytest.raises(PredicateError):
+        predicate.matches(ROW)
+
+
+def test_partial_view_evaluation(schema):
+    """Access paths evaluate predicates on key fields only."""
+    predicate = Predicate.parse("id > 0", schema)
+    view = RecordView.from_fields((0,), (1,))
+    assert predicate.evaluable_on(view.available)
+    assert predicate.expr.eval(view) is True
+    salary_pred = Predicate.parse("salary > 0", schema)
+    assert not salary_pred.evaluable_on(view.available)
+
+
+# ---------------------------------------------------------------------------
+# Planner-facing analysis
+# ---------------------------------------------------------------------------
+
+def test_conjuncts_flatten_nested_ands(schema):
+    expr = parse_expression("a1 = 1 and (a1 = 2 and a1 = 3) and a1 = 4")
+    assert len(conjuncts(expr)) == 4
+
+
+def test_simple_comparison_recognises_column_vs_constant(schema):
+    expr = parse_expression("salary >= 100").bind(schema)
+    index, op, operand = simple_comparison(expr)
+    assert index == schema.field_index("salary")
+    assert op == ">="
+    assert operand.eval(RecordView({})) == 100
+
+
+def test_simple_comparison_normalises_flipped_operands(schema):
+    expr = parse_expression("100 < salary").bind(schema)
+    index, op, __ = simple_comparison(expr)
+    assert index == schema.field_index("salary")
+    assert op == ">"
+
+
+def test_simple_comparison_rejects_column_vs_column(schema):
+    expr = parse_expression("id = salary").bind(schema)
+    assert simple_comparison(expr) is None
+
+
+def test_simple_comparison_accepts_parameters(schema):
+    expr = parse_expression("id = :target").bind(schema)
+    index, op, operand = simple_comparison(expr)
+    assert (index, op) == (schema.field_index("id"), "=")
+
+
+def test_register_function_extends_evaluator(schema):
+    register_function("double_it", lambda v: v * 2)
+    assert match(schema, "double_it(id) = 2", ROW)
+
+
+def test_qualified_column_names_parse():
+    expr = parse_expression("e.salary > 10")
+    assert expr.column_names() == {"e.salary"}

@@ -1,0 +1,90 @@
+"""Property-based tests of the three-valued predicate logic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import RecordView
+from repro.core.schema import Field, Schema
+from repro.services.predicate import (And, Cmp, Col, Const, Not, Or,
+                                      Predicate, parse_expression)
+
+SCHEMA = Schema("t", [Field("a", "INT"), Field("b", "INT"),
+                      Field("c", "INT")])
+
+_values = st.one_of(st.none(), st.integers(-5, 5))
+
+
+def _atom(column, op, constant):
+    return Cmp(op, Col(column), Const(constant))
+
+
+_atoms = st.builds(_atom, st.sampled_from(["a", "b", "c"]),
+                   st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+                   st.integers(-5, 5))
+
+
+def _exprs(depth=2):
+    if depth == 0:
+        return _atoms
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _atoms,
+        st.builds(Not, sub),
+        st.builds(lambda l, r: And([l, r]), sub, sub),
+        st.builds(lambda l, r: Or([l, r]), sub, sub))
+
+
+def _eval(expr, row):
+    return expr.bind(SCHEMA).eval(RecordView.from_record(row))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_exprs(), st.tuples(_values, _values, _values))
+def test_double_negation_preserved_in_3vl(expr, row):
+    assert _eval(Not(Not(expr)), row) == _eval(expr, row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_exprs(1), _exprs(1), st.tuples(_values, _values, _values))
+def test_de_morgan_under_3vl(left, right, row):
+    lhs = _eval(Not(And([left, right])), row)
+    rhs = _eval(Or([Not(left), Not(right)]), row)
+    assert lhs == rhs
+
+
+@settings(max_examples=200, deadline=None)
+@given(_exprs(1), _exprs(1), st.tuples(_values, _values, _values))
+def test_and_or_commute(left, right, row):
+    assert _eval(And([left, right]), row) == _eval(And([right, left]), row)
+    assert _eval(Or([left, right]), row) == _eval(Or([right, left]), row)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_atoms, st.tuples(_values, _values, _values))
+def test_atom_against_python_semantics(expr, row):
+    value = row[SCHEMA.field_index(expr.left.name)]
+    constant = expr.right.value
+    got = _eval(expr, row)
+    if value is None:
+        assert got is None
+    else:
+        import operator
+        ops = {"=": operator.eq, "!=": operator.ne, "<": operator.lt,
+               "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+        assert got == ops[expr.op](value, constant)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_exprs(), st.tuples(_values, _values, _values))
+def test_text_roundtrip_preserves_semantics(expr, row):
+    reparsed = parse_expression(expr.to_text())
+    assert _eval(reparsed, row) == _eval(expr, row)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_exprs(), st.tuples(_values, _values, _values))
+def test_matches_is_true_only(expr, row):
+    """Filter semantics: unknown is not a match."""
+    predicate = Predicate(expr, SCHEMA)
+    assert predicate.matches(row) == (_eval(expr, row) is True)

@@ -1,0 +1,149 @@
+"""Recovery driver on a synthetic resource: rollback, CLRs, restart."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.services import SystemServices
+from repro.services import wal
+from repro.services.recovery import ResourceHandler
+
+
+class CounterHandler(ResourceHandler):
+    """A trivially undoable/redoable resource: a named counter store.
+
+    Redo idempotence is keyed on a per-key LSN map, mirroring what
+    page-based extensions do with page LSNs.
+    """
+
+    def __init__(self, store):
+        self.store = store
+
+    def undo(self, services, payload, clr_lsn):
+        self.store["values"][payload["key"]] -= payload["delta"]
+        self.store["lsn"][payload["key"]] = clr_lsn
+
+    def redo(self, services, lsn, payload):
+        if self.store["lsn"].get(payload["key"], 0) >= lsn:
+            return
+        if payload.get("compensates") is not None:
+            self.store["values"][payload["key"]] -= payload["delta"]
+        else:
+            self.store["values"][payload["key"]] += payload["delta"]
+        self.store["lsn"][payload["key"]] = lsn
+
+
+@pytest.fixture
+def env():
+    services = SystemServices(page_size=1024)
+    store = {"values": {"x": 0, "y": 0}, "lsn": {}}
+    services.recovery.register_handler("counter", CounterHandler(store))
+    return services, store
+
+
+def apply(services, store, txn, key, delta):
+    record = services.recovery.log_update(txn.txn_id, "counter",
+                                          {"key": key, "delta": delta})
+    store["values"][key] += delta
+    store["lsn"][key] = record.lsn
+
+
+def test_log_update_requires_registered_handler(env):
+    services, __ = env
+    txn = services.transactions.begin()
+    with pytest.raises(RecoveryError):
+        services.recovery.log_update(txn.txn_id, "unregistered", {})
+
+
+def test_duplicate_handler_registration_rejected(env):
+    services, store = env
+    with pytest.raises(RecoveryError):
+        services.recovery.register_handler("counter", CounterHandler(store))
+
+
+def test_total_rollback_undoes_everything(env):
+    services, store = env
+    txn = services.transactions.begin()
+    apply(services, store, txn, "x", 5)
+    apply(services, store, txn, "x", 3)
+    undone = services.recovery.rollback(txn.txn_id, 0)
+    assert undone == 2
+    assert store["values"]["x"] == 0
+
+
+def test_rollback_writes_clrs_with_undo_next(env):
+    services, store = env
+    txn = services.transactions.begin()
+    apply(services, store, txn, "x", 5)
+    services.recovery.rollback(txn.txn_id, 0)
+    clrs = [r for r in services.wal.forward() if r.kind == wal.CLR]
+    assert len(clrs) == 1
+    assert clrs[0].undo_next == services.wal.record(
+        clrs[0].payload["compensates"]).prev_lsn
+
+
+def test_partial_rollback_to_savepoint(env):
+    services, store = env
+    txn = services.transactions.begin()
+    apply(services, store, txn, "x", 5)
+    lsn = services.transactions.savepoint(txn, "sp")
+    apply(services, store, txn, "x", 100)
+    apply(services, store, txn, "y", 1)
+    undone = services.recovery.rollback(txn.txn_id, lsn)
+    assert undone == 2
+    assert store["values"] == {"x": 5, "y": 0}
+
+
+def test_rollback_is_restartable_through_clrs(env):
+    """A second rollback after a partial one never re-undoes work."""
+    services, store = env
+    txn = services.transactions.begin()
+    apply(services, store, txn, "x", 5)
+    sp = services.transactions.savepoint(txn, "sp")
+    apply(services, store, txn, "x", 7)
+    services.recovery.rollback(txn.txn_id, sp)
+    services.recovery.rollback(txn.txn_id, 0)   # abort after partial
+    assert store["values"]["x"] == 0
+
+
+def test_restart_redoes_committed_and_undoes_losers(env):
+    services, store = env
+    committed = services.transactions.begin()
+    apply(services, store, committed, "x", 10)
+    services.transactions.commit(committed)
+    loser = services.transactions.begin()
+    apply(services, store, loser, "x", 99)
+    services.wal.flush()  # loser ops reach the stable log, commit does not
+
+    # Crash: volatile store is lost entirely; rebuild from scratch.
+    store["values"] = {"x": 0, "y": 0}
+    store["lsn"] = {}
+    services.wal.lose_unflushed()
+    summary = services.recovery.restart()
+    assert summary["losers"] == [loser.txn_id]
+    assert store["values"]["x"] == 10
+
+
+def test_restart_skips_unflushed_loser_records(env):
+    services, store = env
+    loser = services.transactions.begin()
+    apply(services, store, loser, "x", 50)
+    # Nothing flushed: the update never reached the stable log.
+    store["values"] = {"x": 0, "y": 0}
+    store["lsn"] = {}
+    lost = services.wal.lose_unflushed()
+    assert lost >= 1
+    summary = services.recovery.restart()
+    assert store["values"]["x"] == 0
+    assert summary["redone"] == 0
+
+
+def test_restart_is_idempotent(env):
+    services, store = env
+    txn = services.transactions.begin()
+    apply(services, store, txn, "x", 4)
+    services.transactions.commit(txn)
+    services.wal.lose_unflushed()
+    services.recovery.restart()
+    first = dict(store["values"])
+    services.recovery.restart()
+    assert store["values"] == first

@@ -1,0 +1,112 @@
+"""Scan service: end-of-transaction cleanup, savepoint capture/restore."""
+
+import pytest
+
+from repro.errors import ScanError
+from repro.services import SystemServices
+from repro.services.scans import (AFTER, BEFORE, ON, Scan, ScanPosition)
+
+
+class ListScan(Scan):
+    """Minimal scan over a list, honouring the position protocol."""
+
+    def __init__(self, txn_id, items):
+        super().__init__(txn_id)
+        self.items = items
+        self.state = BEFORE
+        self.position = None
+
+    def next(self):
+        self._check_open()
+        index = 0 if self.position is None else self.position + 1
+        if index >= len(self.items):
+            self.state = AFTER
+            return None
+        self.position = index
+        self.state = ON
+        return self.items[index]
+
+    def save_position(self):
+        return ScanPosition(self.state, self.position)
+
+    def restore_position(self, saved):
+        self.state = saved.state
+        self.position = saved.item
+
+
+def test_scan_position_state_validation():
+    with pytest.raises(ScanError):
+        ScanPosition("sideways", None)
+
+
+def test_scans_closed_at_transaction_end(services):
+    txn = services.transactions.begin()
+    scan = ListScan(txn.txn_id, ["a", "b"])
+    services.scans.register(scan)
+    services.transactions.commit(txn)
+    assert scan.closed
+    with pytest.raises(ScanError):
+        scan.next()
+
+
+def test_scans_closed_on_abort_too(services):
+    txn = services.transactions.begin()
+    scan = ListScan(txn.txn_id, ["a"])
+    services.scans.register(scan)
+    services.transactions.abort(txn)
+    assert scan.closed
+
+
+def test_savepoint_captures_and_rollback_restores_position(services):
+    txn = services.transactions.begin()
+    scan = ListScan(txn.txn_id, ["a", "b", "c", "d"])
+    services.scans.register(scan)
+    assert scan.next() == "a"
+    services.transactions.savepoint(txn, "sp")
+    assert scan.next() == "b"
+    assert scan.next() == "c"
+    services.transactions.rollback_to(txn, "sp")
+    # Position restored to "on item a"; the next access returns "b".
+    assert scan.next() == "b"
+
+
+def test_positions_retained_until_savepoint_cancelled(services):
+    txn = services.transactions.begin()
+    scan = ListScan(txn.txn_id, ["a", "b", "c"])
+    services.scans.register(scan)
+    scan.next()
+    services.transactions.savepoint(txn, "sp")
+    scan.next()
+    # Rolling back twice to the same savepoint restores both times.
+    services.transactions.rollback_to(txn, "sp")
+    scan.next()
+    services.transactions.rollback_to(txn, "sp")
+    assert scan.next() == "b"
+
+
+def test_inner_savepoint_positions_dropped_after_outer_rollback(services):
+    txn = services.transactions.begin()
+    scan = ListScan(txn.txn_id, ["a", "b", "c"])
+    services.scans.register(scan)
+    services.transactions.savepoint(txn, "outer")
+    scan.next()
+    services.transactions.savepoint(txn, "inner")
+    services.transactions.rollback_to(txn, "outer")
+    # "inner" no longer exists; its retained position is gone too.
+    assert "inner" not in txn.savepoints
+
+
+def test_unregister_removes_scan_from_cleanup(services):
+    txn = services.transactions.begin()
+    scan = ListScan(txn.txn_id, ["a"])
+    services.scans.register(scan)
+    services.scans.unregister(scan)
+    services.transactions.commit(txn)
+    assert not scan.closed  # caller took ownership
+
+
+def test_open_scans_inspection(services):
+    txn = services.transactions.begin()
+    first = services.scans.register(ListScan(txn.txn_id, []))
+    second = services.scans.register(ListScan(txn.txn_id, []))
+    assert set(services.scans.open_scans(txn.txn_id)) == {first, second}

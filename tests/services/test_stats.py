@@ -1,0 +1,34 @@
+"""Stats service."""
+
+from repro.services.stats import StatsService
+
+
+def test_bump_and_get():
+    stats = StatsService()
+    stats.bump("x")
+    stats.bump("x", 4)
+    assert stats.get("x") == 5
+    assert stats.get("never") == 0
+
+
+def test_snapshot_delta():
+    stats = StatsService()
+    stats.bump("a", 2)
+    before = stats.snapshot()
+    stats.bump("a")
+    stats.bump("b", 3)
+    assert stats.delta(before) == {"a": 1, "b": 3}
+
+
+def test_delta_ignores_unchanged():
+    stats = StatsService()
+    stats.bump("a")
+    before = stats.snapshot()
+    assert stats.delta(before) == {}
+
+
+def test_reset():
+    stats = StatsService()
+    stats.bump("a")
+    stats.reset()
+    assert stats.get("a") == 0

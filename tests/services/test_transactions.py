@@ -1,0 +1,117 @@
+"""Transaction manager: lifecycle, savepoints, deferred-action vetoes."""
+
+import pytest
+
+from repro.errors import TransactionError, VetoError
+from repro.services import SystemServices
+from repro.services import events as ev
+from repro.services import wal
+from repro.services.transactions import TxnState
+
+
+def test_begin_writes_begin_record(services):
+    txn = services.transactions.begin()
+    records = list(services.wal.forward())
+    assert records[0].kind == wal.BEGIN
+    assert records[0].txn_id == txn.txn_id
+
+
+def test_commit_forces_log_and_releases_locks(services):
+    from repro.services.locks import LockMode
+    txn = services.transactions.begin()
+    services.locks.acquire(txn.txn_id, "r", LockMode.X)
+    services.transactions.commit(txn)
+    assert txn.state is TxnState.COMMITTED
+    assert services.wal.flushed_lsn >= services.wal.last_lsn(txn.txn_id) - 1
+    assert services.locks.locks_held(txn.txn_id) == frozenset()
+    kinds = [r.kind for r in services.wal.forward()]
+    assert kinds == [wal.BEGIN, wal.COMMIT, wal.END]
+
+
+def test_abort_writes_abort_then_end(services):
+    txn = services.transactions.begin()
+    services.transactions.abort(txn)
+    assert txn.state is TxnState.ABORTED
+    kinds = [r.kind for r in services.wal.forward()]
+    assert kinds == [wal.BEGIN, wal.ABORT, wal.END]
+
+
+def test_commit_twice_rejected(services):
+    txn = services.transactions.begin()
+    services.transactions.commit(txn)
+    with pytest.raises(TransactionError):
+        services.transactions.commit(txn)
+    with pytest.raises(TransactionError):
+        services.transactions.abort(txn)
+
+
+def test_savepoint_names_must_be_unique(services):
+    txn = services.transactions.begin()
+    services.transactions.savepoint(txn, "sp")
+    with pytest.raises(TransactionError):
+        services.transactions.savepoint(txn, "sp")
+
+
+def test_rollback_to_unknown_savepoint_rejected(services):
+    txn = services.transactions.begin()
+    with pytest.raises(TransactionError):
+        services.transactions.rollback_to(txn, "nope")
+
+
+def test_rollback_cancels_inner_savepoints_keeps_target(services):
+    txn = services.transactions.begin()
+    services.transactions.savepoint(txn, "outer")
+    services.transactions.savepoint(txn, "inner")
+    services.transactions.rollback_to(txn, "outer")
+    assert "inner" not in txn.savepoints
+    assert "outer" in txn.savepoints
+    # Rolling back to the same savepoint again is allowed (SQL semantics).
+    services.transactions.rollback_to(txn, "outer")
+
+
+def test_release_savepoint_releases_nested(services):
+    txn = services.transactions.begin()
+    services.transactions.savepoint(txn, "a")
+    services.transactions.savepoint(txn, "b")
+    services.transactions.release_savepoint(txn, "a")
+    assert txn.savepoints == {}
+
+
+def test_before_prepare_veto_aborts_transaction(services):
+    txn = services.transactions.begin()
+
+    def veto(txn_id, data):
+        raise VetoError("deferred_constraint", "not satisfied at commit")
+
+    services.events.defer(txn.txn_id, ev.BEFORE_PREPARE, veto)
+    with pytest.raises(VetoError):
+        services.transactions.commit(txn)
+    assert txn.state is TxnState.ABORTED
+
+
+def test_at_commit_actions_run_after_commit_record(services):
+    txn = services.transactions.begin()
+    seen = []
+    services.events.defer(txn.txn_id, ev.AT_COMMIT,
+                          lambda t, d: seen.append(services.wal.flushed_lsn))
+    services.transactions.commit(txn)
+    assert seen and seen[0] >= 2  # the COMMIT record was already stable
+
+
+def test_deferred_actions_do_not_run_on_abort(services):
+    txn = services.transactions.begin()
+    ran = []
+    services.events.defer(txn.txn_id, ev.AT_COMMIT,
+                          lambda t, d: ran.append("commit"))
+    services.transactions.abort(txn)
+    assert ran == []
+
+
+def test_active_transactions_tracking(services):
+    a = services.transactions.begin()
+    b = services.transactions.begin()
+    assert {t.txn_id for t in services.transactions.active_transactions()} \
+        == {a.txn_id, b.txn_id}
+    services.transactions.commit(a)
+    assert services.transactions.get(a.txn_id) is None
+    assert services.transactions.get(b.txn_id) is b

@@ -1,0 +1,72 @@
+"""Log manager: LSNs, backchains, stability, crash truncation."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.services import wal
+from repro.services.wal import LogManager
+
+
+def test_lsns_are_sequential_from_one():
+    log = LogManager()
+    a = log.append(1, wal.BEGIN)
+    b = log.append(1, wal.UPDATE, "storage.heap", {"op": "insert"})
+    assert (a.lsn, b.lsn) == (1, 2)
+
+
+def test_per_transaction_backchain():
+    log = LogManager()
+    log.append(1, wal.BEGIN)
+    log.append(2, wal.BEGIN)
+    log.append(1, wal.UPDATE, "r", {})
+    log.append(2, wal.UPDATE, "r", {})
+    chain = [r.lsn for r in log.transaction_chain(1)]
+    assert chain == [3, 1]
+
+
+def test_flush_advances_stable_prefix_monotonically():
+    log = LogManager()
+    for __ in range(5):
+        log.append(1, wal.UPDATE, "r", {})
+    log.flush(3)
+    assert log.flushed_lsn == 3
+    log.flush(2)  # never regresses
+    assert log.flushed_lsn == 3
+    log.flush()
+    assert log.flushed_lsn == 5
+
+
+def test_lose_unflushed_drops_suffix_and_rebuilds_chains():
+    log = LogManager()
+    log.append(1, wal.BEGIN)
+    log.append(1, wal.UPDATE, "r", {"n": 1})
+    log.flush()
+    log.append(1, wal.UPDATE, "r", {"n": 2})
+    lost = log.lose_unflushed()
+    assert lost == 1
+    assert len(log) == 2
+    assert log.last_lsn(1) == 2
+
+
+def test_record_lookup_bounds():
+    log = LogManager()
+    log.append(1, wal.BEGIN)
+    with pytest.raises(RecoveryError):
+        log.record(0)
+    with pytest.raises(RecoveryError):
+        log.record(2)
+
+
+def test_forward_iteration_from_offset():
+    log = LogManager()
+    for i in range(4):
+        log.append(1, wal.UPDATE, "r", {"i": i})
+    assert [r.payload["i"] for r in log.forward(3)] == [2, 3]
+
+
+def test_clr_records_carry_undo_next():
+    log = LogManager()
+    log.append(1, wal.UPDATE, "r", {})
+    clr = log.append(1, wal.CLR, "r", {}, undo_next=0)
+    assert clr.undo_next == 0
+    assert clr.prev_lsn == 1

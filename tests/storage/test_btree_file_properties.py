@@ -1,0 +1,59 @@
+"""Property-based test: btree_file storage against a dict model."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, UniqueViolation
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(st.sampled_from(["insert", "update", "delete"]),
+                          st.integers(0, 25), st.integers(0, 1000)),
+                max_size=50))
+def test_btree_file_matches_sorted_dict_model(operations):
+    db = Database(page_size=1024)
+    table = db.create_table("t", [("k", "INT"), ("v", "INT")],
+                            storage_method="btree_file",
+                            attributes={"key": ["k"]})
+    model = {}
+    for op, k, v in operations:
+        if op == "insert":
+            if k in model:
+                with pytest.raises(UniqueViolation):
+                    table.insert((k, v))
+            else:
+                table.insert((k, v))
+                model[k] = v
+        elif op == "update" and k in model:
+            table.update((k,), {"v": v})
+            model[k] = v
+        elif op == "delete" and k in model:
+            table.delete((k,))
+            del model[k]
+    # Key-sequential access returns exactly the model, in key order.
+    assert table.rows() == [(k, model[k]) for k in sorted(model)]
+    for k in range(26):
+        expected = (k, model[k]) if k in model else None
+        assert table.fetch((k,)) == expected
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(0, 100), min_size=2, max_size=30, unique=True),
+       st.data())
+def test_btree_file_key_movement_property(keys, data):
+    """Updating key fields moves records without losing or duplicating."""
+    db = Database(page_size=1024)
+    table = db.create_table("t", [("k", "INT"), ("v", "INT")],
+                            storage_method="btree_file",
+                            attributes={"key": ["k"]})
+    for k in keys:
+        table.insert((k, k))
+    source = data.draw(st.sampled_from(keys))
+    target = data.draw(st.integers(200, 300))
+    table.update((source,), {"k": target})
+    expected = sorted((target if k == source else k) for k in keys)
+    assert [r[0] for r in table.rows()] == expected
+    assert table.fetch((target,)) == (target, source)

@@ -1,0 +1,101 @@
+"""Foreign-database gateway storage method."""
+
+import pytest
+
+from repro import Database
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def federation():
+    remote = Database(page_size=1024)
+    remote_table = remote.create_table("inventory",
+                                       [("sku", "INT"), ("qty", "INT")])
+    remote_table.insert_many([(i, i * 10) for i in range(5)])
+    local = Database(page_size=1024)
+    local.create_table("inventory_gw", [("sku", "INT"), ("qty", "INT")],
+                       storage_method="foreign",
+                       attributes={"database": remote,
+                                   "relation": "inventory"})
+    return local, remote, local.table("inventory_gw"), remote_table
+
+
+def test_reads_are_translated_to_remote_accesses(federation):
+    local, remote, gateway, remote_table = federation
+    assert sorted(gateway.rows()) == sorted(remote_table.rows())
+    key = remote_table.scan()[0][0]
+    assert gateway.fetch(key) == remote_table.fetch(key)
+
+
+def test_message_accounting(federation):
+    local, remote, gateway, __ = federation
+    before = local.services.stats.get("foreign.messages")
+    gateway.rows()
+    gateway.rows()
+    assert local.services.stats.get("foreign.messages") - before == 2
+
+
+def test_writes_propagate_to_remote(federation):
+    local, remote, gateway, remote_table = federation
+    key = gateway.insert((99, 990))
+    assert remote_table.fetch(key) == (99, 990)
+    gateway.update(key, {"qty": 991})
+    assert remote_table.fetch(key) == (99, 991)
+    gateway.delete(key)
+    assert remote_table.fetch(key) is None
+
+
+def test_local_abort_compensates_remote_effects(federation):
+    """Saga-style undo: the local rollback issues inverse remote ops."""
+    local, remote, gateway, remote_table = federation
+    baseline = sorted(remote_table.rows())
+    local.begin()
+    gateway.insert((50, 500))
+    key = remote_table.scan(where="sku = 0")[0][0]
+    gateway.update(key, {"qty": 12345})
+    local.rollback()
+    assert sorted(remote_table.rows()) == baseline
+
+
+def test_predicate_pushed_across_gateway(federation):
+    local, remote, gateway, __ = federation
+    rows = gateway.rows(where="qty >= 30")
+    assert sorted(rows) == [(3, 30), (4, 40)]
+
+
+def test_schema_mismatch_rejected(federation):
+    local, remote, __, __ = federation
+    with pytest.raises(StorageError):
+        local.create_table("bad_gw", [("sku", "STRING")],
+                           storage_method="foreign",
+                           attributes={"database": remote,
+                                       "relation": "inventory"})
+
+
+def test_missing_attributes_rejected():
+    local = Database(page_size=1024)
+    with pytest.raises(StorageError):
+        local.create_table("gw", [("a", "INT")], storage_method="foreign")
+
+
+def test_attachments_on_gateway_relation(federation):
+    """A local check constraint guards remote modifications."""
+    from repro import CheckViolation
+    local, remote, gateway, remote_table = federation
+    local.add_check("qty_positive", "inventory_gw", "qty >= 0")
+    with pytest.raises(CheckViolation):
+        gateway.insert((7, -1))
+    assert remote_table.scan(where="sku = 7") == []
+
+
+def test_queries_over_gateway(federation):
+    local, __, __, __ = federation
+    assert local.execute("SELECT COUNT(*) FROM inventory_gw") == [(5,)]
+    assert local.execute(
+        "SELECT qty FROM inventory_gw WHERE sku = 2") == [(20,)]
+
+
+def test_dropping_gateway_leaves_remote_untouched(federation):
+    local, remote, __, remote_table = federation
+    local.drop_table("inventory_gw")
+    assert remote_table.count() == 5

@@ -1,0 +1,76 @@
+"""Cross-database interactions through the foreign gateway."""
+
+import pytest
+
+from repro import CheckViolation, Database, UniqueViolation
+
+
+@pytest.fixture
+def pair():
+    remote = Database(page_size=1024)
+    remote_table = remote.create_table("t", [("k", "INT"), ("v", "INT")])
+    remote.create_index("t_k", "t", ["k"], unique=True)
+    remote.add_check("t_pos", "t", "v >= 0")
+    remote_table.insert_many([(i, i) for i in range(5)])
+    local = Database(page_size=1024)
+    local.create_table("gw", [("k", "INT"), ("v", "INT")],
+                       storage_method="foreign",
+                       attributes={"database": remote, "relation": "t"})
+    return local, remote, local.table("gw"), remote_table
+
+
+def test_remote_constraint_vetoes_gateway_insert(pair):
+    """A veto raised by the remote database's own attachments propagates
+    through the gateway and the local operation is cleanly undone."""
+    local, remote, gateway, remote_table = pair
+    with pytest.raises(CheckViolation):
+        gateway.insert((9, -1))
+    with pytest.raises(UniqueViolation):
+        gateway.insert((1, 5))
+    assert remote_table.count() == 5
+    assert local.services.transactions.active_transactions() == ()
+
+
+def test_remote_index_serves_gateway_queries(pair):
+    local, remote, gateway, remote_table = pair
+    # The remote planner uses its own index for the shipped filter.
+    rows = gateway.rows(where="k = 3")
+    assert rows == [(3, 3)]
+
+
+def test_gateway_delete_where(pair):
+    local, remote, gateway, remote_table = pair
+    assert gateway.delete_where("v < 2") == 2
+    assert remote_table.count() == 3
+
+
+def test_two_gateways_to_the_same_remote(pair):
+    local, remote, gateway, remote_table = pair
+    second = Database(page_size=1024)
+    second.create_table("gw2", [("k", "INT"), ("v", "INT")],
+                        storage_method="foreign",
+                        attributes={"database": remote, "relation": "t"})
+    second.table("gw2").insert((50, 50))
+    # The first gateway observes the write made through the second.
+    assert (50, 50) in gateway.rows()
+
+
+def test_local_savepoint_rollback_compensates_remote(pair):
+    local, remote, gateway, remote_table = pair
+    local.begin()
+    gateway.insert((10, 10))
+    local.savepoint("sp")
+    gateway.insert((11, 11))
+    local.rollback_to("sp")
+    local.commit()
+    keys = sorted(r[0] for r in remote_table.rows())
+    assert 10 in keys and 11 not in keys
+
+
+def test_gateway_update_propagates_remote_key_change(pair):
+    """The remote relation is heap-backed so keys are stable, but the
+    gateway must return whatever key the remote reports."""
+    local, remote, gateway, remote_table = pair
+    key = remote_table.scan(where="k = 2")[0][0]
+    new_key = gateway.update(key, {"v": 22})
+    assert remote_table.fetch(new_key) == (2, 22)

@@ -1,0 +1,171 @@
+"""Heap storage method: address keys, paging, scans, recovery."""
+
+import pytest
+
+from repro import Database
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def heap_table(db):
+    return db.create_table("h", [("id", "INT"), ("payload", "STRING")])
+
+
+def test_record_keys_are_page_slot_addresses(heap_table):
+    key = heap_table.insert((1, "x"))
+    page_id, slot = key
+    assert isinstance(page_id, int) and isinstance(slot, int)
+    assert heap_table.fetch(key) == (1, "x")
+
+
+def test_insert_spills_to_new_pages(db, heap_table):
+    heap_table.insert_many([(i, "p" * 100) for i in range(50)])
+    handle = db.catalog.handle("h")
+    assert len(handle.descriptor.storage_descriptor["pages"]) > 1
+    assert heap_table.count() == 50
+
+
+def test_fill_hint_reserves_page_space(db):
+    """A lower fill target spreads records over more pages, leaving room
+    for in-place growth."""
+    packed = db.create_table("packed", [("id", "INT"), ("p", "STRING")],
+                             attributes={"fill_hint": 1.0})
+    loose = db.create_table("loose", [("id", "INT"), ("p", "STRING")],
+                            attributes={"fill_hint": 0.5})
+    rows = [(i, "x" * 60) for i in range(60)]
+    packed.insert_many(rows)
+    loose.insert_many(rows)
+    packed_pages = len(db.catalog.handle("packed")
+                       .descriptor.storage_descriptor["pages"])
+    loose_pages = len(db.catalog.handle("loose")
+                      .descriptor.storage_descriptor["pages"])
+    assert loose_pages > packed_pages
+    # The reserved space lets grown records stay at their address key.
+    key = loose.scan(where="id = 0")[0][0]
+    assert loose.update(key, {"p": "y" * 120}) == key
+
+
+def test_fetch_unknown_key_returns_none(heap_table):
+    assert heap_table.fetch((999, 0)) is None
+    heap_table.insert((1, "x"))
+    key = heap_table.scan()[0][0]
+    assert heap_table.fetch((key[0], 57)) is None
+
+
+def test_fetch_selected_fields(heap_table):
+    key = heap_table.insert((5, "hello"))
+    assert heap_table.fetch(key, fields=["payload"]) == ("hello",)
+
+
+def test_update_in_place_keeps_key(heap_table):
+    key = heap_table.insert((1, "short"))
+    new_key = heap_table.update(key, {"payload": "tiny"})
+    assert new_key == key
+
+
+def test_update_that_grows_beyond_page_relocates(db):
+    table = db.create_table("g", [("id", "INT"), ("payload", "STRING")])
+    keys = [table.insert((i, "x" * 300)) for i in range(3)]
+    new_key = table.update(keys[0], {"payload": "y" * 900})
+    assert table.fetch(new_key)[1] == "y" * 900
+    assert table.count() == 3
+
+
+def test_delete_tombstones_and_scan_skips(heap_table):
+    keys = [heap_table.insert((i, "v")) for i in range(5)]
+    heap_table.delete(keys[2])
+    assert heap_table.count() == 4
+    assert sorted(r[0] for r in heap_table.rows()) == [0, 1, 3, 4]
+
+
+def test_scan_in_physical_order(heap_table):
+    for i in range(10):
+        heap_table.insert((i, "v"))
+    assert [r[0] for r in heap_table.rows()] == list(range(10))
+
+
+def test_scan_filters_in_buffer_pool(db, heap_table):
+    heap_table.insert_many([(i, "v") for i in range(100)])
+    before = db.services.stats.get("heap.tuples_scanned")
+    rows = heap_table.rows(where="id = 50")
+    assert rows == [(50, "v")]
+    # Every tuple was examined inside the storage method, not the client.
+    assert db.services.stats.get("heap.tuples_scanned") - before == 100
+
+
+def test_delete_under_scan_leaves_scan_after_item(db, heap_table):
+    keys = [heap_table.insert((i, "v")) for i in range(4)]
+    db.begin()
+    with db.autocommit() as ctx:
+        handle = db.catalog.handle("h")
+        method = db.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        scan = method.open_scan(ctx, handle)
+        key0, record0 = scan.next()
+        assert record0[0] == 0
+        # Delete the record the scan is positioned on.
+        db.data.delete(ctx, handle, key0)
+        key1, record1 = scan.next()
+        assert record1[0] == 1  # "positioned just after the deleted item"
+    db.commit()
+
+
+def test_abort_undoes_inserts_updates_deletes(db, heap_table):
+    key_a = heap_table.insert((1, "a"))
+    key_b = heap_table.insert((2, "b"))
+    db.begin()
+    heap_table.insert((3, "c"))
+    heap_table.update(key_a, {"payload": "changed"})
+    heap_table.delete(key_b)
+    db.rollback()
+    assert sorted(heap_table.rows()) == [(1, "a"), (2, "b")]
+
+
+def test_ntuples_statistic_tracks_rollbacks(db, heap_table):
+    heap_table.insert((1, "a"))
+    db.begin()
+    for i in range(10):
+        heap_table.insert((i + 10, "x"))
+    db.rollback()
+    handle = db.catalog.handle("h")
+    assert handle.descriptor.storage_descriptor["ntuples"] == 1
+
+
+def test_new_page_allocation_undone_on_abort(db):
+    table = db.create_table("t", [("id", "INT"), ("p", "STRING")])
+    handle = db.catalog.handle("t")
+    db.begin()
+    table.insert_many([(i, "x" * 200) for i in range(20)])
+    assert len(handle.descriptor.storage_descriptor["pages"]) > 1
+    db.rollback()
+    assert handle.descriptor.storage_descriptor["pages"] == []
+
+
+def test_crash_recovery_committed_survives_loser_rolled_back(db):
+    table = db.create_table("t", [("id", "INT"), ("p", "STRING")])
+    table.insert_many([(i, "keep") for i in range(30)])
+    db.begin()
+    table.insert((100, "loser"))
+    db.services.wal.flush()  # loser hits the stable log without committing
+    summary = db.restart()
+    assert summary["losers"]
+    assert sorted(r[0] for r in table.rows()) == list(range(30))
+
+
+def test_crash_before_any_flush_recovers_to_last_commit(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((1,))
+    db.services.checkpoint()
+    table.insert((2,))   # committed, log flushed at commit
+    db.begin()
+    table.insert((3,))   # never flushed, never committed
+    db.restart()
+    assert sorted(r[0] for r in table.rows()) == [1, 2]
+
+
+def test_repeated_crashes_are_idempotent(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(10)])
+    db.restart()
+    db.restart()
+    assert sorted(r[0] for r in table.rows()) == list(range(10))

@@ -1,0 +1,90 @@
+"""Read-only publishing storage method."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ReadOnlyError, StorageError
+
+
+def publish(db, name="pub", n=20):
+    db.create_table(name, [("id", "INT"), ("title", "STRING")],
+                    storage_method="readonly")
+    handle = db.catalog.handle(name)
+    method = db.registry.storage_method(handle.descriptor.storage_method_id)
+    with db.autocommit() as ctx:
+        method.publish(ctx, handle, [(i, f"title_{i}") for i in range(n)])
+    return db.table(name)
+
+
+def test_publish_then_read(db):
+    table = publish(db)
+    assert table.count() == 20
+    assert table.fetch(0) == (0, "title_0")
+    assert table.fetch(19) == (19, "title_19")
+    assert table.fetch(20) is None
+
+
+def test_ordinal_keys_in_publication_order(db):
+    table = publish(db)
+    assert [key for key, __ in table.scan()] == list(range(20))
+
+
+def test_modifications_rejected(db):
+    table = publish(db)
+    with pytest.raises(ReadOnlyError):
+        table.insert((99, "x"))
+    with pytest.raises(ReadOnlyError):
+        table.delete(0)
+    with pytest.raises(ReadOnlyError):
+        table.update(0, {"title": "x"})
+
+
+def test_double_publish_rejected(db):
+    publish(db)
+    handle = db.catalog.handle("pub")
+    method = db.registry.storage_method(handle.descriptor.storage_method_id)
+    with pytest.raises(ReadOnlyError):
+        with db.autocommit() as ctx:
+            method.publish(ctx, handle, [(1, "again")])
+
+
+def test_published_data_survives_crash_without_logging(db):
+    log_before = len(db.services.wal)
+    table = publish(db, n=50)
+    # Publishing wrote no UPDATE log records (only the DDL entry exists).
+    from repro.services import wal
+    data_records = [r for r in db.services.wal.forward(log_before + 1)
+                    if r.kind == wal.UPDATE and r.resource != "ddl"]
+    assert data_records == []
+    db.restart()
+    assert table.count() == 50
+    assert table.fetch(25) == (25, "title_25")
+
+
+def test_scan_with_filter(db):
+    table = publish(db)
+    assert table.rows(where="id >= 18") == [(18, "title_18"),
+                                            (19, "title_19")]
+
+
+def test_attachments_on_published_relation(db):
+    """Indexes can be attached after mastering (built from a scan)."""
+    table = publish(db, n=30)
+    db.create_index("pub_id", "pub", ["id"])
+    from repro import AccessPath
+    att = db.registry.attachment_type_by_name("btree_index")
+    assert table.fetch((7,), access_path=AccessPath(att.type_id, "pub_id")) \
+        == [7]
+
+
+def test_queries_over_published_relation(db):
+    publish(db, n=30)
+    assert db.execute("SELECT COUNT(*) FROM pub") == [(30,)]
+    assert db.execute("SELECT title FROM pub WHERE id = 3") \
+        == [("title_3",)]
+
+
+def test_attribute_validation(db):
+    with pytest.raises(StorageError):
+        db.create_table("bad", [("id", "INT")], storage_method="readonly",
+                        attributes={"records_hint": -2})

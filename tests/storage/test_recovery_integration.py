@@ -1,0 +1,166 @@
+"""Deeper crash/recovery scenarios across modules."""
+
+import pytest
+
+from repro import AccessPath, Database, UniqueViolation
+
+
+def test_crash_between_two_committed_transactions(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(10)])
+    db.restart()
+    table.insert_many([(i,) for i in range(10, 20)])
+    db.restart()
+    assert sorted(r[0] for r in table.rows()) == list(range(20))
+
+
+def test_crash_after_partial_flush_of_dirty_pages(db):
+    """Some committed pages reached the device, some only the log; redo
+    must repair exactly the missing ones."""
+    table = db.create_table("t", [("id", "INT"), ("pad", "STRING")])
+    table.insert_many([(i, "x" * 200) for i in range(30)])
+    # Flush roughly half the dirty pages.
+    handle = db.catalog.handle("t")
+    pages = handle.descriptor.storage_descriptor["pages"]
+    for page_id in pages[: len(pages) // 2]:
+        db.services.buffer.flush_page(page_id)
+    db.restart()
+    assert sorted(r[0] for r in table.rows()) == list(range(30))
+
+
+def test_crash_during_transaction_with_savepoint_rollback(db):
+    """A transaction that partially rolled back before the crash: the
+    CLRs on the stable log steer restart undo past the undone work."""
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((0,))
+    db.begin()
+    table.insert((1,))
+    db.savepoint("sp")
+    table.insert((2,))
+    db.rollback_to("sp")   # CLR for record 2
+    table.insert((3,))
+    db.services.wal.flush()
+    db.restart()           # the whole transaction is a loser
+    assert sorted(r[0] for r in table.rows()) == [0]
+
+
+def test_crash_after_drop_table_commit(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((1,))
+    db.drop_table("t")
+    db.restart()
+    assert not db.catalog.exists("t")
+
+
+def test_crash_with_uncommitted_drop_restores_relation(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((1,))
+    db.services.checkpoint()
+    db.begin()
+    db.drop_table("t")
+    db.services.wal.flush()
+    db.restart()
+    assert db.catalog.exists("t")
+    assert db.table("t").rows() == [(1,)]
+
+
+def test_crash_with_uncommitted_create_removes_relation(db):
+    db.begin()
+    db.create_table("ghost", [("id", "INT")])
+    db.table("ghost").insert((1,))
+    db.services.wal.flush()
+    db.restart()
+    assert not db.catalog.exists("ghost")
+
+
+def test_constraints_enforced_identically_after_restart(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    db.create_index("t_id", "t", ["id"], unique=True)
+    db.create_attachment("t", "unique", "t_v", {"columns": ["v"]})
+    table.insert((1, "a"))
+    db.restart()
+    with pytest.raises(UniqueViolation):
+        table.insert((1, "b"))
+    with pytest.raises(UniqueViolation):
+        table.insert((2, "a"))
+    table.insert((2, "b"))
+
+
+def test_multi_relation_crash_consistency(db):
+    """Committed and loser work interleaved over several relations."""
+    a = db.create_table("a", [("v", "INT")])
+    b = db.create_table("b", [("v", "INT")])
+    a.insert_many([(i,) for i in range(5)])
+    b.insert_many([(i,) for i in range(5)])
+    db.begin()
+    a.insert((100,))
+    b.insert((100,))
+    db.commit()
+    db.begin()
+    a.insert((200,))
+    b.insert((200,))
+    db.services.wal.flush()
+    db.restart()
+    assert sorted(r[0] for r in a.rows()) == [0, 1, 2, 3, 4, 100]
+    assert sorted(r[0] for r in b.rows()) == [0, 1, 2, 3, 4, 100]
+
+
+def test_updates_and_deletes_recovered(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    keys = table.insert_many([(i, "orig") for i in range(10)])
+    table.update(keys[3], {"v": "patched"})
+    table.delete(keys[7])
+    db.restart()
+    rows = dict((r[0], r[1]) for r in table.rows())
+    assert rows[3] == "patched"
+    assert 7 not in rows
+    assert len(rows) == 9
+
+
+def test_loser_updates_and_deletes_undone_at_restart(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    keys = table.insert_many([(i, "orig") for i in range(10)])
+    db.begin()
+    table.update(keys[2], {"v": "loser"})
+    table.delete(keys[5])
+    db.services.wal.flush()
+    db.restart()
+    rows = dict((r[0], r[1]) for r in table.rows())
+    assert rows[2] == "orig"
+    assert rows[5] == "orig"
+
+
+def test_checkpoint_makes_redo_cheap(db):
+    """After a checkpoint, every page is current on the device, so redo's
+    page-LSN guard skips all the replay work."""
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(50)])
+    db.checkpoint()
+    db.restart()
+    assert db.services.stats.get("recovery.redo_applied") == 0
+    assert table.count() == 50
+
+
+def test_recovery_without_checkpoint_replays_operations(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(50)])
+    # Only the log is stable (commit forces it); pages are dirty.
+    db.restart()
+    assert db.services.stats.get("recovery.redo_applied") >= 50
+    assert table.count() == 50
+
+
+def test_btree_file_storage_crash_with_key_movement(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")],
+                            storage_method="btree_file",
+                            attributes={"key": ["id"]})
+    for i in range(20):
+        table.insert((i, "v"))
+    table.update((5,), {"id": 500})   # key movement = delete + insert
+    db.begin()
+    table.update((6,), {"id": 600})   # loser key movement
+    db.services.wal.flush()
+    db.restart()
+    ids = [r[0] for r in table.rows()]
+    assert 500 in ids and 5 not in ids
+    assert 6 in ids and 600 not in ids

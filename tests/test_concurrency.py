@@ -1,0 +1,109 @@
+"""Concurrency control through the dispatch layer.
+
+The paper requires every extension to use the locking-based concurrency
+controller so that interleaved transactions stay serialisable and
+"system-wide deadlock detection" works.  These tests interleave two
+transactions deterministically through explicit execution contexts.
+"""
+
+import pytest
+
+from repro import Database, DeadlockError, LockConflictError
+from repro.core.context import ExecutionContext
+
+
+def two_contexts(db):
+    txn_a = db.services.transactions.begin()
+    txn_b = db.services.transactions.begin()
+    return (ExecutionContext(txn_a, db.services, db),
+            ExecutionContext(txn_b, db.services, db))
+
+
+@pytest.fixture
+def table(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    table.insert_many([(1, "a"), (2, "b")])
+    return table
+
+
+def test_writers_conflict_on_the_same_record(db, table):
+    handle = db.catalog.handle("t")
+    keys = [k for k, __ in table.scan()]
+    ctx_a, ctx_b = two_contexts(db)
+    db.data.update(ctx_a, handle, keys[0], (1, "a2"))
+    with pytest.raises(LockConflictError):
+        db.data.update(ctx_b, handle, keys[0], (1, "b-version"))
+    # Distinct records are fine (intent locks on the relation coexist).
+    db.data.update(ctx_b, handle, keys[1], (2, "b2"))
+    db.services.transactions.commit(ctx_a.txn)
+    db.services.transactions.commit(ctx_b.txn)
+    assert sorted(table.rows()) == [(1, "a2"), (2, "b2")]
+
+
+def test_reader_blocked_by_uncommitted_writer(db, table):
+    handle = db.catalog.handle("t")
+    keys = [k for k, __ in table.scan()]
+    ctx_a, ctx_b = two_contexts(db)
+    db.data.delete(ctx_a, handle, keys[0])
+    with pytest.raises(LockConflictError):
+        db.data.fetch(ctx_b, handle, keys[0])
+    db.services.transactions.abort(ctx_a.txn)
+    # After the abort the record is back and readable.
+    assert db.data.fetch(ctx_b, handle, keys[0]) == (1, "a")
+    db.services.transactions.commit(ctx_b.txn)
+
+
+def test_readers_share(db, table):
+    handle = db.catalog.handle("t")
+    keys = [k for k, __ in table.scan()]
+    ctx_a, ctx_b = two_contexts(db)
+    assert db.data.fetch(ctx_a, handle, keys[0]) is not None
+    assert db.data.fetch(ctx_b, handle, keys[0]) is not None
+    db.services.transactions.commit(ctx_a.txn)
+    db.services.transactions.commit(ctx_b.txn)
+
+
+def test_deadlock_detected_through_dispatch(db, table):
+    handle = db.catalog.handle("t")
+    keys = [k for k, __ in table.scan()]
+    ctx_a, ctx_b = two_contexts(db)
+    db.data.update(ctx_a, handle, keys[0], (1, "a2"))
+    db.data.update(ctx_b, handle, keys[1], (2, "b2"))
+    with pytest.raises(LockConflictError):
+        db.data.update(ctx_a, handle, keys[1], (2, "a-wants-b"))
+    with pytest.raises(DeadlockError):
+        db.data.update(ctx_b, handle, keys[0], (1, "b-wants-a"))
+    # The victim aborts; the survivor can proceed.
+    db.services.transactions.abort(ctx_b.txn)
+    db.data.update(ctx_a, handle, keys[1], (2, "a-wins"))
+    db.services.transactions.commit(ctx_a.txn)
+    assert sorted(table.rows()) == [(1, "a2"), (2, "a-wins")]
+
+
+def test_commit_releases_locks_for_waiters(db, table):
+    handle = db.catalog.handle("t")
+    keys = [k for k, __ in table.scan()]
+    ctx_a, ctx_b = two_contexts(db)
+    db.data.update(ctx_a, handle, keys[0], (1, "a2"))
+    with pytest.raises(LockConflictError):
+        db.data.update(ctx_b, handle, keys[0], (1, "b2"))
+    db.services.transactions.commit(ctx_a.txn)
+    db.data.update(ctx_b, handle, keys[0], (1, "b2"))  # retry succeeds
+    db.services.transactions.commit(ctx_b.txn)
+    assert table.fetch(keys[0]) == (1, "b2")
+
+
+def test_failed_operation_keeps_locks_until_txn_end(db, table):
+    """A vetoed operation is undone, but its locks are held to the end of
+    the transaction (strict two-phase locking)."""
+    from repro import CheckViolation
+    db.add_check("v_short", "t", "length(v) < 5")
+    handle = db.catalog.handle("t")
+    ctx_a, ctx_b = two_contexts(db)
+    with pytest.raises(CheckViolation):
+        db.data.insert(ctx_a, handle, (3, "toolongvalue"))
+    # The key chosen for the vetoed insert stays locked by txn A.
+    held = db.services.locks.locks_held(ctx_a.txn.txn_id)
+    assert any(r[0] == "rec" for r in held)
+    db.services.transactions.abort(ctx_a.txn)
+    db.services.transactions.commit(ctx_b.txn)

@@ -1,0 +1,29 @@
+"""The examples are part of the public contract: run them."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    out = io.StringIO()
+    with redirect_stdout(out):
+        module.main()
+    assert out.getvalue()  # every example narrates what it did
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "spatial_catalog", "orders_referential",
+            "publishing", "federation", "custom_extension"} <= names

@@ -1,0 +1,105 @@
+"""Structural reproduction of the paper's two figures.
+
+Figure 1 — "Relationship of Storage Methods and Attachments": an EMPLOYEE
+relation stored with the heap storage method carrying instances of B-tree
+and intra-record consistency constraint attachment types.
+
+Figure 2 — "Generic Data Management Interfaces": the three components of
+the architecture (direct operations on storage methods and attachments,
+procedurally attached indirect operations, common services).
+"""
+
+import pytest
+
+from repro import AccessPath, CheckViolation, Database
+
+
+@pytest.fixture
+def figure1(db):
+    """Build exactly the Figure 1 configuration."""
+    employee = db.create_table("employee", [
+        ("id", "INT", False), ("name", "STRING"), ("salary", "FLOAT")])
+    db.create_index("employee_id_btree", "employee", ["id"])
+    db.create_index("employee_name_btree", "employee", ["name"])
+    db.add_check("employee_consistency", "employee", "salary >= 0")
+    return db, employee
+
+
+def test_figure1_descriptor_structure(figure1):
+    db, employee = figure1
+    handle = db.catalog.handle("employee")
+    descriptor = handle.descriptor
+    # Header: the heap storage method's identifier + its descriptor.
+    heap = db.registry.storage_method_by_name("heap")
+    assert descriptor.storage_method_id == heap.method_id
+    assert "pages" in descriptor.storage_descriptor
+    # Field N per attachment type: B-tree field holds both instances,
+    # check field holds one; every other field is NULL.
+    btree = db.registry.attachment_type_by_name("btree_index")
+    check = db.registry.attachment_type_by_name("check")
+    btree_field = descriptor.attachment_field(btree.type_id)
+    assert set(btree_field["instances"]) == {"employee_id_btree",
+                                             "employee_name_btree"}
+    check_field = descriptor.attachment_field(check.type_id)
+    assert set(check_field["instances"]) == {"employee_consistency"}
+    present = {type_id for type_id, __ in descriptor.present_attachments()}
+    assert present == {btree.type_id, check.type_id}
+
+
+def test_figure1_modification_drives_all_attachments(figure1):
+    db, employee = figure1
+    key = employee.insert((1, "lindsay", 50000.0))
+    btree = db.registry.attachment_type_by_name("btree_index")
+    assert employee.fetch((1,), access_path=AccessPath(
+        btree.type_id, "employee_id_btree")) == [key]
+    assert employee.fetch(("lindsay",), access_path=AccessPath(
+        btree.type_id, "employee_name_btree")) == [key]
+    with pytest.raises(CheckViolation):
+        employee.insert((2, "bad", -1.0))
+
+
+def test_figure2_direct_operations_inventory(db):
+    """Every direct generic operation exists in the procedure vectors for
+    every registered storage method."""
+    registry = db.registry
+    for method in registry.storage_methods:
+        for vector in (registry.storage_insert, registry.storage_update,
+                       registry.storage_delete, registry.storage_fetch,
+                       registry.storage_open_scan):
+            assert callable(vector[method.method_id])
+
+
+def test_figure2_attached_procedure_vectors(db):
+    registry = db.registry
+    for attachment in registry.attachment_types:
+        for vector in (registry.attached_insert, registry.attached_update,
+                       registry.attached_delete):
+            assert callable(vector[attachment.type_id])
+
+
+def test_figure2_common_services_present(db):
+    """The common services environment of Figure 2: recovery, locking,
+    events, predicate evaluation, scan bookkeeping, buffering."""
+    services = db.services
+    assert services.wal is not None
+    assert services.recovery is not None
+    assert services.locks is not None
+    assert services.events is not None
+    assert services.scans is not None
+    assert services.buffer is not None
+    # The predicate evaluator is the shared facility.
+    from repro.services.predicate import Predicate
+    assert Predicate is not None
+
+
+def test_figure2_generic_ddl_operations(db):
+    """Create/destroy plus extension attribute validation are part of the
+    generic interface for every storage method and attachment type."""
+    for method in db.registry.storage_methods:
+        assert hasattr(method, "validate_attributes")
+        assert hasattr(method, "create_instance")
+        assert hasattr(method, "destroy_instance")
+    for attachment in db.registry.attachment_types:
+        assert hasattr(attachment, "validate_attributes")
+        assert hasattr(attachment, "create_instance")
+        assert hasattr(attachment, "destroy_instance")

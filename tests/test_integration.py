@@ -1,0 +1,168 @@
+"""Cross-module integration scenarios.
+
+Each test drives several subsystems together the way a real application
+would — the kind of interaction the paper says makes extensions hard
+("data management extensions interact with almost all components of the
+DBMS").
+"""
+
+import pytest
+
+from repro import (AccessPath, Box, CheckViolation, Database,
+                   ReferentialViolation, UniqueViolation)
+from repro.workloads import employee_records, parent_child_records
+
+
+def test_kitchen_sink_relation_survives_everything(db):
+    """One relation with five attachment types, exercised through
+    modifications, queries, savepoints, vetoes, and a crash."""
+    table = db.create_table("emp", [("id", "INT", False),
+                                    ("name", "STRING"),
+                                    ("dept", "STRING"),
+                                    ("salary", "FLOAT"),
+                                    ("active", "BOOL")])
+    table.insert_many(employee_records(200))
+    db.create_index("emp_id", "emp", ["id"], unique=True)
+    db.create_attachment("emp", "hash_index", "emp_hash",
+                         {"columns": ["name"]})
+    db.add_check("emp_salary", "emp", "salary >= 0")
+    db.create_attachment("emp", "unique", "emp_name_unique",
+                         {"columns": ["name"]})
+    db.create_attachment("emp", "aggregate", "emp_count",
+                         {"function": "count"})
+
+    handle = db.catalog.handle("emp")
+    assert handle.descriptor.attachment_count() == 5
+
+    # Queries route through the cheapest access path.
+    assert db.execute("SELECT name FROM emp WHERE id = 77") \
+        == [(table.rows(where="id = 77")[0][1],)]
+    assert db.execute("SELECT COUNT(*) FROM emp") == [(200,)]
+
+    # A savepointed burst partially rolled back.
+    db.begin()
+    table.insert((1000, "zz_1000", "ops", 1.0, True))
+    db.savepoint("sp")
+    table.insert((1001, "zz_1001", "ops", 1.0, True))
+    db.rollback_to("sp")
+    db.commit()
+    assert db.execute("SELECT COUNT(*) FROM emp") == [(201,)]
+
+    # Vetoes from any attachment leave a consistent state.
+    with pytest.raises(UniqueViolation):
+        table.insert((2000, "zz_1000", "ops", 1.0, True))
+    with pytest.raises(CheckViolation):
+        table.insert((2000, "fresh", "ops", -1.0, True))
+
+    # Crash: everything committed survives; every structure is rebuilt.
+    db.restart()
+    assert db.execute("SELECT COUNT(*) FROM emp") == [(201,)]
+    att = db.registry.attachment_type_by_name("btree_index")
+    assert table.fetch((1000,), access_path=AccessPath(att.type_id,
+                                                       "emp_id"))
+    with pytest.raises(UniqueViolation):
+        table.insert((3000, "zz_1000", "ops", 1.0, True))
+
+
+def test_order_pipeline_with_mixed_storage_methods(db):
+    """Durable orders (heap) + temporary session cart (memory) + published
+    price list (readonly), joined and constrained together."""
+    db.create_table("prices", [("sku", "INT"), ("price", "FLOAT")],
+                    storage_method="readonly")
+    handle = db.catalog.handle("prices")
+    method = db.registry.storage_method(handle.descriptor.storage_method_id)
+    with db.autocommit() as ctx:
+        method.publish(ctx, handle, [(i, float(i)) for i in range(100)])
+
+    cart = db.create_table("cart", [("sku", "INT"), ("n", "INT")],
+                           storage_method="memory")
+    orders = db.create_table("orders", [("id", "INT"), ("sku", "INT"),
+                                        ("n", "INT")])
+    db.add_check("orders_n", "orders", "n > 0")
+
+    cart.insert_many([(3, 2), (7, 1)])
+    rows = db.execute("SELECT c.sku, c.n, p.price FROM cart c "
+                      "JOIN prices p ON c.sku = p.sku")
+    assert sorted(rows) == [(3, 2, 3.0), (7, 1, 7.0)]
+
+    # Checkout: move cart lines into durable orders in one transaction.
+    with db.transaction():
+        for i, (sku, n, __) in enumerate(sorted(rows)):
+            orders.insert((i, sku, n))
+        cart.delete_where("sku >= 0")
+    assert orders.count() == 2
+    assert cart.count() == 0
+
+    # After a crash the cart (temporary) is empty, the orders survive.
+    db.restart()
+    assert orders.count() == 2
+    assert cart.count() == 0
+    assert db.execute("SELECT COUNT(*) FROM prices") == [(100,)]
+
+
+def test_referential_graph_with_indexes_and_queries(db):
+    parents, children = parent_child_records(20, 5)
+    dept = db.create_table("dept", [("id", "INT"), ("name", "STRING")])
+    emp = db.create_table("emp", [("id", "INT"), ("dept_id", "INT"),
+                                  ("load", "FLOAT")])
+    dept.insert_many(parents)
+    db.create_index("dept_id", "dept", ["id"], unique=True)
+    db.create_attachment("emp", "referential", "emp_dept_fk",
+                         {"parent": "dept", "columns": ["dept_id"],
+                          "parent_columns": ["id"],
+                          "on_delete": "cascade"})
+    emp.insert_many(children)
+    assert emp.count() == 100
+
+    with pytest.raises(ReferentialViolation):
+        emp.insert((999, 555, 0.0))
+
+    # Cascade delete one department and its staff.
+    dept_key = dept.scan(where="id = 3")[0][0]
+    dept.delete(dept_key)
+    assert emp.count(where="dept_id = 3") == 0
+    assert emp.count() == 95
+
+    rows = db.execute(
+        "SELECT d.name, COUNT(*) FROM emp e JOIN dept d "
+        "ON e.dept_id = d.id GROUP BY name")
+    assert len(rows) == 19
+    assert all(count == 5 for __, count in rows)
+
+
+def test_spatial_plus_scalar_workload(db):
+    table = db.create_table("sites", [("id", "INT"), ("kind", "STRING"),
+                                      ("area", "BOX")])
+    db.create_attachment("sites", "rtree", "sites_rtree",
+                         {"column": "area"})
+    db.create_index("sites_id", "sites", ["id"], unique=True)
+    table.insert_many([
+        (i, "park" if i % 3 == 0 else "lot",
+         Box(i * 10.0, 0.0, i * 10.0 + 5, 5.0))
+        for i in range(50)])
+    rows = db.execute("SELECT id FROM sites WHERE "
+                      "area ENCLOSED_BY box(0, 0, 200, 10) "
+                      "AND kind = 'park'")
+    assert sorted(r[0] for r in rows) == [0, 3, 6, 9, 12, 15, 18]
+    # Updates through the unique index keep the R-tree honest.
+    key = table.scan(where="id = 0")[0][0]
+    table.update(key, {"area": Box(900.0, 900.0, 905.0, 905.0)})
+    rows = db.execute("SELECT id FROM sites WHERE "
+                      "area ENCLOSED_BY box(0, 0, 200, 10) "
+                      "AND kind = 'park'")
+    assert sorted(r[0] for r in rows) == [3, 6, 9, 12, 15, 18]
+
+
+def test_dropping_and_recreating_objects_keeps_plans_working(db):
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    table.insert_many([(i, f"v{i}") for i in range(100)])
+    db.create_index("t_id", "t", ["id"], unique=True)
+    text = "SELECT v FROM t WHERE id = :i"
+    assert db.execute(text, {"i": 5}) == [("v5",)]
+    for __ in range(3):
+        db.drop_attachment("t_id")
+        assert db.execute(text, {"i": 5}) == [("v5",)]
+        db.create_index("t_id", "t", ["id"], unique=True)
+        assert db.execute(text, {"i": 5}) == [("v5",)]
+    # Plans re-translated on each flip, never more.
+    assert db.services.stats.get("plan_cache.retranslations") == 6

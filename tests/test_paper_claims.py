@@ -1,0 +1,201 @@
+"""One test per explicit architectural claim in the paper's text.
+
+Each test quotes the claim it verifies, so this module doubles as a
+traceability matrix between the SIGMOD 1987 text and the implementation.
+"""
+
+import pytest
+
+from repro import (AccessPath, CheckViolation, Database,
+                   ReferentialViolation, UniqueViolation)
+
+
+def test_storage_methods_define_and_interpret_record_keys(db):
+    """Claim: "The definition and interpretation of record keys is
+    controlled by the storage method implementation.  For example, record
+    keys may be record addresses or may be composed from some subset of
+    the fields of the records."""
+    heap = db.create_table("h", [("id", "INT")])
+    keyed = db.create_table("k", [("id", "INT")],
+                            storage_method="btree_file",
+                            attributes={"key": ["id"]})
+    heap_key = heap.insert((7,))
+    field_key = keyed.insert((7,))
+    assert isinstance(heap_key, tuple) and len(heap_key) == 2  # address
+    assert field_key == (7,)                                   # field value
+
+
+def test_attachments_invoked_only_as_side_effects(db):
+    """Claim: "attachment modification interfaces are invoked only as
+    side effects of modification operations on relations"."""
+    table = db.create_table("t", [("id", "INT")])
+    db.create_index("t_id", "t", ["id"])
+    att = db.registry.attachment_type_by_name("btree_index")
+    # There is no public mutation interface on the attachment; the only
+    # way entries appear is a relation modification.
+    before = db.services.stats.get("btree_index.maintenance_ops")
+    table.insert((1,))
+    assert db.services.stats.get("btree_index.maintenance_ops") == before + 1
+
+
+def test_any_attachment_can_abort_the_operation(db):
+    """Claim: "Any attachment can abort the relation operation if the
+    operation violates any restrictions of the attachment"."""
+    table = db.create_table("t", [("id", "INT"), ("v", "FLOAT")])
+    db.create_index("t_id", "t", ["id"], unique=True)
+    db.add_check("t_v", "t", "v >= 0")
+    table.insert((1, 1.0))
+    with pytest.raises(UniqueViolation):
+        table.insert((1, 2.0))
+    with pytest.raises(CheckViolation):
+        table.insert((2, -1.0))
+    assert table.count() == 1
+
+
+def test_each_attachment_type_invoked_at_most_once_per_modification(db):
+    """Claim: "Each attachment type is invoked at most once per relation
+    modification and must service all instances of its attachment type"."""
+    table = db.create_table("t", [("a", "INT"), ("b", "INT")])
+    db.create_index("i_a", "t", ["a"])
+    db.create_index("i_b", "t", ["b"])
+    before = db.services.stats.get("dispatch.attached_calls")
+    table.insert((1, 2))
+    # One dispatched call (for the type), though two instances were served.
+    assert db.services.stats.get("dispatch.attached_calls") == before + 1
+    att = db.registry.attachment_type_by_name("btree_index")
+    assert table.fetch((1,), access_path=AccessPath(att.type_id, "i_a"))
+    assert table.fetch((2,), access_path=AccessPath(att.type_id, "i_b"))
+
+
+def test_access_paths_return_record_keys_for_storage_access(db):
+    """Claim: "First the access path is accessed to obtain a record key,
+    which is then used to access the relation record in the storage
+    method"."""
+    table = db.create_table("t", [("id", "INT"), ("v", "STRING")])
+    db.create_index("t_id", "t", ["id"])
+    table.insert((5, "five"))
+    att = db.registry.attachment_type_by_name("btree_index")
+    record_keys = table.fetch((5,), access_path=AccessPath(att.type_id,
+                                                           "t_id"))
+    assert table.fetch(record_keys[0]) == (5, "five")
+
+
+def test_old_and_new_records_presented_to_attachments(db):
+    """Claim: "the (old and new) record is presented by the data
+    management facility to each attachment type"."""
+    from repro.constraints.trigger import TriggerEvent
+    table = db.create_table("t", [("v", "INT")])
+    seen = []
+    db.create_attachment("t", "trigger", "t_spy",
+                         {"on": ["insert", "update", "delete"],
+                          "routine": lambda e: seen.append((e.operation,
+                                                            e.old, e.new))})
+    key = table.insert((1,))
+    table.update(key, {"v": 2})
+    table.delete(key)
+    assert seen == [("insert", None, (1,)),
+                    ("update", (1,), (2,)),
+                    ("delete", (2,), None)]
+
+
+def test_deferred_actions_run_before_prepared_state(db):
+    """Claim: an attachment "can place an entry on the deferred action
+    queue for the 'before transaction enters prepared state' event"."""
+    table = db.create_table("t", [("v", "INT")])
+    db.create_attachment("t", "check", "t_sum",
+                         {"predicate": "v = 0", "deferred": True})
+    db.begin()
+    key = table.insert((5,))
+    table.update(key, {"v": 0})
+    db.commit()  # the deferred check passes at prepare time
+    assert table.count() == 1
+
+
+def test_cascaded_deletes_supported(db):
+    """Claim: "Thus, cascaded deletes can be supported"."""
+    p = db.create_table("p", [("k", "INT")])
+    c = db.create_table("c", [("k", "INT"), ("fk", "INT")])
+    db.create_attachment("c", "referential", "c_fk",
+                         {"parent": "p", "columns": ["fk"],
+                          "parent_columns": ["k"], "on_delete": "cascade"})
+    p.insert((1,))
+    c.insert((10, 1))
+    p.delete(p.scan()[0][0])
+    assert c.count() == 0
+
+
+def test_child_insert_tests_parent_relation(db):
+    """Claim: "On insert, the same attachment type on the 'child'
+    relation would test the 'parent' relation for a record with matching
+    referential integrity fields"."""
+    p = db.create_table("p", [("k", "INT")])
+    c = db.create_table("c", [("fk", "INT")])
+    db.create_attachment("c", "referential", "c_fk",
+                         {"parent": "p", "columns": ["fk"],
+                          "parent_columns": ["k"]})
+    with pytest.raises(ReferentialViolation):
+        c.insert((1,))
+    p.insert((1,))
+    c.insert((1,))
+
+
+def test_drop_is_undoable_without_logging_state(db):
+    """Claim: "In order to make storage method and attachment drop
+    (destroy) operations undoable without logging the entire state of the
+    relation or access path, the actual release ... is deferred until the
+    transaction commits"."""
+    table = db.create_table("t", [("v", "INT")])
+    table.insert_many([(i,) for i in range(100)])
+    log_before = len(db.services.wal)
+    db.begin()
+    db.drop_table("t")
+    db.rollback()
+    # Only a handful of log records (no per-record state logging).
+    assert len(db.services.wal) - log_before < 10
+    assert db.table("t").count() == 100
+
+
+def test_invalidated_plans_automatically_retranslated(db):
+    """Claim: "Invalidated execution plans are automatically
+    re-translated, by the common system, the next time the query is
+    invoked by an application"."""
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(100)])
+    db.create_index("t_id", "t", ["id"])
+    text = "SELECT id FROM t WHERE id = 42"
+    assert db.execute(text) == [(42,)]
+    db.drop_attachment("t_id")
+    assert db.execute(text) == [(42,)]  # no error, no manual re-prepare
+    assert db.services.stats.get("plan_cache.retranslations") == 1
+
+
+def test_temporary_storage_method_has_identifier_one(db):
+    """Claim: "the base database system has a storage method for
+    implementing temporary relations and that storage method is assigned
+    the internal identifier 1"."""
+    assert db.registry.storage_method(1).name == "memory"
+    assert not db.registry.storage_method(1).recoverable
+
+
+def test_uniform_authorization_across_storage_methods(db):
+    """Claim: "a uniform authorization facility can be used to control
+    user access to relations of all storage methods"."""
+    from repro.errors import AuthorizationError
+    db.create_table("a", [("v", "INT")])
+    db.create_table("b", [("v", "INT")], storage_method="memory")
+    with db.as_principal("guest"):
+        for name in ("a", "b"):
+            with pytest.raises(AuthorizationError):
+                db.table(name).insert((1,))
+
+
+def test_extension_attribute_lists_validated_by_extensions(db):
+    """Claim: "Storage method and attachment implementations supply
+    generic operations to validate and process the attribute lists during
+    parsing and execution of the data definition operations"."""
+    from repro.errors import StorageError
+    with pytest.raises(StorageError):
+        db.create_table("t", [("v", "INT")], storage_method="btree_file")
+    db.create_table("t", [("v", "INT"), ("b", "BOX")])
+    with pytest.raises(StorageError):
+        db.create_attachment("t", "rtree", "r", {"column": "v"})

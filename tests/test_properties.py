@@ -1,0 +1,157 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.core.records import Box, decode_record, encode_record
+from repro.core.schema import Field, Schema
+from repro.services.pages import PageView
+
+
+# ---------------------------------------------------------------------------
+# Record wire format
+# ---------------------------------------------------------------------------
+
+_VALUE_STRATEGIES = {
+    "INT": st.integers(-2**62, 2**62),
+    "FLOAT": st.floats(allow_nan=False, allow_infinity=False, width=32),
+    "STRING": st.text(max_size=200),
+    "BOOL": st.booleans(),
+    "BYTES": st.binary(max_size=200),
+}
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(sorted(_VALUE_STRATEGIES)), min_size=1,
+                max_size=8), st.data())
+def test_record_encoding_roundtrips(type_codes, data):
+    fields = [Field(f"f{i}", code) for i, code in enumerate(type_codes)]
+    schema = Schema("t", fields)
+    record = tuple(
+        data.draw(st.one_of(st.none(), _VALUE_STRATEGIES[code]))
+        for code in type_codes)
+    assert decode_record(schema, encode_record(schema, record)) == record
+
+
+# ---------------------------------------------------------------------------
+# Slotted page model
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(st.sampled_from(["insert", "delete"]),
+                          st.binary(min_size=1, max_size=40)),
+                max_size=60))
+def test_page_behaves_like_slot_dictionary(operations):
+    page = PageView.format(0, bytearray(4096), 1)
+    model = {}
+    for op, payload in operations:
+        if op == "insert":
+            slot = page.insert(payload)
+            model[slot] = payload
+        elif model:
+            victim = sorted(model)[0]
+            page.delete(victim)
+            del model[victim]
+    assert dict(page.records()) == model
+    assert page.live_count() == len(model)
+
+
+# ---------------------------------------------------------------------------
+# Box algebra
+# ---------------------------------------------------------------------------
+
+_boxes = st.builds(
+    lambda x, y, w, h: Box(x, y, x + w, y + h),
+    st.floats(-100, 100), st.floats(-100, 100),
+    st.floats(0, 50), st.floats(0, 50))
+
+
+@settings(max_examples=100, deadline=None)
+@given(_boxes, _boxes)
+def test_box_union_encloses_both(a, b):
+    union = a.union(b)
+    assert union.encloses(a)
+    assert union.encloses(b)
+    assert union.area() >= max(a.area(), b.area())
+
+
+@settings(max_examples=100, deadline=None)
+@given(_boxes, _boxes)
+def test_box_enclosure_implies_overlap(a, b):
+    if a.encloses(b):
+        assert a.overlaps(b)
+        assert b.enclosed_by(a)
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_boxes, _boxes, _boxes)
+def test_box_enclosure_is_transitive(a, b, c):
+    if a.encloses(b) and b.encloses(c):
+        assert a.encloses(c)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the database agrees with a dict model under random workloads
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.tuples(st.sampled_from(["insert", "update", "delete"]),
+                          st.integers(0, 30), st.integers(0, 1000)),
+                max_size=60),
+       st.sampled_from(["heap", "memory"]))
+def test_relation_matches_dict_model(operations, storage):
+    db = Database(page_size=1024)
+    table = db.create_table("t", [("k", "INT"), ("v", "INT")],
+                            storage_method=storage)
+    db.create_index("t_k", "t", ["k"]) if storage == "heap" else None
+    model = {}
+    keys = {}
+    for op, k, v in operations:
+        if op == "insert" and k not in model:
+            keys[k] = table.insert((k, v))
+            model[k] = v
+        elif op == "update" and k in model:
+            keys[k] = table.update(keys[k], {"v": v})
+            model[k] = v
+        elif op == "delete" and k in model:
+            table.delete(keys[k])
+            del model[k]
+            del keys[k]
+    assert sorted(table.rows()) == sorted(model.items())
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=40),
+       st.integers(1, 39))
+def test_rollback_restores_exact_state(values, split):
+    """Everything after BEGIN is undone; everything before survives."""
+    db = Database(page_size=1024)
+    table = db.create_table("t", [("v", "INT")])
+    committed = values[:split]
+    uncommitted = values[split:]
+    table.insert_many([(v,) for v in committed])
+    db.begin()
+    for v in uncommitted:
+        table.insert((v,))
+    db.rollback()
+    assert sorted(r[0] for r in table.rows()) == sorted(committed)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=30))
+def test_crash_recovery_preserves_committed_state(values):
+    db = Database(page_size=1024)
+    table = db.create_table("t", [("v", "INT")])
+    table.insert_many([(v,) for v in values])
+    db.begin()
+    table.insert((424242,))
+    db.services.wal.flush()
+    db.restart()
+    assert sorted(r[0] for r in table.rows()) == sorted(values)

@@ -1,0 +1,116 @@
+"""End-to-end key-sequential access semantics (the paper's scan rules)
+exercised through real storage methods inside transactions."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ScanError
+
+
+def open_scan(db, name, ctx):
+    handle = db.catalog.handle(name)
+    method = db.registry.storage_method(handle.descriptor.storage_method_id)
+    return method.open_scan(ctx, handle)
+
+
+@pytest.mark.parametrize("storage,attrs", [
+    ("heap", None),
+    ("memory", None),
+    ("btree_file", {"key": ["id"]}),
+])
+def test_savepoint_restores_scan_position(db, storage, attrs):
+    """Scan positions are captured at savepoint time and restored by
+    partial rollback (their changes are not logged)."""
+    table = db.create_table("t", [("id", "INT")], storage_method=storage,
+                            attributes=attrs)
+    table.insert_many([(i,) for i in range(6)])
+    db.begin()
+    with db.autocommit() as ctx:
+        scan = open_scan(db, "t", ctx)
+        assert scan.next()[1] == (0,)
+        assert scan.next()[1] == (1,)
+        db.savepoint("sp")
+        assert scan.next()[1] == (2,)
+        assert scan.next()[1] == (3,)
+        db.rollback_to("sp")
+        # Restored to "on item 1": the next access returns item 2 again.
+        assert scan.next()[1] == (2,)
+    db.commit()
+
+
+def test_rollback_undoes_data_and_restores_position_together(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(4)])
+    db.begin()
+    with db.autocommit() as ctx:
+        scan = open_scan(db, "t", ctx)
+        assert scan.next()[1] == (0,)
+        db.savepoint("sp")
+        # Consume the rest, then mutate: delete a not-yet-visited record.
+        assert scan.next()[1] == (1,)
+        keys = {r[0]: k for k, r in table.scan()}
+        table.delete(keys[3])
+        db.rollback_to("sp")
+        # The delete is undone AND the scan resumes after item 0.
+        remaining = []
+        while True:
+            item = scan.next()
+            if item is None:
+                break
+            remaining.append(item[1][0])
+        assert remaining == [1, 2, 3]
+    db.commit()
+
+
+def test_scans_terminated_at_commit_and_abort(db):
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(3)])
+    for finish in ("commit", "rollback"):
+        db.begin()
+        with db.autocommit() as ctx:
+            scan = open_scan(db, "t", ctx)
+            scan.next()
+        getattr(db, finish)()
+        assert scan.closed
+        with pytest.raises(ScanError):
+            scan.next()
+
+
+@pytest.mark.parametrize("storage,attrs", [
+    ("heap", None),
+    ("memory", None),
+    ("btree_file", {"key": ["id"]}),
+])
+def test_delete_at_position_leaves_scan_after_item(db, storage, attrs):
+    table = db.create_table("t", [("id", "INT")], storage_method=storage,
+                            attributes=attrs)
+    table.insert_many([(i,) for i in range(4)])
+    db.begin()
+    with db.autocommit() as ctx:
+        handle = db.catalog.handle("t")
+        scan = open_scan(db, "t", ctx)
+        key, record = scan.next()
+        assert record == (0,)
+        db.data.delete(ctx, handle, key)
+        assert scan.next()[1] == (1,)
+    db.commit()
+
+
+def test_scan_sees_records_ahead_inserted_by_self(db):
+    """Physical-order scans observe the transaction's own inserts that
+    land ahead of the current position (heap appends to the tail)."""
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(0,), (1,)])
+    db.begin()
+    with db.autocommit() as ctx:
+        scan = open_scan(db, "t", ctx)
+        assert scan.next()[1] == (0,)
+        table.insert((2,))
+        seen = []
+        while True:
+            item = scan.next()
+            if item is None:
+                break
+            seen.append(item[1][0])
+        assert seen == [1, 2]
+    db.commit()

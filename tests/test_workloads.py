@@ -1,0 +1,47 @@
+"""Workload generators: determinism and shape."""
+
+from repro.core.records import Box
+from repro.workloads import (employee_records, parent_child_records,
+                             rectangle_records, uniform_int, zipf_int)
+
+
+def test_employee_records_shape_and_determinism():
+    rows = employee_records(50, seed=3)
+    assert len(rows) == 50
+    assert [r[0] for r in rows] == list(range(1, 51))
+    assert all(isinstance(r[3], float) and 30000 <= r[3] <= 200000
+               for r in rows)
+    assert rows == employee_records(50, seed=3)
+    assert rows != employee_records(50, seed=4)
+
+
+def test_rectangles_stay_in_world():
+    rects = rectangle_records(100, seed=1, world=500.0, max_side=5.0)
+    for __, box in rects:
+        assert isinstance(box, Box)
+        assert 0 <= box.x_lo <= box.x_hi <= 500
+        assert 0 <= box.y_lo <= box.y_hi <= 500
+        assert box.area() > 0
+
+
+def test_parent_child_counts():
+    parents, children = parent_child_records(10, 3)
+    assert len(parents) == 10
+    assert len(children) == 30
+    parent_ids = {p[0] for p in parents}
+    assert all(c[1] in parent_ids for c in children)
+    assert len({c[0] for c in children}) == 30  # unique child ids
+
+
+def test_uniform_int_bounds():
+    values = uniform_int(200, 5, 9, seed=2)
+    assert all(5 <= v <= 9 for v in values)
+    assert values == uniform_int(200, 5, 9, seed=2)
+
+
+def test_zipf_is_skewed_and_bounded():
+    values = zipf_int(2000, alpha=1.3, max_value=100, seed=5)
+    assert all(1 <= v <= 100 for v in values)
+    ones = sum(1 for v in values if v == 1)
+    tail = sum(1 for v in values if v > 50)
+    assert ones > tail  # head dominates the tail
