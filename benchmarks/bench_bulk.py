@@ -1,0 +1,126 @@
+"""E14 — set-at-a-time vs tuple-at-a-time modification.
+
+The batched pipeline runs the two-step protocol once per *set*: one
+operation savepoint, one IX relation lock, one storage-method call (which
+fills each page before unpinning it and logs one multi-record entry per
+page), and one attached-procedure call per attachment type.  With three
+attachment types riding on the relation, a 1 000-row insert must cost at
+least 3x fewer savepoint + lock-manager calls and fewer buffer-pool pins
+than the same rows tuple-at-a-time — with byte-identical contents.
+"""
+
+import pytest
+
+from repro import AccessPath, Database
+from repro.workloads import employee_records
+
+N = 1_000
+COUNTERS = ("txn.savepoints_set", "locks.acquire_calls", "buffer.pins")
+
+
+def build_db() -> Database:
+    """Employee relation with three attachment types riding on it."""
+    db = Database(page_size=4096, buffer_capacity=512)
+    db.create_table("employee", [
+        ("id", "INT", False), ("name", "STRING"), ("dept", "STRING"),
+        ("salary", "FLOAT"), ("active", "BOOL")])
+    db.create_index("emp_id", "employee", ["id"])                # btree_index
+    db.create_attachment("employee", "hash_index", "emp_name",
+                         {"columns": ["name"]})                  # hash_index
+    db.create_attachment("employee", "unique", "emp_uid",
+                         {"columns": ["id"]})                    # unique
+    return db
+
+
+def measured(fn, db) -> dict:
+    stats = db.services.stats
+    before = {name: stats.get(name) for name in COUNTERS}
+    fn()
+    return {name: stats.get(name) - before[name] for name in COUNTERS}
+
+
+def index_contents(db):
+    """id -> the records the index resolves it to (record keys are
+    physical heap addresses, so they are compared by what they fetch)."""
+    table = db.table("employee")
+    att = db.registry.attachment_type_by_name("btree_index")
+    path = AccessPath(att.type_id, "emp_id")
+    return sorted(
+        (row[0], sorted(table.fetch(key)
+                        for key in table.fetch((row[0],), access_path=path)))
+        for row in table.rows())
+
+
+@pytest.fixture(scope="module")
+def work_profile():
+    """Deterministic counter deltas for both strategies (measured once)."""
+    rows = employee_records(N)
+    db_one = build_db()
+    table_one = db_one.table("employee")
+    one = measured(lambda: [table_one.insert(row) for row in rows], db_one)
+    db_set = build_db()
+    table_set = db_set.table("employee")
+    batch = measured(lambda: table_set.insert_many(rows), db_set)
+    # Identical resulting relation and index contents.
+    assert sorted(table_one.rows()) == sorted(table_set.rows())
+    assert index_contents(db_one) == index_contents(db_set)
+    return one, batch
+
+
+def test_batched_makes_3x_fewer_savepoint_and_lock_calls(work_profile):
+    one, batch = work_profile
+    one_calls = one["txn.savepoints_set"] + one["locks.acquire_calls"]
+    batch_calls = batch["txn.savepoints_set"] + batch["locks.acquire_calls"]
+    assert batch["txn.savepoints_set"] == 1
+    assert one["txn.savepoints_set"] == N
+    assert one_calls >= 3 * batch_calls
+
+
+def test_batched_pins_fewer_buffer_pages(work_profile):
+    one, batch = work_profile
+    assert batch["buffer.pins"] < one["buffer.pins"]
+
+
+def test_bulk_insert_tuple_at_a_time(benchmark):
+    rows = employee_records(N)
+
+    def setup():
+        return (build_db().table("employee"),), {}
+
+    def run(table):
+        for row in rows:
+            table.insert(row)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+    benchmark.extra_info["rows"] = N
+    benchmark.extra_info["strategy"] = "tuple-at-a-time"
+
+
+def test_bulk_insert_batched(benchmark):
+    rows = employee_records(N)
+
+    def setup():
+        return (build_db().table("employee"),), {}
+
+    def run(table):
+        table.insert_many(rows)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+    benchmark.extra_info["rows"] = N
+    benchmark.extra_info["strategy"] = "set-at-a-time"
+
+
+def test_bulk_delete_batched(benchmark):
+    rows = employee_records(N)
+
+    def setup():
+        table = build_db().table("employee")
+        table.insert_many(rows)
+        return (table,), {}
+
+    def run(table):
+        assert table.delete_where("id <= %d" % N) == N
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+    benchmark.extra_info["rows"] = N
+    benchmark.extra_info["strategy"] = "set-at-a-time delete"

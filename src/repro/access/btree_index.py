@@ -63,6 +63,12 @@ class _BTreeIndexHandler(ResourceHandler):
             tree.delete(tuple(payload["key"]), payload["value"])
         elif payload["op"] == "remove":
             tree.insert(tuple(payload["key"]), payload["value"])
+        elif payload["op"] == "add_many":
+            for key, value in reversed(payload["entries"]):
+                tree.delete(tuple(key), value)
+        elif payload["op"] == "remove_many":
+            for key, value in reversed(payload["entries"]):
+                tree.insert(tuple(key), value)
         else:
             raise StorageError(f"btree_index cannot undo {payload['op']!r}")
 
@@ -294,6 +300,47 @@ class BTreeIndexAttachment(AttachmentType):
                 "instance": instance["name"], "key": list(index_key),
                 "value": key})
             ctx.stats.bump("btree_index.maintenance_ops")
+
+    # -- set-at-a-time attached procedures ---------------------------------------
+    def on_insert_batch(self, ctx, handle, field, keys, new_records) -> None:
+        """One tree instantiation, key-sorted bulk apply, and one log
+        record per instance per *batch* instead of per record."""
+        for instance in field["instances"].values():
+            tree = BTree(ctx.buffer, instance["tree"],
+                         instance["max_entries"])
+            entries = sorted(
+                (self._key_of(instance, record), key)
+                for key, record in zip(keys, new_records))
+            if instance["unique"]:
+                seen = set()
+                for index_key, __ in entries:
+                    if index_key in seen or tree.search(index_key):
+                        raise UniqueViolation(
+                            self.name,
+                            f"duplicate key {index_key!r} in unique index "
+                            f"{instance['name']!r}")
+                    seen.add(index_key)
+            for index_key, value in entries:
+                tree.insert(index_key, value)
+            ctx.log(self.resource, {
+                "op": "add_many", "relation_id": handle.relation_id,
+                "instance": instance["name"],
+                "entries": [[list(k), v] for k, v in entries]})
+            ctx.stats.bump("btree_index.maintenance_ops", len(entries))
+
+    def on_delete_batch(self, ctx, handle, field, items) -> None:
+        for instance in field["instances"].values():
+            tree = BTree(ctx.buffer, instance["tree"],
+                         instance["max_entries"])
+            entries = sorted((self._key_of(instance, old), key)
+                             for key, old in items)
+            for index_key, value in entries:
+                tree.delete(index_key, value)
+            ctx.log(self.resource, {
+                "op": "remove_many", "relation_id": handle.relation_id,
+                "instance": instance["name"],
+                "entries": [[list(k), v] for k, v in entries]})
+            ctx.stats.bump("btree_index.maintenance_ops", len(entries))
 
     # -- direct access operations ------------------------------------------------------
     def fetch(self, ctx, handle, instance, input_key) -> List:

@@ -78,15 +78,23 @@ class _HashIndexHandler(ResourceHandler):
         instance = field["instances"].get(payload["instance"])
         if instance is None:
             return
-        key = tuple(payload["key"])
-        if payload["op"] == "add":
-            self.attachment._remove(services.buffer, instance, key,
-                                    payload["value"])
-        elif payload["op"] == "remove":
-            self.attachment._add(services.buffer, instance, key,
-                                 payload["value"])
+        op = payload["op"]
+        if op == "add":
+            self.attachment._remove(services.buffer, instance,
+                                    tuple(payload["key"]), payload["value"])
+        elif op == "remove":
+            self.attachment._add(services.buffer, instance,
+                                 tuple(payload["key"]), payload["value"])
+        elif op == "add_many":
+            for key, value in reversed(payload["entries"]):
+                self.attachment._remove(services.buffer, instance,
+                                        tuple(key), value)
+        elif op == "remove_many":
+            for key, value in reversed(payload["entries"]):
+                self.attachment._add(services.buffer, instance,
+                                     tuple(key), value)
         else:
-            raise StorageError(f"hash_index cannot undo {payload['op']!r}")
+            raise StorageError(f"hash_index cannot undo {op!r}")
 
     def redo(self, services, lsn: int, payload: dict) -> None:
         """No redo: rebuilt from the base relation after restart."""
@@ -314,6 +322,59 @@ class HashIndexAttachment(AttachmentType):
                 "instance": instance["name"], "key": list(hash_key),
                 "value": key})
             ctx.stats.bump("hash_index.maintenance_ops")
+
+    # -- set-at-a-time attached procedures ---------------------------------------
+    def on_insert_batch(self, ctx, handle, field, keys, new_records) -> None:
+        """Pre-grow the directory for the whole set, then touch each
+        bucket page once (one read + one write per bucket, not per
+        entry) and log one record per instance."""
+        for instance in field["instances"].values():
+            entries = [(self._key_of(instance, record), key)
+                       for key, record in zip(keys, new_records)]
+            while instance["nentries"] + len(entries) \
+                    > instance["max_load"] * len(instance["buckets"]):
+                self._double(ctx.buffer, instance)
+            buckets = instance["buckets"]
+            grouped: dict = {}
+            for hash_key, value in entries:
+                page_id = buckets[_hash_key(hash_key, len(buckets))]
+                grouped.setdefault(page_id, []).append((hash_key, value))
+            for page_id, additions in grouped.items():
+                bucket = _bucket_read(ctx.buffer, page_id)
+                bucket.extend(additions)
+                _bucket_write(ctx.buffer, page_id, bucket)
+            instance["nentries"] += len(entries)
+            ctx.log(self.resource, {
+                "op": "add_many", "relation_id": handle.relation_id,
+                "instance": instance["name"],
+                "entries": [[list(k), v] for k, v in entries]})
+            ctx.stats.bump("hash_index.maintenance_ops", len(entries))
+
+    def on_delete_batch(self, ctx, handle, field, items) -> None:
+        for instance in field["instances"].values():
+            entries = [(self._key_of(instance, old), key)
+                       for key, old in items]
+            buckets = instance["buckets"]
+            grouped: dict = {}
+            for hash_key, value in entries:
+                page_id = buckets[_hash_key(hash_key, len(buckets))]
+                grouped.setdefault(page_id, []).append((hash_key, value))
+            removed = 0
+            for page_id, removals in grouped.items():
+                bucket = _bucket_read(ctx.buffer, page_id)
+                for hash_key, value in removals:
+                    for i, (k, v) in enumerate(bucket):
+                        if k == hash_key and v == value:
+                            del bucket[i]
+                            removed += 1
+                            break
+                _bucket_write(ctx.buffer, page_id, bucket)
+            instance["nentries"] -= removed
+            ctx.log(self.resource, {
+                "op": "remove_many", "relation_id": handle.relation_id,
+                "instance": instance["name"],
+                "entries": [[list(k), v] for k, v in entries]})
+            ctx.stats.bump("hash_index.maintenance_ops", len(entries))
 
     # -- direct access operations ------------------------------------------------------
     def fetch(self, ctx, handle, instance, input_key) -> List:

@@ -187,6 +187,63 @@ class ReferentialIntegrityAttachment(AttachmentType):
                 database.data.delete(ctx, child_handle, child_key)
                 ctx.stats.bump("referential.cascaded_deletes")
 
+    # -- set-at-a-time attached procedures ---------------------------------------
+    def on_insert_batch(self, ctx, handle, field, keys, new_records) -> None:
+        """One parent-existence probe per *distinct* foreign-key value and,
+        for deferred constraints, one deferred-queue entry carrying the
+        whole distinct value set (not one entry per record)."""
+        for instance in field["instances"].values():
+            if instance["role"] != "child":
+                continue
+            distinct = dict.fromkeys(
+                values for values in
+                (self._values(record, instance["child_fields"])
+                 for record in new_records)
+                if values is not None)
+            if instance["deferred"]:
+                if distinct:
+                    self._defer_check_many(ctx, instance, list(distinct))
+            else:
+                for values in distinct:
+                    if not self._parent_exists(ctx, instance, values):
+                        raise ReferentialViolation(
+                            instance["name"],
+                            f"no parent record in {instance['parent']!r} "
+                            f"with "
+                            f"{list(zip(instance['parent_columns'], values))}")
+            ctx.stats.bump("referential.child_checks", len(new_records))
+
+    def on_delete_batch(self, ctx, handle, field, items) -> None:
+        """Restrict vetoes on the first referenced value; cascade collects
+        every matching child and deletes them in one batch operation, so
+        the cascade itself runs set-at-a-time."""
+        for instance in field["instances"].values():
+            if instance["role"] != "parent":
+                continue
+            distinct = dict.fromkeys(
+                values for values in
+                (self._values(old, instance["parent_fields"])
+                 for __, old in items)
+                if values is not None)
+            all_children: list = []
+            for values in distinct:
+                children = self._matching_children(ctx, instance, values)
+                if not children:
+                    continue
+                if instance["on_delete"] == "restrict":
+                    raise ReferentialViolation(
+                        instance["name"],
+                        f"cannot delete parent {values!r}: {len(children)} "
+                        f"child record(s) reference it")
+                all_children.extend(children)
+            if all_children:
+                database = ctx.database
+                child_handle = database.catalog.handle(instance["child"])
+                database.data.delete_batch(ctx, child_handle,
+                                           list(dict.fromkeys(all_children)))
+                ctx.stats.bump("referential.cascaded_deletes",
+                               len(all_children))
+
     # -- checking helpers ---------------------------------------------------------------
     @staticmethod
     def _values(record, fields: List[int]) -> Optional[tuple]:
@@ -235,6 +292,36 @@ class ReferentialIntegrityAttachment(AttachmentType):
             database.services.stats.bump("referential.deferred_checks")
 
         ctx.defer(ev.BEFORE_PREPARE, recheck, values)
+
+    def _defer_check_many(self, ctx, instance: dict,
+                          values_list: list) -> None:
+        """One deferred-queue entry testing a whole set of FK values."""
+        database = ctx.database
+        instance_name = instance["name"]
+        child_name = instance["child"]
+
+        def recheck(txn_id: int, data) -> None:
+            entry = database.catalog.entry(child_name)
+            inner_field = entry.handle.descriptor.attachment_field(
+                self.type_id)
+            if inner_field is None:
+                return
+            inner = inner_field["instances"].get(instance_name)
+            if inner is None:
+                return
+            txn = database.services.transactions.get(txn_id)
+            from ..core.context import ExecutionContext
+            inner_ctx = ExecutionContext(txn, database.services, database)
+            for values in data:
+                if not self._parent_exists(inner_ctx, inner, values):
+                    raise ReferentialViolation(
+                        instance_name,
+                        f"deferred check failed: no parent record in "
+                        f"{inner['parent']!r} with "
+                        f"{list(zip(inner['parent_columns'], values))}")
+                database.services.stats.bump("referential.deferred_checks")
+
+        ctx.defer(ev.BEFORE_PREPARE, recheck, values_list)
 
     def _parent_exists(self, ctx, instance: dict, values: tuple) -> bool:
         """Test the parent relation, via an index when one exists."""

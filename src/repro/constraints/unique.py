@@ -44,6 +44,12 @@ class _UniqueHandler(ResourceHandler):
             tree.delete(tuple(payload["key"]), payload["value"])
         elif payload["op"] == "remove":
             tree.insert(tuple(payload["key"]), payload["value"])
+        elif payload["op"] == "add_many":
+            for key, value in reversed(payload["entries"]):
+                tree.delete(tuple(key), value)
+        elif payload["op"] == "remove_many":
+            for key, value in reversed(payload["entries"]):
+                tree.insert(tuple(key), value)
         else:
             raise StorageError(f"unique cannot undo {payload['op']!r}")
 
@@ -153,6 +159,53 @@ class UniqueConstraintAttachment(AttachmentType):
                 "instance": instance["name"], "key": list(unique_key),
                 "value": key})
             ctx.stats.bump("unique.maintenance_ops")
+
+    def on_insert_batch(self, ctx, handle, field, keys, new_records) -> None:
+        """Batch existence probes: one tree per instance, the whole set
+        checked (against stored keys *and* within the batch) before any
+        entry is added, and one log record per instance."""
+        for instance in field["instances"].values():
+            entries = []
+            for key, record in zip(keys, new_records):
+                unique_key = self._key_of(instance, record)
+                if unique_key is not None:
+                    entries.append((unique_key, key))
+            if not entries:
+                continue
+            tree = BTree(ctx.buffer, instance["tree"])
+            seen = set()
+            for unique_key, __ in entries:
+                if unique_key in seen or tree.search(unique_key):
+                    raise UniqueViolation(
+                        instance["name"],
+                        f"duplicate value {unique_key!r} for UNIQUE "
+                        f"({', '.join(instance['columns'])})")
+                seen.add(unique_key)
+            for unique_key, value in entries:
+                tree.insert(unique_key, value)
+            ctx.log(self.resource, {
+                "op": "add_many", "relation_id": handle.relation_id,
+                "instance": instance["name"],
+                "entries": [[list(k), v] for k, v in entries]})
+            ctx.stats.bump("unique.maintenance_ops", len(entries))
+
+    def on_delete_batch(self, ctx, handle, field, items) -> None:
+        for instance in field["instances"].values():
+            entries = []
+            for key, old in items:
+                unique_key = self._key_of(instance, old)
+                if unique_key is not None:
+                    entries.append((unique_key, key))
+            if not entries:
+                continue
+            tree = BTree(ctx.buffer, instance["tree"])
+            for unique_key, value in entries:
+                tree.delete(unique_key, value)
+            ctx.log(self.resource, {
+                "op": "remove_many", "relation_id": handle.relation_id,
+                "instance": instance["name"],
+                "entries": [[list(k), v] for k, v in entries]})
+            ctx.stats.bump("unique.maintenance_ops", len(entries))
 
     def on_update(self, ctx, handle, field, old_key, new_key, old_record,
                   new_record) -> None:

@@ -119,6 +119,36 @@ class AttachmentType(abc.ABC):
                   field: dict, key, old_record: Tuple) -> None:
         """Called once per record delete with the old record value."""
 
+    # -- set-at-a-time attached procedures -----------------------------------------
+    # Called once per relation modification *batch* (after the storage
+    # method has applied the whole set).  The defaults fan out to the
+    # per-record hooks, so existing attachment types work unchanged; types
+    # that profit from set-at-a-time maintenance (indexes sorting their
+    # entries, constraints batching existence probes) override these.  A
+    # veto raised anywhere rolls the whole batch back to the operation
+    # savepoint.
+
+    def on_insert_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                        field: dict, keys: Sequence,
+                        new_records: Sequence[Tuple]) -> None:
+        """Called once per insert batch; parallel ``keys``/``new_records``."""
+        for key, record in zip(keys, new_records):
+            self.on_insert(ctx, handle, field, key, record)
+
+    def on_update_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                        field: dict, items: Sequence[Tuple]) -> None:
+        """Called once per update batch; ``items`` holds ``(old_key,
+        new_key, old_record, new_record)`` quadruples."""
+        for old_key, new_key, old, new in items:
+            self.on_update(ctx, handle, field, old_key, new_key, old, new)
+
+    def on_delete_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                        field: dict, items: Sequence[Tuple]) -> None:
+        """Called once per delete batch; ``items`` holds ``(key,
+        old_record)`` pairs."""
+        for key, old in items:
+            self.on_delete(ctx, handle, field, key, old)
+
     # -- direct access operations (access paths only) --------------------------------
     def fetch(self, ctx: ExecutionContext, handle: RelationHandle,
               instance: dict, input_key) -> Sequence:

@@ -47,6 +47,11 @@ class ExecutionContext:
         """Append a logical operation record for a recoverable extension."""
         return self.services.recovery.log_update(self.txn_id, resource, payload)
 
+    def log_batch(self, resource: str, payloads) -> list:
+        """Append a group of operation records occupying one LSN range."""
+        return self.services.recovery.log_update_batch(self.txn_id, resource,
+                                                       payloads)
+
     def lock(self, resource: Hashable, mode: LockMode) -> None:
         self.services.locks.acquire(self.txn_id, resource, mode)
 
@@ -54,7 +59,14 @@ class ExecutionContext:
         self.lock(("rel", relation_id), mode)
 
     def lock_record(self, relation_id: int, key, mode: LockMode) -> None:
-        """Record lock under the usual IS/IX intent on the relation."""
+        """Record lock under the usual IS/IX intent on the relation.
+
+        Skipped entirely when the transaction already holds a relation-level
+        lock that subsumes ``mode`` (set-at-a-time operations escalate large
+        batches to one relation lock instead of record-at-a-time locking).
+        """
+        if self.services.locks.covers(self.txn_id, ("rel", relation_id), mode):
+            return
         intent = LockMode.IX if mode in (LockMode.X, LockMode.IX) else LockMode.IS
         self.lock(("rel", relation_id), intent)
         self.lock(("rec", relation_id, key), mode)

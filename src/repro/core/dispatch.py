@@ -43,6 +43,10 @@ __all__ = ["DataManager", "AccessPath", "STORAGE_ACCESS"]
 #: The reserved access-path selector meaning "access via the storage method".
 STORAGE_ACCESS = 0
 
+#: Batches at least this large take one relation-level X lock instead of
+#: record-at-a-time locks (classic lock escalation for bulk operations).
+LOCK_ESCALATION_THRESHOLD = 64
+
 
 class AccessPath:
     """An access-path selector: attachment type id + instance name.
@@ -74,7 +78,6 @@ class DataManager:
     def __init__(self, registry: ExtensionRegistry, services):
         self.registry = registry
         self.services = services
-        self._op_counter = 0
 
     # ------------------------------------------------------------------
     # Relation modification operations (two-step execution)
@@ -129,6 +132,86 @@ class DataManager:
                 ctx.stats.bump("dispatch.attached_calls")
                 self.registry.attached_delete[type_id](
                     ctx, handle, field, key, old_record)
+
+    # ------------------------------------------------------------------
+    # Set-at-a-time relation modification operations
+    # ------------------------------------------------------------------
+    # The batch operations run the same two-step protocol as the
+    # per-record ones, but once per *set*: one operation savepoint, one
+    # relation lock, one storage-method call, and one attached-procedure
+    # call per attachment type for the whole batch.  A veto anywhere —
+    # by the storage method on the j-th record or by the k-th attachment
+    # type — rolls the entire batch back to the operation savepoint, so a
+    # batch is atomic as one relation modification operation.
+    #
+    # Batches of at least LOCK_ESCALATION_THRESHOLD records escalate to a
+    # relation-level X lock, after which record-at-a-time locking inside
+    # the storage method and attachments is subsumed and skipped.
+
+    def insert_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                     records: Sequence[Tuple]) -> list:
+        """Insert a set of records; returns their record keys in order."""
+        records = [handle.schema.check_record(r) for r in records]
+        if not records:
+            return []
+        method = self._modifiable_method(handle)
+        self._lock_for_batch(ctx, handle, len(records))
+        with self._operation(ctx):
+            ctx.stats.bump("dispatch.inserts", len(records))
+            keys = self.registry.storage_insert_batch[method.method_id](
+                ctx, handle, records)
+            for type_id, field in handle.descriptor.present_attachments():
+                ctx.stats.bump("dispatch.attached_calls", len(records))
+                self.registry.attached_insert_batch[type_id](
+                    ctx, handle, field, keys, records)
+        return list(keys)
+
+    def update_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                     items: Sequence[Tuple]) -> list:
+        """Replace a set of records; ``items`` holds ``(key, new_record)``
+        pairs.  Returns the (possibly changed) keys in order.
+
+        All old record values are fetched before the operation savepoint —
+        they are "available to the extension routines on updates and
+        deletes" — so extensions see consistent pre-images even if an
+        earlier record in the batch moves a later one's neighbours.
+        """
+        if not items:
+            return []
+        method = self._modifiable_method(handle)
+        self._lock_for_batch(ctx, handle, len(items))
+        triples = [(key, self._require_record(ctx, handle, key),
+                    handle.schema.check_record(new))
+                   for key, new in items]
+        with self._operation(ctx):
+            ctx.stats.bump("dispatch.updates", len(triples))
+            new_keys = self.registry.storage_update_batch[method.method_id](
+                ctx, handle, triples)
+            quads = [(key, new_key, old, new)
+                     for (key, old, new), new_key in zip(triples, new_keys)]
+            for type_id, field in handle.descriptor.present_attachments():
+                ctx.stats.bump("dispatch.attached_calls", len(quads))
+                self.registry.attached_update_batch[type_id](
+                    ctx, handle, field, quads)
+        return list(new_keys)
+
+    def delete_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                     keys: Sequence) -> None:
+        """Delete the records at ``keys`` as one operation."""
+        if not keys:
+            return
+        method = self._modifiable_method(handle)
+        self._lock_for_batch(ctx, handle, len(keys))
+        pairs = [(key, self._require_record(ctx, handle, key))
+                 for key in keys]
+        with self._operation(ctx):
+            ctx.stats.bump("dispatch.deletes", len(pairs))
+            self.registry.storage_delete_batch[method.method_id](
+                ctx, handle, pairs)
+            for type_id, field in handle.descriptor.present_attachments():
+                ctx.stats.bump("dispatch.attached_calls", len(pairs))
+                self.registry.attached_delete_batch[type_id](
+                    ctx, handle, field, pairs)
 
     # ------------------------------------------------------------------
     # Data access operations
@@ -187,6 +270,18 @@ class DataManager:
                 f"{method.name!r}")
         return method
 
+    def _lock_for_batch(self, ctx, handle: RelationHandle, size: int) -> None:
+        """Relation lock for a set-at-a-time modification.
+
+        Small batches take the usual IX intent and let the storage method
+        lock each record; large ones escalate to one relation-level X lock,
+        which subsumes (and suppresses) all record-at-a-time locking.
+        """
+        if size >= LOCK_ESCALATION_THRESHOLD:
+            ctx.lock_relation(handle.relation_id, LockMode.X)
+        else:
+            ctx.lock_relation(handle.relation_id, LockMode.IX)
+
     def _require_record(self, ctx, handle, key) -> Tuple:
         method = self.registry.storage_method(
             handle.descriptor.storage_method_id)
@@ -223,8 +318,12 @@ class _OperationScope:
     def __init__(self, manager: DataManager, ctx: ExecutionContext):
         self.manager = manager
         self.ctx = ctx
-        manager._op_counter += 1
-        self.name = f"__op_{manager._op_counter}"
+        # Savepoint names are derived from (txn id, per-txn depth) so that
+        # cascaded modifications nested inside an operation — which run in
+        # the *same* transaction — get unique names regardless of how many
+        # DataManager instances or databases participate.
+        ctx.txn.op_seq += 1
+        self.name = f"__op_{ctx.txn.txn_id}.{ctx.txn.op_seq}"
 
     def __enter__(self):
         txns = self.manager.services.transactions

@@ -42,11 +42,23 @@ class ExtensionRegistry:
         self.storage_fetch: List[Optional[Callable]] = [None]
         self.storage_open_scan: List[Optional[Callable]] = [None]
 
+        # Set-at-a-time counterparts; the entries default to the base-class
+        # fallbacks (which loop the per-record routines) unless the method
+        # overrides a batch hook.
+        self.storage_insert_batch: List[Optional[Callable]] = [None]
+        self.storage_update_batch: List[Optional[Callable]] = [None]
+        self.storage_delete_batch: List[Optional[Callable]] = [None]
+
         # Attached-procedure vectors (one entry per attachment type) for
         # relation insert, update, and delete.
         self.attached_insert: List[Optional[Callable]] = [None]
         self.attached_update: List[Optional[Callable]] = [None]
         self.attached_delete: List[Optional[Callable]] = [None]
+
+        # Set-at-a-time attached-procedure vectors (one call per batch).
+        self.attached_insert_batch: List[Optional[Callable]] = [None]
+        self.attached_update_batch: List[Optional[Callable]] = [None]
+        self.attached_delete_batch: List[Optional[Callable]] = [None]
 
     # -- registration ("at the factory") -----------------------------------------
     def register_storage_method(self, method: StorageMethod,
@@ -71,6 +83,9 @@ class ExtensionRegistry:
         self.storage_delete.append(method.delete)
         self.storage_fetch.append(method.fetch)
         self.storage_open_scan.append(method.open_scan)
+        self.storage_insert_batch.append(method.insert_batch)
+        self.storage_update_batch.append(method.update_batch)
+        self.storage_delete_batch.append(method.delete_batch)
         handler = getattr(method, "recovery_handler", None)
         if recovery is not None and handler is not None:
             recovery.register_handler(method.resource, handler())
@@ -91,6 +106,9 @@ class ExtensionRegistry:
         self.attached_insert.append(attachment.on_insert)
         self.attached_update.append(attachment.on_update)
         self.attached_delete.append(attachment.on_delete)
+        self.attached_insert_batch.append(attachment.on_insert_batch)
+        self.attached_update_batch.append(attachment.on_update_batch)
+        self.attached_delete_batch.append(attachment.on_delete_batch)
         handler = getattr(attachment, "recovery_handler", None)
         if recovery is not None and handler is not None:
             recovery.register_handler(attachment.resource, handler())

@@ -45,12 +45,13 @@ class Relation:
             return db.data.insert(ctx, self.handle, tuple(record))
 
     def insert_many(self, records: Sequence[Sequence]) -> List:
-        """Insert several records in one transaction; returns their keys."""
+        """Insert several records as one set-at-a-time operation (one
+        transaction, one operation savepoint); returns their keys."""
         db = self.database
         db.authorization.check(db.principal, self.name, INSERT)
         with db.autocommit() as ctx:
-            handle = self.handle
-            return [db.data.insert(ctx, handle, tuple(r)) for r in records]
+            return db.data.insert_batch(ctx, self.handle,
+                                        [tuple(r) for r in records])
 
     def update(self, key, changes: Dict[str, object]):
         """Update named fields of the record at ``key``; returns its
@@ -74,15 +75,36 @@ class Relation:
             db.data.delete(ctx, self.handle, key)
 
     def delete_where(self, where: str, params: Optional[dict] = None) -> int:
-        """Delete all records matching a predicate; returns how many."""
-        victims = [key for key, __ in self.scan(where=where, params=params)]
+        """Delete all records matching a predicate; returns how many.
+
+        Authorization is checked before anything is read, and the victim
+        scan and the deletes run in the *same* transaction, so no other
+        transaction can slip between finding a record and deleting it.
+        """
         db = self.database
         db.authorization.check(db.principal, self.name, DELETE)
+        handle = self.handle
+        predicate = self._predicate(where, params)
         with db.autocommit() as ctx:
-            handle = self.handle
-            for key in victims:
-                db.data.delete(ctx, handle, key)
+            victims = [key for key, __
+                       in self._scan_in(ctx, handle, predicate)]
+            db.data.delete_batch(ctx, handle, victims)
         return len(victims)
+
+    def update_where(self, where: str, changes: Dict[str, object],
+                     params: Optional[dict] = None) -> int:
+        """Update named fields of every record matching a predicate, as
+        one set-at-a-time operation; returns how many were updated."""
+        db = self.database
+        db.authorization.check(db.principal, self.name, UPDATE)
+        handle = self.handle
+        updates = handle.schema.check_partial(changes)
+        predicate = self._predicate(where, params)
+        with db.autocommit() as ctx:
+            items = [(key, handle.schema.apply_update(record, updates))
+                     for key, record in self._scan_in(ctx, handle, predicate)]
+            db.data.update_batch(ctx, handle, items)
+        return len(items)
 
     # ------------------------------------------------------------------
     # Access
@@ -145,6 +167,22 @@ class Relation:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _scan_in(self, ctx, handle, predicate) -> List[Tuple]:
+        """Collect ``(key, record)`` pairs inside an existing transaction."""
+        db = self.database
+        out: List[Tuple] = []
+        scan = db.data.open_scan(ctx, handle, None, predicate)
+        try:
+            while True:
+                item = scan.next()
+                if item is None:
+                    break
+                out.append(item)
+        finally:
+            scan.close()
+            db.services.scans.unregister(scan)
+        return out
+
     def _predicate(self, where, params) -> Optional[Predicate]:
         if where is None:
             return None

@@ -122,6 +122,35 @@ class StorageMethod(abc.ABC):
                key, old_record: Tuple) -> None:
         """Remove a record by key."""
 
+    # -- set-at-a-time relation modification ---------------------------------------
+    # The batch hooks are the set-at-a-time counterparts of insert / update /
+    # delete.  The dispatch layer calls them once per relation modification
+    # batch (one operation savepoint, one relation lock for the whole set).
+    # The defaults degrade to the per-record routines, so every storage
+    # method keeps working without overriding anything; methods with a real
+    # bulk advantage (filling pages before unpinning them, logging one
+    # record group per page) override these.
+
+    def insert_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                     records: Sequence[Tuple]) -> list:
+        """Store several records; returns their record keys in order."""
+        return [self.insert(ctx, handle, record) for record in records]
+
+    def update_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                     items: Sequence[Tuple]) -> list:
+        """Replace several records; ``items`` holds ``(key, old_record,
+        new_record)`` triples.  Returns the (possibly changed) keys in
+        order."""
+        return [self.update(ctx, handle, key, old, new)
+                for key, old, new in items]
+
+    def delete_batch(self, ctx: ExecutionContext, handle: RelationHandle,
+                     items: Sequence[Tuple]) -> None:
+        """Remove several records; ``items`` holds ``(key, old_record)``
+        pairs."""
+        for key, old in items:
+            self.delete(ctx, handle, key, old)
+
     # -- access -------------------------------------------------------------------------
     @abc.abstractmethod
     def fetch(self, ctx: ExecutionContext, handle: RelationHandle, key,

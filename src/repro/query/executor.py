@@ -407,8 +407,7 @@ class Executor:
                    rows: List[List], params: Optional[dict]) -> int:
         params = params or {}
         schema = handle.schema
-        database = self.database
-        count = 0
+        records = []
         for row_exprs in rows:
             values = [expr.eval(_EMPTY_VIEW, params) for expr in row_exprs]
             if columns is None:
@@ -424,32 +423,28 @@ class Executor:
                 record = [None] * len(schema.fields)
                 for name, value in zip(columns, values):
                     record[schema.field_index(name)] = value
-            database.data.insert(ctx, handle, tuple(record))
-            count += 1
-        return count
+            records.append(tuple(record))
+        self.database.data.insert_batch(ctx, handle, records)
+        return len(records)
 
     def run_update(self, ctx, handle, access: TableAccess,
                    assignments: Dict[int, object],
                    params: Optional[dict]) -> int:
         params = params or {}
-        victims = list(self._access_rows(ctx, handle, access, params))
-        database = self.database
-        count = 0
-        for key, record in victims:
+        items = []
+        for key, record in self._access_rows(ctx, handle, access, params):
             view = RecordView.from_record(record)
             values = list(record)
             for index, expr in assignments.items():
                 values[index] = expr.eval(view, params)
-            database.data.update(ctx, handle, key, tuple(values))
-            count += 1
-        return count
+            items.append((key, tuple(values)))
+        self.database.data.update_batch(ctx, handle, items)
+        return len(items)
 
     def run_delete(self, ctx, handle, access: TableAccess,
                    params: Optional[dict]) -> int:
         params = params or {}
         victims = [key for key, __ in
                    self._access_rows(ctx, handle, access, params)]
-        database = self.database
-        for key in victims:
-            database.data.delete(ctx, handle, key)
+        self.database.data.delete_batch(ctx, handle, victims)
         return len(victims)

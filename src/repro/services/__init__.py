@@ -37,11 +37,12 @@ class SystemServices:
         self.buffer = BufferPool(self.disk, capacity=buffer_capacity,
                                  wal_flush=self.wal.flush)
         self.recovery = RecoveryManager(self.wal, services=self)
-        self.locks = LockManager()
+        self.locks = LockManager(stats=self.stats)
         self.events = EventService()
         self.scans = ScanService(self.events)
         self.transactions = TransactionManager(
-            self.wal, self.recovery, self.locks, self.events, self.scans)
+            self.wal, self.recovery, self.locks, self.events, self.scans,
+            stats=self.stats)
 
     def crash(self) -> int:
         """Simulate a crash: the buffer pool and unflushed log are lost.

@@ -62,6 +62,7 @@ class BufferPool:
         frame = self._install(page_id, bytearray(self.device.page_size))
         frame.pin_count += 1
         frame.dirty = True
+        self.stats.bump("buffer.pins")
         return PageView.format(page_id, frame.data, page_type)
 
     def fetch(self, page_id: int) -> PageView:
@@ -75,6 +76,7 @@ class BufferPool:
         frame.pin_count += 1
         self._clock += 1
         frame.last_used = self._clock
+        self.stats.bump("buffer.pins")
         return PageView(page_id, frame.data)
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:

@@ -79,7 +79,8 @@ def join_modes(a: LockMode, b: LockMode) -> LockMode:
 class LockManager:
     """Grants, upgrades, releases, and deadlock detection."""
 
-    def __init__(self):
+    def __init__(self, stats=None):
+        self.stats = stats
         # resource -> {txn_id: mode}
         self._holders: Dict[Hashable, Dict[int, LockMode]] = {}
         # txn_id -> set of resources held
@@ -94,6 +95,8 @@ class LockManager:
         Returns the mode now held.  Raises :class:`DeadlockError` when the
         implied wait closes a cycle, :class:`LockConflictError` otherwise.
         """
+        if self.stats is not None:
+            self.stats.bump("locks.acquire_calls")
         holders = self._holders.setdefault(resource, {})
         current = holders.get(txn_id)
         wanted = mode if current is None else join_modes(current, mode)
@@ -116,6 +119,21 @@ class LockManager:
     def cancel_wait(self, txn_id: int) -> None:
         """Withdraw any registered wait for the transaction."""
         self._waits_for.pop(txn_id, None)
+
+    def covers(self, txn_id: int, resource: Hashable, mode: LockMode) -> bool:
+        """Whether the lock held on ``resource`` already subsumes ``mode``
+        for every child of the resource in the lock hierarchy.
+
+        Used for lock escalation: a transaction holding a relation-level X
+        lock (or S/SIX for reads) need not lock each record individually.
+        This is a read-only check, not an acquisition.
+        """
+        held = self._holders.get(resource, {}).get(txn_id)
+        if held is None:
+            return False
+        if held == LockMode.X:
+            return True
+        return mode == LockMode.S and held in (LockMode.S, LockMode.SIX)
 
     # -- release ------------------------------------------------------------------
     def release(self, txn_id: int, resource: Hashable) -> None:

@@ -10,6 +10,7 @@ read them.
 from __future__ import annotations
 
 from collections import Counter
+from typing import Dict
 
 __all__ = ["StatsService"]
 
@@ -22,6 +23,16 @@ class StatsService:
 
     def bump(self, name: str, amount: int = 1) -> None:
         self._counters[name] += amount
+
+    def bump_many(self, counters: Dict[str, int]) -> None:
+        """Add several counters at once (one call per batch, not per record).
+
+        Set-at-a-time operations account for a whole batch in a single
+        update — ``bump_many({"dispatch.inserts": len(batch)})`` — so the
+        counter values stay identical to the tuple-at-a-time path while the
+        bookkeeping cost stops scaling with the batch size.
+        """
+        self._counters.update(counters)
 
     def get(self, name: str) -> int:
         return self._counters[name]

@@ -47,6 +47,11 @@ class Transaction:
         self.state = TxnState.ACTIVE
         self.savepoints: Dict[str, int] = {}     # name -> SAVEPOINT record LSN
         self._savepoint_order: list = []
+        #: Per-transaction modification-operation sequence.  The dispatch
+        #: layer derives operation-savepoint names from (txn id, this
+        #: counter), so nested and cascaded operations in the same
+        #: transaction get unique names without any global state.
+        self.op_seq = 0
 
     @property
     def active(self) -> bool:
@@ -66,12 +71,13 @@ class TransactionManager:
 
     def __init__(self, wal: LogManager, recovery: RecoveryManager,
                  locks: LockManager, events: EventService,
-                 scans: Optional[ScanService] = None):
+                 scans: Optional[ScanService] = None, stats=None):
         self.wal = wal
         self.recovery = recovery
         self.locks = locks
         self.events = events
         self.scans = scans
+        self.stats = stats
         self._next_id = 1
         self._active: Dict[int, Transaction] = {}
 
@@ -127,6 +133,8 @@ class TransactionManager:
             raise TransactionError(f"savepoint {name!r} already exists")
         record = self.wal.append(txn.txn_id, wal_records.SAVEPOINT,
                                  payload={"name": name})
+        if self.stats is not None:
+            self.stats.bump("txn.savepoints_set")
         txn.savepoints[name] = record.lsn
         txn._savepoint_order.append(name)
         # Scan positions are captured now (their changes are not logged).

@@ -103,6 +103,19 @@ class _BTreeFileHandler(ResourceHandler):
                 descriptor["ntuples"] += 1
             elif op == "update":
                 page.update(payload["slot"], payload["old_raw"])
+            elif op == "insert_multi":
+                for slot, key in zip(payload["slots"], payload["keys"]):
+                    page.delete(slot)
+                    _dir_remove(descriptor["directory"], tuple(key))
+                descriptor["ntuples"] -= len(payload["slots"])
+            elif op == "delete_multi":
+                for slot, raw, key in zip(payload["slots"],
+                                          payload["old_raws"],
+                                          payload["keys"]):
+                    page.insert(raw, slot=slot)
+                    _dir_insert(descriptor["directory"], tuple(key),
+                                payload["page"], slot)
+                descriptor["ntuples"] += len(payload["slots"])
             else:
                 raise StorageError(f"btree_file cannot undo op {op!r}")
             page.page_lsn = clr_lsn
@@ -141,17 +154,32 @@ class _BTreeFileHandler(ResourceHandler):
                     page.insert(payload["old_raw"], slot=payload["slot"])
                 elif op == "update":
                     page.update(payload["slot"], payload["old_raw"])
+                elif op == "insert_multi":
+                    for slot in payload["slots"]:
+                        page.delete(slot)
+                elif op == "delete_multi":
+                    for slot, raw in zip(payload["slots"],
+                                         payload["old_raws"]):
+                        page.insert(raw, slot=slot)
             elif op == "insert":
                 page.insert(payload["new_raw"], slot=payload["slot"])
             elif op == "delete":
                 page.delete(payload["slot"])
             elif op == "update":
                 page.update(payload["slot"], payload["new_raw"])
+            elif op == "insert_multi":
+                for slot, raw in zip(payload["slots"], payload["new_raws"]):
+                    page.insert(raw, slot=slot)
+            elif op == "delete_multi":
+                for slot in payload["slots"]:
+                    page.delete(slot)
             else:
                 raise StorageError(f"btree_file cannot redo op {op!r}")
             page.page_lsn = lsn
             dirty = True
-            services.stats.bump("recovery.redo_applied")
+            # A multi record redoes one logical operation per slot.
+            services.stats.bump("recovery.redo_applied",
+                                len(payload.get("slots", ())) or 1)
         finally:
             buffer.unpin(payload["page"], dirty=dirty)
 
@@ -348,6 +376,80 @@ class BTreeFileStorageMethod(StorageMethod):
             ctx.buffer.unpin(page_id, dirty=True)
         descriptor["ntuples"] -= 1
         ctx.stats.bump("btree_file.deletes")
+
+    # -- set-at-a-time modification -------------------------------------------------
+    def insert_batch(self, ctx, handle, records):
+        """Sort the set by storage key, check uniqueness (against the
+        directory *and* within the batch) up front, then fill pages with
+        one log record per page."""
+        descriptor = handle.descriptor.storage_descriptor
+        entries = sorted(((self.key_of(handle, record), record)
+                          for record in records), key=lambda e: e[0])
+        seen = set()
+        for key, __ in entries:
+            if key in seen or _dir_find(descriptor["directory"], key) \
+                    is not None:
+                raise UniqueViolation(
+                    self.name, f"duplicate storage key {key!r} in relation "
+                               f"{handle.name!r}")
+            seen.add(key)
+            ctx.lock_record(handle.relation_id, key, LockMode.X)
+        keys_by_record = {id(record): key for key, record in entries}
+        i = 0
+        while i < len(entries):
+            key, record = entries[i]
+            raw = encode_record(handle.schema, record)
+            page_id, page = self._page_with_room(ctx, descriptor, len(raw))
+            slots, raws, keys = [], [], []
+            try:
+                while i < len(entries):
+                    key, record = entries[i]
+                    raw = encode_record(handle.schema, record)
+                    if slots and not page.fits(len(raw)):
+                        break
+                    slot = page.insert(raw)
+                    slots.append(slot)
+                    raws.append(raw)
+                    keys.append(list(key))
+                    _dir_insert(descriptor["directory"], key, page_id, slot)
+                    i += 1
+                log = ctx.log(self.resource, {
+                    "op": "insert_multi",
+                    "relation_id": descriptor["relation_id"],
+                    "page": page_id, "slots": slots, "new_raws": raws,
+                    "keys": keys})
+                page.page_lsn = log.lsn
+                descriptor["ntuples"] += len(slots)
+            finally:
+                ctx.buffer.unpin(page_id, dirty=True)
+        ctx.stats.bump("btree_file.inserts", len(records))
+        return [keys_by_record[id(record)] for record in records]
+
+    def delete_batch(self, ctx, handle, items) -> None:
+        """Remove directory entries first, then group victims by page for
+        one pin and one log record per page."""
+        descriptor = handle.descriptor.storage_descriptor
+        by_page = {}
+        for key, __ in items:
+            key = tuple(key)
+            ctx.lock_record(handle.relation_id, key, LockMode.X)
+            page_id, slot = _dir_remove(descriptor["directory"], key)
+            by_page.setdefault(page_id, []).append((slot, key))
+        for page_id, victims in by_page.items():
+            page = ctx.buffer.fetch(page_id)
+            try:
+                slots = [slot for slot, __ in victims]
+                old_raws = [page.delete(slot) for slot in slots]
+                log = ctx.log(self.resource, {
+                    "op": "delete_multi",
+                    "relation_id": descriptor["relation_id"],
+                    "page": page_id, "slots": slots, "old_raws": old_raws,
+                    "keys": [list(key) for __, key in victims]})
+                page.page_lsn = log.lsn
+            finally:
+                ctx.buffer.unpin(page_id, dirty=True)
+        descriptor["ntuples"] -= len(items)
+        ctx.stats.bump("btree_file.deletes", len(items))
 
     # -- access -------------------------------------------------------------------------
     def fetch(self, ctx, handle, key, fields=None, predicate=None):

@@ -68,6 +68,11 @@ class _ForeignHandler(ResourceHandler):
             changes = {schema.fields[i].name: value
                        for i, value in enumerate(payload["old"])}
             table.update(payload["remote_key"], changes)
+        elif op == "insert_multi":
+            for remote_key in payload["remote_keys"]:
+                table.delete(remote_key)
+        elif op == "delete_multi":
+            table.insert_many([tuple(old) for old in payload["olds"]])
         else:
             raise ForeignError(f"foreign gateway cannot undo op {op!r}")
 
@@ -193,6 +198,31 @@ class ForeignStorageMethod(StorageMethod):
         ctx.log(self.resource, {"op": "delete", "old": old_record,
                                 "relation_id": descriptor["relation_id"]})
         ctx.stats.bump("foreign.deletes")
+
+    # -- set-at-a-time modification -------------------------------------------------
+    def insert_batch(self, ctx, handle, records):
+        """Ship the whole set in one message (a block-insert protocol) and
+        log one compensation record for the group."""
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"].table(descriptor["relation"])
+        _remote_call(ctx, descriptor, ctx.stats)
+        remote_keys = remote.insert_many(records)
+        ctx.log(self.resource, {"op": "insert_multi",
+                                "remote_keys": list(remote_keys),
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("foreign.inserts", len(remote_keys))
+        return list(remote_keys)
+
+    def delete_batch(self, ctx, handle, items) -> None:
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"].table(descriptor["relation"])
+        _remote_call(ctx, descriptor, ctx.stats)
+        for key, __ in items:
+            remote.delete(key)
+        ctx.log(self.resource, {"op": "delete_multi",
+                                "olds": [old for __, old in items],
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("foreign.deletes", len(items))
 
     # -- access -------------------------------------------------------------------------
     def fetch(self, ctx, handle, key, fields=None, predicate=None):

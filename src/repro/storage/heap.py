@@ -82,6 +82,14 @@ class _HeapHandler(ResourceHandler):
                 descriptor["ntuples"] += 1
             elif op == "update":
                 page.update(payload["slot"], payload["old_raw"])
+            elif op == "insert_multi":
+                for slot in payload["slots"]:
+                    page.delete(slot)
+                descriptor["ntuples"] -= len(payload["slots"])
+            elif op == "delete_multi":
+                for slot, raw in zip(payload["slots"], payload["old_raws"]):
+                    page.insert(raw, slot=slot)
+                descriptor["ntuples"] += len(payload["slots"])
             else:
                 raise StorageError(f"heap cannot undo op {op!r}")
             page.page_lsn = clr_lsn
@@ -124,11 +132,19 @@ class _HeapHandler(ResourceHandler):
                 page.delete(payload["slot"])
             elif op == "update":
                 page.update(payload["slot"], payload["new_raw"])
+            elif op == "insert_multi":
+                for slot, raw in zip(payload["slots"], payload["new_raws"]):
+                    page.insert(raw, slot=slot)
+            elif op == "delete_multi":
+                for slot in payload["slots"]:
+                    page.delete(slot)
             else:
                 raise StorageError(f"heap cannot redo op {op!r}")
             page.page_lsn = lsn
             dirty = True
-            services.stats.bump("recovery.redo_applied")
+            # A multi record redoes one logical operation per slot.
+            services.stats.bump("recovery.redo_applied",
+                                len(payload.get("slots", ())) or 1)
         finally:
             buffer.unpin(payload["page"], dirty=dirty)
 
@@ -142,6 +158,12 @@ class _HeapHandler(ResourceHandler):
             page.insert(payload["old_raw"], slot=payload["slot"])
         elif op == "update":
             page.update(payload["slot"], payload["old_raw"])
+        elif op == "insert_multi":
+            for slot in payload["slots"]:
+                page.delete(slot)
+        elif op == "delete_multi":
+            for slot, raw in zip(payload["slots"], payload["old_raws"]):
+                page.insert(raw, slot=slot)
 
 
 class HeapScan(Scan):
@@ -301,6 +323,80 @@ class HeapStorageMethod(StorageMethod):
             ctx.stats.bump("heap.deletes")
         finally:
             ctx.buffer.unpin(page_id, dirty=True)
+
+    # -- set-at-a-time modification -------------------------------------------------
+    def insert_batch(self, ctx, handle, records):
+        """Fill each page before unpinning it: one pin, one log record, and
+        one LSN stamp per *page* instead of per record."""
+        descriptor = handle.descriptor.storage_descriptor
+        raws = [encode_record(handle.schema, record) for record in records]
+        fill_hint = descriptor.get("attributes", {}).get("fill_hint", 1.0)
+        page_size = ctx.buffer.device.page_size
+        keys = []
+        i = 0
+        while i < len(raws):
+            page_id, page = self._page_with_room(ctx, descriptor, len(raws[i]))
+            slots, page_raws = [], []
+            try:
+                while i < len(raws):
+                    raw = raws[i]
+                    if page_raws:
+                        used = 1.0 - (page.free_space() - len(raw)) / page_size
+                        if not page.fits(len(raw)) or used > fill_hint:
+                            break
+                    slot = page.insert(raw)
+                    ctx.lock_record(handle.relation_id, (page_id, slot),
+                                    LockMode.X)
+                    keys.append((page_id, slot))
+                    slots.append(slot)
+                    page_raws.append(raw)
+                    i += 1
+                log = ctx.log(self.resource, {
+                    "op": "insert_multi",
+                    "relation_id": descriptor["relation_id"],
+                    "page": page_id, "slots": slots, "new_raws": page_raws})
+                page.page_lsn = log.lsn
+                descriptor["ntuples"] += len(slots)
+            finally:
+                ctx.buffer.unpin(page_id, dirty=True)
+        ctx.stats.bump("heap.inserts", len(records))
+        return keys
+
+    #: Upper bound on pages held pinned while a delete group is logged as
+    #: one LSN range (well under the default buffer capacity of 256).
+    _DELETE_GROUP_PAGES = 64
+
+    def delete_batch(self, ctx, handle, items) -> None:
+        """Group victims by page: one pin per page, and one log-record
+        group (a single contiguous LSN range) per run of pages."""
+        descriptor = handle.descriptor.storage_descriptor
+        by_page = {}
+        for key, __ in items:
+            page_id, slot = key
+            ctx.lock_record(handle.relation_id, key, LockMode.X)
+            by_page.setdefault(page_id, []).append(slot)
+        groups = list(by_page.items())
+        for start in range(0, len(groups), self._DELETE_GROUP_PAGES):
+            chunk = groups[start:start + self._DELETE_GROUP_PAGES]
+            pinned, payloads = [], []
+            try:
+                for page_id, slots in chunk:
+                    page = ctx.buffer.fetch(page_id)
+                    pinned.append((page_id, page))
+                    old_raws = [page.delete(slot) for slot in slots]
+                    payloads.append({
+                        "op": "delete_multi",
+                        "relation_id": descriptor["relation_id"],
+                        "page": page_id, "slots": slots,
+                        "old_raws": old_raws})
+                    descriptor["ntuples"] -= len(slots)
+                logs = ctx.log_batch(self.resource, payloads)
+                for (page_id, page), log in zip(pinned, logs):
+                    page.page_lsn = log.lsn
+            finally:
+                for page_id, __ in pinned:
+                    ctx.buffer.unpin(page_id, dirty=True)
+        ctx.stats.bump("heap.deletes", len(items))
 
     # -- access -------------------------------------------------------------------------
     def fetch(self, ctx, handle, key, fields=None, predicate=None):

@@ -101,6 +101,12 @@ class _MemoryHandler(ResourceHandler):
             rows[payload["key"]] = tuple(payload["old"])
         elif op == "update":
             rows[payload["key"]] = tuple(payload["old"])
+        elif op == "insert_multi":
+            for key in payload["keys"]:
+                rows.pop(key, None)
+        elif op == "delete_multi":
+            for key, old in zip(payload["keys"], payload["olds"]):
+                rows[key] = tuple(old)
         else:
             raise StorageError(f"memory storage cannot undo op {op!r}")
 
@@ -189,6 +195,36 @@ class MemoryStorageMethod(StorageMethod):
                                 "old": old_record,
                                 "relation_id": descriptor["relation_id"]})
         ctx.stats.bump("memory.deletes")
+
+    # -- set-at-a-time modification -------------------------------------------------
+    def insert_batch(self, ctx, handle, records):
+        """Assign all surrogate keys and write one grouped log record."""
+        descriptor = handle.descriptor.storage_descriptor
+        keys = []
+        for record in records:
+            key = descriptor["next_key"]
+            descriptor["next_key"] = key + 1
+            ctx.lock_record(handle.relation_id, key, LockMode.X)
+            descriptor["rows"][key] = record
+            keys.append(key)
+        ctx.log(self.resource, {"op": "insert_multi", "keys": keys,
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("memory.inserts", len(keys))
+        return keys
+
+    def delete_batch(self, ctx, handle, items) -> None:
+        descriptor = handle.descriptor.storage_descriptor
+        keys, olds = [], []
+        for key, old in items:
+            self._require(descriptor, key)
+            ctx.lock_record(handle.relation_id, key, LockMode.X)
+            del descriptor["rows"][key]
+            keys.append(key)
+            olds.append(old)
+        ctx.log(self.resource, {"op": "delete_multi", "keys": keys,
+                                "olds": olds,
+                                "relation_id": descriptor["relation_id"]})
+        ctx.stats.bump("memory.deletes", len(keys))
 
     # -- access -------------------------------------------------------------------------
     def fetch(self, ctx, handle, key, fields=None, predicate=None):

@@ -160,6 +160,18 @@ class ReadOnlyStorageMethod(StorageMethod):
     def delete(self, ctx, handle, key, old_record) -> None:
         raise ReadOnlyError(f"relation {handle.name!r} is read-only")
 
+    # Batch modification is refused explicitly too (the dispatch layer
+    # already blocks non-updatable methods, but direct callers get the
+    # same error either way, even for an empty batch).
+    def insert_batch(self, ctx, handle, records):
+        raise ReadOnlyError(f"relation {handle.name!r} is read-only")
+
+    def update_batch(self, ctx, handle, items):
+        raise ReadOnlyError(f"relation {handle.name!r} is read-only")
+
+    def delete_batch(self, ctx, handle, items) -> None:
+        raise ReadOnlyError(f"relation {handle.name!r} is read-only")
+
     # -- access -------------------------------------------------------------------------
     def fetch(self, ctx, handle, key, fields=None, predicate=None):
         descriptor = handle.descriptor.storage_descriptor

@@ -1,0 +1,152 @@
+"""Mid-batch vetoes: a constraint rejecting the j-th record of a batch
+rolls back the whole batch — storage change, already-applied index
+maintenance, and nested cascades alike — on every storage method.
+"""
+
+import pytest
+
+from repro import AccessPath, Database, ReferentialViolation, UniqueViolation
+from repro.services.events import BEFORE_PREPARE
+
+SCHEMA = [("id", "INT", False), ("dept", "STRING")]
+STORAGES = ["heap", "btree_file"]
+
+
+def build(storage, constraint, on_delete="restrict", deferred=False):
+    db = Database(page_size=1024, buffer_capacity=128)
+    attributes = {"key": ["id"]} if storage == "btree_file" else None
+    table = db.create_table("t", SCHEMA, storage_method=storage,
+                            attributes=attributes)
+    db.create_index("t_id", "t", ["id"])   # btree access path rides along
+    if constraint == "unique":
+        db.create_attachment("t", "unique", "t_dept", {"columns": ["dept"]})
+        parent = None
+    else:
+        parent = db.create_table("dept", [("dname", "STRING")])
+        parent.insert_many([("eng",), ("sales",)])
+        db.create_attachment("t", "referential", "t_fk",
+                             {"parent": "dept", "columns": ["dept"],
+                              "parent_columns": ["dname"],
+                              "on_delete": on_delete, "deferred": deferred})
+    return db, table, parent
+
+
+# ----------------------------------------------------------------------
+# Veto matrix: {heap, btree_file} x {unique, referential}
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("storage", STORAGES)
+def test_unique_veto_mid_batch_rolls_back_all(storage):
+    db, table, __ = build(storage, "unique")
+    table.insert((1, "eng"))
+    # Third record duplicates the pre-existing dept value.
+    with pytest.raises(UniqueViolation):
+        table.insert_many([(2, "a"), (3, "b"), (4, "eng"), (5, "c")])
+    assert table.rows() == [(1, "eng")]
+    # The riding btree index was rolled back too: no entries for keys 2-5.
+    att = db.registry.attachment_type_by_name("btree_index")
+    for rec_id in (2, 3, 4, 5):
+        assert table.fetch((rec_id,),
+                           access_path=AccessPath(att.type_id, "t_id")) == []
+    # And the relation still accepts a clean batch afterwards.
+    table.insert_many([(2, "a"), (3, "b")])
+    assert table.count() == 3
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_unique_veto_on_duplicate_within_batch(storage):
+    db, table, __ = build(storage, "unique")
+    with pytest.raises(UniqueViolation):
+        table.insert_many([(1, "a"), (2, "b"), (3, "a")])
+    assert table.count() == 0
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_referential_veto_mid_batch_rolls_back_all(storage):
+    db, table, __ = build(storage, "referential")
+    with pytest.raises(ReferentialViolation):
+        table.insert_many([(1, "eng"), (2, "sales"), (3, "ghost"),
+                           (4, "eng")])
+    assert table.count() == 0
+    att = db.registry.attachment_type_by_name("btree_index")
+    for rec_id in (1, 2, 3, 4):
+        assert table.fetch((rec_id,),
+                           access_path=AccessPath(att.type_id, "t_id")) == []
+    table.insert_many([(1, "eng"), (2, "sales")])
+    assert table.count() == 2
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_restrict_vetoes_whole_parent_delete_batch(storage):
+    db, table, parent = build(storage, "referential", on_delete="restrict")
+    table.insert_many([(1, "eng")])
+    with pytest.raises(ReferentialViolation):
+        parent.delete_where("dname = 'eng' or dname = 'sales'")
+    # Both parents survive — including 'sales', which has no children.
+    assert parent.count() == 2
+
+
+# ----------------------------------------------------------------------
+# Batch cascades
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("storage", STORAGES)
+def test_parent_batch_delete_cascades_all_children_as_one_batch(storage):
+    db, table, parent = build(storage, "referential", on_delete="cascade")
+    table.insert_many([(i, "eng" if i % 2 else "sales") for i in range(10)])
+    before = db.services.stats.snapshot()
+    parent.delete_where("dname = 'eng' or dname = 'sales'")
+    delta = db.services.stats.delta(before)
+    assert table.count() == 0
+    assert delta["referential.cascaded_deletes"] == 10
+    # The cascade itself ran set-at-a-time: the parent delete plus one
+    # nested child batch, rather than one operation per child record.
+    assert delta["txn.savepoints_set"] == 2
+
+
+def test_cascade_vetoed_at_second_level_undoes_whole_batch():
+    db = Database(page_size=1024)
+    parent = db.create_table("dept", [("dname", "STRING")])
+    child = db.create_table("emp", [("id", "INT"), ("dept", "STRING")])
+    grandchild = db.create_table("task", [("emp_id", "INT")])
+    parent.insert_many([("eng",), ("sales",)])
+    db.create_attachment("emp", "referential", "emp_fk",
+                         {"parent": "dept", "columns": ["dept"],
+                          "parent_columns": ["dname"],
+                          "on_delete": "cascade"})
+    db.create_attachment("task", "referential", "task_fk",
+                         {"parent": "emp", "columns": ["emp_id"],
+                          "parent_columns": ["id"],
+                          "on_delete": "restrict"})
+    child.insert_many([(1, "eng"), (2, "sales")])
+    grandchild.insert((2,))
+    # Deleting both parents cascades to both children, but employee 2 is
+    # still referenced: the entire two-parent delete batch must abort.
+    with pytest.raises(ReferentialViolation):
+        parent.delete_where("dname = 'eng' or dname = 'sales'")
+    assert parent.count() == 2
+    assert child.count() == 2
+    assert grandchild.count() == 1
+
+
+# ----------------------------------------------------------------------
+# Deferred batch checks
+# ----------------------------------------------------------------------
+def test_deferred_batch_queues_one_entry_for_distinct_values():
+    db, table, parent = build("heap", "referential", deferred=True)
+    txn = db.begin()
+    table.insert_many([(i, "newdept" if i % 2 else "eng")
+                       for i in range(10)])
+    # One deferred-queue entry for the whole batch, carrying the distinct
+    # foreign-key values — not one entry per record.
+    assert db.services.events.pending(txn.txn_id, BEFORE_PREPARE) == 1
+    parent.insert(("newdept",))
+    db.commit()
+    assert table.count() == 10
+
+
+def test_deferred_batch_violation_aborts_commit():
+    db, table, parent = build("heap", "referential", deferred=True)
+    db.begin()
+    table.insert_many([(1, "eng"), (2, "ghost"), (3, "sales")])
+    with pytest.raises(ReferentialViolation):
+        db.commit()
+    assert table.count() == 0

@@ -1,0 +1,138 @@
+"""Storage batch fast paths: page filling, grouped logging, recovery.
+
+The heap and btree_file overrides fill each page before unpinning it and
+log one multi-record operation per page (delete groups occupy one LSN
+range), so a batch costs far fewer buffer pins and log records than the
+same records tuple-at-a-time — while abort, partial rollback, and restart
+redo reproduce exactly the same contents.
+"""
+
+import pytest
+
+from repro import Database, UniqueViolation
+
+SCHEMA = [("id", "INT", False), ("v", "STRING")]
+ROWS = [(i, "payload-%03d" % i) for i in range(200)]
+
+
+def build(storage="heap"):
+    db = Database(page_size=1024, buffer_capacity=128)
+    attributes = {"key": ["id"]} if storage == "btree_file" else None
+    table = db.create_table("t", SCHEMA, storage_method=storage,
+                            attributes=attributes)
+    return db, table
+
+
+# ----------------------------------------------------------------------
+# Fast-path cost shape
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("storage", ["heap", "btree_file"])
+def test_batch_insert_pins_and_logs_less_than_per_record(storage):
+    db_one, one = build(storage)
+    pins_before = db_one.services.stats.get("buffer.pins")
+    lsn_before = db_one.services.wal.current_lsn
+    for row in ROWS:
+        one.insert(row)
+    one_pins = db_one.services.stats.get("buffer.pins") - pins_before
+    one_logs = db_one.services.wal.current_lsn - lsn_before
+
+    db_set, batch = build(storage)
+    pins_before = db_set.services.stats.get("buffer.pins")
+    lsn_before = db_set.services.wal.current_lsn
+    batch.insert_many(ROWS)
+    set_pins = db_set.services.stats.get("buffer.pins") - pins_before
+    set_logs = db_set.services.wal.current_lsn - lsn_before
+
+    assert sorted(one.rows()) == sorted(batch.rows()) == sorted(ROWS)
+    # One pin and one log record per *page*, not per record.
+    assert set_pins < one_pins
+    assert set_logs < one_logs
+    assert set_logs <= one_logs // 3
+
+
+def test_batch_delete_logs_one_group_per_page_chunk():
+    db, table = build("heap")
+    table.insert_many(ROWS)
+    lsn_before = db.services.wal.current_lsn
+    deleted = table.delete_where("id < 100")
+    group_logs = db.services.wal.current_lsn - lsn_before
+    assert deleted == 100
+    # Far fewer log records than victims: one multi-record entry per page.
+    assert group_logs < deleted // 3
+    assert sorted(r[0] for r in table.rows()) == list(range(100, 200))
+
+
+def test_btree_file_batch_rejects_duplicate_keys_atomically():
+    db, table = build("btree_file")
+    table.insert((5, "existing"))
+    with pytest.raises(UniqueViolation):
+        table.insert_many([(1, "a"), (5, "dup"), (9, "c")])
+    assert table.rows() == [(5, "existing")]
+    with pytest.raises(UniqueViolation):
+        table.insert_many([(1, "a"), (2, "b"), (2, "dup-in-batch")])
+    assert table.rows() == [(5, "existing")]
+
+
+def test_btree_file_batch_keeps_key_order_scan():
+    db, table = build("btree_file")
+    table.insert_many([(i, "v") for i in (9, 3, 7, 1, 5)])
+    assert [r[0] for r in table.rows()] == [1, 3, 5, 7, 9]
+
+
+# ----------------------------------------------------------------------
+# Abort and partial rollback of multi-record operations
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("storage", ["heap", "btree_file"])
+def test_abort_undoes_multi_record_log_entries(storage):
+    db, table = build(storage)
+    table.insert_many(ROWS[:50])
+    db.begin()
+    table.insert_many(ROWS[50:100])
+    table.delete_where("id < 20")
+    assert table.count() == 80
+    db.rollback()
+    assert sorted(table.rows()) == sorted(ROWS[:50])
+
+
+def test_savepoint_rollback_spanning_batches():
+    db, table = build("heap")
+    db.begin()
+    table.insert_many(ROWS[:30])
+    db.savepoint("sp")
+    table.insert_many(ROWS[30:60])
+    table.delete_where("id < 10")
+    db.rollback_to("sp")
+    db.commit()
+    assert sorted(table.rows()) == sorted(ROWS[:30])
+
+
+# ----------------------------------------------------------------------
+# Crash and restart: redo of insert_multi / delete_multi
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("storage", ["heap", "btree_file"])
+def test_committed_batches_survive_restart(storage):
+    db, table = build(storage)
+    table.insert_many(ROWS[:60])
+    table.delete_where("id >= 40")
+    db.restart()
+    assert sorted(table.rows()) == sorted(ROWS[:40])
+
+
+def test_loser_batches_undone_at_restart():
+    db, table = build("heap")
+    table.insert_many(ROWS[:30])
+    db.begin()
+    table.insert_many(ROWS[30:60])
+    table.delete_where("id < 10")
+    db.services.wal.flush()
+    db.restart()
+    assert sorted(table.rows()) == sorted(ROWS[:30])
+
+
+def test_redo_counter_reflects_logical_operations():
+    """A multi-record log entry redoes one logical operation per slot."""
+    db, table = build("heap")
+    table.insert_many(ROWS[:50])
+    db.restart()
+    assert db.services.stats.get("recovery.redo_applied") >= 50
+    assert table.count() == 50
