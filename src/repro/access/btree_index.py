@@ -34,7 +34,7 @@ from ..core.attachment import AttachmentType
 from ..core.context import ExecutionContext
 from ..core.records import RecordView
 from ..core.storage_method import RelationHandle
-from ..errors import PageError, StorageError, UniqueViolation
+from ..errors import PageError, ScanError, StorageError, UniqueViolation
 from ..query.cost import AccessCost, DEFAULT_SELECTIVITY, EligiblePredicate
 from ..services.locks import LockMode
 from ..services.predicate import Predicate
@@ -43,6 +43,9 @@ from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
 from .btree_core import BTree, DEFAULT_MAX_ENTRIES
 
 __all__ = ["BTreeIndexAttachment", "BTreeIndexScan"]
+
+#: Records pulled per scan call while bulk-building an index.
+_BUILD_BATCH = 256
 
 
 class _BTreeIndexHandler(ResourceHandler):
@@ -138,6 +141,35 @@ class BTreeIndexScan(Scan):
         self.state = AFTER
         return None
 
+    def next_batch(self, n: int) -> list:
+        """Consume one tree traversal for up to ``n`` entries: a single
+        root-to-leaf descent per batch instead of one per entry."""
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        if self.position is None:
+            entries = self._tree.range(self.low, self.high,
+                                       self.low_inclusive,
+                                       self.high_inclusive)
+        else:
+            entries = self._tree.entries_after(self.position, self.high,
+                                               self.high_inclusive)
+        batch: list = []
+        for key, value in entries:
+            self.position = (key, value)
+            self.state = ON
+            self.ctx.stats.bump("btree_index.entries_scanned")
+            view = RecordView.from_fields(self.key_fields, key)
+            if self._filter_here and not self.predicate.matches(view):
+                continue
+            self.ctx.lock_record(self.handle.relation_id, value, LockMode.S)
+            batch.append((value, view))
+            if len(batch) >= n:
+                break
+        if not batch:
+            self.state = AFTER
+        return batch
+
     def save_position(self) -> ScanPosition:
         return ScanPosition(self.state, self.position)
 
@@ -208,17 +240,17 @@ class BTreeIndexAttachment(AttachmentType):
         scan = method.open_scan(ctx, handle)
         try:
             while True:
-                item = scan.next()
-                if item is None:
+                batch = scan.next_batch(_BUILD_BATCH)
+                if not batch:
                     break
-                record_key, record = item
-                key = self._key_of(instance, record)
-                if instance["unique"] and tree.search(key):
-                    raise UniqueViolation(
-                        self.name,
-                        f"cannot build unique index {instance['name']!r}: "
-                        f"duplicate key {key!r}")
-                tree.insert(key, record_key)
+                for record_key, record in batch:
+                    key = self._key_of(instance, record)
+                    if instance["unique"] and tree.search(key):
+                        raise UniqueViolation(
+                            self.name,
+                            f"cannot build unique index {instance['name']!r}: "
+                            f"duplicate key {key!r}")
+                    tree.insert(key, record_key)
         finally:
             scan.close()
             ctx.services.scans.unregister(scan)

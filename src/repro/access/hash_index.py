@@ -20,7 +20,7 @@ from ..core.attachment import AttachmentType
 from ..core.context import ExecutionContext
 from ..core.records import RecordView
 from ..core.storage_method import RelationHandle
-from ..errors import PageError, StorageError
+from ..errors import PageError, ScanError, StorageError
 from ..query.cost import AccessCost
 from ..services.locks import LockMode
 from ..services.predicate import Predicate
@@ -144,6 +144,40 @@ class HashIndexScan(Scan):
         self.state = AFTER
         return None
 
+    def next_batch(self, n: int) -> list:
+        """Extract bucket-at-a-time: each bucket page is read and
+        unpickled once for all its entries instead of once per entry."""
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        buckets = self.instance["buckets"]
+        bucket, index = (0, -1) if self.position is None else self.position
+        batch: list = []
+        while bucket < len(buckets) and len(batch) < n:
+            entries = _bucket_read(self.ctx.buffer, buckets[bucket])
+            i = index + 1
+            while i < len(entries) and len(batch) < n:
+                key, value = entries[i]
+                self.position = (bucket, i)
+                self.state = ON
+                self.ctx.stats.bump("hash_index.entries_scanned")
+                view = RecordView.from_fields(self.key_fields, key)
+                i += 1
+                if self._filter_here and not self.predicate.matches(view):
+                    continue
+                self.ctx.lock_record(self.handle.relation_id, value,
+                                     LockMode.S)
+                batch.append((value, view))
+            if i >= len(entries):
+                bucket += 1
+                index = -1
+                self.position = (bucket, -1)
+            else:
+                index = i - 1
+        if not batch:
+            self.state = AFTER
+        return batch
+
     def save_position(self) -> ScanPosition:
         return ScanPosition(self.state, self.position)
 
@@ -212,12 +246,12 @@ class HashIndexAttachment(AttachmentType):
         scan = method.open_scan(ctx, handle)
         try:
             while True:
-                item = scan.next()
-                if item is None:
+                batch = scan.next_batch(256)
+                if not batch:
                     break
-                record_key, record = item
-                self._add(ctx.buffer, instance,
-                          self._key_of(instance, record), record_key)
+                for record_key, record in batch:
+                    self._add(ctx.buffer, instance,
+                              self._key_of(instance, record), record_key)
         finally:
             scan.close()
             ctx.services.scans.unregister(scan)

@@ -30,7 +30,7 @@ from ..core.attachment import AttachmentType
 from ..core.context import ExecutionContext
 from ..core.records import Box, RecordView
 from ..core.storage_method import RelationHandle
-from ..errors import PageError, StorageError
+from ..errors import PageError, ScanError, StorageError
 from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
 from ..services.locks import LockMode
 from ..services.recovery import ResourceHandler
@@ -373,6 +373,27 @@ class RTreeScan(Scan):
         self.ctx.lock_record(self.handle.relation_id, value, LockMode.S)
         return value, RecordView.from_fields((self.field_index,), (box,))
 
+    def next_batch(self, n: int) -> list:
+        """Slice the materialised match list — the spatial search already
+        paid its page reads at open time."""
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        index = 0 if self.position is None else self.position + 1
+        chunk = self.matches[index:index + n]
+        if not chunk:
+            self.state = AFTER
+            return []
+        self.position = index + len(chunk) - 1
+        self.state = ON
+        self.ctx.stats.bump("rtree.entries_scanned", len(chunk))
+        batch = []
+        for box, value in chunk:
+            self.ctx.lock_record(self.handle.relation_id, value, LockMode.S)
+            batch.append((value, RecordView.from_fields((self.field_index,),
+                                                        (box,))))
+        return batch
+
     def save_position(self) -> ScanPosition:
         return ScanPosition(self.state, self.position)
 
@@ -439,13 +460,13 @@ class RTreeAttachment(AttachmentType):
         scan = method.open_scan(ctx, handle)
         try:
             while True:
-                item = scan.next()
-                if item is None:
+                batch = scan.next_batch(256)
+                if not batch:
                     break
-                record_key, record = item
-                box = record[instance["field_index"]]
-                if box is not None:
-                    tree.insert(box, record_key)
+                for record_key, record in batch:
+                    box = record[instance["field_index"]]
+                    if box is not None:
+                        tree.insert(box, record_key)
         finally:
             scan.close()
             ctx.services.scans.unregister(scan)

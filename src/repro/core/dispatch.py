@@ -240,6 +240,36 @@ class DataManager:
         instance = attachment.instance(field, access_path.instance_name)
         return attachment.fetch(ctx, handle, instance, key)
 
+    def fetch_many(self, ctx: ExecutionContext, handle: RelationHandle,
+                   keys: Sequence,
+                   fields: Optional[Sequence[int]] = None,
+                   predicate: Optional[Predicate] = None,
+                   access_path: Optional[AccessPath] = None) -> list:
+        """Direct-by-key access for a set of keys in one operation.
+
+        With the default access path (zero) the storage method resolves
+        the whole key set at once — typically one page pin per distinct
+        page — and returns ``(key, fields)`` pairs in input-key order,
+        omitting keys with no (qualifying) record.  With an access-path
+        selector each input key is probed and the pairs map input keys to
+        the record keys they yielded.
+        """
+        ctx.lock_relation(handle.relation_id, LockMode.IS)
+        if access_path is None or access_path.is_storage:
+            method = self.registry.storage_method(
+                handle.descriptor.storage_method_id)
+            return self.registry.storage_fetch_many[method.method_id](
+                ctx, handle, keys, fields, predicate)
+        attachment = self.registry.attachment_type(access_path.type_id)
+        field = self._attachment_field(handle, access_path)
+        instance = attachment.instance(field, access_path.instance_name)
+        pairs = []
+        for key in keys:
+            record_keys = attachment.fetch(ctx, handle, instance, key)
+            if record_keys:
+                pairs.append((key, record_keys))
+        return pairs
+
     def open_scan(self, ctx: ExecutionContext, handle: RelationHandle,
                   fields: Optional[Sequence[int]] = None,
                   predicate: Optional[Predicate] = None,

@@ -40,6 +40,7 @@ class ExtensionRegistry:
         self.storage_update: List[Optional[Callable]] = [None]
         self.storage_delete: List[Optional[Callable]] = [None]
         self.storage_fetch: List[Optional[Callable]] = [None]
+        self.storage_fetch_many: List[Optional[Callable]] = [None]
         self.storage_open_scan: List[Optional[Callable]] = [None]
 
         # Set-at-a-time counterparts; the entries default to the base-class
@@ -82,6 +83,7 @@ class ExtensionRegistry:
         self.storage_update.append(method.update)
         self.storage_delete.append(method.delete)
         self.storage_fetch.append(method.fetch)
+        self.storage_fetch_many.append(method.fetch_many)
         self.storage_open_scan.append(method.open_scan)
         self.storage_insert_batch.append(method.insert_batch)
         self.storage_update_batch.append(method.update_batch)

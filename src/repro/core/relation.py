@@ -140,10 +140,10 @@ class Relation:
             scan = db.data.open_scan(ctx, handle, indexes, predicate)
             try:
                 while True:
-                    item = scan.next()
-                    if item is None:
+                    batch = scan.next_batch(256)
+                    if not batch:
                         break
-                    out.append(item)
+                    out.extend(batch)
             finally:
                 scan.close()
                 db.services.scans.unregister(scan)
@@ -174,10 +174,10 @@ class Relation:
         scan = db.data.open_scan(ctx, handle, None, predicate)
         try:
             while True:
-                item = scan.next()
-                if item is None:
+                batch = scan.next_batch(256)
+                if not batch:
                     break
-                out.append(item)
+                out.extend(batch)
         finally:
             scan.close()
             db.services.scans.unregister(scan)

@@ -163,6 +163,26 @@ class StorageMethod(abc.ABC):
         any copy-out).  ``fields=None`` returns the whole record.
         """
 
+    def fetch_many(self, ctx: ExecutionContext, handle: RelationHandle,
+                   keys: Sequence,
+                   fields: Optional[Sequence[int]] = None,
+                   predicate: Optional[Predicate] = None) -> list:
+        """Direct-by-key access for a whole set of record keys.
+
+        Returns ``(key, values)`` pairs in input-key order, omitting keys
+        that do not exist or whose records the filter predicate rejects.
+        The default degrades to per-key :meth:`fetch`; page-addressed
+        methods override it to group the keys by page and pin each page
+        once — the read-side counterpart of the batch modification hooks.
+        The executor's index-probe routes run on this.
+        """
+        pairs = []
+        for key in keys:
+            values = self.fetch(ctx, handle, key, fields, predicate)
+            if values is not None:
+                pairs.append((key, values))
+        return pairs
+
     @abc.abstractmethod
     def open_scan(self, ctx: ExecutionContext, handle: RelationHandle,
                   fields: Optional[Sequence[int]] = None,

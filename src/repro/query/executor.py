@@ -1,4 +1,4 @@
-"""Tuple-at-a-time plan execution.
+"""Set-at-a-time plan execution.
 
 The executor drives bound plans through the dispatch layer's direct
 generic operations: storage scans with pushed-down filter predicates,
@@ -6,21 +6,64 @@ access-path probes that map input keys to record keys followed by
 direct-by-key fetches ("first the access path is accessed to obtain a
 record key, which is then used to access the relation record in the
 storage method"), and the three join methods.
+
+Rows move through the pipeline in blocks: scans are consumed with
+``next_batch`` (one dispatch call and one page pin amortised over many
+tuples), index-probe routes translate a batch of record keys into one
+``fetch_many`` call, LIMIT stops pulling batches as soon as enough rows
+arrived, and ORDER BY + LIMIT keeps only the top-k rows in a bounded
+heap instead of sorting everything.  Filter predicates are compiled once
+per plan (see :class:`~.plans.CompiledPredicateCache`) rather than per
+execution.
 """
 
 from __future__ import annotations
 
+import heapq
+from itertools import islice
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.records import RecordView
 from ..errors import QueryError
-from ..services.predicate import Predicate
 from .cost import EligiblePredicate
 from .planner import JoinStep, SelectPlan, TableAccess
 
 __all__ = ["Executor"]
 
 _EMPTY_VIEW = RecordView({})
+
+#: First ``next_batch`` request; doubles per batch up to the cap, so a
+#: LIMIT that stops early never paid for a deep scan.
+_BATCH_MIN = 32
+_BATCH_MAX = 512
+
+
+class _OrderKey:
+    """Sort key honouring per-column ASC/DESC for one ORDER BY spec.
+
+    ``heapq.nsmallest`` compares decorated ``(key, index, row)`` tuples,
+    and tuple comparison probes ``==`` before ``<`` — both must be
+    defined.  Ties fall through to the decoration index, which keeps the
+    top-k selection stable, like the full sort it replaces.
+    """
+
+    __slots__ = ("row", "order_by")
+
+    def __init__(self, row, order_by):
+        self.row = row
+        self.order_by = order_by
+
+    def __lt__(self, other):
+        for index, ascending in self.order_by:
+            mine, theirs = self.row[index], other.row[index]
+            if mine == theirs:
+                continue
+            return (mine < theirs) if ascending else (theirs < mine)
+        return False
+
+    def __eq__(self, other):
+        return all(self.row[index] == other.row[index]
+                   for index, __ in self.order_by)
 
 
 class Executor:
@@ -50,17 +93,35 @@ class Executor:
         else:
             rows = self._join_rows(ctx, plan, params)
         if plan.where is not None and plan.join is not None:
-            cross = Predicate.from_bound(plan.where, plan.combined_schema,
-                                         params)
+            cross = plan.where_cache.get(plan.where, plan.combined_schema,
+                                         params, ctx.stats)
             rows = (row for row in rows if cross.matches(row))
-        materialised = list(rows)
         if any(aggregate for __, __, aggregate in plan.items):
-            return self._aggregate(plan, materialised, params)
+            return self._aggregate(plan, list(rows), params)
         if plan.order_by and plan.needs_sort:
-            for index, ascending in reversed(plan.order_by):
-                materialised.sort(key=lambda row: row[index],
-                                  reverse=not ascending)
-            ctx.stats.bump("executor.sorts")
+            if plan.limit is not None:
+                # Top-k: a bounded heap sees every row but keeps only
+                # ``limit`` of them; nothing else is ever sorted.
+                materialised = heapq.nsmallest(
+                    plan.limit, rows,
+                    key=lambda row: _OrderKey(row, plan.order_by))
+                ctx.stats.bump("executor.topk")
+            else:
+                materialised = list(rows)
+                for index, ascending in reversed(plan.order_by):
+                    materialised.sort(key=lambda row: row[index],
+                                      reverse=not ascending)
+                ctx.stats.bump("executor.sorts")
+        elif plan.limit is not None:
+            # Rows arrive in final order: stop pulling batches as soon
+            # as the limit is satisfied and shut the pipeline down.
+            materialised = list(islice(rows, plan.limit))
+            close = getattr(rows, "close", None)
+            if close is not None:
+                close()
+            ctx.stats.bump("executor.limit_short_circuits")
+        else:
+            materialised = list(rows)
         if plan.limit is not None:
             materialised = materialised[:plan.limit]
         if plan.star:
@@ -79,20 +140,22 @@ class Executor:
                      params: dict) -> Iterator[Tuple[object, Tuple]]:
         """Yield (record key, full record) through the chosen route."""
         database = self.database
-        predicate = None
-        if access.predicate is not None:
-            predicate = Predicate.from_bound(access.predicate, handle.schema,
-                                             params)
+        predicate = access.compiled_predicate(handle.schema, params,
+                                              ctx.stats)
         if access.is_storage:
             method = database.registry.storage_method(
                 handle.descriptor.storage_method_id)
             scan = method.open_scan(ctx, handle, None, predicate)
             try:
+                size = _BATCH_MIN
                 while True:
-                    item = scan.next()
-                    if item is None:
+                    batch = scan.next_batch(size)
+                    ctx.stats.bump("executor.scan_batches")
+                    if not batch:
                         return
-                    yield item
+                    yield from batch
+                    if size < _BATCH_MAX:
+                        size *= 2
             finally:
                 scan.close()
                 ctx.services.scans.unregister(scan)
@@ -108,11 +171,10 @@ class Executor:
             handle.descriptor.storage_method_id)
         if type_name == "hash_index":
             probe = self._hash_probe_key(instance, access.relevant, params)
-            for record_key in attachment.fetch(ctx, handle, instance, probe):
-                record = method.fetch(ctx, handle, record_key, None,
-                                      predicate)
-                if record is not None:
-                    yield record_key, record
+            keys = list(attachment.fetch(ctx, handle, instance, probe))
+            if keys:
+                yield from method.fetch_many(ctx, handle, keys, None,
+                                             predicate)
             return
         route = None
         if type_name == "btree_index":
@@ -121,17 +183,20 @@ class Executor:
             route = self._rtree_route(access.relevant, params)
         scan = attachment.open_scan(ctx, handle, instance, predicate, route)
         try:
+            size = _BATCH_MIN
             while True:
-                item = scan.next()
-                if item is None:
+                batch = scan.next_batch(size)
+                ctx.stats.bump("executor.scan_batches")
+                if not batch:
                     return
-                record_key, __ = item
-                # The access path returned a record key; fetch the record
-                # via its storage method, filtering in the buffer pool.
-                record = method.fetch(ctx, handle, record_key, None,
-                                      predicate)
-                if record is not None:
-                    yield record_key, record
+                # The access path returned record keys; fetch the whole
+                # batch of records via the storage method in one call,
+                # filtering in the buffer pool.
+                keys = [record_key for record_key, __ in batch]
+                yield from method.fetch_many(ctx, handle, keys, None,
+                                             predicate)
+                if size < _BATCH_MAX:
+                    size *= 2
         finally:
             scan.close()
             ctx.services.scans.unregister(scan)
@@ -150,25 +215,27 @@ class Executor:
             raise QueryError(
                 f"plan refers to dropped attachments on {handle.name!r}")
         instance = attachment.instance(field, instance_name)
-        predicate = None
-        if access.predicate is not None:
-            predicate = Predicate.from_bound(access.predicate, handle.schema,
-                                             params)
+        predicate = access.compiled_predicate(handle.schema, params,
+                                              ctx.stats)
         route = self._btree_route(access.relevant, params)
         width = len(handle.schema)
         key_fields = instance["key_fields"]
         ctx.stats.bump("executor.covering_scans")
         scan = attachment.open_scan(ctx, handle, instance, predicate, route)
         try:
+            size = _BATCH_MIN
             while True:
-                item = scan.next()
-                if item is None:
+                batch = scan.next_batch(size)
+                ctx.stats.bump("executor.scan_batches")
+                if not batch:
                     return
-                __, view = item
-                row = [None] * width
-                for index in key_fields:
-                    row[index] = view[index]
-                yield tuple(row)
+                for __, view in batch:
+                    row = [None] * width
+                    for index in key_fields:
+                        row[index] = view[index]
+                    yield tuple(row)
+                if size < _BATCH_MAX:
+                    size *= 2
         finally:
             scan.close()
             ctx.services.scans.unregister(scan)
@@ -244,52 +311,79 @@ class Executor:
             left_handle.descriptor.storage_method_id)
         right_method = database.registry.storage_method(
             right_handle.descriptor.storage_method_id)
-        left_predicate = (Predicate.from_bound(plan.access.predicate,
-                                               left_handle.schema, params)
-                          if plan.access.predicate is not None else None)
-        right_predicate = (Predicate.from_bound(
-            join.right_access.predicate, right_handle.schema, params)
-            if join.right_access.predicate is not None else None)
+        left_predicate = plan.access.compiled_predicate(
+            left_handle.schema, params, ctx.stats)
+        right_predicate = join.right_access.compiled_predicate(
+            right_handle.schema, params, ctx.stats)
         ctx.stats.bump("executor.join_index_joins")
         # Many pairs share one inner record (foreign-key joins); memoise
         # right-side fetches for the duration of the operation (the locks
         # taken by the first fetch protect the cached copy).
         right_cache: Dict[object, Optional[Tuple]] = {}
-        for left_key, right_key in attachment.pairs(instance):
-            left_record = left_method.fetch(ctx, left_handle, left_key,
-                                            None, left_predicate)
-            if left_record is None:
-                continue
-            if right_key in right_cache:
+        pairs = iter(attachment.pairs(instance))
+        while True:
+            chunk = list(islice(pairs, _BATCH_MAX))
+            if not chunk:
+                return
+            left_keys = list(dict.fromkeys(lk for lk, __ in chunk))
+            left_found = dict(left_method.fetch_many(
+                ctx, left_handle, left_keys, None, left_predicate))
+            right_keys = list(dict.fromkeys(
+                rk for __, rk in chunk if rk not in right_cache))
+            if right_keys:
+                right_found = dict(right_method.fetch_many(
+                    ctx, right_handle, right_keys, None, right_predicate))
+                for right_key in right_keys:
+                    right_cache[right_key] = right_found.get(right_key)
+            for left_key, right_key in chunk:
+                left_record = left_found.get(left_key)
+                if left_record is None:
+                    continue
                 right_record = right_cache[right_key]
-            else:
-                right_record = right_method.fetch(ctx, right_handle,
-                                                  right_key, None,
-                                                  right_predicate)
-                right_cache[right_key] = right_record
-            if right_record is None:
-                continue
-            yield tuple(left_record) + tuple(right_record)
+                if right_record is None:
+                    continue
+                yield tuple(left_record) + tuple(right_record)
 
     def _join_index_nl(self, ctx, plan, join, left_handle, right_handle,
                        params):
         database = self.database
         right_method = database.registry.storage_method(
             right_handle.descriptor.storage_method_id)
-        right_predicate = (Predicate.from_bound(
-            join.right_access.predicate, right_handle.schema, params)
-            if join.right_access.predicate is not None else None)
+        right_predicate = join.right_access.compiled_predicate(
+            right_handle.schema, params, ctx.stats)
         probe = self._resolve_probe(right_handle, join.right_index)
         ctx.stats.bump("executor.index_nl_joins")
+        # Probe the inner index per outer row, but resolve the resulting
+        # record keys a block of outer rows at a time: one fetch_many
+        # call covers every inner record the block needs.
+        block: List[Tuple[Tuple, List]] = []
         for __, left_record in self._access_rows(ctx, left_handle,
                                                  plan.access, params):
             value = left_record[join.left_index]
             if value is None:
                 continue
-            for right_key in probe(ctx, value):
-                right_record = right_method.fetch(ctx, right_handle,
-                                                  right_key, None,
-                                                  right_predicate)
+            right_keys = list(probe(ctx, value))
+            if right_keys:
+                block.append((left_record, right_keys))
+            if len(block) >= _BATCH_MIN:
+                yield from self._emit_index_nl(ctx, right_handle,
+                                               right_method,
+                                               right_predicate, block)
+                block = []
+        if block:
+            yield from self._emit_index_nl(ctx, right_handle, right_method,
+                                           right_predicate, block)
+
+    @staticmethod
+    def _emit_index_nl(ctx, right_handle, right_method, right_predicate,
+                       block):
+        keys = list(dict.fromkeys(
+            key for __, right_keys in block for key in right_keys))
+        found = dict(right_method.fetch_many(ctx, right_handle, keys, None,
+                                             right_predicate))
+        for left_record, right_keys in block:
+            for right_key in right_keys:
+                right_record = found.get(right_key)
                 if right_record is not None:
                     yield tuple(left_record) + tuple(right_record)
 

@@ -24,6 +24,7 @@ from ..services.predicate import (And, Col, Expr, conjuncts,
                                   simple_comparison)
 from .ast import SelectStmt
 from .cost import AccessCost, EligiblePredicate
+from .plans import CompiledPredicateCache
 
 __all__ = ["QualifiedSchema", "TableAccess", "JoinStep", "SelectPlan",
            "plan_table_access", "plan_select", "bind_combined"]
@@ -68,7 +69,7 @@ class TableAccess:
     """
 
     __slots__ = ("relation", "access", "cost", "relevant", "predicate",
-                 "ordered_by", "candidates")
+                 "ordered_by", "candidates", "predicate_cache")
 
     def __init__(self, relation: str, access: tuple, cost: AccessCost,
                  relevant: Tuple[EligiblePredicate, ...],
@@ -81,6 +82,11 @@ class TableAccess:
         self.predicate = predicate  # full bound predicate (residual filter)
         self.ordered_by = cost.ordered_by
         self.candidates = candidates or []
+        self.predicate_cache = CompiledPredicateCache()
+
+    def compiled_predicate(self, schema, params, stats=None):
+        """The residual filter compiled once per plan (cloned per params)."""
+        return self.predicate_cache.get(self.predicate, schema, params, stats)
 
     @property
     def is_storage(self) -> bool:
@@ -127,11 +133,13 @@ class SelectPlan:
     __slots__ = ("statement_text", "table", "alias", "access", "join",
                  "combined_schema", "items", "star", "where",
                  "order_by", "needs_sort", "limit", "group_index",
-                 "handles", "covering")
+                 "handles", "covering", "where_cache")
 
     def __init__(self, **kw):
         for name in self.__slots__:
             setattr(self, name, kw.get(name))
+        if self.where_cache is None:
+            self.where_cache = CompiledPredicateCache()
 
     def explain(self) -> dict:
         out = {"access": self.access.explain()}

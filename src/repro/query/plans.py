@@ -20,7 +20,45 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Set, Tuple
 
-__all__ = ["BoundPlan", "PlanCache"]
+from ..services.predicate import Predicate
+
+__all__ = ["BoundPlan", "CompiledPredicateCache", "PlanCache"]
+
+
+class CompiledPredicateCache:
+    """Per-plan cache of one compiled filter :class:`Predicate`.
+
+    ``Predicate.from_bound`` walks the bound expression tree to collect the
+    fields it references; doing that on every execution taxes each
+    statement with work that only depends on the *plan*.  Plan objects own
+    one of these caches per filter site, so the walk happens once per plan
+    and parameterised executions get an O(1) clone carrying the new
+    parameter values.  The cache lives inside the bound plan's payload, so
+    the dependency tracker's invalidation (which discards the payload)
+    discards the compiled predicate with it.
+    """
+
+    __slots__ = ("_compiled",)
+
+    def __init__(self):
+        self._compiled: Optional[Predicate] = None
+
+    def get(self, expr, schema, params: Optional[dict],
+            stats=None) -> Optional[Predicate]:
+        """The compiled predicate for ``expr`` carrying ``params``."""
+        if expr is None:
+            return None
+        compiled = self._compiled
+        if compiled is None:
+            compiled = Predicate.from_bound(expr, schema, None)
+            self._compiled = compiled
+            if stats is not None:
+                stats.bump("executor.predicate_compilations")
+        elif stats is not None:
+            stats.bump("executor.predicate_cache_hits")
+        if params:
+            return compiled.with_params(params)
+        return compiled
 
 
 class BoundPlan:

@@ -16,8 +16,9 @@ log.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Callable, Dict, Optional
+from typing import Callable, Iterable, Optional
 
 from ..errors import BufferError_
 from .disk import BlockDevice
@@ -27,18 +28,23 @@ __all__ = ["BufferPool"]
 
 
 class _Frame:
-    __slots__ = ("page_id", "data", "pin_count", "dirty", "last_used")
+    __slots__ = ("page_id", "data", "pin_count", "dirty", "prefetched")
 
     def __init__(self, page_id: int, data: bytearray):
         self.page_id = page_id
         self.data = data
         self.pin_count = 0
         self.dirty = False
-        self.last_used = 0
+        self.prefetched = False
 
 
 class BufferPool:
     """A fixed-capacity page cache over a :class:`BlockDevice`."""
+
+    #: Misses on this many consecutive page ids trigger read-ahead.
+    READAHEAD_RUN = 3
+    #: Number of upcoming pages pre-installed per read-ahead trigger.
+    READAHEAD_WINDOW = 8
 
     def __init__(self, device: BlockDevice, capacity: int = 256,
                  wal_flush: Optional[Callable[[int], None]] = None):
@@ -48,8 +54,11 @@ class BufferPool:
         self.capacity = capacity
         self.stats = device.stats
         self._wal_flush = wal_flush
-        self._frames: Dict[int, _Frame] = {}
-        self._clock = 0
+        # LRU order: least-recently-used frames at the front, so eviction
+        # pops from the front instead of scanning every frame.
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._last_page = -2  # sequential-pattern detector state
+        self._seq_run = 0
 
     def set_wal_flush(self, wal_flush: Callable[[int], None]) -> None:
         """Install the log-force hook (wired up after the WAL is created)."""
@@ -70,14 +79,55 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is None:
             self.stats.bump("buffer.misses")
+            self._note_miss(page_id)
             frame = self._install(page_id, bytearray(self.device.read(page_id)))
         else:
             self.stats.bump("buffer.hits")
+            if frame.prefetched:
+                frame.prefetched = False
+                self.stats.bump("buffer.readahead.hits")
+            self._frames.move_to_end(page_id)
         frame.pin_count += 1
-        self._clock += 1
-        frame.last_used = self._clock
         self.stats.bump("buffer.pins")
         return PageView(page_id, frame.data)
+
+    def prefetch(self, page_ids: Iterable[int]) -> int:
+        """Pre-install pages without pinning them.
+
+        Sequential scans call this with the pages they are about to touch,
+        so the subsequent :meth:`fetch` calls hit in the pool.  Prefetch
+        never evicts — pages are installed only while free frames remain —
+        and silently skips pages already cached or not on the device.
+        Returns the number of pages installed.
+        """
+        installed = 0
+        for page_id in page_ids:
+            if page_id in self._frames:
+                continue
+            if len(self._frames) >= self.capacity:
+                self.stats.bump("buffer.readahead.skipped")
+                break
+            if not self.device.exists(page_id):
+                continue
+            frame = _Frame(page_id, bytearray(self.device.read(page_id)))
+            frame.prefetched = True
+            self._frames[page_id] = frame
+            installed += 1
+        if installed:
+            self.stats.bump("buffer.readahead.installed", installed)
+        return installed
+
+    def _note_miss(self, page_id: int) -> None:
+        """Detect sequential miss patterns and read ahead of them."""
+        if page_id == self._last_page + 1:
+            self._seq_run += 1
+            if self._seq_run >= self.READAHEAD_RUN:
+                self.stats.bump("buffer.readahead.triggered")
+                self.prefetch(range(page_id + 1,
+                                    page_id + 1 + self.READAHEAD_WINDOW))
+        else:
+            self._seq_run = 0
+        self._last_page = page_id
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
         frame = self._frames.get(page_id)
@@ -130,17 +180,18 @@ class BufferPool:
         if len(self._frames) >= self.capacity:
             self._evict()
         frame = _Frame(page_id, data)
-        self._clock += 1
-        frame.last_used = self._clock
         self._frames[page_id] = frame
         return frame
 
     def _evict(self) -> None:
+        # The front of the LRU order is the least-recently-used frame;
+        # pinned frames are skipped (there are at most #pins of them), so
+        # eviction is O(1) amortised instead of a scan of every frame.
         victim = None
         for frame in self._frames.values():
-            if frame.pin_count == 0 and (victim is None
-                                         or frame.last_used < victim.last_used):
+            if frame.pin_count == 0:
                 victim = frame
+                break
         if victim is None:
             raise BufferError_(
                 f"buffer pool exhausted: all {self.capacity} frames pinned")

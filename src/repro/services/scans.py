@@ -74,6 +74,26 @@ class Scan:
         item)."""
         raise NotImplementedError
 
+    def next_batch(self, n: int) -> list:
+        """Return up to ``n`` items following the current position.
+
+        An empty list means the scan is *after* the last item.  After a
+        non-empty return the scan is *on* the last item of the batch, so
+        ``save_position`` / ``restore_position`` keep their tuple-at-a-time
+        meaning at batch boundaries.  The default loops over :meth:`next`;
+        extensions override it to extract a whole page of records under a
+        single buffer pin.
+        """
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        batch = []
+        while len(batch) < n:
+            item = self.next()
+            if item is None:
+                break
+            batch.append(item)
+        return batch
+
     def save_position(self) -> ScanPosition:
         raise NotImplementedError
 
@@ -92,7 +112,10 @@ class ScanService:
     """Tracks open scans per transaction; wires them to transaction events."""
 
     def __init__(self, events: EventService):
-        self._open: Dict[int, List[Scan]] = {}
+        # txn_id -> {id(scan): scan}; keyed by identity so wide queries
+        # opening many scans register/unregister in O(1) (insertion order
+        # is preserved, so event handlers still see scans oldest-first).
+        self._open: Dict[int, Dict[int, Scan]] = {}
         # (txn_id, savepoint name) -> [(scan, position)]
         self._saved: Dict[Tuple[int, str], List[Tuple[Scan, ScanPosition]]] = {}
         events.subscribe(ev.AT_END, self._on_txn_end)
@@ -101,20 +124,20 @@ class ScanService:
 
     # -- registration (called by extensions when opening/closing scans) -------
     def register(self, scan: Scan) -> Scan:
-        self._open.setdefault(scan.txn_id, []).append(scan)
+        self._open.setdefault(scan.txn_id, {})[id(scan)] = scan
         return scan
 
     def unregister(self, scan: Scan) -> None:
         scans = self._open.get(scan.txn_id)
-        if scans and scan in scans:
-            scans.remove(scan)
+        if scans is not None:
+            scans.pop(id(scan), None)
 
     def open_scans(self, txn_id: int) -> Tuple[Scan, ...]:
-        return tuple(self._open.get(txn_id, ()))
+        return tuple(self._open.get(txn_id, {}).values())
 
     # -- event reactions ------------------------------------------------------------
     def _on_txn_end(self, txn_id: int, info: dict) -> None:
-        for scan in self._open.pop(txn_id, []):
+        for scan in self._open.pop(txn_id, {}).values():
             if not scan.closed:
                 scan.close()
         for key in [k for k in self._saved if k[0] == txn_id]:
@@ -123,7 +146,7 @@ class ScanService:
     def _on_savepoint_set(self, txn_id: int, info: dict) -> None:
         name = info["name"]
         captured = [(scan, scan.save_position())
-                    for scan in self._open.get(txn_id, ())
+                    for scan in self._open.get(txn_id, {}).values()
                     if not scan.closed]
         self._saved[(txn_id, name)] = captured
 

@@ -27,8 +27,8 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.context import ExecutionContext
 from ..core.records import decode_record, encode_record
 from ..core.storage_method import RelationHandle, StorageMethod
-from ..errors import (PageError, RecordNotFoundError, StorageError,
-                      UniqueViolation)
+from ..errors import (PageError, RecordNotFoundError, ScanError,
+                      StorageError, UniqueViolation)
 from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
 from ..services.locks import LockMode
 from ..services.predicate import Predicate
@@ -240,6 +240,57 @@ class BTreeFileScan(Scan):
                 buffer.unpin(page_id)
         self.state = AFTER
         return None
+
+    def next_batch(self, n: int) -> list:
+        """Extract up to ``n`` records in key order, pinning each leaf page
+        once for its whole run of consecutive directory entries (bulk
+        loads fill pages in key order, so runs are long)."""
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        descriptor = self.handle.descriptor.storage_descriptor
+        directory = descriptor["directory"]
+        if self.position is None:
+            index = 0 if self.low is None else bisect.bisect_left(
+                directory, [list(self.low)])
+        else:
+            index = bisect.bisect_right(directory, [list(self.position),
+                                                    float("inf"), 0])
+        buffer = self.ctx.buffer
+        batch: list = []
+        past_high = False
+        while index < len(directory) and len(batch) < n and not past_high:
+            run_page = directory[index][1]
+            page = buffer.fetch(run_page)
+            try:
+                while index < len(directory) and len(batch) < n:
+                    key_list, page_id, slot = directory[index]
+                    if page_id != run_page:
+                        break
+                    key = tuple(key_list)
+                    if self.high is not None and key > self.high:
+                        past_high = True
+                        break
+                    index += 1
+                    self.position = key
+                    self.state = ON
+                    self.ctx.stats.bump("btree_file.tuples_scanned")
+                    record = decode_record(self.handle.schema, page.read(slot))
+                    if self.predicate is not None \
+                            and not self.predicate.matches(record):
+                        continue
+                    self.ctx.lock_record(self.handle.relation_id, key,
+                                         LockMode.S)
+                    if self.fields is None:
+                        batch.append((key, record))
+                    else:
+                        batch.append((key, tuple(
+                            record[i] for i in self.fields)))
+            finally:
+                buffer.unpin(run_page)
+        if not batch:
+            self.state = AFTER
+        return batch
 
     def save_position(self) -> ScanPosition:
         return ScanPosition(self.state, self.position)
@@ -470,6 +521,38 @@ class BTreeFileStorageMethod(StorageMethod):
         if fields is None:
             return record
         return tuple(record[i] for i in fields)
+
+    def fetch_many(self, ctx, handle, keys, fields=None, predicate=None):
+        """Resolve all keys through the directory first, then pin each
+        leaf page once for all its requested records."""
+        descriptor = handle.descriptor.storage_descriptor
+        directory = descriptor["directory"]
+        by_page = {}
+        for key in keys:
+            key = tuple(key)
+            index = _dir_find(directory, key)
+            if index is None:
+                continue
+            __, page_id, slot = directory[index]
+            by_page.setdefault(page_id, []).append((key, slot))
+        found = {}
+        for page_id, entries in by_page.items():
+            page = ctx.buffer.fetch(page_id)
+            try:
+                for key, slot in entries:
+                    ctx.lock_record(handle.relation_id, key, LockMode.S)
+                    record = decode_record(handle.schema, page.read(slot))
+                    if predicate is not None and not predicate.matches(record):
+                        continue
+                    if fields is None:
+                        found[key] = record
+                    else:
+                        found[key] = tuple(record[i] for i in fields)
+            finally:
+                ctx.buffer.unpin(page_id)
+        ctx.stats.bump("btree_file.fetches", len(found))
+        return [(key, found[tuple(key)]) for key in keys
+                if tuple(key) in found]
 
     def open_scan(self, ctx, handle, fields=None, predicate=None,
                   low: Optional[tuple] = None,

@@ -26,7 +26,7 @@ from typing import Optional, Sequence
 
 from ..core.context import ExecutionContext
 from ..core.storage_method import RelationHandle, StorageMethod
-from ..errors import ForeignError, StorageError
+from ..errors import ForeignError, ScanError, StorageError
 from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
 from ..services.predicate import Predicate
 from ..services.recovery import ResourceHandler
@@ -110,6 +110,25 @@ class ForeignScan(Scan):
         if self.fields is None:
             return key, record
         return key, tuple(record[i] for i in self.fields)
+
+    def next_batch(self, n: int) -> list:
+        """Slice the shipped batch — the block-fetch already paid the
+        message cost, so batching here is pure local bookkeeping."""
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        index = 0 if self.position is None else self.position + 1
+        chunk = self.batch[index:index + n]
+        if not chunk:
+            self.state = AFTER
+            return []
+        self.position = index + len(chunk) - 1
+        self.state = ON
+        self.ctx.stats.bump("foreign.tuples_scanned", len(chunk))
+        if self.fields is None:
+            return list(chunk)
+        return [(key, tuple(record[i] for i in self.fields))
+                for key, record in chunk]
 
     def save_position(self) -> ScanPosition:
         return ScanPosition(self.state, self.position)
@@ -238,6 +257,26 @@ class ForeignStorageMethod(StorageMethod):
         if fields is None:
             return record
         return tuple(record[i] for i in fields)
+
+    def fetch_many(self, ctx, handle, keys, fields=None, predicate=None):
+        """Ship the whole key set in one message (a block-fetch protocol)
+        instead of one round trip per key."""
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"].table(descriptor["relation"])
+        _remote_call(ctx, descriptor, ctx.stats)
+        pairs = []
+        for key in keys:
+            record = remote.fetch(key)
+            if record is None:
+                continue
+            if predicate is not None and not predicate.matches(record):
+                continue
+            if fields is None:
+                pairs.append((key, record))
+            else:
+                pairs.append((key, tuple(record[i] for i in fields)))
+        ctx.stats.bump("foreign.fetches", len(pairs))
+        return pairs
 
     def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
         descriptor = handle.descriptor.storage_descriptor

@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core.context import ExecutionContext
 from ..core.records import decode_record, encode_record
 from ..core.storage_method import RelationHandle, StorageMethod
-from ..errors import PageError, RecordNotFoundError, StorageError
+from ..errors import PageError, RecordNotFoundError, ScanError, StorageError
 from ..services.locks import LockMode
 from ..services.pages import HEADER_SIZE, PageView
 from ..services.predicate import Predicate
@@ -220,6 +220,63 @@ class HeapScan(Scan):
             self.position = (page_index, -1)
         self.state = AFTER
         return None
+
+    #: Pages prefetched ahead of the one being extracted during a batch.
+    _PREFETCH_PAGES = 4
+
+    def next_batch(self, n: int) -> list:
+        """Extract up to ``n`` qualifying records page-at-a-time: each page
+        is pinned once for all its records, and the pages about to be
+        crossed are pre-installed in the buffer pool."""
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        descriptor = self.handle.descriptor.storage_descriptor
+        pages: List[int] = descriptor["pages"]
+        page_index, slot = (0, -1) if self.position is None else self.position
+        buffer = self.ctx.buffer
+        batch: list = []
+        while page_index < len(pages) and len(batch) < n:
+            page_id = pages[page_index]
+            page = buffer.fetch(page_id)
+            exhausted = True
+            try:
+                next_slot = slot + 1
+                while next_slot < page.slot_count:
+                    if len(batch) >= n:
+                        exhausted = False
+                        break
+                    if page.slot_in_use(next_slot):
+                        self.position = (page_index, next_slot)
+                        self.state = ON
+                        self.ctx.stats.bump("heap.tuples_scanned")
+                        record = decode_record(self.handle.schema,
+                                               page.read(next_slot))
+                        if self.predicate is None \
+                                or self.predicate.matches(record):
+                            key = (page_id, next_slot)
+                            self.ctx.lock_record(self.handle.relation_id, key,
+                                                 LockMode.S)
+                            if self.fields is None:
+                                batch.append((key, record))
+                            else:
+                                batch.append((key, tuple(
+                                    record[i] for i in self.fields)))
+                    next_slot += 1
+            finally:
+                buffer.unpin(page_id)
+            if not exhausted:
+                break
+            page_index += 1
+            slot = -1
+            self.position = (page_index, -1)
+            if len(batch) < n and page_index < len(pages):
+                # The batch crosses into the next page: read ahead of it.
+                buffer.prefetch(pages[page_index:
+                                      page_index + self._PREFETCH_PAGES])
+        if not batch:
+            self.state = AFTER
+        return batch
 
     def save_position(self) -> ScanPosition:
         return ScanPosition(self.state, self.position)
@@ -421,6 +478,40 @@ class HeapStorageMethod(StorageMethod):
             return tuple(record[i] for i in fields)
         finally:
             ctx.buffer.unpin(page_id)
+
+    def fetch_many(self, ctx, handle, keys, fields=None, predicate=None):
+        """Direct fetch of many record addresses with one pin per page."""
+        descriptor = handle.descriptor.storage_descriptor
+        page_set = set(descriptor["pages"])
+        by_page = {}
+        for key in keys:
+            try:
+                page_id, slot = key
+            except (TypeError, ValueError):
+                raise RecordNotFoundError(
+                    f"bad heap record key {key!r}") from None
+            if page_id in page_set:
+                by_page.setdefault(page_id, []).append((page_id, slot))
+        found = {}
+        for page_id, page_keys in by_page.items():
+            page = ctx.buffer.fetch(page_id)
+            try:
+                for key in page_keys:
+                    slot = key[1]
+                    if slot >= page.slot_count or not page.slot_in_use(slot):
+                        continue
+                    ctx.lock_record(handle.relation_id, key, LockMode.S)
+                    record = decode_record(handle.schema, page.read(slot))
+                    if predicate is not None and not predicate.matches(record):
+                        continue
+                    if fields is None:
+                        found[key] = record
+                    else:
+                        found[key] = tuple(record[i] for i in fields)
+            finally:
+                ctx.buffer.unpin(page_id)
+        ctx.stats.bump("heap.fetches", len(found))
+        return [(key, found[key]) for key in keys if key in found]
 
     def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
         scan = HeapScan(ctx, handle, fields, predicate)

@@ -23,7 +23,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.context import ExecutionContext
 from ..core.storage_method import RelationHandle, StorageMethod
-from ..errors import RecordNotFoundError, StorageError
+from ..errors import RecordNotFoundError, ScanError, StorageError
 from ..services.locks import LockMode
 from ..services.predicate import Predicate
 from ..services.recovery import ResourceHandler
@@ -77,6 +77,39 @@ class MemoryScan(Scan):
             return key, tuple(record[i] for i in self.fields)
         self.state = AFTER
         return None
+
+    def next_batch(self, n: int) -> list:
+        """Slice the snapshotted key sequence: one bisect for the whole
+        batch instead of one per record."""
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        floor = self.position if self.position is not None else -1
+        index = bisect.bisect_right(self._keys, floor)
+        batch: list = []
+        scanned = 0
+        while index < len(self._keys) and len(batch) < n:
+            key = self._keys[index]
+            index += 1
+            record = self.rows.get(key)
+            if record is None:
+                continue  # deleted after the scan opened
+            self.position = key
+            self.state = ON
+            scanned += 1
+            if self.predicate is not None \
+                    and not self.predicate.matches(record):
+                continue
+            self.ctx.lock_record(self.handle.relation_id, key, LockMode.S)
+            if self.fields is None:
+                batch.append((key, record))
+            else:
+                batch.append((key, tuple(record[i] for i in self.fields)))
+        if scanned:
+            self.ctx.stats.bump("memory.tuples_scanned", scanned)
+        if not batch:
+            self.state = AFTER
+        return batch
 
     def save_position(self) -> ScanPosition:
         return ScanPosition(self.state, self.position)
@@ -239,6 +272,24 @@ class MemoryStorageMethod(StorageMethod):
         if fields is None:
             return record
         return tuple(record[i] for i in fields)
+
+    def fetch_many(self, ctx, handle, keys, fields=None, predicate=None):
+        """Direct dict lookups for the whole key set; one stats bump."""
+        rows = handle.descriptor.storage_descriptor["rows"]
+        pairs = []
+        for key in keys:
+            record = rows.get(key)
+            if record is None:
+                continue
+            ctx.lock_record(handle.relation_id, key, LockMode.S)
+            if predicate is not None and not predicate.matches(record):
+                continue
+            if fields is None:
+                pairs.append((key, record))
+            else:
+                pairs.append((key, tuple(record[i] for i in fields)))
+        ctx.stats.bump("memory.fetches", len(pairs))
+        return pairs
 
     def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
         descriptor = handle.descriptor.storage_descriptor

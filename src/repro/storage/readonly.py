@@ -25,7 +25,7 @@ from typing import Optional, Sequence, Tuple
 from ..core.context import ExecutionContext
 from ..core.records import decode_record, encode_record
 from ..core.storage_method import RelationHandle, StorageMethod
-from ..errors import ReadOnlyError, StorageError
+from ..errors import ReadOnlyError, ScanError, StorageError
 from ..services.locks import LockMode
 from ..services.predicate import Predicate
 from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
@@ -74,6 +74,51 @@ class ReadOnlyScan(Scan):
                 buffer.unpin(page_id)
         self.state = AFTER
         return None
+
+    #: Pages prefetched ahead of the one being extracted during a batch.
+    _PREFETCH_PAGES = 4
+
+    def next_batch(self, n: int) -> list:
+        """Extract up to ``n`` records with one pin per platter page —
+        ordinals are packed page by page, so each page yields a run."""
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        descriptor = self.handle.descriptor.storage_descriptor
+        addresses = descriptor["addresses"]
+        pages = descriptor["pages"]
+        ordinal = 0 if self.position is None else self.position + 1
+        buffer = self.ctx.buffer
+        batch: list = []
+        while ordinal < len(addresses) and len(batch) < n:
+            run_page = addresses[ordinal][0]
+            page_index = pages.index(run_page)
+            buffer.prefetch(pages[page_index + 1:
+                                  page_index + 1 + self._PREFETCH_PAGES])
+            page = buffer.fetch(run_page)
+            try:
+                while ordinal < len(addresses) and len(batch) < n:
+                    page_id, slot = addresses[ordinal]
+                    if page_id != run_page:
+                        break
+                    self.position = ordinal
+                    self.state = ON
+                    self.ctx.stats.bump("readonly.tuples_scanned")
+                    record = decode_record(self.handle.schema, page.read(slot))
+                    ordinal += 1
+                    if self.predicate is not None \
+                            and not self.predicate.matches(record):
+                        continue
+                    if self.fields is None:
+                        batch.append((ordinal - 1, record))
+                    else:
+                        batch.append((ordinal - 1, tuple(
+                            record[i] for i in self.fields)))
+            finally:
+                buffer.unpin(run_page)
+        if not batch:
+            self.state = AFTER
+        return batch
 
     def save_position(self) -> ScanPosition:
         return ScanPosition(self.state, self.position)
@@ -190,6 +235,33 @@ class ReadOnlyStorageMethod(StorageMethod):
         if fields is None:
             return record
         return tuple(record[i] for i in fields)
+
+    def fetch_many(self, ctx, handle, keys, fields=None, predicate=None):
+        """Group the requested ordinals by platter page, one pin each."""
+        descriptor = handle.descriptor.storage_descriptor
+        addresses = descriptor["addresses"]
+        by_page = {}
+        for key in keys:
+            if not isinstance(key, int) or not 0 <= key < len(addresses):
+                continue
+            page_id, slot = addresses[key]
+            by_page.setdefault(page_id, []).append((key, slot))
+        found = {}
+        for page_id, entries in by_page.items():
+            page = ctx.buffer.fetch(page_id)
+            try:
+                for key, slot in entries:
+                    record = decode_record(handle.schema, page.read(slot))
+                    if predicate is not None and not predicate.matches(record):
+                        continue
+                    if fields is None:
+                        found[key] = record
+                    else:
+                        found[key] = tuple(record[i] for i in fields)
+            finally:
+                ctx.buffer.unpin(page_id)
+        ctx.stats.bump("readonly.fetches", len(found))
+        return [(key, found[key]) for key in keys if key in found]
 
     def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
         scan = ReadOnlyScan(ctx, handle, fields, predicate)

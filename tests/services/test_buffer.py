@@ -112,3 +112,74 @@ def test_free_page_requires_unpinned():
     pool.unpin(page.page_id)
     pool.free_page(page.page_id)
     assert not device.exists(page.page_id)
+
+
+# ---------------------------------------------------------------------------
+# Read-ahead
+# ---------------------------------------------------------------------------
+
+def flushed_pages(pool, n):
+    """n consecutive device pages, flushed and dropped from the pool."""
+    ids = []
+    for __ in range(n):
+        page = pool.new_page(1)
+        pool.unpin(page.page_id, dirty=True)
+        ids.append(page.page_id)
+    pool.flush_all()
+    pool.crash()
+    return ids
+
+
+def test_prefetch_installs_unpinned_frames():
+    device, pool = make_pool(capacity=8)
+    ids = flushed_pages(pool, 3)
+    assert pool.prefetch(ids) == 3
+    assert pool.cached_pages == 3
+    assert all(pool.pin_count(i) == 0 for i in ids)
+    before = device.reads
+    with pool.pinned(ids[0]):
+        pass
+    assert device.reads == before  # served from the pool
+    assert pool.stats.get("buffer.readahead.hits") == 1
+
+
+def test_prefetch_never_evicts():
+    device, pool = make_pool(capacity=2)
+    resident = flushed_pages(pool, 3)
+    pool.prefetch(resident[:2])
+    assert pool.cached_pages == 2
+    skipped_before = pool.stats.get("buffer.readahead.skipped")
+    assert pool.prefetch(resident[2:]) == 0  # pool full: skip, don't evict
+    assert pool.stats.get("buffer.readahead.skipped") == skipped_before + 1
+    assert pool.cached_pages == 2
+
+
+def test_prefetch_skips_cached_and_missing_pages():
+    device, pool = make_pool(capacity=8)
+    page = pool.new_page(1)
+    pool.unpin(page.page_id, dirty=True)
+    assert pool.prefetch([page.page_id, page.page_id + 999]) == 0
+
+
+def test_sequential_misses_trigger_readahead():
+    device, pool = make_pool(capacity=32)
+    ids = flushed_pages(pool, 16)
+    # A run of consecutive-page misses pre-installs the pages ahead.
+    for page_id in ids[:4]:
+        with pool.pinned(page_id):
+            pass
+    assert pool.stats.get("buffer.readahead.triggered") >= 1
+    assert pool.stats.get("buffer.readahead.installed") >= 1
+    before = device.reads
+    with pool.pinned(ids[4]):
+        pass
+    assert device.reads == before  # read ahead of the scan
+
+
+def test_random_misses_do_not_trigger_readahead():
+    device, pool = make_pool(capacity=32)
+    ids = flushed_pages(pool, 12)
+    for page_id in (ids[0], ids[5], ids[2], ids[9], ids[7]):
+        with pool.pinned(page_id):
+            pass
+    assert pool.stats.get("buffer.readahead.triggered") == 0

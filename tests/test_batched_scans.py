@@ -1,0 +1,301 @@
+"""Set-at-a-time read path: ``next_batch``/``fetch_many`` agree with the
+tuple-at-a-time operations, and the paper's scan-position rules (savepoint
+restore, delete-at-position) hold across batch boundaries."""
+
+import pytest
+
+from repro import AccessPath, Box, Database
+from repro.errors import ScanError
+
+
+def drain_next(scan):
+    out = []
+    while True:
+        item = scan.next()
+        if item is None:
+            return out
+        out.append(item)
+
+
+def drain_batches(scan, n):
+    out = []
+    while True:
+        batch = scan.next_batch(n)
+        if not batch:
+            return out
+        out.extend(batch)
+
+
+def views(items):
+    """Index scans pair record keys with RecordViews (no ``__eq__``);
+    compare them by content."""
+    return [(key, repr(view)) for key, view in items]
+
+
+def storage_scan(db, name, ctx, fields=None, predicate=None):
+    handle = db.catalog.handle(name)
+    method = db.registry.storage_method(handle.descriptor.storage_method_id)
+    return method.open_scan(ctx, handle, fields, predicate)
+
+
+def make_table(db, storage):
+    """A 40-row relation on the requested storage method."""
+    rows = [(i, f"name_{i}") for i in range(40)]
+    if storage == "readonly":
+        table = db.create_table("t", [("id", "INT"), ("name", "STRING")],
+                                storage_method="readonly")
+        handle = db.catalog.handle("t")
+        method = db.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        with db.autocommit() as ctx:
+            method.publish(ctx, handle, rows)
+        return table
+    if storage == "foreign":
+        remote = Database(page_size=1024)
+        remote.create_table("t", [("id", "INT"), ("name", "STRING")]) \
+              .insert_many(rows)
+        table = db.create_table("t", [("id", "INT"), ("name", "STRING")],
+                                storage_method="foreign",
+                                attributes={"database": remote,
+                                            "relation": "t"})
+        return table
+    attrs = {"key": ["id"]} if storage == "btree_file" else None
+    table = db.create_table("t", [("id", "INT"), ("name", "STRING")],
+                            storage_method=storage, attributes=attrs)
+    table.insert_many(rows)
+    return table
+
+
+STORAGES = ["heap", "memory", "btree_file", "readonly", "foreign"]
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: next_batch sees exactly what next sees
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("storage", STORAGES)
+@pytest.mark.parametrize("batch_size", [1, 7, 100])
+def test_next_batch_matches_next(db, storage, batch_size):
+    make_table(db, storage)
+    with db.autocommit() as ctx:
+        expected = drain_next(storage_scan(db, "t", ctx))
+    with db.autocommit() as ctx:
+        got = drain_batches(storage_scan(db, "t", ctx), batch_size)
+    assert got == expected
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_next_batch_with_predicate_and_projection(db, storage):
+    table = make_table(db, storage)
+    predicate = table._predicate("id >= 10 AND id < 30", None)
+    with db.autocommit() as ctx:
+        expected = drain_next(storage_scan(db, "t", ctx, (1,), predicate))
+    with db.autocommit() as ctx:
+        got = drain_batches(storage_scan(db, "t", ctx, (1,), predicate), 6)
+    assert got == expected
+    assert [values for __, values in got] \
+        == [(f"name_{i}",) for i in range(10, 30)]
+
+
+def test_next_batch_rejects_non_positive_counts(db, employee):
+    with db.autocommit() as ctx:
+        scan = storage_scan(db, "employee", ctx)
+        with pytest.raises(ScanError):
+            scan.next_batch(0)
+
+
+@pytest.mark.parametrize("index_ddl", [
+    "CREATE INDEX t_id ON t (id)",                      # btree_index
+    "CREATE INDEX t_id ON t (id) USING hash_index",
+])
+def test_index_scan_batches_match_next(db, index_ddl):
+    make_table(db, "heap")
+    db.execute(index_ddl)
+    handle = db.catalog.handle("t")
+    type_name = "hash_index" if "hash_index" in index_ddl else "btree_index"
+    att = db.registry.attachment_type_by_name(type_name)
+    field = handle.descriptor.attachment_field(att.type_id)
+    instance = att.instance(field, "t_id")
+    with db.autocommit() as ctx:
+        expected = drain_next(att.open_scan(ctx, handle, instance))
+    with db.autocommit() as ctx:
+        got = drain_batches(att.open_scan(ctx, handle, instance), 7)
+    assert views(got) == views(expected)
+    assert len(got) == 40
+
+
+def test_rtree_scan_batches_match_next(db):
+    table = db.create_table("t", [("id", "INT"), ("region", "BOX")])
+    table.insert_many([(i, Box(i, i, i + 2, i + 2)) for i in range(30)])
+    db.create_attachment("t", "rtree", "t_rt", {"column": "region"})
+    handle = db.catalog.handle("t")
+    att = db.registry.attachment_type_by_name("rtree")
+    field = handle.descriptor.attachment_field(att.type_id)
+    instance = att.instance(field, "t_rt")
+    route = ("rtree_search", "overlaps", Box(0, 0, 100, 100))
+    with db.autocommit() as ctx:
+        expected = drain_next(att.open_scan(ctx, handle, instance,
+                                            route=route))
+    with db.autocommit() as ctx:
+        got = drain_batches(att.open_scan(ctx, handle, instance,
+                                          route=route), 4)
+    assert views(got) == views(expected)
+    assert len(got) == 30
+
+
+# ---------------------------------------------------------------------------
+# fetch_many
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("storage", STORAGES)
+def test_fetch_many_matches_fetch(db, storage):
+    make_table(db, storage)
+    handle = db.catalog.handle("t")
+    with db.autocommit() as ctx:
+        keys = [key for key, __ in drain_batches(
+            storage_scan(db, "t", ctx), 16)]
+    # Reverse the keys: pairs must come back in *input* order.
+    probe = list(reversed(keys))
+    with db.autocommit() as ctx:
+        pairs = db.data.fetch_many(ctx, handle, probe)
+        expected = [(key, db.data.fetch(ctx, handle, key)) for key in probe]
+    assert pairs == expected
+
+
+def test_fetch_many_omits_missing_and_filtered(db, employee):
+    handle = db.catalog.handle("employee")
+    predicate = employee._predicate("dept = 'eng'", None)
+    with db.autocommit() as ctx:
+        keys = [key for key, __ in drain_batches(
+            storage_scan(db, "employee", ctx), 16)]
+        missing = (keys[-1][0] + 1000, 0)  # a page the heap never owned
+        pairs = db.data.fetch_many(ctx, handle,
+                                   [keys[0], missing] + keys[1:],
+                                   predicate=predicate)
+    assert [values[1] for __, values in pairs] == ["alice", "carol", "erin"]
+
+
+# ---------------------------------------------------------------------------
+# Scan-position semantics across batch boundaries
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("storage,attrs", [
+    ("heap", None),
+    ("memory", None),
+    ("btree_file", {"key": ["id"]}),
+])
+def test_savepoint_mid_batch_restores_position(db, storage, attrs):
+    """A position captured between batches is restored by partial
+    rollback, and the following batch re-covers the rolled-back items."""
+    table = db.create_table("s", [("id", "INT")], storage_method=storage,
+                            attributes=attrs)
+    table.insert_many([(i,) for i in range(8)])
+    db.begin()
+    with db.autocommit() as ctx:
+        handle = db.catalog.handle("s")
+        method = db.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        scan = method.open_scan(ctx, handle)
+        assert [r[0] for __, r in scan.next_batch(3)] == [0, 1, 2]
+        db.savepoint("sp")
+        assert [r[0] for __, r in scan.next_batch(3)] == [3, 4, 5]
+        db.rollback_to("sp")
+        # Restored to "on item 2": the next batch starts at item 3 again.
+        assert [r[0] for __, r in scan.next_batch(3)] == [3, 4, 5]
+        assert [r[0] for __, r in scan.next_batch(3)] == [6, 7]
+    db.commit()
+
+
+@pytest.mark.parametrize("storage,attrs", [
+    ("heap", None),
+    ("memory", None),
+    ("btree_file", {"key": ["id"]}),
+])
+def test_delete_at_batch_position_leaves_scan_after_item(db, storage, attrs):
+    """After a batch the scan is ON its last item; deleting that record
+    leaves the scan just after it, so the next batch starts beyond it."""
+    table = db.create_table("s", [("id", "INT")], storage_method=storage,
+                            attributes=attrs)
+    table.insert_many([(i,) for i in range(6)])
+    db.begin()
+    with db.autocommit() as ctx:
+        handle = db.catalog.handle("s")
+        method = db.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        scan = method.open_scan(ctx, handle)
+        batch = scan.next_batch(2)
+        assert [r[0] for __, r in batch] == [0, 1]
+        db.data.delete(ctx, handle, batch[-1][0])  # delete item 1, the position
+        assert [r[0] for __, r in scan.next_batch(2)] == [2, 3]
+    db.commit()
+
+
+def test_scans_closed_at_txn_end_reject_next_batch(db, employee):
+    db.begin()
+    with db.autocommit() as ctx:
+        scan = storage_scan(db, "employee", ctx)
+        scan.next_batch(2)
+    db.commit()
+    assert scan.closed
+    with pytest.raises(ScanError):
+        scan.next_batch(2)
+
+
+# ---------------------------------------------------------------------------
+# Executor: LIMIT short-circuit and top-k
+# ---------------------------------------------------------------------------
+
+def test_limit_short_circuit_stops_pulling_batches(db):
+    table = db.create_table("big", [("id", "INT"), ("pad", "STRING")])
+    table.insert_many([(i, "x" * 40) for i in range(2000)])
+    stats = db.services.stats
+    before = stats.snapshot()
+    rows = db.execute("SELECT id FROM big LIMIT 10")
+    assert rows == [(i,) for i in range(10)]
+    delta = stats.delta(before)
+    assert delta.get("executor.limit_short_circuits", 0) == 1
+    # LIMIT 10 pulled one small batch, not the 2000-row relation.
+    assert delta.get("heap.tuples_scanned", 0) <= 64
+
+
+def test_order_by_limit_uses_bounded_heap(db):
+    table = db.create_table("big", [("id", "INT"), ("score", "FLOAT")])
+    table.insert_many([(i, float((i * 7919) % 1000)) for i in range(500)])
+    stats = db.services.stats
+    before = stats.snapshot()
+    rows = db.execute("SELECT id, score FROM big ORDER BY score DESC, id "
+                      "LIMIT 5")
+    delta = stats.delta(before)
+    assert delta.get("executor.topk", 0) == 1
+    assert delta.get("executor.sorts", 0) == 0
+    expected = sorted(table.rows(), key=lambda r: (-r[1], r[0]))[:5]
+    assert rows == expected
+
+
+def test_top_k_matches_full_sort_results(db):
+    table = db.create_table("big", [("id", "INT"), ("score", "FLOAT")])
+    table.insert_many([(i, float(i % 7)) for i in range(100)])
+    limited = db.execute("SELECT id FROM big ORDER BY score LIMIT 20")
+    full = db.execute("SELECT id FROM big ORDER BY score")
+    assert limited == full[:20]
+
+
+def test_predicate_compiled_once_per_plan(db, employee):
+    stats = db.services.stats
+    db.execute("SELECT name FROM employee WHERE salary > 90000")
+    before = stats.snapshot()
+    db.execute("SELECT name FROM employee WHERE salary > 90000")
+    db.execute("SELECT name FROM employee WHERE salary > 90000")
+    delta = stats.delta(before)
+    assert delta.get("executor.predicate_compilations", 0) == 0
+    assert delta.get("executor.predicate_cache_hits", 0) >= 2
+
+
+def test_parameterised_executions_share_compiled_predicate(db, employee):
+    stats = db.services.stats
+    query = "SELECT name FROM employee WHERE dept = :d"
+    assert db.execute(query, {"d": "sales"}) == [("bob",)]
+    before = stats.snapshot()
+    assert db.execute(query, {"d": "finance"}) == [("dave",)]
+    delta = stats.delta(before)
+    assert delta.get("executor.predicate_compilations", 0) == 0
