@@ -31,9 +31,17 @@ class Database:
     """An extensible relational database instance."""
 
     def __init__(self, page_size: int = 4096, buffer_capacity: int = 256,
-                 principal: str = "admin", register_builtins: bool = True):
+                 principal: str = "admin", register_builtins: bool = True,
+                 group_commit: int = 0, auto_checkpoint_interval: int = 0):
         self.services = SystemServices(page_size=page_size,
                                        buffer_capacity=buffer_capacity)
+        # Durability knobs: group_commit=N batches N commits per log force
+        # (deferred durability until the group flushes);
+        # auto_checkpoint_interval=N takes a fuzzy checkpoint every N log
+        # records, bounding restart redo and enabling log truncation.
+        self.services.transactions.group_commit_limit = group_commit
+        if auto_checkpoint_interval > 0:
+            self.services.enable_auto_checkpoint(auto_checkpoint_interval)
         self.services.database = self  # recovery handlers reach the catalog
         self.services.in_restart = False
         self.registry = ExtensionRegistry()
@@ -237,15 +245,27 @@ class Database:
     # ------------------------------------------------------------------
     # Crash / restart
     # ------------------------------------------------------------------
-    def checkpoint(self) -> None:
-        """Force the log and every dirty page to stable storage.
+    def checkpoint(self, mode: str = "fuzzy", truncate: bool = False) -> dict:
+        """Take a checkpoint; returns its summary.
 
-        After a checkpoint, restart redo finds every page already at (or
-        past) the logged LSNs and skips the work — the page-LSN guard is
-        what makes redo idempotent.
+        ``mode="fuzzy"`` (the default) snapshots the active-transaction
+        and dirty-page tables without flushing a single data page; restart
+        redo then starts at ``min(rec_lsn)`` over the snapshot instead of
+        at the head of the log.  ``mode="sharp"`` first writes every dirty
+        page back, collapsing the redo bound to the checkpoint itself.
+        ``truncate=True`` reclaims the log prefix below the checkpoint's
+        redo/undo point (LSN addressing stays stable).
         """
-        self.services.checkpoint()
+        if mode not in ("fuzzy", "sharp"):
+            raise ValueError(f"unknown checkpoint mode {mode!r}")
+        info = self.services.checkpoint(truncate=truncate,
+                                        flush_pages=(mode == "sharp"))
         self.services.stats.bump("db.checkpoints")
+        return info
+
+    def commit_group(self) -> int:
+        """Stabilize every pending group commit with one log flush."""
+        return self.services.transactions.commit_group()
 
     def restart(self) -> dict:
         """Simulate a crash and run restart recovery.

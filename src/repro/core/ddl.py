@@ -65,7 +65,10 @@ class _DdlHandler(ResourceHandler):
             db.authorization.forget_relation(payload["name"])
             db.dependencies.invalidate(relation_token(payload["name"]))
         elif action == "drop_relation":
-            db.catalog.reinstall(payload["entry"])
+            # Idempotent: restart's before_redo may have provisionally
+            # reinstalled the entry so page redo could find it.
+            if not db.catalog.exists(payload["entry"].handle.name):
+                db.catalog.reinstall(payload["entry"])
         elif action == "create_attachment":
             entry = db.catalog.entry(payload["relation"])
             attachment = db.registry.attachment_type_by_name(payload["type"])
@@ -101,6 +104,16 @@ class _DdlHandler(ResourceHandler):
 
     def redo(self, services, lsn: int, payload: dict) -> None:
         """Catalog state is non-volatile; nothing to redo."""
+
+    def before_redo(self, services, record) -> None:
+        """A loser DROP hid the relation's catalog entry before the
+        crash; put it back so page-based redo of the relation's data can
+        resolve the descriptor.  Undo later reinstalls idempotently."""
+        payload = record.payload
+        if payload.get("action") == "drop_relation":
+            entry = payload["entry"]
+            if not self.database.catalog.exists(entry.handle.name):
+                self.database.catalog.reinstall(entry)
 
 
 class _RecoveryTxn:

@@ -35,7 +35,8 @@ class SystemServices:
         self.disk = BlockDevice(page_size=page_size, stats=self.stats)
         self.wal = LogManager()
         self.buffer = BufferPool(self.disk, capacity=buffer_capacity,
-                                 wal_flush=self.wal.flush)
+                                 wal_flush=self.wal.flush,
+                                 lsn_source=lambda: self.wal.current_lsn)
         self.recovery = RecoveryManager(self.wal, services=self)
         self.locks = LockManager(stats=self.stats)
         self.events = EventService()
@@ -53,7 +54,30 @@ class SystemServices:
         self.buffer.crash()
         return self.wal.lose_unflushed()
 
-    def checkpoint(self) -> None:
-        """Force all dirty pages (and therefore the log) to stable storage."""
-        self.wal.flush()
-        self.buffer.flush_all()
+    def checkpoint(self, truncate: bool = False,
+                   flush_pages: bool = False) -> dict:
+        """Take a checkpoint; fuzzy by default (no data page is flushed).
+
+        ``flush_pages=True`` first writes every dirty page back (the sharp
+        variant — it empties the dirty-page table so the checkpoint's redo
+        bound collapses to the checkpoint itself).  ``truncate=True``
+        additionally reclaims the log prefix below the checkpoint's
+        redo/undo point.  Returns the checkpoint summary.
+        """
+        if flush_pages:
+            self.buffer.flush_all()
+        info = self.recovery.checkpoint()
+        info["truncated"] = (self.wal.truncate(info["truncatable_below"])
+                             if truncate else 0)
+        return info
+
+    def enable_auto_checkpoint(self, interval: int) -> None:
+        """Take a fuzzy checkpoint automatically every ``interval`` log
+        records (0 disables).  The trigger counts every appended record
+        and resets whenever any checkpoint completes."""
+        self.wal.set_checkpoint_trigger(
+            interval, self._auto_checkpoint if interval > 0 else None)
+
+    def _auto_checkpoint(self) -> None:
+        self.checkpoint()
+        self.stats.bump("recovery.checkpoints.auto")

@@ -12,6 +12,15 @@ objects.
 A *crash* is simulated by discarding every frame without flushing; restart
 recovery then rebuilds state from the device plus the stable prefix of the
 log.
+
+Recovery bookkeeping: every frame tracks its ``rec_lsn`` — the LSN of the
+first update that dirtied it since it was last clean on the device.  The
+dirty-page table (``dirty_page_table``) snapshots ``page_id -> rec_lsn``
+for the fuzzy checkpoint, and ``min(rec_lsn)`` bounds where restart redo
+must begin: everything below it is already reflected on the device.  The
+candidate LSN is captured when a clean frame is pinned (before any log
+record for the modification can exist), so the bound stays conservative
+even for modifications in flight while a checkpoint runs.
 """
 
 from __future__ import annotations
@@ -28,7 +37,8 @@ __all__ = ["BufferPool"]
 
 
 class _Frame:
-    __slots__ = ("page_id", "data", "pin_count", "dirty", "prefetched")
+    __slots__ = ("page_id", "data", "pin_count", "dirty", "prefetched",
+                 "rec_lsn", "rec_candidate")
 
     def __init__(self, page_id: int, data: bytearray):
         self.page_id = page_id
@@ -36,6 +46,11 @@ class _Frame:
         self.pin_count = 0
         self.dirty = False
         self.prefetched = False
+        #: LSN of the first update since the frame was last clean (0: clean).
+        self.rec_lsn = 0
+        #: Conservative floor for rec_lsn, captured when a clean frame is
+        #: pinned — no log record of the pin's modifications can precede it.
+        self.rec_candidate = 0
 
 
 class BufferPool:
@@ -47,13 +62,15 @@ class BufferPool:
     READAHEAD_WINDOW = 8
 
     def __init__(self, device: BlockDevice, capacity: int = 256,
-                 wal_flush: Optional[Callable[[int], None]] = None):
+                 wal_flush: Optional[Callable[[int], None]] = None,
+                 lsn_source: Optional[Callable[[], int]] = None):
         if capacity < 1:
             raise BufferError_("buffer pool needs at least one frame")
         self.device = device
         self.capacity = capacity
         self.stats = device.stats
         self._wal_flush = wal_flush
+        self._lsn_source = lsn_source
         # LRU order: least-recently-used frames at the front, so eviction
         # pops from the front instead of scanning every frame.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
@@ -64,6 +81,18 @@ class BufferPool:
         """Install the log-force hook (wired up after the WAL is created)."""
         self._wal_flush = wal_flush
 
+    def set_lsn_source(self, lsn_source: Callable[[], int]) -> None:
+        """Install the current-LSN probe used for rec_lsn tracking."""
+        self._lsn_source = lsn_source
+
+    def _next_lsn(self) -> int:
+        """The lowest LSN any not-yet-written log record can get.
+
+        With no LSN source wired (standalone pools in tests) this is 1,
+        which degrades gracefully to "redo from the start of the log".
+        """
+        return (self._lsn_source() if self._lsn_source is not None else 0) + 1
+
     # -- pinning -------------------------------------------------------------
     def new_page(self, page_type: int) -> PageView:
         """Allocate a device page, format it, and return it pinned."""
@@ -71,6 +100,7 @@ class BufferPool:
         frame = self._install(page_id, bytearray(self.device.page_size))
         frame.pin_count += 1
         frame.dirty = True
+        frame.rec_lsn = frame.rec_candidate = self._next_lsn()
         self.stats.bump("buffer.pins")
         return PageView.format(page_id, frame.data, page_type)
 
@@ -87,6 +117,11 @@ class BufferPool:
                 frame.prefetched = False
                 self.stats.bump("buffer.readahead.hits")
             self._frames.move_to_end(page_id)
+        if frame.pin_count == 0 and not frame.dirty:
+            # First pin of a clean frame: no log record of this pin's
+            # modifications can exist yet, so the current log end bounds
+            # the frame's eventual rec_lsn from below.
+            frame.rec_candidate = self._next_lsn()
         frame.pin_count += 1
         self.stats.bump("buffer.pins")
         return PageView(page_id, frame.data)
@@ -134,7 +169,9 @@ class BufferPool:
         if frame is None or frame.pin_count == 0:
             raise BufferError_(f"unpin of unpinned page {page_id}")
         frame.pin_count -= 1
-        frame.dirty = frame.dirty or dirty
+        if dirty and not frame.dirty:
+            frame.dirty = True
+            frame.rec_lsn = frame.rec_candidate or self._next_lsn()
 
     @contextmanager
     def pinned(self, page_id: int, dirty: bool = False):
@@ -147,14 +184,43 @@ class BufferPool:
 
     # -- flushing / lifecycle ---------------------------------------------------
     def flush_page(self, page_id: int) -> None:
+        """Write one dirty page back (WAL-before-data enforced)."""
         frame = self._frames.get(page_id)
         if frame is not None and frame.dirty:
             self._write_back(frame)
 
     def flush_all(self) -> None:
+        """Write every dirty page back (WAL-before-data enforced per page).
+
+        Emptying the dirty-page table this way before a checkpoint gives
+        the checkpoint the tightest possible redo bound — the background-
+        writer role in ARIES terms.
+        """
         for frame in list(self._frames.values()):
             if frame.dirty:
                 self._write_back(frame)
+
+    # -- recovery bookkeeping ----------------------------------------------------
+    def dirty_page_table(self) -> dict:
+        """Snapshot ``page_id -> rec_lsn`` for the fuzzy checkpoint.
+
+        Pinned-but-clean frames are included with their candidate LSN: a
+        modification may be in flight under the pin (logged but not yet
+        marked dirty), and the candidate — captured before the pin could
+        log anything — keeps the redo bound conservative.
+        """
+        table = {}
+        for page_id, frame in self._frames.items():
+            if frame.dirty:
+                table[page_id] = frame.rec_lsn or 1
+            elif frame.pin_count:
+                table[page_id] = frame.rec_candidate or 1
+        return table
+
+    def min_rec_lsn(self) -> int:
+        """The redo lower bound over the current dirty set (0: nothing dirty)."""
+        table = self.dirty_page_table()
+        return min(table.values()) if table else 0
 
     def free_page(self, page_id: int) -> None:
         """Drop a page from the pool and the device (must be unpinned)."""
@@ -201,11 +267,18 @@ class BufferPool:
         self.stats.bump("buffer.evictions")
 
     def _write_back(self, frame: _Frame) -> None:
+        # WAL-before-data: the log must be stable through the page's last
+        # stamped LSN before the page bytes may reach the device.  This
+        # holds on every write-back path — eviction, flush_page, flush_all.
         if self._wal_flush is not None:
             page_lsn = PageView(frame.page_id, frame.data).page_lsn
             self._wal_flush(page_lsn)
         self.device.write(frame.page_id, bytes(frame.data))
         frame.dirty = False
+        frame.rec_lsn = 0
+        # A frame flushed while pinned may still be modified under the pin;
+        # re-arm the candidate so a later dirtying gets a fresh floor.
+        frame.rec_candidate = self._next_lsn() if frame.pin_count else 0
 
     # -- introspection ----------------------------------------------------------------
     @property

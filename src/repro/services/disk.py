@@ -78,6 +78,14 @@ class BlockDevice:
     def exists(self, page_id: int) -> bool:
         return page_id in self._pages
 
+    def page_ids(self) -> list:
+        """Allocated page ids in order (uncounted — benchmark introspection).
+
+        Recovery benchmarks use this to compare the byte-exact device state
+        of two databases after restart without perturbing the I/O counters.
+        """
+        return sorted(self._pages)
+
     @property
     def allocated_pages(self) -> int:
         return len(self._pages)

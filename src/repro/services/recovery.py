@@ -1,4 +1,4 @@
-"""Log-driven rollback and restart recovery.
+"""Log-driven rollback, fuzzy checkpointing, and bounded restart recovery.
 
 The paper: "When a relation modification operation fails, for any reason,
 the common recovery log is used to drive the storage method and attachment
@@ -12,6 +12,15 @@ driver walks the log and calls the handler's ``undo``/``redo``.  Undo
 writes compensation records (CLRs) whose ``undo_next`` pointer skips the
 compensated operation, so rollback is itself restartable and partial
 rollback to a savepoint composes with a later full abort.
+
+Restart cost is bounded by checkpoints, not log length.  A *fuzzy*
+checkpoint (:meth:`RecoveryManager.checkpoint`) snapshots the active-
+transaction table and the buffer pool's dirty-page table without flushing
+a single data page; restart analysis starts at the master checkpoint and
+redo starts at ``min(rec_lsn)`` over the checkpointed dirty pages — the
+oldest update that could be missing from the device.  Everything below
+the checkpoint's redo/undo point can be reclaimed with
+``LogManager.truncate``.
 """
 
 from __future__ import annotations
@@ -20,9 +29,11 @@ from typing import Dict, Set
 
 from ..errors import RecoveryError
 from . import wal as wal_records
-from .wal import LogManager, LogRecord
+from .wal import LogManager, LogRecord, SYSTEM_TXN
 
 __all__ = ["ResourceHandler", "RecoveryManager"]
+
+_CHECKPOINT_KINDS = (wal_records.CHECKPOINT_BEGIN, wal_records.CHECKPOINT_END)
 
 
 class ResourceHandler:
@@ -35,7 +46,8 @@ class ResourceHandler:
       pages touched must be stamped with ``clr_lsn``.
     * ``redo(services, lsn, payload)`` — re-apply the logged operation
       idempotently; page-based implementations skip pages whose
-      ``page_lsn`` is already >= ``lsn``.
+      ``page_lsn`` is already >= ``lsn`` (and count the skip under
+      ``recovery.redo.skipped_page_lsn``).
     """
 
     def undo(self, services, payload: dict, clr_lsn: int) -> None:
@@ -44,9 +56,20 @@ class ResourceHandler:
     def redo(self, services, lsn: int, payload: dict) -> None:
         raise NotImplementedError
 
+    def before_redo(self, services, record) -> None:
+        """Prepare restart redo for a loser transaction's operation.
+
+        Called once per loser log record before the redo pass.  Most
+        handlers need nothing here; logical resources whose forward
+        action hides state that page-based redo depends on (e.g. a DROP
+        that unhooks a relation's descriptor from the catalog) restore
+        visibility so redo can resolve the pages.  The undo pass still
+        performs the authoritative reversal afterwards.
+        """
+
 
 class RecoveryManager:
-    """The common rollback / restart driver over the shared log."""
+    """The common rollback / checkpoint / restart driver over the shared log."""
 
     def __init__(self, wal: LogManager, services=None):
         self.wal = wal
@@ -65,6 +88,11 @@ class RecoveryManager:
             raise RecoveryError(
                 f"no recovery handler registered for resource {resource!r}"
             ) from None
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        stats = getattr(self.services, "stats", None)
+        if stats is not None:
+            stats.bump(name, amount)
 
     # -- logging entry point used by extensions ---------------------------------
     def log_update(self, txn_id: int, resource: str, payload: dict) -> LogRecord:
@@ -114,6 +142,75 @@ class RecoveryManager:
                 lsn = record.prev_lsn
         return undone
 
+    # -- fuzzy checkpoint ---------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Take a fuzzy checkpoint; returns its summary.
+
+        The protocol writes CHECKPOINT_BEGIN, snapshots the active-
+        transaction table (with each transaction's last and first LSN) and
+        the buffer pool's dirty-page table, writes both into
+        CHECKPOINT_END, forces the log, and only then advances the master
+        pointer — so a crash anywhere inside the window falls back to the
+        previous complete checkpoint.  No data page is flushed.
+
+        The summary carries ``redo_lsn`` (where restart redo would begin)
+        and ``truncatable_below`` (the safe log-truncation bound: nothing
+        below it is needed for redo of the dirty pages *or* undo of the
+        transactions active at the checkpoint).
+        """
+        wal = self.wal
+        begin = wal.append(SYSTEM_TXN, wal_records.CHECKPOINT_BEGIN)
+        att = {}
+        transactions = getattr(self.services, "transactions", None)
+        if transactions is not None:
+            for txn in transactions.active_transactions():
+                last = wal.last_lsn(txn.txn_id)
+                if last:
+                    kind = wal.record(last).kind
+                    if kind in (wal_records.COMMIT, wal_records.END):
+                        # The checkpoint can fire mid-commit (the trigger
+                        # runs inside the COMMIT/END append, before the
+                        # manager marks the transaction committed).  Its
+                        # fate is already sealed in the log below this
+                        # checkpoint — and stable, because the checkpoint
+                        # flush covers every earlier record — so putting
+                        # it in the ATT would make analysis call committed
+                        # work a loser and undo it.
+                        continue
+                att[txn.txn_id] = {"state": txn.state.value,
+                                   "last_lsn": last,
+                                   "first_lsn": wal.first_lsn(txn.txn_id)}
+        dpt = {}
+        buffer = getattr(self.services, "buffer", None)
+        if buffer is not None:
+            dpt = buffer.dirty_page_table()
+        end = wal.append(SYSTEM_TXN, wal_records.CHECKPOINT_END,
+                         payload={"begin_lsn": begin.lsn, "att": att,
+                                  "dpt": dpt})
+        wal.flush()
+        wal.set_master(begin.lsn)
+        redo_lsn = min([begin.lsn] + list(dpt.values()))
+        undo_lsn = min([first["first_lsn"] for first in att.values()
+                        if first["first_lsn"]] or [begin.lsn])
+        self._bump("recovery.checkpoints")
+        return {"begin_lsn": begin.lsn, "end_lsn": end.lsn,
+                "redo_lsn": redo_lsn,
+                "truncatable_below": min(redo_lsn, undo_lsn),
+                "dirty_pages": len(dpt), "active_transactions": len(att)}
+
+    def _checkpoint_tables(self, master: int) -> tuple:
+        """The (att, dpt) snapshots of the master checkpoint."""
+        for record in self.wal.forward(master):
+            if (record.kind == wal_records.CHECKPOINT_END
+                    and record.payload.get("begin_lsn") == master):
+                return (record.payload.get("att", {}),
+                        record.payload.get("dpt", {}))
+        # The master pointer is only advanced after CHECKPOINT_END is
+        # stable, so this indicates log corruption rather than a torn
+        # checkpoint window.
+        raise RecoveryError(
+            f"master checkpoint at LSN {master} has no CHECKPOINT_END")
+
     # -- restart recovery ---------------------------------------------------------------
     def restart(self) -> dict:
         """ARIES-style restart over the stable log prefix.
@@ -121,26 +218,59 @@ class RecoveryManager:
         The caller is responsible for having simulated the crash first
         (``wal.lose_unflushed()`` and ``buffer.crash()``).  Performs:
 
-        1. *Analysis*: find loser transactions (no COMMIT and no END).
-        2. *Redo*: re-apply every UPDATE and CLR in LSN order (handlers are
-           idempotent via page LSNs).
+        1. *Analysis*: from the master checkpoint (or the oldest retained
+           record when none exists), rebuild the loser set from the
+           checkpointed active-transaction table plus the log tail.
+        2. *Redo*: re-apply UPDATEs and CLRs from ``min(rec_lsn)`` over
+           the checkpointed dirty-page table — bounded by dirty pages,
+           not log length (handlers stay idempotent via page LSNs).
         3. *Undo*: roll back losers, writing CLRs, then ABORT/END records.
 
         Returns a summary dict for tests and benchmarks.
         """
+        wal = self.wal
+        master = wal.master_lsn
+        att: Dict[int, dict] = {}
+        dpt: Dict[int, int] = {}
+        if master:
+            att, dpt = self._checkpoint_tables(master)
+        analysis_start = master if master else wal.oldest_lsn
+
         committed: Set[int] = set()
         ended: Set[int] = set()
-        seen: Set[int] = set()
-        redone = 0
-        for record in self.wal.forward():
+        seen: Set[int] = set(att)
+        analyzed = 0
+        for record in wal.forward(analysis_start):
+            analyzed += 1
+            if record.kind in _CHECKPOINT_KINDS:
+                continue
             seen.add(record.txn_id)
             if record.kind == wal_records.COMMIT:
                 committed.add(record.txn_id)
             elif record.kind == wal_records.END:
                 ended.add(record.txn_id)
         losers = sorted(seen - committed - ended)
+        self._bump("recovery.analysis.records", analyzed)
 
-        for record in self.wal.forward():
+        # Give handlers a chance to prepare redo for loser operations —
+        # e.g. a loser DROP removed its catalog entry before the crash,
+        # and redo of the relation's pages needs the descriptor back
+        # before undo formally restores it.  Scan from the losers' undo
+        # horizon (their records are always retained by truncation).
+        loser_set = set(losers)
+        prepare_start = min(
+            [analysis_start]
+            + [info["first_lsn"] for txn_id, info in att.items()
+               if txn_id in loser_set and info.get("first_lsn")])
+        for record in wal.forward(prepare_start):
+            if (record.txn_id in loser_set
+                    and record.kind in (wal_records.UPDATE, wal_records.CLR)):
+                self.handler(record.resource).before_redo(
+                    self.services, record)
+
+        redo_start = min([analysis_start] + list(dpt.values()))
+        redone = 0
+        for record in wal.forward(redo_start):
             if record.kind in (wal_records.UPDATE, wal_records.CLR):
                 self.handler(record.resource).redo(
                     self.services, record.lsn, record.payload)
@@ -151,6 +281,9 @@ class RecoveryManager:
             undone += self.rollback(txn_id, to_lsn=0)
             self.wal.append(txn_id, wal_records.ABORT)
             self.wal.append(txn_id, wal_records.END)
+        self._bump("recovery.undo.records", undone)
         self.wal.flush()
         return {"losers": losers, "redone": redone, "undone": undone,
-                "committed": sorted(committed)}
+                "committed": sorted(committed),
+                "checkpoint_lsn": master, "redo_from": redo_start,
+                "analysis_records": analyzed}

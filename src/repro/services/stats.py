@@ -5,6 +5,13 @@ benchmark harness validates the architecture's performance claims by
 *counting* work rather than timing a simulated disk.  Every common service
 and extension increments counters here; benchmarks and the query planner
 read them.
+
+Restart work is observable through the ``recovery.*`` family:
+``recovery.analysis.records`` (log records scanned by restart analysis),
+``recovery.redo.applied`` / ``recovery.redo.skipped_page_lsn`` (logical
+operations re-applied vs. skipped by the page-LSN guard), and
+``recovery.undo.records`` (loser operations rolled back at restart).
+Group commit reports under ``txn.group_commit.*``.
 """
 
 from __future__ import annotations

@@ -13,6 +13,17 @@ Coordinates the common services on the paper's transaction events:
 * **savepoints** — write a SAVEPOINT record, let the scan service capture
   key-sequential positions (their changes are not logged), and on partial
   rollback drive the undo back to the savepoint LSN and restore positions.
+
+Group commit: with ``group_commit_limit`` set, commits *enqueue* their
+COMMIT record instead of forcing the log one transaction at a time; one
+flush (:meth:`TransactionManager.commit_group`, or the automatic flush
+when the queue reaches the limit) stabilizes the whole batch.  Until that
+flush, the enqueued commits are not yet durable — a crash loses them and
+restart rolls them back — which is the standard deferred-durability
+window group commit trades for an N-fold reduction in log forces.
+Transactions with at-commit deferred actions (e.g. the deferred release
+of dropped storage) never join a group: their commit must be durable
+before the externalized release runs.
 """
 
 from __future__ import annotations
@@ -80,6 +91,10 @@ class TransactionManager:
         self.stats = stats
         self._next_id = 1
         self._active: Dict[int, Transaction] = {}
+        #: Group commit: 0 disables (every commit forces the log solo);
+        #: N > 0 enqueues commits and auto-flushes once N are pending.
+        self.group_commit_limit = 0
+        self._group_queue: list = []  # pending COMMIT record LSNs
 
     # -- lifecycle -------------------------------------------------------------
     def begin(self) -> Transaction:
@@ -99,8 +114,19 @@ class TransactionManager:
             self.abort(txn)
             raise
         txn.state = TxnState.PREPARED
-        self.wal.append(txn.txn_id, wal_records.COMMIT)
-        self.wal.flush()  # commit is durable once the log is stable
+        record = self.wal.append(txn.txn_id, wal_records.COMMIT)
+        # Commit is durable once the log is stable through the COMMIT
+        # record.  At-commit deferred actions externalize state (deferred
+        # storage release), so their transactions always force solo.
+        if (self.group_commit_limit > 0
+                and not self.events.pending(txn.txn_id, ev.AT_COMMIT)):
+            self._group_queue.append(record.lsn)
+            if self.stats is not None:
+                self.stats.bump("txn.group_commit.enqueued")
+            if len(self._group_queue) >= self.group_commit_limit:
+                self.commit_group()
+        else:
+            self.wal.flush()
         self.events.fire(txn.txn_id, ev.AT_COMMIT)
         self.wal.append(txn.txn_id, wal_records.END)
         self.locks.release_all(txn.txn_id)
@@ -115,6 +141,10 @@ class TransactionManager:
         self.wal.append(txn.txn_id, wal_records.ABORT)
         self.recovery.rollback(txn.txn_id, to_lsn=0)
         self.wal.append(txn.txn_id, wal_records.END)
+        # Force the log through the END record: without this, a crash
+        # right after a "completed" abort loses the CLR/ABORT/END chain
+        # and restart must redo and then re-undo the whole transaction.
+        self.wal.flush()
         # Deferred actions never run for an aborted transaction.
         self.events.discard(txn.txn_id)
         try:
@@ -124,6 +154,30 @@ class TransactionManager:
             txn.state = TxnState.ABORTED
             self.events.fire(txn.txn_id, ev.AT_END)
             self._active.pop(txn.txn_id, None)
+
+    # -- group commit -----------------------------------------------------------------
+    def commit_group(self) -> int:
+        """Stabilize every enqueued commit with one log flush.
+
+        Returns the number of commits made durable by this flush.  Commits
+        whose LSN some other log force already covered (an abort, a
+        checkpoint, a solo commit) are pruned without another flush.
+        """
+        pending = [lsn for lsn in self._group_queue
+                   if lsn > self.wal.flushed_lsn]
+        self._group_queue.clear()
+        if not pending:
+            return 0
+        self.wal.flush(max(pending))
+        if self.stats is not None:
+            self.stats.bump("txn.group_commit.flushes")
+            self.stats.bump("txn.group_commit.stabilized", len(pending))
+        return len(pending)
+
+    def pending_group_commits(self) -> int:
+        """Commits enqueued but not yet durable (crash would lose them)."""
+        return sum(1 for lsn in self._group_queue
+                   if lsn > self.wal.flushed_lsn)
 
     # -- savepoints -----------------------------------------------------------------
     def savepoint(self, txn: Transaction, name: str) -> int:

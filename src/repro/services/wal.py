@@ -14,16 +14,26 @@ as in ARIES-style systems.
 
 Stability is modelled explicitly: :meth:`LogManager.flush` advances the
 stable prefix, and a simulated crash discards everything after it.
+
+Checkpointing and truncation: ``CHECKPOINT_BEGIN``/``CHECKPOINT_END``
+records bracket a fuzzy checkpoint; the ``master_lsn`` pointer (the analogue
+of the master record on stable storage) names the latest *complete*
+checkpoint and survives a crash because it is only advanced after the
+CHECKPOINT_END record is stable.  :meth:`truncate` reclaims the log prefix
+below the checkpoint's redo/undo point; LSN addressing stays stable across
+truncation via a base offset, so page LSNs and backchains never need
+rewriting.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..errors import RecoveryError
 
 __all__ = ["LogRecord", "LogManager",
-           "BEGIN", "UPDATE", "CLR", "SAVEPOINT", "COMMIT", "ABORT", "END"]
+           "BEGIN", "UPDATE", "CLR", "SAVEPOINT", "COMMIT", "ABORT", "END",
+           "CHECKPOINT_BEGIN", "CHECKPOINT_END"]
 
 # Log record kinds.
 BEGIN = "BEGIN"
@@ -33,6 +43,12 @@ SAVEPOINT = "SAVEPOINT"
 COMMIT = "COMMIT"
 ABORT = "ABORT"
 END = "END"
+CHECKPOINT_BEGIN = "CHECKPOINT_BEGIN"  # fuzzy checkpoint opened
+CHECKPOINT_END = "CHECKPOINT_END"      # carries the ATT and DPT snapshots
+
+#: Pseudo transaction id used by checkpoint records (no real transaction
+#: ever gets id 0; see TransactionManager which starts at 1).
+SYSTEM_TXN = 0
 
 
 class LogRecord:
@@ -64,22 +80,38 @@ class LogRecord:
 
 
 class LogManager:
-    """Append-only log with an explicitly tracked stable prefix."""
+    """Append-only log with an explicitly tracked stable prefix.
+
+    Internally the record list may start at any LSN: ``_base`` counts the
+    records reclaimed by :meth:`truncate`, so ``_records[0]`` holds LSN
+    ``_base + 1`` and every externally visible LSN is stable forever.
+    """
 
     def __init__(self):
         self._records: List[LogRecord] = []
+        self._base = 0               # records reclaimed below oldest_lsn
         self._flushed_lsn = 0
-        self._last_lsn: Dict[int, int] = {}  # txn_id -> last LSN written
+        self._master_lsn = 0         # latest complete checkpoint's BEGIN
+        self._last_lsn: Dict[int, int] = {}   # txn_id -> last LSN written
+        self._first_lsn: Dict[int, int] = {}  # txn_id -> first LSN written
+        # Automatic checkpoint trigger (installed by SystemServices).
+        self._checkpoint_interval = 0
+        self._checkpoint_callback: Optional[Callable[[], None]] = None
+        self._since_checkpoint = 0
+        self._in_checkpoint_trigger = False
 
     # -- appending ------------------------------------------------------------
     def append(self, txn_id: int, kind: str, resource: Optional[str] = None,
                payload: Optional[dict] = None,
                undo_next: Optional[int] = None) -> LogRecord:
-        lsn = len(self._records) + 1
+        lsn = self._base + len(self._records) + 1
         prev = self._last_lsn.get(txn_id, 0)
         record = LogRecord(lsn, prev, txn_id, kind, resource, payload, undo_next)
         self._records.append(record)
         self._last_lsn[txn_id] = lsn
+        if txn_id not in self._first_lsn:
+            self._first_lsn[txn_id] = lsn
+        self._maybe_auto_checkpoint()
         return record
 
     def append_batch(self, txn_id: int, kind: str,
@@ -101,6 +133,10 @@ class LogManager:
     def last_lsn(self, txn_id: int) -> int:
         return self._last_lsn.get(txn_id, 0)
 
+    def first_lsn(self, txn_id: int) -> int:
+        """The transaction's oldest LSN (its undo horizon; 0 if none)."""
+        return self._first_lsn.get(txn_id, 0)
+
     # -- stability ----------------------------------------------------------------
     @property
     def flushed_lsn(self) -> int:
@@ -108,7 +144,16 @@ class LogManager:
 
     @property
     def current_lsn(self) -> int:
-        return len(self._records)
+        return self._base + len(self._records)
+
+    @property
+    def oldest_lsn(self) -> int:
+        """The first LSN still addressable (everything below was truncated)."""
+        return self._base + 1
+
+    @property
+    def truncated_records(self) -> int:
+        return self._base
 
     def flush(self, up_to_lsn: Optional[int] = None) -> None:
         """Force the log to stable storage up to ``up_to_lsn`` (or all)."""
@@ -121,24 +166,103 @@ class LogManager:
         """Simulate a crash: records after the stable prefix are lost.
 
         Returns the number of records dropped.  Per-transaction chains are
-        rebuilt from the surviving records.
+        rebuilt from the surviving records.  The master checkpoint pointer
+        survives (it is only ever advanced after the checkpoint records are
+        stable).
         """
-        lost = len(self._records) - self._flushed_lsn
-        del self._records[self._flushed_lsn:]
+        lost = self.current_lsn - self._flushed_lsn
+        if lost > 0:
+            del self._records[self._flushed_lsn - self._base:]
+        else:
+            lost = 0
         self._last_lsn = {}
+        self._first_lsn = {}
         for record in self._records:
             self._last_lsn[record.txn_id] = record.lsn
+            if record.txn_id not in self._first_lsn:
+                self._first_lsn[record.txn_id] = record.lsn
+        if self._master_lsn > self._flushed_lsn:
+            self._master_lsn = 0  # incomplete checkpoint never becomes master
         return lost
+
+    # -- checkpointing --------------------------------------------------------
+    @property
+    def master_lsn(self) -> int:
+        """LSN of the latest complete checkpoint's CHECKPOINT_BEGIN (0: none)."""
+        return self._master_lsn
+
+    def set_master(self, lsn: int) -> None:
+        """Advance the master checkpoint pointer (checkpoint must be stable)."""
+        if lsn > self._flushed_lsn:
+            raise RecoveryError(
+                f"master checkpoint LSN {lsn} is beyond the stable prefix "
+                f"({self._flushed_lsn}) — flush the checkpoint records first")
+        self._master_lsn = lsn
+        self._since_checkpoint = 0
+
+    def truncate(self, before_lsn: int) -> int:
+        """Reclaim records with LSN < ``before_lsn``; returns count dropped.
+
+        Only the stable prefix is ever reclaimed, and LSN addressing stays
+        valid: later records keep their LSNs, and looking up a reclaimed
+        LSN raises.  Callers are responsible for passing a bound at or
+        below the checkpoint's redo/undo point (``SystemServices.
+        checkpoint(truncate=True)`` computes the safe bound).
+        """
+        target = min(before_lsn, self._flushed_lsn + 1)
+        drop = target - self._base - 1
+        if drop <= 0:
+            return 0
+        del self._records[:drop]
+        self._base += drop
+        return drop
+
+    def set_checkpoint_trigger(self, interval: int,
+                               callback: Optional[Callable[[], None]]) -> None:
+        """Run ``callback`` after every ``interval`` appended records.
+
+        ``interval <= 0`` disables the trigger.  The callback (a fuzzy
+        checkpoint — it must not flush data pages) may itself append
+        records; reentrant triggering is suppressed.  Completing any
+        checkpoint (:meth:`set_master`) restarts the countdown.
+        """
+        self._checkpoint_interval = interval
+        self._checkpoint_callback = callback if interval > 0 else None
+        self._since_checkpoint = 0
+
+    def _maybe_auto_checkpoint(self) -> None:
+        self._since_checkpoint += 1
+        if (self._checkpoint_callback is None
+                or self._in_checkpoint_trigger
+                or self._since_checkpoint < self._checkpoint_interval):
+            return
+        self._in_checkpoint_trigger = True
+        try:
+            self._checkpoint_callback()
+        finally:
+            self._in_checkpoint_trigger = False
 
     # -- reading ----------------------------------------------------------------------
     def record(self, lsn: int) -> LogRecord:
-        if not 1 <= lsn <= len(self._records):
+        if lsn <= self._base:
+            if 1 <= lsn:
+                raise RecoveryError(
+                    f"log record {lsn} was reclaimed by truncation "
+                    f"(oldest retained LSN is {self.oldest_lsn})")
             raise RecoveryError(f"no log record with LSN {lsn}")
-        return self._records[lsn - 1]
+        if lsn > self.current_lsn:
+            raise RecoveryError(f"no log record with LSN {lsn}")
+        return self._records[lsn - self._base - 1]
 
-    def forward(self, from_lsn: int = 1) -> Iterator[LogRecord]:
-        """Iterate records in LSN order starting at ``from_lsn``."""
-        for i in range(from_lsn - 1, len(self._records)):
+    def forward(self, from_lsn: Optional[int] = None) -> Iterator[LogRecord]:
+        """Iterate records in LSN order starting at ``from_lsn``.
+
+        Starts at the oldest retained record when ``from_lsn`` is omitted
+        or below the truncation horizon.
+        """
+        start = self.oldest_lsn if from_lsn is None else max(
+            from_lsn, self.oldest_lsn)
+        for i in range(start - self._base - 1, len(self._records)):
             yield self._records[i]
 
     def transaction_chain(self, txn_id: int) -> Iterator[LogRecord]:
@@ -154,4 +278,4 @@ class LogManager:
 
     def __repr__(self) -> str:
         return (f"LogManager({len(self._records)} records, "
-                f"flushed={self._flushed_lsn})")
+                f"flushed={self._flushed_lsn}, master={self._master_lsn})")

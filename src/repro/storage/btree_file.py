@@ -146,6 +146,9 @@ class _BTreeFileHandler(ResourceHandler):
         try:
             _ensure_formatted(page)
             if page.page_lsn >= lsn:
+                # Already on the device at or past this record.
+                services.stats.bump("recovery.redo.skipped_page_lsn",
+                                    len(payload.get("slots", ())) or 1)
                 return
             if payload.get("compensates") is not None:
                 if op == "insert":
@@ -178,7 +181,7 @@ class _BTreeFileHandler(ResourceHandler):
             page.page_lsn = lsn
             dirty = True
             # A multi record redoes one logical operation per slot.
-            services.stats.bump("recovery.redo_applied",
+            services.stats.bump("recovery.redo.applied",
                                 len(payload.get("slots", ())) or 1)
         finally:
             buffer.unpin(payload["page"], dirty=dirty)

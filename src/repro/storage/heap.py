@@ -123,7 +123,12 @@ class _HeapHandler(ResourceHandler):
         try:
             _ensure_formatted(page)
             if page.page_lsn >= lsn:
-                return  # already applied before the crash
+                # Already applied before the crash: the page reached the
+                # device at or past this record.  Count the skip so
+                # restart work stays observable.
+                services.stats.bump("recovery.redo.skipped_page_lsn",
+                                    len(payload.get("slots", ())) or 1)
+                return
             if payload.get("compensates") is not None:
                 self._redo_compensation(page, payload)
             elif op == "insert":
@@ -143,7 +148,7 @@ class _HeapHandler(ResourceHandler):
             page.page_lsn = lsn
             dirty = True
             # A multi record redoes one logical operation per slot.
-            services.stats.bump("recovery.redo_applied",
+            services.stats.bump("recovery.redo.applied",
                                 len(payload.get("slots", ())) or 1)
         finally:
             buffer.unpin(payload["page"], dirty=dirty)

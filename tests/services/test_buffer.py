@@ -176,6 +176,77 @@ def test_sequential_misses_trigger_readahead():
     assert device.reads == before  # read ahead of the scan
 
 
+def test_rec_lsn_tracks_first_dirtying_update():
+    device, pool = make_pool()
+    lsn = [10]
+    pool.set_lsn_source(lambda: lsn[0])
+    page = pool.new_page(1)
+    pool.unpin(page.page_id, dirty=True)
+    # Dirtied while the log end was 10: no record of the change can have an
+    # LSN below 11.
+    assert pool.dirty_page_table() == {page.page_id: 11}
+    lsn[0] = 50  # later updates to an already-dirty frame keep the floor
+    with pool.pinned(page.page_id, dirty=True):
+        pass
+    assert pool.dirty_page_table() == {page.page_id: 11}
+    assert pool.min_rec_lsn() == 11
+
+
+def test_rec_lsn_resets_on_write_back():
+    device, pool = make_pool()
+    lsn = [5]
+    pool.set_lsn_source(lambda: lsn[0])
+    page = pool.new_page(1)
+    pool.unpin(page.page_id, dirty=True)
+    pool.flush_page(page.page_id)
+    assert pool.dirty_page_table() == {}
+    lsn[0] = 30
+    with pool.pinned(page.page_id, dirty=True):
+        pass
+    # Re-dirtied after the flush: the rec_lsn floor is the new log end.
+    assert pool.dirty_page_table() == {page.page_id: 31}
+
+
+def test_dirty_page_table_includes_pinned_clean_frames():
+    """A modification may be in flight under a pin (logged but not yet
+    unpinned-dirty); the candidate LSN captured at pin time keeps the
+    checkpoint's redo bound conservative."""
+    device, pool = make_pool()
+    lsn = [7]
+    pool.set_lsn_source(lambda: lsn[0])
+    page = pool.new_page(1)
+    pool.unpin(page.page_id, dirty=True)
+    pool.flush_page(page.page_id)
+    pool.fetch(page.page_id)          # pin while clean: candidate = 8
+    lsn[0] = 20                        # the in-flight change logs at 8..20
+    assert pool.dirty_page_table() == {page.page_id: 8}
+    pool.unpin(page.page_id, dirty=True)
+    assert pool.dirty_page_table() == {page.page_id: 8}
+
+
+def test_dirty_page_table_without_lsn_source_degrades_to_one():
+    device, pool = make_pool()
+    page = pool.new_page(1)
+    pool.unpin(page.page_id, dirty=True)
+    # Standalone pools (no WAL wired) report rec_lsn 1: redo from the start.
+    assert pool.dirty_page_table() == {page.page_id: 1}
+    assert BufferPool(device).min_rec_lsn() == 0
+
+
+def test_flush_while_pinned_rearms_candidate():
+    device, pool = make_pool()
+    lsn = [3]
+    pool.set_lsn_source(lambda: lsn[0])
+    page = pool.new_page(1)
+    pool.unpin(page.page_id, dirty=True)
+    pool.fetch(page.page_id)
+    pool.flush_page(page.page_id)      # background-writer flush under a pin
+    lsn[0] = 40
+    pool.unpin(page.page_id, dirty=True)
+    # The post-flush candidate (4) bounds the re-dirtying, not LSN 41.
+    assert pool.dirty_page_table() == {page.page_id: 4}
+
+
 def test_random_misses_do_not_trigger_readahead():
     device, pool = make_pool(capacity=32)
     ids = flushed_pages(pool, 12)

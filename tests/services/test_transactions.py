@@ -107,6 +107,80 @@ def test_deferred_actions_do_not_run_on_abort(services):
     assert ran == []
 
 
+def test_abort_forces_log_through_end_record(services):
+    """A crash right after abort returns must find the CLR/ABORT/END chain
+    on the stable log — otherwise restart re-undoes the transaction."""
+    txn = services.transactions.begin()
+    services.transactions.abort(txn)
+    assert services.wal.flushed_lsn == services.wal.current_lsn
+    assert services.wal.lose_unflushed() == 0
+
+
+# ---------------------------------------------------------------------------
+# Group commit
+# ---------------------------------------------------------------------------
+
+def test_group_commit_defers_durability_until_group_flush(services):
+    services.transactions.group_commit_limit = 8
+    commit_lsns = []
+    for __ in range(3):
+        txn = services.transactions.begin()
+        services.transactions.commit(txn)
+        # last_lsn is the END record; the COMMIT record precedes it.
+        commit_lsns.append(services.wal.last_lsn(txn.txn_id) - 1)
+    assert services.transactions.pending_group_commits() == 3
+    assert services.wal.flushed_lsn < max(commit_lsns)
+    assert services.transactions.commit_group() == 3
+    assert services.wal.flushed_lsn >= max(commit_lsns)
+    assert services.stats.get("txn.group_commit.enqueued") == 3
+    assert services.stats.get("txn.group_commit.flushes") == 1
+    assert services.stats.get("txn.group_commit.stabilized") == 3
+
+
+def test_group_commit_auto_flushes_at_limit(services):
+    services.transactions.group_commit_limit = 3
+    for __ in range(3):
+        txn = services.transactions.begin()
+        services.transactions.commit(txn)
+    # The third commit filled the group: one flush stabilized all three.
+    assert services.transactions.pending_group_commits() == 0
+    assert services.stats.get("txn.group_commit.flushes") == 1
+    assert services.stats.get("txn.group_commit.stabilized") == 3
+
+
+def test_group_commit_prunes_already_stable_commits(services):
+    services.transactions.group_commit_limit = 8
+    txn = services.transactions.begin()
+    services.transactions.commit(txn)
+    services.wal.flush()  # some other force covered the enqueued COMMIT
+    assert services.transactions.commit_group() == 0
+    assert services.stats.get("txn.group_commit.flushes") == 0
+
+
+def test_unflushed_group_commit_lost_at_crash(services):
+    services.transactions.group_commit_limit = 8
+    txn = services.transactions.begin()
+    services.wal.flush()  # the BEGIN record reaches the stable log
+    services.transactions.commit(txn)
+    assert services.wal.lose_unflushed() > 0  # the deferred-durability window
+    summary = services.recovery.restart()
+    assert summary["losers"] == [txn.txn_id]
+
+
+def test_at_commit_actions_force_solo_flush_despite_group_commit(services):
+    """Deferred at-commit actions externalize state (e.g. deferred storage
+    release); their transaction must be durable before they run."""
+    services.transactions.group_commit_limit = 8
+    txn = services.transactions.begin()
+    stable_at_action = []
+    services.events.defer(
+        txn.txn_id, ev.AT_COMMIT,
+        lambda t, d: stable_at_action.append(services.wal.flushed_lsn))
+    services.transactions.commit(txn)
+    assert services.transactions.pending_group_commits() == 0
+    assert stable_at_action[0] >= services.wal.last_lsn(txn.txn_id) - 1
+
+
 def test_active_transactions_tracking(services):
     a = services.transactions.begin()
     b = services.transactions.begin()

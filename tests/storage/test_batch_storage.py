@@ -134,5 +134,5 @@ def test_redo_counter_reflects_logical_operations():
     db, table = build("heap")
     table.insert_many(ROWS[:50])
     db.restart()
-    assert db.services.stats.get("recovery.redo_applied") >= 50
+    assert db.services.stats.get("recovery.redo.applied") >= 50
     assert table.count() == 50

@@ -130,15 +130,38 @@ def test_loser_updates_and_deletes_undone_at_restart(db):
     assert rows[5] == "orig"
 
 
-def test_checkpoint_makes_redo_cheap(db):
-    """After a checkpoint, every page is current on the device, so redo's
-    page-LSN guard skips all the replay work."""
+def test_sharp_checkpoint_makes_redo_cheap(db):
+    """After a sharp checkpoint, every page is current on the device and
+    the dirty-page table is empty, so redo starts at the checkpoint and
+    finds nothing to replay or skip."""
     table = db.create_table("t", [("id", "INT")])
     table.insert_many([(i,) for i in range(50)])
-    db.checkpoint()
-    db.restart()
-    assert db.services.stats.get("recovery.redo_applied") == 0
+    info = db.checkpoint(mode="sharp")
+    assert info["dirty_pages"] == 0
+    assert info["redo_lsn"] == info["begin_lsn"]
+    summary = db.restart()
+    assert db.services.stats.get("recovery.redo.applied") == 0
+    assert db.services.stats.get("recovery.redo.skipped_page_lsn") == 0
+    assert summary["redo_from"] == info["begin_lsn"]
     assert table.count() == 50
+
+
+def test_fuzzy_checkpoint_bounds_redo_without_flushing_pages(db):
+    """A fuzzy checkpoint flushes no data pages, yet restart replays only
+    from min(rec_lsn) over the checkpointed dirty-page table — and the
+    relation contents still come back exactly."""
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(30)])
+    writes_before = db.services.disk.writes
+    info = db.checkpoint()  # fuzzy: snapshot only
+    assert db.services.disk.writes == writes_before  # no page flushed
+    assert info["dirty_pages"] > 0
+    assert info["redo_lsn"] <= info["begin_lsn"]
+    summary = db.restart()
+    assert summary["checkpoint_lsn"] == info["begin_lsn"]
+    assert summary["redo_from"] == info["redo_lsn"]
+    assert db.services.stats.get("recovery.redo.applied") >= 30
+    assert table.count() == 30
 
 
 def test_recovery_without_checkpoint_replays_operations(db):
@@ -146,8 +169,122 @@ def test_recovery_without_checkpoint_replays_operations(db):
     table.insert_many([(i,) for i in range(50)])
     # Only the log is stable (commit forces it); pages are dirty.
     db.restart()
-    assert db.services.stats.get("recovery.redo_applied") >= 50
+    assert db.services.stats.get("recovery.redo.applied") >= 50
     assert table.count() == 50
+
+
+def test_crash_during_rollback_is_restartable(db):
+    """A crash while an abort is half done: the CLRs already on the stable
+    log steer restart undo past the compensated operations, so nothing is
+    undone twice."""
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((0,))
+    txn = db.begin()
+    for i in range(1, 6):
+        table.insert((i,))
+    mid = db.services.wal.last_lsn(txn.txn_id)
+    table.insert((6,))
+    table.insert((7,))
+    # The abort gets through records 7 and 6, then the system dies.
+    db.services.recovery.rollback(txn.txn_id, to_lsn=mid)
+    db.services.wal.flush()
+    db.restart()
+    assert sorted(r[0] for r in table.rows()) == [0]
+
+
+def test_crash_during_restart_undo_is_restartable(db):
+    """Restart itself can crash during its undo pass; the second restart
+    must continue from the CLR chain rather than re-undo from the top."""
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((0,))
+    db.begin()
+    for i in range(1, 8):
+        table.insert((i,))
+    db.services.wal.flush()
+    # First restart attempt: the power fails again after three loser
+    # operations have been compensated (their CLRs on the stable log).
+    handler = db.services.recovery.handler("storage.heap")
+    real_undo = handler.undo
+    undone = []
+
+    def undo_then_die(services, payload, clr_lsn):
+        real_undo(services, payload, clr_lsn)
+        undone.append(clr_lsn)
+        if len(undone) == 3:
+            services.wal.flush()
+            raise RuntimeError("power lost during restart undo")
+
+    handler.undo = undo_then_die
+    try:
+        with pytest.raises(RuntimeError):
+            db.restart()
+    finally:
+        handler.undo = real_undo
+    db.restart()  # second attempt runs to completion
+    assert sorted(r[0] for r in table.rows()) == [0]
+
+
+def test_crash_inside_checkpoint_window_falls_back(db):
+    """A crash between CHECKPOINT_BEGIN and CHECKPOINT_END: the torn
+    checkpoint never became master, so restart uses the previous complete
+    checkpoint and still recovers everything."""
+    from repro.services import wal as wal_records
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(20)])
+    first = db.checkpoint()
+    table.insert_many([(i,) for i in range(20, 40)])
+    # Hand-roll the torn window: BEGIN is stable, END is lost in the crash.
+    wal = db.services.wal
+    wal.append(wal_records.SYSTEM_TXN, wal_records.CHECKPOINT_BEGIN)
+    wal.flush()
+    wal.append(wal_records.SYSTEM_TXN, wal_records.CHECKPOINT_END,
+               payload={"begin_lsn": wal.current_lsn - 1,
+                        "att": {}, "dpt": {}})
+    summary = db.restart()
+    assert summary["checkpoint_lsn"] == first["begin_lsn"]
+    assert sorted(r[0] for r in table.rows()) == list(range(40))
+
+
+def test_truncated_log_still_recovers_post_checkpoint_tail(db):
+    """After checkpoint(truncate=True) the reclaimed prefix is gone, yet a
+    crash right afterwards recovers from the retained suffix alone."""
+    table = db.create_table("t", [("id", "INT")])
+    table.insert_many([(i,) for i in range(25)])
+    info = db.checkpoint(mode="sharp", truncate=True)
+    assert info["truncated"] > 0
+    assert db.services.wal.oldest_lsn > 1
+    table.insert_many([(i,) for i in range(25, 50)])
+    db.restart()
+    assert sorted(r[0] for r in table.rows()) == list(range(50))
+
+
+def test_auto_checkpoint_bounds_restart_analysis():
+    """With auto-checkpointing on, analysis scans a bounded tail however
+    long the history grows."""
+    db = Database(page_size=1024, buffer_capacity=128,
+                  auto_checkpoint_interval=40)
+    table = db.create_table("t", [("id", "INT")])
+    for i in range(300):
+        table.insert((i,))
+    assert db.services.stats.get("recovery.checkpoints.auto") > 0
+    summary = db.restart()
+    assert summary["checkpoint_lsn"] > 0
+    # Far fewer records analyzed than the full history.
+    assert summary["analysis_records"] < 120
+    assert table.count() == 300
+
+
+def test_group_commit_database_end_to_end():
+    db = Database(page_size=1024, buffer_capacity=128, group_commit=4)
+    table = db.create_table("t", [("id", "INT")])
+    for i in range(8):  # 8 autocommitted inserts: two full groups
+        table.insert((i,))
+    assert db.services.stats.get("txn.group_commit.stabilized") >= 8
+    flushes = db.services.stats.get("txn.group_commit.flushes")
+    assert flushes <= 2
+    db.commit_group()  # drain any tail before the crash
+    db.restart()
+    assert table.count() == 8
 
 
 def test_btree_file_storage_crash_with_key_movement(db):
