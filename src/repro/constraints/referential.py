@@ -195,22 +195,24 @@ class ReferentialIntegrityAttachment(AttachmentType):
         for instance in field["instances"].values():
             if instance["role"] != "child":
                 continue
-            distinct = dict.fromkeys(
-                values for values in
-                (self._values(record, instance["child_fields"])
-                 for record in new_records)
-                if values is not None)
+            # value -> first batch index carrying it (for veto reporting)
+            distinct = {}
+            for index, record in enumerate(new_records):
+                values = self._values(record, instance["child_fields"])
+                if values is not None and values not in distinct:
+                    distinct[values] = index
             if instance["deferred"]:
                 if distinct:
                     self._defer_check_many(ctx, instance, list(distinct))
             else:
-                for values in distinct:
+                for values, index in distinct.items():
                     if not self._parent_exists(ctx, instance, values):
                         raise ReferentialViolation(
                             instance["name"],
                             f"no parent record in {instance['parent']!r} "
                             f"with "
-                            f"{list(zip(instance['parent_columns'], values))}")
+                            f"{list(zip(instance['parent_columns'], values))}",
+                            batch_index=index)
             ctx.stats.bump("referential.child_checks", len(new_records))
 
     def on_delete_batch(self, ctx, handle, field, items) -> None:
@@ -220,13 +222,14 @@ class ReferentialIntegrityAttachment(AttachmentType):
         for instance in field["instances"].values():
             if instance["role"] != "parent":
                 continue
-            distinct = dict.fromkeys(
-                values for values in
-                (self._values(old, instance["parent_fields"])
-                 for __, old in items)
-                if values is not None)
+            # value -> first batch index carrying it (for veto reporting)
+            distinct = {}
+            for index, (__, old) in enumerate(items):
+                values = self._values(old, instance["parent_fields"])
+                if values is not None and values not in distinct:
+                    distinct[values] = index
             all_children: list = []
-            for values in distinct:
+            for values, index in distinct.items():
                 children = self._matching_children(ctx, instance, values)
                 if not children:
                     continue
@@ -234,7 +237,8 @@ class ReferentialIntegrityAttachment(AttachmentType):
                     raise ReferentialViolation(
                         instance["name"],
                         f"cannot delete parent {values!r}: {len(children)} "
-                        f"child record(s) reference it")
+                        f"child record(s) reference it",
+                        batch_index=index)
                 all_children.extend(children)
             if all_children:
                 database = ctx.database

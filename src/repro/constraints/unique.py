@@ -166,27 +166,28 @@ class UniqueConstraintAttachment(AttachmentType):
         entry is added, and one log record per instance."""
         for instance in field["instances"].values():
             entries = []
-            for key, record in zip(keys, new_records):
+            for index, (key, record) in enumerate(zip(keys, new_records)):
                 unique_key = self._key_of(instance, record)
                 if unique_key is not None:
-                    entries.append((unique_key, key))
+                    entries.append((unique_key, key, index))
             if not entries:
                 continue
             tree = BTree(ctx.buffer, instance["tree"])
             seen = set()
-            for unique_key, __ in entries:
+            for unique_key, __, index in entries:
                 if unique_key in seen or tree.search(unique_key):
                     raise UniqueViolation(
                         instance["name"],
                         f"duplicate value {unique_key!r} for UNIQUE "
-                        f"({', '.join(instance['columns'])})")
+                        f"({', '.join(instance['columns'])})",
+                        batch_index=index)
                 seen.add(unique_key)
-            for unique_key, value in entries:
+            for unique_key, value, __ in entries:
                 tree.insert(unique_key, value)
             ctx.log(self.resource, {
                 "op": "add_many", "relation_id": handle.relation_id,
                 "instance": instance["name"],
-                "entries": [[list(k), v] for k, v in entries]})
+                "entries": [[list(k), v] for k, v, __ in entries]})
             ctx.stats.bump("unique.maintenance_ops", len(entries))
 
     def on_delete_batch(self, ctx, handle, field, items) -> None:

@@ -37,7 +37,21 @@ from ..services.scans import Scan
 from .context import ExecutionContext
 from .storage_method import RelationHandle
 
-__all__ = ["AttachmentType", "instances_of"]
+__all__ = ["AttachmentType", "instances_of", "tag_batch_index"]
+
+
+def tag_batch_index(exc: BaseException, index: int) -> None:
+    """Record which batch element an escaping exception belongs to.
+
+    Works for any exception type (the dispatch fault barrier copies the
+    attribute onto the :class:`~repro.errors.ExtensionFault` it raises);
+    exceptions that refuse attributes (``__slots__``) are left untagged.
+    """
+    try:
+        if getattr(exc, "batch_index", None) is None:
+            exc.batch_index = index
+    except AttributeError:
+        pass
 
 
 def instances_of(field: dict) -> Dict[str, dict]:
@@ -132,22 +146,34 @@ class AttachmentType(abc.ABC):
                         field: dict, keys: Sequence,
                         new_records: Sequence[Tuple]) -> None:
         """Called once per insert batch; parallel ``keys``/``new_records``."""
-        for key, record in zip(keys, new_records):
-            self.on_insert(ctx, handle, field, key, record)
+        for index, (key, record) in enumerate(zip(keys, new_records)):
+            try:
+                self.on_insert(ctx, handle, field, key, record)
+            except Exception as exc:
+                tag_batch_index(exc, index)
+                raise
 
     def on_update_batch(self, ctx: ExecutionContext, handle: RelationHandle,
                         field: dict, items: Sequence[Tuple]) -> None:
         """Called once per update batch; ``items`` holds ``(old_key,
         new_key, old_record, new_record)`` quadruples."""
-        for old_key, new_key, old, new in items:
-            self.on_update(ctx, handle, field, old_key, new_key, old, new)
+        for index, (old_key, new_key, old, new) in enumerate(items):
+            try:
+                self.on_update(ctx, handle, field, old_key, new_key, old, new)
+            except Exception as exc:
+                tag_batch_index(exc, index)
+                raise
 
     def on_delete_batch(self, ctx: ExecutionContext, handle: RelationHandle,
                         field: dict, items: Sequence[Tuple]) -> None:
         """Called once per delete batch; ``items`` holds ``(key,
         old_record)`` pairs."""
-        for key, old in items:
-            self.on_delete(ctx, handle, field, key, old)
+        for index, (key, old) in enumerate(items):
+            try:
+                self.on_delete(ctx, handle, field, key, old)
+            except Exception as exc:
+                tag_batch_index(exc, index)
+                raise
 
     # -- direct access operations (access paths only) --------------------------------
     def fetch(self, ctx: ExecutionContext, handle: RelationHandle,
@@ -182,6 +208,15 @@ class AttachmentType(abc.ABC):
         try:
             return field["instances"][name]
         except KeyError:
+            if name in field.get("quarantined", {}):
+                raise UnknownObjectError(
+                    f"attachment instance {name!r} of type {self.name!r} is "
+                    "quarantined (offline after repeated faults; use "
+                    "rebuild_attachment to restore it)") from None
+            if name in field.get("disabled", {}):
+                raise UnknownObjectError(
+                    f"attachment instance {name!r} of type {self.name!r} is "
+                    "disabled") from None
             raise UnknownObjectError(
                 f"attachment {self.name!r} has no instance {name!r}") from None
 

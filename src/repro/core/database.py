@@ -78,7 +78,12 @@ class Database:
     def commit(self) -> None:
         txn = self._require_session()
         self._session_txn = None
-        self.services.transactions.commit(txn)
+        try:
+            self.services.transactions.commit(txn)
+        except Exception:
+            if not txn.settled:
+                self.services.transactions.abort(txn)
+            raise
 
     def rollback(self) -> None:
         txn = self._require_session()
@@ -99,14 +104,13 @@ class Database:
         txn = self.begin()
         try:
             yield ExecutionContext(txn, self.services, self)
+            self._session_txn = None
+            self.services.transactions.commit(txn)
         except Exception:
-            if txn.active:
+            if not txn.settled:
                 self._session_txn = None
                 self.services.transactions.abort(txn)
             raise
-        else:
-            self._session_txn = None
-            self.services.transactions.commit(txn)
 
     @contextmanager
     def autocommit(self):
@@ -117,12 +121,16 @@ class Database:
         txn = self.services.transactions.begin()
         try:
             yield ExecutionContext(txn, self.services, self)
+            self.services.transactions.commit(txn)
         except Exception:
-            if txn.active:
+            # `not settled` (rather than `active`) also catches a commit
+            # that failed after PREPARED — e.g. an injected log-flush
+            # fault — whose changes and locks would otherwise leak, and
+            # whose unflushed COMMIT record would silently become durable
+            # at the next log force.
+            if not txn.settled:
                 self.services.transactions.abort(txn)
             raise
-        else:
-            self.services.transactions.commit(txn)
 
     def _require_session(self):
         if self._session_txn is None or not self._session_txn.active:
@@ -164,6 +172,12 @@ class Database:
     def drop_attachment(self, instance_name: str) -> None:
         with self.autocommit() as ctx:
             self.ddl.drop_attachment(ctx, instance_name)
+
+    def rebuild_attachment(self, instance_name: str) -> None:
+        """Restore a quarantined attachment instance to service (rebuilding
+        its structure from the base relation), or rebuild a live one."""
+        with self.autocommit() as ctx:
+            self.ddl.rebuild_attachment(ctx, instance_name)
 
     def disable_attachment(self, instance_name: str) -> None:
         """Take an attachment instance out of service (not maintained, not
@@ -266,6 +280,25 @@ class Database:
     def commit_group(self) -> int:
         """Stabilize every pending group commit with one log flush."""
         return self.services.transactions.commit_group()
+
+    def close(self) -> None:
+        """Orderly shutdown: nothing committed may be lost afterwards.
+
+        Aborts an open session transaction, forces every enqueued group
+        commit (deferred durability must not outlive the process), flushes
+        the log, and writes all dirty pages back.  The instance remains
+        usable afterwards (there is no file handle to release in this
+        simulation); ``close`` exists so callers have a single point that
+        guarantees the no-pending-durability invariant.
+        """
+        if self._session_txn is not None and self._session_txn.active:
+            txn = self._session_txn
+            self._session_txn = None
+            self.services.transactions.abort(txn)
+        self.services.transactions.commit_group()
+        self.services.wal.flush()
+        self.services.buffer.flush_all()
+        self.services.stats.bump("db.closes")
 
     def restart(self) -> dict:
         """Simulate a crash and run restart recovery.

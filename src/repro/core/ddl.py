@@ -184,6 +184,7 @@ class DataDefinition:
             attachment = db.registry.attachment_type(type_id)
             instances = dict(instances_of(field))
             instances.update(field.get("disabled", {}))
+            instances.update(field.get("quarantined", {}))
             for instance_name, instance in instances.items():
                 attachment.destroy_instance(ctx, entry.handle, instance_name,
                                             instance)
@@ -244,12 +245,16 @@ class DataDefinition:
         attachment = db.registry.attachment_type_by_name(type_name)
         handle = entry.handle
         field = handle.descriptor.attachment_field(attachment.type_id)
-        # A disabled instance can be dropped directly.
+        # A disabled or quarantined instance can be dropped directly.
         disabled = field.get("disabled", {})
         if instance_name in disabled:
             field["instances"][instance_name] = disabled.pop(instance_name)
+        quarantined = field.get("quarantined", {})
+        if instance_name in quarantined:
+            field["instances"][instance_name] = quarantined.pop(instance_name)
         instance = field["instances"].pop(instance_name)
-        if not field["instances"] and not field.get("disabled"):
+        if not field["instances"] and not field.get("disabled") \
+                and not field.get("quarantined"):
             # Field N becomes NULL again when the last instance goes.
             handle.descriptor.set_attachment_field(attachment.type_id, None)
         ctx.log(DDL_RESOURCE, {"action": "drop_attachment",
@@ -302,6 +307,39 @@ class DataDefinition:
         db.dependencies.invalidate(relation_token(relation))
         db.dependencies.invalidate(attachment_token(instance_name))
         ctx.stats.bump("ddl.status_changes")
+
+    def rebuild_attachment(self, ctx: ExecutionContext,
+                           instance_name: str) -> None:
+        """Bring a quarantined attachment instance back into service.
+
+        The instance's structure is rebuilt from the base relation (the
+        data drifted while it was offline — quarantined instances are
+        excluded from modification fan-out), the offense count against its
+        type on this relation is forgiven, and dependent plans are
+        invalidated so the planner sees the restored access path.  Also
+        accepts an in-service instance, in which case it is simply rebuilt
+        (media recovery for a damaged index).
+        """
+        db = self.database
+        instance_name = instance_name.lower()
+        relation = db.catalog.find_attachment(instance_name)
+        db.authorization.check(db.principal, relation, CONTROL)
+        entry = db.catalog.entry(relation)
+        type_name = entry.attachments[instance_name]
+        attachment = db.registry.attachment_type_by_name(type_name)
+        handle = entry.handle
+        field = handle.descriptor.attachment_field(attachment.type_id)
+        quarantined = field.get("quarantined", {})
+        if instance_name in quarantined:
+            field["instances"][instance_name] = quarantined.pop(instance_name)
+        rebuild = getattr(attachment, "rebuild", None)
+        if rebuild is not None:
+            rebuild(ctx, handle, field)
+        db.data.forgive(handle.relation_id, attachment.type_id)
+        handle.descriptor.version += 1
+        db.dependencies.invalidate(relation_token(relation))
+        db.dependencies.invalidate(attachment_token(instance_name))
+        ctx.stats.bump("containment.quarantine.rebuilds")
 
     def _release_attachment(self, txn_id: int, data) -> None:
         handle, type_name, instance_name, instance = data

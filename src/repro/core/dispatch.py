@@ -31,7 +31,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from ..errors import ReadOnlyError, StorageError, UnknownObjectError
+from ..errors import (ExtensionFault, ReadOnlyError, ReproError,
+                      StorageError, UnknownObjectError)
 from ..services.locks import LockMode
 from ..services.predicate import Predicate
 from .context import ExecutionContext
@@ -75,9 +76,135 @@ class AccessPath:
 class DataManager:
     """Executes the direct generic operations through the procedure vectors."""
 
+    #: ExtensionFaults from one access-path attachment type on one relation
+    #: before its instances are quarantined (taken offline).
+    QUARANTINE_THRESHOLD = 3
+
     def __init__(self, registry: ExtensionRegistry, services):
         self.registry = registry
         self.services = services
+        #: (relation_id, type_id) -> ExtensionFault count since the last
+        #: quarantine/forgive.  Constraint and trigger types accumulate
+        #: counts too but are never quarantined — they fail closed.
+        self._offenses = {}
+
+    # ------------------------------------------------------------------
+    # Fault barrier
+    # ------------------------------------------------------------------
+    # Every procedure-vector call runs behind a barrier: a ReproError
+    # (veto, integrity violation, storage error) passes through annotated
+    # with where it fired; any *other* exception — a bug in a third-party
+    # extension — is converted to ExtensionFault so the shared transaction
+    # machinery sees a known failure class and the operation savepoint can
+    # roll the modification back.  Repeat-offender access-path attachments
+    # are quarantined (their loss costs performance, not correctness — the
+    # base relation still answers every query); constraint and trigger
+    # attachments fail closed, because silently skipping enforcement would
+    # corrupt data integrity.
+
+    def _fire_point(self, point: str) -> None:
+        faults = getattr(self.services, "faults", None)
+        if faults is not None and faults.armed:
+            faults.fire(point)
+
+    def _storage_call(self, ctx: ExecutionContext, handle: RelationHandle,
+                      op: str, proc, *args, **kwargs):
+        try:
+            self._fire_point(f"dispatch.storage.{op}")
+            return proc(*args, **kwargs)
+        except ReproError as exc:
+            annotate = getattr(exc, "annotate", None)
+            if annotate is not None:
+                annotate(relation=handle.name, operation=op)
+            raise
+        except Exception as exc:
+            ctx.stats.bump("containment.extension_faults")
+            raise ExtensionFault(
+                f"storage method raised {type(exc).__name__} during "
+                f"{op!r} on relation {handle.name!r}: {exc}",
+                relation=handle.name, operation=op) from exc
+
+    def _attached_call(self, ctx: ExecutionContext, handle: RelationHandle,
+                       type_id: int, field: dict, op: str, proc,
+                       *args, **kwargs):
+        attachment = self.registry.attachment_type(type_id)
+        try:
+            self._fire_point(f"dispatch.attached.{attachment.name}.{op}")
+            return proc(*args, **kwargs)
+        except ReproError as exc:
+            annotate = getattr(exc, "annotate", None)
+            if annotate is not None:
+                annotate(relation=handle.name, operation=op,
+                         attachment_id=attachment.name)
+            raise
+        except Exception as exc:
+            ctx.stats.bump("containment.extension_faults")
+            fault = ExtensionFault(
+                f"attachment type {attachment.name!r} raised "
+                f"{type(exc).__name__} during {op!r} on relation "
+                f"{handle.name!r}: {exc}",
+                relation=handle.name, operation=op,
+                attachment_id=attachment.name,
+                batch_index=getattr(exc, "batch_index", None))
+            self._record_offense(ctx, handle, attachment, field)
+            raise fault from exc
+
+    def _record_offense(self, ctx, handle, attachment, field) -> None:
+        key = (handle.relation_id, attachment.type_id)
+        count = self._offenses.get(key, 0) + 1
+        self._offenses[key] = count
+        if not attachment.is_access_path:
+            # Fail closed: a faulty constraint or trigger keeps vetoing
+            # every modification rather than being taken out of service.
+            ctx.stats.bump("containment.fail_closed")
+            return
+        if count >= self.QUARANTINE_THRESHOLD:
+            self._quarantine(ctx, handle, attachment, field)
+            self._offenses.pop(key, None)
+
+    def _quarantine(self, ctx, handle, attachment, field) -> None:
+        """Take every instance of one access-path type offline.
+
+        Quarantined instances are moved out of the active set, so they are
+        neither maintained by modification fan-out nor enumerated by the
+        planner's cost pass; ``rebuild_attachment`` brings one back after
+        rebuilding its structure from the base relation.
+        """
+        names = sorted(field.get("instances", {}))
+        if not names:
+            return
+        quarantined = field.setdefault("quarantined", {})
+        quarantined.update(field["instances"])
+        field["instances"].clear()
+        handle.descriptor.version += 1
+        database = getattr(self.services, "database", None)
+        if database is not None:
+            from .dependency import attachment_token, relation_token
+            database.dependencies.invalidate(relation_token(handle.name))
+            for name in names:
+                database.dependencies.invalidate(attachment_token(name))
+        ctx.stats.bump("containment.quarantine.count")
+        ctx.stats.bump("containment.quarantine.instances", len(names))
+
+    def forgive(self, relation_id: int, type_id: int) -> None:
+        """Reset the offense count (after a successful rebuild)."""
+        self._offenses.pop((relation_id, type_id), None)
+
+    def offenses(self, relation_id: int, type_id: int) -> int:
+        return self._offenses.get((relation_id, type_id), 0)
+
+    @staticmethod
+    def _active_attachments(handle: RelationHandle):
+        """Attachment fields with at least one in-service instance.
+
+        Quarantined or disabled instances are excluded from modification
+        fan-out — every hook services ``field["instances"]`` only, so a
+        field with none of them in service would be a guaranteed no-op
+        call.
+        """
+        for type_id, field in handle.descriptor.present_attachments():
+            if field.get("instances"):
+                yield type_id, field
 
     # ------------------------------------------------------------------
     # Relation modification operations (two-step execution)
@@ -90,11 +217,15 @@ class DataManager:
         ctx.lock_relation(handle.relation_id, LockMode.IX)
         with self._operation(ctx):
             ctx.stats.bump("dispatch.inserts")
-            key = self.registry.storage_insert[method.method_id](
+            key = self._storage_call(
+                ctx, handle, "insert",
+                self.registry.storage_insert[method.method_id],
                 ctx, handle, record)
-            for type_id, field in handle.descriptor.present_attachments():
+            for type_id, field in self._active_attachments(handle):
                 ctx.stats.bump("dispatch.attached_calls")
-                self.registry.attached_insert[type_id](
+                self._attached_call(
+                    ctx, handle, type_id, field, "insert",
+                    self.registry.attached_insert[type_id],
                     ctx, handle, field, key, record)
         return key
 
@@ -111,11 +242,15 @@ class DataManager:
         old_record = self._require_record(ctx, handle, key)
         with self._operation(ctx):
             ctx.stats.bump("dispatch.updates")
-            new_key = self.registry.storage_update[method.method_id](
+            new_key = self._storage_call(
+                ctx, handle, "update",
+                self.registry.storage_update[method.method_id],
                 ctx, handle, key, old_record, new_record)
-            for type_id, field in handle.descriptor.present_attachments():
+            for type_id, field in self._active_attachments(handle):
                 ctx.stats.bump("dispatch.attached_calls")
-                self.registry.attached_update[type_id](
+                self._attached_call(
+                    ctx, handle, type_id, field, "update",
+                    self.registry.attached_update[type_id],
                     ctx, handle, field, key, new_key, old_record, new_record)
         return new_key
 
@@ -126,11 +261,15 @@ class DataManager:
         old_record = self._require_record(ctx, handle, key)
         with self._operation(ctx):
             ctx.stats.bump("dispatch.deletes")
-            self.registry.storage_delete[method.method_id](
+            self._storage_call(
+                ctx, handle, "delete",
+                self.registry.storage_delete[method.method_id],
                 ctx, handle, key, old_record)
-            for type_id, field in handle.descriptor.present_attachments():
+            for type_id, field in self._active_attachments(handle):
                 ctx.stats.bump("dispatch.attached_calls")
-                self.registry.attached_delete[type_id](
+                self._attached_call(
+                    ctx, handle, type_id, field, "delete",
+                    self.registry.attached_delete[type_id],
                     ctx, handle, field, key, old_record)
 
     # ------------------------------------------------------------------
@@ -158,11 +297,15 @@ class DataManager:
         self._lock_for_batch(ctx, handle, len(records))
         with self._operation(ctx):
             ctx.stats.bump("dispatch.inserts", len(records))
-            keys = self.registry.storage_insert_batch[method.method_id](
+            keys = self._storage_call(
+                ctx, handle, "insert_batch",
+                self.registry.storage_insert_batch[method.method_id],
                 ctx, handle, records)
-            for type_id, field in handle.descriptor.present_attachments():
+            for type_id, field in self._active_attachments(handle):
                 ctx.stats.bump("dispatch.attached_calls", len(records))
-                self.registry.attached_insert_batch[type_id](
+                self._attached_call(
+                    ctx, handle, type_id, field, "insert_batch",
+                    self.registry.attached_insert_batch[type_id],
                     ctx, handle, field, keys, records)
         return list(keys)
 
@@ -185,13 +328,17 @@ class DataManager:
                    for key, new in items]
         with self._operation(ctx):
             ctx.stats.bump("dispatch.updates", len(triples))
-            new_keys = self.registry.storage_update_batch[method.method_id](
+            new_keys = self._storage_call(
+                ctx, handle, "update_batch",
+                self.registry.storage_update_batch[method.method_id],
                 ctx, handle, triples)
             quads = [(key, new_key, old, new)
                      for (key, old, new), new_key in zip(triples, new_keys)]
-            for type_id, field in handle.descriptor.present_attachments():
+            for type_id, field in self._active_attachments(handle):
                 ctx.stats.bump("dispatch.attached_calls", len(quads))
-                self.registry.attached_update_batch[type_id](
+                self._attached_call(
+                    ctx, handle, type_id, field, "update_batch",
+                    self.registry.attached_update_batch[type_id],
                     ctx, handle, field, quads)
         return list(new_keys)
 
@@ -206,11 +353,15 @@ class DataManager:
                  for key in keys]
         with self._operation(ctx):
             ctx.stats.bump("dispatch.deletes", len(pairs))
-            self.registry.storage_delete_batch[method.method_id](
+            self._storage_call(
+                ctx, handle, "delete_batch",
+                self.registry.storage_delete_batch[method.method_id],
                 ctx, handle, pairs)
-            for type_id, field in handle.descriptor.present_attachments():
+            for type_id, field in self._active_attachments(handle):
                 ctx.stats.bump("dispatch.attached_calls", len(pairs))
-                self.registry.attached_delete_batch[type_id](
+                self._attached_call(
+                    ctx, handle, type_id, field, "delete_batch",
+                    self.registry.attached_delete_batch[type_id],
                     ctx, handle, field, pairs)
 
     # ------------------------------------------------------------------
@@ -233,12 +384,16 @@ class DataManager:
         if access_path is None or access_path.is_storage:
             method = self.registry.storage_method(
                 handle.descriptor.storage_method_id)
-            return self.registry.storage_fetch[method.method_id](
+            return self._storage_call(
+                ctx, handle, "fetch",
+                self.registry.storage_fetch[method.method_id],
                 ctx, handle, key, fields, predicate)
         attachment = self.registry.attachment_type(access_path.type_id)
         field = self._attachment_field(handle, access_path)
         instance = attachment.instance(field, access_path.instance_name)
-        return attachment.fetch(ctx, handle, instance, key)
+        return self._attached_call(
+            ctx, handle, access_path.type_id, field, "fetch",
+            attachment.fetch, ctx, handle, instance, key)
 
     def fetch_many(self, ctx: ExecutionContext, handle: RelationHandle,
                    keys: Sequence,
@@ -258,7 +413,9 @@ class DataManager:
         if access_path is None or access_path.is_storage:
             method = self.registry.storage_method(
                 handle.descriptor.storage_method_id)
-            return self.registry.storage_fetch_many[method.method_id](
+            return self._storage_call(
+                ctx, handle, "fetch_many",
+                self.registry.storage_fetch_many[method.method_id],
                 ctx, handle, keys, fields, predicate)
         attachment = self.registry.attachment_type(access_path.type_id)
         field = self._attachment_field(handle, access_path)
@@ -280,13 +437,17 @@ class DataManager:
         if access_path is None or access_path.is_storage:
             method = self.registry.storage_method(
                 handle.descriptor.storage_method_id)
-            return self.registry.storage_open_scan[method.method_id](
+            return self._storage_call(
+                ctx, handle, "open_scan",
+                self.registry.storage_open_scan[method.method_id],
                 ctx, handle, fields, predicate)
         attachment = self.registry.attachment_type(access_path.type_id)
         field = self._attachment_field(handle, access_path)
         instance = attachment.instance(field, access_path.instance_name)
-        return attachment.open_scan(ctx, handle, instance, predicate,
-                                    route=route)
+        return self._attached_call(
+            ctx, handle, access_path.type_id, field, "open_scan",
+            attachment.open_scan, ctx, handle, instance, predicate,
+            route=route)
 
     # ------------------------------------------------------------------
     # Internals

@@ -68,11 +68,31 @@ class Relation:
             new_record = handle.schema.apply_update(old, updates)
             return db.data.update(ctx, handle, key, new_record)
 
+    def update_many(self, items: Sequence) -> List:
+        """Replace several records as one set-at-a-time operation.
+
+        ``items`` holds ``(key, new_record)`` pairs with full records in
+        schema order; returns the (possibly changed) keys in order.
+        """
+        db = self.database
+        db.authorization.check(db.principal, self.name, UPDATE)
+        with db.autocommit() as ctx:
+            return db.data.update_batch(
+                ctx, self.handle,
+                [(key, tuple(record)) for key, record in items])
+
     def delete(self, key) -> None:
         db = self.database
         db.authorization.check(db.principal, self.name, DELETE)
         with db.autocommit() as ctx:
             db.data.delete(ctx, self.handle, key)
+
+    def delete_many(self, keys: Sequence) -> None:
+        """Delete the records at ``keys`` as one set-at-a-time operation."""
+        db = self.database
+        db.authorization.check(db.principal, self.name, DELETE)
+        with db.autocommit() as ctx:
+            db.data.delete_batch(ctx, self.handle, list(keys))
 
     def delete_where(self, where: str, params: Optional[dict] = None) -> int:
         """Delete all records matching a predicate; returns how many.

@@ -55,6 +55,14 @@ class PageError(StorageError):
     """A page-level invariant was violated (overflow, bad slot, ...)."""
 
 
+class StalePageError(PageError):
+    """A freed page id was used for I/O (stale reference, not unallocated)."""
+
+
+class ChecksumError(PageError):
+    """A page read from the device failed its checksum (torn/corrupt page)."""
+
+
 class BufferError_(ReproError):
     """Buffer pool protocol violation (unpin of unpinned page, ...)."""
 
@@ -65,12 +73,31 @@ class VetoError(ReproError):
     The dispatch layer converts a veto into a partial rollback of the
     storage-method change and of every attached procedure that already ran,
     then re-raises the veto to the caller.
+
+    Structured containment fields (``relation``, ``attachment_id``,
+    ``operation``, ``batch_index``) locate exactly where the veto fired;
+    they are filled in by whoever knows them — the raising attachment
+    sets ``batch_index``, the dispatch barrier sets the rest — via
+    :meth:`annotate`, which never overwrites a value already present.
     """
 
-    def __init__(self, attachment: str, reason: str):
+    def __init__(self, attachment: str, reason: str, *,
+                 relation: str = None, attachment_id: str = None,
+                 operation: str = None, batch_index: int = None):
         super().__init__(f"attachment {attachment!r} vetoed operation: {reason}")
         self.attachment = attachment
         self.reason = reason
+        self.relation = relation
+        self.attachment_id = attachment_id
+        self.operation = operation
+        self.batch_index = batch_index
+
+    def annotate(self, **fields) -> "VetoError":
+        """Fill containment fields that are still unset; returns self."""
+        for name, value in fields.items():
+            if value is not None and getattr(self, name, None) is None:
+                setattr(self, name, value)
+        return self
 
 
 class IntegrityError(VetoError):
@@ -156,3 +183,50 @@ class ScanError(ReproError):
 
 class ForeignError(StorageError):
     """The foreign-database gateway could not complete a remote access."""
+
+
+class GatewayError(ForeignError):
+    """A transient foreign-gateway failure (lost message, remote hiccup).
+
+    The gateway retries these with bounded deterministic backoff; repeated
+    failures trip the circuit breaker, after which reads degrade and
+    writes fail fast until a cooldown probe succeeds.
+    """
+
+
+class InjectedFault(ReproError):
+    """The default error raised by a fired fault-injection point."""
+
+    def __init__(self, point: str, call: int):
+        super().__init__(f"injected fault at {point!r} (call #{call})")
+        self.point = point
+        self.call = call
+
+
+class ExtensionFault(ReproError):
+    """A non-:class:`ReproError` escaped an extension procedure.
+
+    The dispatch fault barrier wraps the foreign exception so the shared
+    transaction machinery sees a known failure class: the operation
+    savepoint rolls the modification back exactly as for a veto, and
+    repeat-offender access-path attachments are quarantined.  The original
+    exception rides along as ``__cause__``.
+
+    Structured containment fields mirror :class:`VetoError`.
+    """
+
+    def __init__(self, message: str, *, relation: str = None,
+                 attachment_id: str = None, operation: str = None,
+                 batch_index: int = None):
+        super().__init__(message)
+        self.relation = relation
+        self.attachment_id = attachment_id
+        self.operation = operation
+        self.batch_index = batch_index
+
+    def annotate(self, **fields) -> "ExtensionFault":
+        """Fill containment fields that are still unset; returns self."""
+        for name, value in fields.items():
+            if value is not None and getattr(self, name, None) is None:
+                setattr(self, name, value)
+        return self

@@ -12,6 +12,7 @@ from __future__ import annotations
 from .buffer import BufferPool
 from .disk import BlockDevice, PAGE_SIZE
 from .events import EventService
+from .faults import FaultInjector
 from .locks import LockManager, LockMode
 from .predicate import Predicate
 from .recovery import RecoveryManager, ResourceHandler
@@ -21,10 +22,10 @@ from .transactions import Transaction, TransactionManager, TxnState
 from .wal import LogManager
 
 __all__ = ["SystemServices", "BufferPool", "BlockDevice", "EventService",
-           "LockManager", "LockMode", "Predicate", "RecoveryManager",
-           "ResourceHandler", "Scan", "ScanService", "StatsService",
-           "Transaction", "TransactionManager", "TxnState", "LogManager",
-           "PAGE_SIZE"]
+           "FaultInjector", "LockManager", "LockMode", "Predicate",
+           "RecoveryManager", "ResourceHandler", "Scan", "ScanService",
+           "StatsService", "Transaction", "TransactionManager", "TxnState",
+           "LogManager", "PAGE_SIZE"]
 
 
 class SystemServices:
@@ -32,11 +33,16 @@ class SystemServices:
 
     def __init__(self, page_size: int = PAGE_SIZE, buffer_capacity: int = 256):
         self.stats = StatsService()
+        self.faults = FaultInjector(stats=self.stats)
         self.disk = BlockDevice(page_size=page_size, stats=self.stats)
         self.wal = LogManager()
         self.buffer = BufferPool(self.disk, capacity=buffer_capacity,
                                  wal_flush=self.wal.flush,
                                  lsn_source=lambda: self.wal.current_lsn)
+        # One injector threads every layer's named injection points.
+        self.disk.faults = self.faults
+        self.wal.faults = self.faults
+        self.buffer.faults = self.faults
         self.recovery = RecoveryManager(self.wal, services=self)
         self.locks = LockManager(stats=self.stats)
         self.events = EventService()
@@ -63,12 +69,21 @@ class SystemServices:
         bound collapses to the checkpoint itself).  ``truncate=True``
         additionally reclaims the log prefix below the checkpoint's
         redo/undo point.  Returns the checkpoint summary.
+
+        Pending group commits are forced first: an enqueued-but-unforced
+        COMMIT must not end up below a truncation horizon (it would be
+        unrecoverable yet undetectable), and the checkpoint's ATT snapshot
+        must not classify an already-enqueued commit as a loser.
         """
+        self.transactions.commit_group()
         if flush_pages:
             self.buffer.flush_all()
         info = self.recovery.checkpoint()
         info["truncated"] = (self.wal.truncate(info["truncatable_below"])
                              if truncate else 0)
+        # The checkpoint is complete and stable: archive the device image
+        # as the torn-page repair source for the next restart.
+        info["archived_pages"] = self.disk.snapshot_archive()
         return info
 
     def enable_auto_checkpoint(self, interval: int) -> None:

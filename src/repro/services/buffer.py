@@ -29,9 +29,9 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Iterable, Optional
 
-from ..errors import BufferError_
+from ..errors import BufferError_, ChecksumError
 from .disk import BlockDevice
-from .pages import PageView
+from .pages import PageView, stamp_checksum, verify_checksum
 
 __all__ = ["BufferPool"]
 
@@ -71,6 +71,8 @@ class BufferPool:
         self.stats = device.stats
         self._wal_flush = wal_flush
         self._lsn_source = lsn_source
+        #: Optional fault injector (wired by SystemServices).
+        self.faults = None
         # LRU order: least-recently-used frames at the front, so eviction
         # pops from the front instead of scanning every frame.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
@@ -110,7 +112,7 @@ class BufferPool:
         if frame is None:
             self.stats.bump("buffer.misses")
             self._note_miss(page_id)
-            frame = self._install(page_id, bytearray(self.device.read(page_id)))
+            frame = self._install(page_id, self._read_verified(page_id))
         else:
             self.stats.bump("buffer.hits")
             if frame.prefetched:
@@ -144,7 +146,13 @@ class BufferPool:
                 break
             if not self.device.exists(page_id):
                 continue
-            frame = _Frame(page_id, bytearray(self.device.read(page_id)))
+            raw = self.device.read(page_id)
+            if not verify_checksum(raw):
+                # Don't install a corrupt image speculatively; the demand
+                # fetch of this page will raise the ChecksumError.
+                self.stats.bump("buffer.checksum.prefetch_skipped")
+                continue
+            frame = _Frame(page_id, bytearray(raw))
             frame.prefetched = True
             self._frames[page_id] = frame
             installed += 1
@@ -266,13 +274,26 @@ class BufferPool:
         del self._frames[victim.page_id]
         self.stats.bump("buffer.evictions")
 
+    def _read_verified(self, page_id: int) -> bytearray:
+        """Read a device page and verify its checksum before installing."""
+        raw = self.device.read(page_id)
+        if not verify_checksum(raw):
+            self.stats.bump("buffer.checksum.failures")
+            raise ChecksumError(
+                f"page {page_id} failed checksum verification on fault-in "
+                "(torn or corrupted on the device)")
+        return bytearray(raw)
+
     def _write_back(self, frame: _Frame) -> None:
         # WAL-before-data: the log must be stable through the page's last
         # stamped LSN before the page bytes may reach the device.  This
         # holds on every write-back path — eviction, flush_page, flush_all.
+        if self.faults is not None:
+            self.faults.fire("buffer.write_back")
         if self._wal_flush is not None:
             page_lsn = PageView(frame.page_id, frame.data).page_lsn
             self._wal_flush(page_lsn)
+        stamp_checksum(frame.data)
         self.device.write(frame.page_id, bytes(frame.data))
         frame.dirty = False
         frame.rec_lsn = 0

@@ -10,13 +10,27 @@ Pages persist across a simulated crash; anything in the buffer pool that
 was never written back does not.  The device counts reads and writes and
 can charge an optional fixed latency per access, which the foreign-database
 gateway and the I/O-bound benchmarks use.
+
+Two robustness facilities live here:
+
+* **Stale page ids** — a freed page id is remembered, so I/O against it
+  raises :class:`~repro.errors.StalePageError` (a dangling reference held
+  by an extension) instead of the generic never-allocated error.
+* **Checkpoint archive** — :meth:`snapshot_archive` copies every allocated
+  page's bytes at each complete checkpoint.  After a crash,
+  :meth:`repair_corrupt_pages` restores any page whose checksum fails from
+  the archived image (or zero-fills a page allocated after the snapshot);
+  restart redo from the checkpoint then reconstructs every later update.
+  The archive models the page image recoverable from the last checkpoint's
+  backup/mirror in a real system.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
-from ..errors import PageError
+from ..errors import PageError, StalePageError
+from .pages import verify_checksum
 from .stats import StatsService
 
 __all__ = ["PAGE_SIZE", "BlockDevice"]
@@ -39,13 +53,18 @@ class BlockDevice:
         self.stats = stats if stats is not None else StatsService()
         self._pages: Dict[int, bytes] = {}
         self._free: list = []
+        self._freed: Set[int] = set()   # ids freed and not yet re-allocated
         self._next_id = 0
+        self._archive: Dict[int, bytes] = {}  # page images at last checkpoint
+        #: Optional fault injector (wired by SystemServices).
+        self.faults = None
 
     # -- allocation -----------------------------------------------------------
     def allocate(self) -> int:
         """Allocate a page and return its id.  The page starts zeroed."""
         if self._free:
             page_id = self._free.pop()
+            self._freed.discard(page_id)
         else:
             page_id = self._next_id
             self._next_id += 1
@@ -58,11 +77,17 @@ class BlockDevice:
         self._check(page_id)
         del self._pages[page_id]
         self._free.append(page_id)
+        self._freed.add(page_id)
+        # A freed page must not be resurrected by torn-page repair: a later
+        # incarnation under the same id would get the prior tenant's bytes.
+        self._archive.pop(page_id, None)
         self.stats.bump(f"{self.name}.frees")
 
     # -- I/O --------------------------------------------------------------------
     def read(self, page_id: int) -> bytes:
         self._check(page_id)
+        if self.faults is not None:
+            self.faults.fire("disk.read")
         self.stats.bump(f"{self.name}.reads")
         return self._pages[page_id]
 
@@ -71,8 +96,52 @@ class BlockDevice:
         if len(data) != self.page_size:
             raise PageError(
                 f"write of {len(data)} bytes to page of size {self.page_size}")
+        if self.faults is not None:
+            self.faults.fire("disk.write")
         self._pages[page_id] = bytes(data)
         self.stats.bump(f"{self.name}.writes")
+
+    # -- checkpoint archive / torn-page repair ----------------------------------
+    def snapshot_archive(self) -> int:
+        """Archive every allocated page's current device image.
+
+        Called once per complete checkpoint; the archive is the repair
+        source for pages that fail their checksum at restart.  Returns the
+        number of pages archived.
+        """
+        self._archive = dict(self._pages)
+        return len(self._archive)
+
+    def archived(self, page_id: int) -> Optional[bytes]:
+        return self._archive.get(page_id)
+
+    def corrupt_page_ids(self) -> list:
+        """Allocated pages whose current bytes fail checksum verification."""
+        return [pid for pid, data in sorted(self._pages.items())
+                if not verify_checksum(data)]
+
+    def repair_corrupt_pages(self) -> dict:
+        """Restore checksum-failing pages from the checkpoint archive.
+
+        A corrupt page with an archived (and itself valid) image is
+        restored from it; a corrupt page allocated after the snapshot is
+        zero-filled (its entire content postdates the checkpoint, so redo
+        reconstructs it from scratch).  Restart redo from the master
+        checkpoint then replays every update missing from the restored
+        image.  Returns ``{"restored": n, "zero_filled": m}``.
+        """
+        restored = zero_filled = 0
+        for page_id in self.corrupt_page_ids():
+            image = self._archive.get(page_id)
+            if image is not None and verify_checksum(image):
+                self._pages[page_id] = image
+                restored += 1
+            else:
+                self._pages[page_id] = bytes(self.page_size)
+                zero_filled += 1
+        self.stats.bump(f"{self.name}.repairs.restored", restored)
+        self.stats.bump(f"{self.name}.repairs.zero_filled", zero_filled)
+        return {"restored": restored, "zero_filled": zero_filled}
 
     # -- introspection ------------------------------------------------------------
     def exists(self, page_id: int) -> bool:
@@ -100,6 +169,10 @@ class BlockDevice:
 
     def _check(self, page_id: int) -> None:
         if page_id not in self._pages:
+            if page_id in self._freed:
+                raise StalePageError(
+                    f"page {page_id} on {self.name} was freed — the caller "
+                    "holds a stale page id")
             raise PageError(f"page {page_id} is not allocated on {self.name}")
 
     def __repr__(self) -> str:

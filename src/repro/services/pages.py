@@ -13,23 +13,62 @@ R-trees).  A page carries:
 
 Deleted slots are tombstoned (offset ``0xFFFF``) so record identifiers
 (page, slot) stay stable; tombstoned slots are reused by later inserts.
+
+The header also reserves a CRC32 checksum field.  The checksum is *not*
+maintained while the page lives in the buffer pool — it is stamped by the
+pool on write-back and verified on fault-in, so a torn or corrupted device
+page is detected the moment it re-enters the system (or at restart, which
+sweeps all allocated pages).  A stored checksum of 0 means "unstamped"
+(freshly allocated, never written back) and always verifies.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Iterator, Optional, Tuple
 
 from ..errors import PageError
 
-__all__ = ["PageView", "HEADER_SIZE", "SLOT_SIZE", "NO_PAGE"]
+__all__ = ["PageView", "HEADER_SIZE", "SLOT_SIZE", "NO_PAGE",
+           "page_checksum", "stamp_checksum", "verify_checksum"]
 
-_HEADER = struct.Struct("<qBHHq")  # page_lsn, page_type, slot_count, free_off, next_page
-HEADER_SIZE = 24  # _HEADER.size == 21, padded for alignment headroom
+# page_lsn, page_type, slot_count, free_off, next_page, checksum
+_HEADER = struct.Struct("<qBHHqI")
+HEADER_SIZE = 28  # _HEADER.size == 25, padded for alignment headroom
 SLOT_SIZE = 4
 _SLOT = struct.Struct("<HH")  # offset, length
 _TOMBSTONE = 0xFFFF
 NO_PAGE = -1
+
+_CHECKSUM_OFF = 21  # byte offset of the checksum field within the header
+_CHECKSUM = struct.Struct("<I")
+
+
+def page_checksum(data) -> int:
+    """CRC32 over the page with the checksum field itself zeroed.
+
+    0 is reserved to mean "unstamped"; a computed CRC of 0 maps to 1.
+    """
+    crc = zlib.crc32(data[:_CHECKSUM_OFF])
+    crc = zlib.crc32(b"\x00\x00\x00\x00", crc)
+    crc = zlib.crc32(data[_CHECKSUM_OFF + 4:], crc)
+    return crc or 1
+
+
+def stamp_checksum(data: bytearray) -> int:
+    """Write the page's checksum into its header field; returns it."""
+    crc = page_checksum(data)
+    _CHECKSUM.pack_into(data, _CHECKSUM_OFF, crc)
+    return crc
+
+
+def verify_checksum(data) -> bool:
+    """True when the stored checksum matches (or the page is unstamped)."""
+    stored = _CHECKSUM.unpack_from(data, _CHECKSUM_OFF)[0]
+    if stored == 0:
+        return True  # never stamped: a fresh page that was never flushed
+    return stored == page_checksum(data)
 
 
 class PageView:
@@ -53,16 +92,17 @@ class PageView:
                next_page: int = NO_PAGE) -> "PageView":
         """Initialise a freshly allocated page."""
         page = cls(page_id, data)
-        _HEADER.pack_into(data, 0, 0, page_type, 0, HEADER_SIZE, next_page)
+        _HEADER.pack_into(data, 0, 0, page_type, 0, HEADER_SIZE, next_page, 0)
         return page
 
     # -- header fields ---------------------------------------------------------
-    def _header(self) -> Tuple[int, int, int, int, int]:
+    def _header(self) -> Tuple[int, int, int, int, int, int]:
         return _HEADER.unpack_from(self.data, 0)
 
-    def _set_header(self, page_lsn, page_type, slot_count, free_off, next_page):
+    def _set_header(self, page_lsn, page_type, slot_count, free_off, next_page,
+                    checksum=0):
         _HEADER.pack_into(self.data, 0, page_lsn, page_type, slot_count,
-                          free_off, next_page)
+                          free_off, next_page, checksum)
 
     @property
     def page_lsn(self) -> int:
@@ -95,6 +135,11 @@ class PageView:
         header = list(self._header())
         header[4] = page_id
         self._set_header(*header)
+
+    @property
+    def checksum(self) -> int:
+        """The stored checksum (0: unstamped; maintained on write-back)."""
+        return self._header()[5]
 
     # -- slot directory ----------------------------------------------------------
     def _slot_pos(self, slot: int) -> int:

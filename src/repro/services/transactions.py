@@ -68,6 +68,17 @@ class Transaction:
     def active(self) -> bool:
         return self.state is TxnState.ACTIVE
 
+    @property
+    def settled(self) -> bool:
+        """Whether the outcome is decided (committed or aborted).
+
+        A transaction that failed *between* states — e.g. a log-flush
+        error during commit left it PREPARED — is not settled and must be
+        resolved (aborted) by whoever observes the failure, or its applied
+        changes and held locks leak past the error.
+        """
+        return self.state in (TxnState.COMMITTED, TxnState.ABORTED)
+
     def check_active(self) -> None:
         if self.state is not TxnState.ACTIVE:
             raise TransactionError(

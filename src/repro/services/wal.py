@@ -99,11 +99,15 @@ class LogManager:
         self._checkpoint_callback: Optional[Callable[[], None]] = None
         self._since_checkpoint = 0
         self._in_checkpoint_trigger = False
+        #: Optional fault injector (wired by SystemServices).
+        self.faults = None
 
     # -- appending ------------------------------------------------------------
     def append(self, txn_id: int, kind: str, resource: Optional[str] = None,
                payload: Optional[dict] = None,
                undo_next: Optional[int] = None) -> LogRecord:
+        if self.faults is not None:
+            self.faults.fire("wal.append")
         lsn = self._base + len(self._records) + 1
         prev = self._last_lsn.get(txn_id, 0)
         record = LogRecord(lsn, prev, txn_id, kind, resource, payload, undo_next)
@@ -157,6 +161,8 @@ class LogManager:
 
     def flush(self, up_to_lsn: Optional[int] = None) -> None:
         """Force the log to stable storage up to ``up_to_lsn`` (or all)."""
+        if self.faults is not None:
+            self.faults.fire("wal.flush")
         target = self.current_lsn if up_to_lsn is None else min(
             up_to_lsn, self.current_lsn)
         if target > self._flushed_lsn:

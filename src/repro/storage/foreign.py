@@ -15,9 +15,23 @@ local modification logs a compensation record, and the undo handler issues
 the inverse remote operation.  Redo after a local crash is a no-op — the
 remote database is its own durability domain.
 
+Transient failures (:class:`~repro.errors.GatewayError` — the analogue of
+a lost message or a remote hiccup) are retried with bounded deterministic
+backoff, each retry charging escalating latency units.  When a call
+exhausts its retries repeatedly, a circuit breaker trips: further calls
+fail fast (no message is even attempted) until a cooldown of calls has
+elapsed, after which one half-open probe either closes the breaker or
+re-opens it.  While the breaker is open, *reads degrade* — scans return no
+rows, fetches return None, the planner sees a zero-cost empty relation —
+and *writes fail closed* with a GatewayError, because silently dropping a
+modification would diverge the two databases.
+
 DDL attributes: ``database`` (the remote Database object), ``relation``
 (remote relation name), ``latency`` (I/O-page-equivalents charged per
-message, default 2.0).
+message, default 2.0), ``retries`` (transient retry budget, default 3),
+``breaker_threshold`` (consecutive exhausted calls that trip the breaker,
+default 3), ``breaker_cooldown`` (calls failed fast before the half-open
+probe, default 8).
 """
 
 from __future__ import annotations
@@ -26,7 +40,7 @@ from typing import Optional, Sequence
 
 from ..core.context import ExecutionContext
 from ..core.storage_method import RelationHandle, StorageMethod
-from ..errors import ForeignError, ScanError, StorageError
+from ..errors import ForeignError, GatewayError, ScanError, StorageError
 from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
 from ..services.predicate import Predicate
 from ..services.recovery import ResourceHandler
@@ -45,9 +59,78 @@ def _gateway_for(services, payload: dict):
 
 def _remote_call(ctx_or_services, descriptor: dict, stats) -> None:
     """Account one message round trip to the foreign database."""
+    services = getattr(ctx_or_services, "services", ctx_or_services)
+    faults = getattr(services, "faults", None)
+    if faults is not None and faults.armed:
+        faults.fire("foreign.remote_call")
     stats.bump("foreign.messages")
     stats.bump("foreign.latency_units",
                int(descriptor.get("latency", 2.0) * 100))
+
+
+def _breaker(descriptor: dict) -> dict:
+    """The per-gateway circuit-breaker state (lives in the storage
+    descriptor, so each foreign relation has its own breaker)."""
+    return descriptor.setdefault(
+        "breaker", {"failures": 0, "open": False, "cooldown_left": 0})
+
+
+def gateway_available(descriptor: dict) -> bool:
+    """False while the breaker is open (reads degrade, writes fail fast)."""
+    return not _breaker(descriptor)["open"]
+
+
+def _gateway(descriptor: dict, stats, action):
+    """Run one remote interaction behind retry + circuit breaker.
+
+    ``action()`` performs the message round trip (including its
+    ``_remote_call`` accounting) and returns the result.  Transient
+    :class:`GatewayError`\\ s are retried up to the descriptor's ``retries``
+    with deterministic exponential backoff charged as latency units.  An
+    exhausted call counts a breaker failure; ``breaker_threshold`` of them
+    in a row open the breaker, and while it is open every call fails fast
+    until ``breaker_cooldown`` fail-fast calls have passed — then one
+    half-open probe runs for real and closes the breaker on success.
+    """
+    breaker = _breaker(descriptor)
+    if breaker["open"]:
+        if breaker["cooldown_left"] > 0:
+            breaker["cooldown_left"] -= 1
+            stats.bump("gateway.fail_fast")
+            raise GatewayError(
+                f"foreign gateway to {descriptor.get('relation')!r} is "
+                "unavailable (circuit breaker open)")
+        stats.bump("gateway.half_open_probes")  # probe falls through
+    retries = int(descriptor.get("retries", 3))
+    base_latency = int(descriptor.get("latency", 2.0) * 100)
+    attempt = 0
+    while True:
+        try:
+            result = action()
+        except GatewayError:
+            if attempt < retries:
+                # Bounded deterministic backoff: the retry charges
+                # escalating latency units instead of wall-clock sleep.
+                stats.bump("gateway.retry.attempts")
+                stats.bump("gateway.retry.backoff_units",
+                           base_latency * (2 ** attempt))
+                attempt += 1
+                continue
+            stats.bump("gateway.retry.exhausted")
+            breaker["failures"] += 1
+            if breaker["failures"] >= int(
+                    descriptor.get("breaker_threshold", 3)):
+                breaker["open"] = True
+                breaker["cooldown_left"] = int(
+                    descriptor.get("breaker_cooldown", 8))
+                stats.bump("gateway.breaker.trips")
+            raise
+        if breaker["open"]:
+            stats.bump("gateway.breaker.closes")
+        breaker["open"] = False
+        breaker["failures"] = 0
+        breaker["cooldown_left"] = 0
+        return result
 
 
 class _ForeignHandler(ResourceHandler):
@@ -58,23 +141,27 @@ class _ForeignHandler(ResourceHandler):
         remote = descriptor["database"]
         table = remote.table(descriptor["relation"])
         op = payload["op"]
-        _remote_call(services, descriptor, services.stats)
-        if op == "insert":
-            table.delete(payload["remote_key"])
-        elif op == "delete":
-            table.insert(payload["old"])
-        elif op == "update":
-            schema = table.schema
-            changes = {schema.fields[i].name: value
-                       for i, value in enumerate(payload["old"])}
-            table.update(payload["remote_key"], changes)
-        elif op == "insert_multi":
-            for remote_key in payload["remote_keys"]:
-                table.delete(remote_key)
-        elif op == "delete_multi":
-            table.insert_many([tuple(old) for old in payload["olds"]])
-        else:
-            raise ForeignError(f"foreign gateway cannot undo op {op!r}")
+
+        def compensate():
+            _remote_call(services, descriptor, services.stats)
+            if op == "insert":
+                table.delete(payload["remote_key"])
+            elif op == "delete":
+                table.insert(payload["old"])
+            elif op == "update":
+                schema = table.schema
+                changes = {schema.fields[i].name: value
+                           for i, value in enumerate(payload["old"])}
+                table.update(payload["remote_key"], changes)
+            elif op == "insert_multi":
+                for remote_key in payload["remote_keys"]:
+                    table.delete(remote_key)
+            elif op == "delete_multi":
+                table.insert_many([tuple(old) for old in payload["olds"]])
+            else:
+                raise ForeignError(f"foreign gateway cannot undo op {op!r}")
+
+        _gateway(descriptor, services.stats, compensate)
 
     def redo(self, services, lsn: int, payload: dict) -> None:
         """The remote database is its own durability domain; no redo."""
@@ -152,6 +239,9 @@ class ForeignStorageMethod(StorageMethod):
         remote_db = attributes.pop("database", None)
         remote_relation = attributes.pop("relation", None)
         latency = attributes.pop("latency", 2.0)
+        retries = attributes.pop("retries", 3)
+        threshold = attributes.pop("breaker_threshold", 3)
+        cooldown = attributes.pop("breaker_cooldown", 8)
         if attributes:
             raise StorageError(
                 f"foreign storage: unknown attributes {sorted(attributes)}")
@@ -163,6 +253,13 @@ class ForeignStorageMethod(StorageMethod):
             raise StorageError(
                 f"foreign storage: latency must be non-negative, got "
                 f"{latency!r}")
+        for name, value in (("retries", retries),
+                            ("breaker_threshold", threshold),
+                            ("breaker_cooldown", cooldown)):
+            if not isinstance(value, int) or value < 0:
+                raise StorageError(
+                    f"foreign storage: {name} must be a non-negative "
+                    f"integer, got {value!r}")
         remote_schema = remote_db.catalog.handle(remote_relation).schema
         if tuple(f.type_code for f in remote_schema.fields) != \
                 tuple(f.type_code for f in schema.fields):
@@ -170,13 +267,17 @@ class ForeignStorageMethod(StorageMethod):
                 "foreign storage: local and remote schemas must have "
                 "matching field types")
         return {"database": remote_db, "relation": remote_relation,
-                "latency": float(latency)}
+                "latency": float(latency), "retries": retries,
+                "breaker_threshold": threshold, "breaker_cooldown": cooldown}
 
     def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
         return {"relation_id": relation_id,
                 "database": attributes["database"],
                 "relation": attributes["relation"],
-                "latency": attributes["latency"]}
+                "latency": attributes["latency"],
+                "retries": attributes["retries"],
+                "breaker_threshold": attributes["breaker_threshold"],
+                "breaker_cooldown": attributes["breaker_cooldown"]}
 
     def destroy_instance(self, ctx, descriptor) -> None:
         """Dropping the gateway never touches the foreign relation."""
@@ -188,8 +289,12 @@ class ForeignStorageMethod(StorageMethod):
     def insert(self, ctx, handle, record):
         descriptor = handle.descriptor.storage_descriptor
         remote = descriptor["database"].table(descriptor["relation"])
-        _remote_call(ctx, descriptor, ctx.stats)
-        remote_key = remote.insert(record)
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            return remote.insert(record)
+
+        remote_key = _gateway(descriptor, ctx.stats, send)
         ctx.log(self.resource, {"op": "insert", "remote_key": remote_key,
                                 "relation_id": descriptor["relation_id"]})
         ctx.stats.bump("foreign.inserts")
@@ -201,8 +306,12 @@ class ForeignStorageMethod(StorageMethod):
         schema = handle.schema
         changes = {schema.fields[i].name: value
                    for i, value in enumerate(new_record)}
-        _remote_call(ctx, descriptor, ctx.stats)
-        new_key = remote.update(key, changes)
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            return remote.update(key, changes)
+
+        new_key = _gateway(descriptor, ctx.stats, send)
         ctx.log(self.resource, {"op": "update", "remote_key": new_key,
                                 "old": old_record,
                                 "relation_id": descriptor["relation_id"]})
@@ -212,8 +321,12 @@ class ForeignStorageMethod(StorageMethod):
     def delete(self, ctx, handle, key, old_record) -> None:
         descriptor = handle.descriptor.storage_descriptor
         remote = descriptor["database"].table(descriptor["relation"])
-        _remote_call(ctx, descriptor, ctx.stats)
-        remote.delete(key)
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            remote.delete(key)
+
+        _gateway(descriptor, ctx.stats, send)
         ctx.log(self.resource, {"op": "delete", "old": old_record,
                                 "relation_id": descriptor["relation_id"]})
         ctx.stats.bump("foreign.deletes")
@@ -224,8 +337,12 @@ class ForeignStorageMethod(StorageMethod):
         log one compensation record for the group."""
         descriptor = handle.descriptor.storage_descriptor
         remote = descriptor["database"].table(descriptor["relation"])
-        _remote_call(ctx, descriptor, ctx.stats)
-        remote_keys = remote.insert_many(records)
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            return remote.insert_many(records)
+
+        remote_keys = _gateway(descriptor, ctx.stats, send)
         ctx.log(self.resource, {"op": "insert_multi",
                                 "remote_keys": list(remote_keys),
                                 "relation_id": descriptor["relation_id"]})
@@ -235,9 +352,13 @@ class ForeignStorageMethod(StorageMethod):
     def delete_batch(self, ctx, handle, items) -> None:
         descriptor = handle.descriptor.storage_descriptor
         remote = descriptor["database"].table(descriptor["relation"])
-        _remote_call(ctx, descriptor, ctx.stats)
-        for key, __ in items:
-            remote.delete(key)
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            for key, __ in items:
+                remote.delete(key)
+
+        _gateway(descriptor, ctx.stats, send)
         ctx.log(self.resource, {"op": "delete_multi",
                                 "olds": [old for __, old in items],
                                 "relation_id": descriptor["relation_id"]})
@@ -247,8 +368,16 @@ class ForeignStorageMethod(StorageMethod):
     def fetch(self, ctx, handle, key, fields=None, predicate=None):
         descriptor = handle.descriptor.storage_descriptor
         remote = descriptor["database"].table(descriptor["relation"])
-        _remote_call(ctx, descriptor, ctx.stats)
-        record = remote.fetch(key)
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            return remote.fetch(key)
+
+        try:
+            record = _gateway(descriptor, ctx.stats, send)
+        except GatewayError:
+            ctx.stats.bump("gateway.degraded_fetches")
+            return None
         if record is None:
             return None
         ctx.stats.bump("foreign.fetches")
@@ -263,10 +392,18 @@ class ForeignStorageMethod(StorageMethod):
         instead of one round trip per key."""
         descriptor = handle.descriptor.storage_descriptor
         remote = descriptor["database"].table(descriptor["relation"])
-        _remote_call(ctx, descriptor, ctx.stats)
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            return [(key, remote.fetch(key)) for key in keys]
+
+        try:
+            fetched = _gateway(descriptor, ctx.stats, send)
+        except GatewayError:
+            ctx.stats.bump("gateway.degraded_fetches")
+            return []
         pairs = []
-        for key in keys:
-            record = remote.fetch(key)
+        for key, record in fetched:
             if record is None:
                 continue
             if predicate is not None and not predicate.matches(record):
@@ -283,13 +420,23 @@ class ForeignStorageMethod(StorageMethod):
         remote = descriptor["database"].table(descriptor["relation"])
         # Ship the filter to the remote side (predicate pushdown across the
         # gateway), then block-fetch the result in one message.
-        _remote_call(ctx, descriptor, ctx.stats)
         remote_predicate = None
         if predicate is not None:
             remote_schema = remote.schema
             remote_predicate = Predicate(predicate.expr, remote_schema,
                                          predicate.params)
-        batch = remote.scan(where=remote_predicate)
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            return remote.scan(where=remote_predicate)
+
+        try:
+            batch = _gateway(descriptor, ctx.stats, send)
+        except GatewayError:
+            # Degraded read: the relation is unavailable, the query sees
+            # an empty result instead of crashing.
+            ctx.stats.bump("gateway.degraded_scans")
+            batch = []
         scan = ForeignScan(ctx, handle, batch, fields)
         ctx.services.scans.register(scan)
         return scan
@@ -297,6 +444,9 @@ class ForeignStorageMethod(StorageMethod):
     # -- planning ---------------------------------------------------------------------------
     def record_count(self, ctx, handle) -> int:
         descriptor = handle.descriptor.storage_descriptor
+        if not gateway_available(descriptor):
+            # Unavailable relation: the planner sees it as empty.
+            return 0
         return descriptor["database"].table(descriptor["relation"]).count()
 
     def page_count(self, ctx, handle) -> int:

@@ -111,7 +111,15 @@ class _HeapHandler(ResourceHandler):
             if page_id in descriptor["pages"] and services.disk.exists(page_id):
                 page = services.buffer.fetch(page_id)
                 try:
-                    _ensure_formatted(page)
+                    # The allocation record is the incarnation boundary: a
+                    # page image stamped before it belongs to a prior tenant
+                    # of this (reused) page id — or was zero-filled by the
+                    # torn-page sweep — and must be wiped before this
+                    # incarnation's updates replay onto it.
+                    if page.page_lsn < lsn:
+                        PageView.format(page.page_id, page.data,
+                                        PAGE_TYPE_HEAP)
+                        page.page_lsn = lsn
                 finally:
                     services.buffer.unpin(page_id, dirty=True)
             return
@@ -129,22 +137,32 @@ class _HeapHandler(ResourceHandler):
                 services.stats.bump("recovery.redo.skipped_page_lsn",
                                     len(payload.get("slots", ())) or 1)
                 return
-            if payload.get("compensates") is not None:
-                self._redo_compensation(page, payload)
-            elif op == "insert":
-                page.insert(payload["new_raw"], slot=payload["slot"])
-            elif op == "delete":
-                page.delete(payload["slot"])
-            elif op == "update":
-                page.update(payload["slot"], payload["new_raw"])
-            elif op == "insert_multi":
-                for slot, raw in zip(payload["slots"], payload["new_raws"]):
-                    page.insert(raw, slot=slot)
-            elif op == "delete_multi":
-                for slot in payload["slots"]:
-                    page.delete(slot)
-            else:
-                raise StorageError(f"heap cannot redo op {op!r}")
+            try:
+                if payload.get("compensates") is not None:
+                    self._redo_compensation(page, payload)
+                elif op == "insert":
+                    page.insert(payload["new_raw"], slot=payload["slot"])
+                elif op == "delete":
+                    page.delete(payload["slot"])
+                elif op == "update":
+                    page.update(payload["slot"], payload["new_raw"])
+                elif op == "insert_multi":
+                    for slot, raw in zip(payload["slots"],
+                                         payload["new_raws"]):
+                        page.insert(raw, slot=slot)
+                elif op == "delete_multi":
+                    for slot in payload["slots"]:
+                        page.delete(slot)
+                else:
+                    raise StorageError(f"heap cannot redo op {op!r}")
+            except PageError:
+                # The record targets a prior incarnation of a reused page
+                # id whose image was repaired (zero-filled) at restart, so
+                # its slots no longer exist.  The incarnation's later
+                # new_page redo wipes any partial replay; skipping here is
+                # safe because the final image never includes this tenant.
+                services.stats.bump("recovery.redo.stale_incarnation")
+                return
             page.page_lsn = lsn
             dirty = True
             # A multi record redoes one logical operation per slot.
@@ -333,9 +351,15 @@ class HeapStorageMethod(StorageMethod):
             slot = page.insert(raw)
             key = (page_id, slot)
             ctx.lock_record(handle.relation_id, key, LockMode.X)
-            log = ctx.log(self.resource, {
-                "op": "insert", "relation_id": descriptor["relation_id"],
-                "page": page_id, "slot": slot, "new_raw": raw})
+            try:
+                log = ctx.log(self.resource, {
+                    "op": "insert", "relation_id": descriptor["relation_id"],
+                    "page": page_id, "slot": slot, "new_raw": raw})
+            except BaseException:
+                # WAL protocol: a page modification without a log record
+                # must not survive — rollback can only undo logged work.
+                page.delete(slot)
+                raise
             page.page_lsn = log.lsn
             descriptor["ntuples"] += 1
             ctx.stats.bump("heap.inserts")
@@ -360,10 +384,14 @@ class HeapStorageMethod(StorageMethod):
             ctx.stats.bump("heap.relocating_updates")
             return new_key
         try:
-            log = ctx.log(self.resource, {
-                "op": "update", "relation_id": descriptor["relation_id"],
-                "page": page_id, "slot": slot,
-                "old_raw": old_raw, "new_raw": new_raw})
+            try:
+                log = ctx.log(self.resource, {
+                    "op": "update", "relation_id": descriptor["relation_id"],
+                    "page": page_id, "slot": slot,
+                    "old_raw": old_raw, "new_raw": new_raw})
+            except BaseException:
+                page.update(slot, old_raw)  # unlogged change must not stay
+                raise
             page.page_lsn = log.lsn
             ctx.stats.bump("heap.updates")
             return key
@@ -377,9 +405,13 @@ class HeapStorageMethod(StorageMethod):
         page = ctx.buffer.fetch(page_id)
         try:
             old_raw = page.delete(slot)
-            log = ctx.log(self.resource, {
-                "op": "delete", "relation_id": descriptor["relation_id"],
-                "page": page_id, "slot": slot, "old_raw": old_raw})
+            try:
+                log = ctx.log(self.resource, {
+                    "op": "delete", "relation_id": descriptor["relation_id"],
+                    "page": page_id, "slot": slot, "old_raw": old_raw})
+            except BaseException:
+                page.insert(old_raw, slot=slot)  # unlogged: put it back
+                raise
             page.page_lsn = log.lsn
             descriptor["ntuples"] -= 1
             ctx.stats.bump("heap.deletes")
@@ -413,10 +445,17 @@ class HeapStorageMethod(StorageMethod):
                     slots.append(slot)
                     page_raws.append(raw)
                     i += 1
-                log = ctx.log(self.resource, {
-                    "op": "insert_multi",
-                    "relation_id": descriptor["relation_id"],
-                    "page": page_id, "slots": slots, "new_raws": page_raws})
+                try:
+                    log = ctx.log(self.resource, {
+                        "op": "insert_multi",
+                        "relation_id": descriptor["relation_id"],
+                        "page": page_id, "slots": slots,
+                        "new_raws": page_raws})
+                except BaseException:
+                    for slot in slots:  # unlogged changes must not stay
+                        page.delete(slot)
+                    del keys[len(keys) - len(slots):]
+                    raise
                 page.page_lsn = log.lsn
                 descriptor["ntuples"] += len(slots)
             finally:
@@ -452,7 +491,17 @@ class HeapStorageMethod(StorageMethod):
                         "page": page_id, "slots": slots,
                         "old_raws": old_raws})
                     descriptor["ntuples"] -= len(slots)
-                logs = ctx.log_batch(self.resource, payloads)
+                try:
+                    logs = ctx.log_batch(self.resource, payloads)
+                except BaseException:
+                    # Unlogged deletions must not stay: restore every
+                    # record of the chunk before the error escapes.
+                    for (__, page), payload in zip(pinned, payloads):
+                        for slot, raw in zip(payload["slots"],
+                                             payload["old_raws"]):
+                            page.insert(raw, slot=slot)
+                        descriptor["ntuples"] += len(payload["slots"])
+                    raise
                 for (page_id, page), log in zip(pinned, logs):
                     page.page_lsn = log.lsn
             finally:
@@ -549,10 +598,17 @@ class HeapStorageMethod(StorageMethod):
                 return page_id, page
             ctx.buffer.unpin(page_id)
         page = ctx.buffer.new_page(PAGE_TYPE_HEAP)
+        try:
+            log = ctx.log(self.resource, {
+                "op": "new_page", "relation_id": descriptor["relation_id"],
+                "page": page.page_id})
+        except BaseException:
+            # The allocation was never logged: without this the pin (and
+            # an unrecorded page) would leak past the operation rollback.
+            ctx.buffer.unpin(page.page_id, dirty=True)
+            ctx.buffer.free_page(page.page_id)
+            raise
         pages.append(page.page_id)
-        log = ctx.log(self.resource, {
-            "op": "new_page", "relation_id": descriptor["relation_id"],
-            "page": page.page_id})
         page.page_lsn = log.lsn
         ctx.stats.bump("heap.page_allocations")
         return page.page_id, page

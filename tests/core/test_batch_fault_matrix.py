@@ -1,0 +1,178 @@
+"""Faults at every batch index: batch rollback must restore storage and
+every attachment to exactly the state tuple-at-a-time execution (in one
+rolled-back transaction) leaves behind, and the escaping error must carry
+the index of the record that failed.
+"""
+
+import pytest
+
+from repro import AccessPath, Database, UniqueViolation
+from repro.core.attachment import AttachmentType
+from repro.errors import ExtensionFault, ReferentialViolation
+
+BATCH_SIZE = 5
+POISON = -777         # faults on_insert / on_update
+POISON_DELETE = -778  # faults on_delete
+
+
+class TripwireAttachment(AttachmentType):
+    """Raises a foreign exception when it sees a poison value — in the
+    per-record hooks only, so the default batch loops tag the index."""
+
+    name = "tripwire"
+    is_access_path = True  # quarantinable, but thresholds aren't hit here
+
+    def create_instance(self, ctx, handle, instance_name, attributes):
+        return {"name": instance_name}
+
+    def destroy_instance(self, ctx, handle, instance_name, instance):
+        pass
+
+    def on_insert(self, ctx, handle, field, key, new_record):
+        if new_record[1] == POISON:
+            raise RuntimeError("tripwire")
+
+    def on_update(self, ctx, handle, field, old_key, new_key, old_record,
+                  new_record):
+        if new_record[1] == POISON:
+            raise RuntimeError("tripwire")
+
+    def on_delete(self, ctx, handle, field, key, old_record):
+        if old_record[1] == POISON_DELETE:
+            raise RuntimeError("tripwire")
+
+
+def build():
+    db = Database(page_size=1024, buffer_capacity=128)
+    db.registry.register_attachment_type(TripwireAttachment())
+    table = db.create_table("t", [("id", "INT", False), ("v", "INT")])
+    db.create_index("t_id", "t", ["id"])
+    db.create_attachment("t", "unique", "t_v", {"columns": ["v"]})
+    db.create_attachment("t", "tripwire", "t_trip")
+    # One record more than the batch touches: a stable collision target.
+    keys = table.insert_many([(i, i * 10) for i in range(BATCH_SIZE + 1)])
+    return db, table, keys
+
+
+def observable_state(db, table):
+    """Storage rows plus the btree index's view of them."""
+    att = db.registry.attachment_type_by_name("btree_index")
+    index_view = {i: table.fetch((i,),
+                                 access_path=AccessPath(att.type_id, "t_id"))
+                  for i in range(BATCH_SIZE * 3)}
+    return sorted(table.rows()), index_view
+
+
+@pytest.mark.parametrize("index", range(BATCH_SIZE))
+def test_insert_batch_veto_at_each_index(index):
+    db, table, __ = build()
+    baseline = observable_state(db, table)
+    batch = [(100 + i, 1000 + i) for i in range(BATCH_SIZE)]
+    batch[index] = (100 + index, index * 10)  # duplicates a stored value
+
+    with pytest.raises(UniqueViolation) as excinfo:
+        table.insert_many(batch)
+    assert excinfo.value.batch_index == index
+    assert excinfo.value.relation == "t"
+    assert excinfo.value.operation == "insert_batch"
+    assert observable_state(db, table) == baseline
+
+    # Tuple-at-a-time in one rolled-back transaction ends identically.
+    other_db, other_table, __ = build()
+    other_db.begin()
+    with pytest.raises(UniqueViolation):
+        for record in batch:
+            other_table.insert(record)
+    other_db.rollback()
+    assert observable_state(other_db, other_table) == baseline
+
+
+@pytest.mark.parametrize("index", range(BATCH_SIZE))
+def test_insert_batch_fault_at_each_index(index):
+    db, table, __ = build()
+    baseline = observable_state(db, table)
+    batch = [(100 + i, 1000 + i) for i in range(BATCH_SIZE)]
+    batch[index] = (100 + index, POISON)
+
+    with pytest.raises(ExtensionFault) as excinfo:
+        table.insert_many(batch)
+    assert excinfo.value.batch_index == index
+    assert excinfo.value.attachment_id == "tripwire"
+    assert observable_state(db, table) == baseline
+
+
+@pytest.mark.parametrize("index", range(BATCH_SIZE))
+def test_update_batch_veto_at_each_index(index):
+    db, table, keys = build()
+    baseline = observable_state(db, table)
+    # Every batch record gets a fresh value except the poisoned one, which
+    # collides with the extra record the batch never touches.
+    items = [(keys[i], (i, 1000 + i)) for i in range(BATCH_SIZE)]
+    items[index] = (keys[index], (index, BATCH_SIZE * 10))
+
+    with pytest.raises(UniqueViolation) as excinfo:
+        table.update_many(items)
+    assert excinfo.value.batch_index == index
+    assert excinfo.value.operation == "update_batch"
+    assert observable_state(db, table) == baseline
+
+    other_db, other_table, other_keys = build()
+    other_db.begin()
+    with pytest.raises(UniqueViolation):
+        for i, (__, record) in enumerate(items):
+            other_table.update(other_keys[i], {"v": record[1]})
+    other_db.rollback()
+    assert observable_state(other_db, other_table) == baseline
+
+
+@pytest.mark.parametrize("index", range(BATCH_SIZE))
+def test_update_batch_fault_at_each_index(index):
+    db, table, keys = build()
+    baseline = observable_state(db, table)
+    items = [(keys[i], (i, 1000 + i)) for i in range(BATCH_SIZE)]
+    items[index] = (keys[index], (index, POISON))
+
+    with pytest.raises(ExtensionFault) as excinfo:
+        table.update_many(items)
+    assert excinfo.value.batch_index == index
+    assert excinfo.value.attachment_id == "tripwire"
+    assert observable_state(db, table) == baseline
+
+
+@pytest.mark.parametrize("index", range(BATCH_SIZE))
+def test_delete_batch_fault_at_each_index(index):
+    db, table, keys = build()
+    table.update(keys[index], {"v": POISON_DELETE})
+    baseline = observable_state(db, table)
+
+    with pytest.raises(ExtensionFault) as excinfo:
+        table.delete_many(keys[:BATCH_SIZE])
+    assert excinfo.value.batch_index == index
+    assert excinfo.value.operation == "delete_batch"
+    assert observable_state(db, table) == baseline
+
+    other_db, other_table, other_keys = build()
+    other_table.update(other_keys[index], {"v": POISON_DELETE})
+    other_db.begin()
+    with pytest.raises(ExtensionFault):
+        for key in other_keys[:BATCH_SIZE]:
+            other_table.delete(key)
+    other_db.rollback()
+    assert observable_state(other_db, other_table) == baseline
+
+
+@pytest.mark.parametrize("index", range(3))
+def test_referential_insert_batch_reports_first_bad_index(index):
+    db = Database(page_size=1024)
+    parent = db.create_table("dept", [("dname", "STRING")])
+    parent.insert_many([("eng",), ("sales",)])
+    child = db.create_table("emp", [("id", "INT"), ("dept", "STRING")])
+    db.create_attachment("emp", "referential", "emp_fk",
+                         {"parent": "dept", "columns": ["dept"],
+                          "parent_columns": ["dname"]})
+    batch = [(i, "eng") for i in range(3)]
+    batch[index] = (index, "ghost")
+    with pytest.raises(ReferentialViolation) as excinfo:
+        child.insert_many(batch)
+    assert excinfo.value.batch_index == index
+    assert child.count() == 0

@@ -68,3 +68,79 @@ def test_allocated_pages_counter():
     device.free(ids[0])
     assert device.allocated_pages == 4
     assert not device.exists(ids[0])
+
+def test_freed_page_io_raises_stale_page_error():
+    from repro.errors import StalePageError
+    device = BlockDevice(page_size=256)
+    page_id = device.allocate()
+    device.free(page_id)
+    with pytest.raises(StalePageError):
+        device.read(page_id)
+    with pytest.raises(StalePageError):
+        device.write(page_id, bytes(256))
+    with pytest.raises(StalePageError):
+        device.free(page_id)
+    # StalePageError is still a PageError: existing handlers keep working.
+    with pytest.raises(PageError):
+        device.read(page_id)
+
+
+def test_stale_id_distinct_from_never_allocated():
+    from repro.errors import StalePageError
+    device = BlockDevice(page_size=256)
+    with pytest.raises(PageError) as excinfo:
+        device.read(7)
+    assert not isinstance(excinfo.value, StalePageError)
+
+
+def test_reallocation_clears_staleness():
+    device = BlockDevice(page_size=256)
+    page_id = device.allocate()
+    device.free(page_id)
+    assert device.allocate() == page_id
+    assert device.read(page_id) == bytes(256)
+
+
+def test_archive_snapshot_and_repair():
+    from repro.services.pages import stamp_checksum
+    device = BlockDevice(page_size=256)
+    page_id = device.allocate()
+    image = bytearray(256)
+    image[30:35] = b"hello"
+    stamp_checksum(image)
+    device.write(page_id, bytes(image))
+    assert device.snapshot_archive() == 1
+    # Torn write after the checkpoint: garbage with a wrong checksum.
+    device.write(page_id, b"\xff" * 256)
+    assert device.corrupt_page_ids() == [page_id]
+    summary = device.repair_corrupt_pages()
+    assert summary == {"restored": 1, "zero_filled": 0}
+    assert device.read(page_id) == bytes(image)
+
+
+def test_repair_zero_fills_pages_allocated_after_snapshot():
+    device = BlockDevice(page_size=256)
+    device.snapshot_archive()
+    page_id = device.allocate()
+    device.write(page_id, b"\xff" * 256)
+    summary = device.repair_corrupt_pages()
+    assert summary == {"restored": 0, "zero_filled": 1}
+    assert device.read(page_id) == bytes(256)
+
+
+def test_freed_page_purged_from_archive():
+    from repro.services.pages import stamp_checksum
+    device = BlockDevice(page_size=256)
+    page_id = device.allocate()
+    image = bytearray(256)
+    image[0:3] = b"old"
+    stamp_checksum(image)
+    device.write(page_id, bytes(image))
+    device.snapshot_archive()
+    device.free(page_id)
+    assert device.allocate() == page_id  # new incarnation, same id
+    device.write(page_id, b"\xff" * 256)
+    summary = device.repair_corrupt_pages()
+    # The prior tenant's bytes must not resurface: zero-fill, not restore.
+    assert summary == {"restored": 0, "zero_filled": 1}
+    assert device.read(page_id) == bytes(256)

@@ -1,0 +1,135 @@
+"""Foreign gateway resilience: retry, circuit breaker, degraded reads."""
+
+import pytest
+
+from repro import Database
+from repro.errors import GatewayError, StorageError
+
+
+def make_federation(**attributes):
+    remote = Database(page_size=1024)
+    remote_table = remote.create_table("inventory",
+                                       [("sku", "INT"), ("qty", "INT")])
+    remote_table.insert_many([(i, i * 10) for i in range(5)])
+    local = Database(page_size=1024)
+    attrs = {"database": remote, "relation": "inventory"}
+    attrs.update(attributes)
+    local.create_table("inventory_gw", [("sku", "INT"), ("qty", "INT")],
+                       storage_method="foreign", attributes=attrs)
+    return local, remote_table, local.table("inventory_gw")
+
+
+def arm_transient(local, **kwargs):
+    local.services.faults.arm("foreign.remote_call", error=GatewayError,
+                              **kwargs)
+
+
+def test_transient_failure_is_retried_and_succeeds():
+    local, remote_table, gateway = make_federation()
+    arm_transient(local, nth=1)  # one-shot: only the first attempt fails
+    key = gateway.insert((99, 990))
+    assert remote_table.fetch(key) == (99, 990)
+    assert local.services.stats.get("gateway.retry.attempts") == 1
+    assert local.services.stats.get("gateway.retry.exhausted") == 0
+
+
+def test_backoff_units_are_deterministic():
+    local, __, gateway = make_federation(latency=1.0)
+    arm_transient(local, nth=1, one_shot=False)  # every attempt fails
+    with pytest.raises(GatewayError):
+        gateway.insert((99, 990))
+    # retries=3 -> backoff 100*(2^0 + 2^1 + 2^2) latency units.
+    assert local.services.stats.get("gateway.retry.backoff_units") == 700
+    assert local.services.stats.get("gateway.retry.attempts") == 3
+    assert local.services.stats.get("gateway.retry.exhausted") == 1
+
+
+def trip_breaker(local, gateway):
+    arm_transient(local, nth=1, one_shot=False)
+    for __ in range(3):  # breaker_threshold exhausted calls
+        with pytest.raises(GatewayError):
+            gateway.insert((99, 990))
+    local.services.faults.disarm()
+
+
+def test_repeated_exhaustion_trips_the_breaker():
+    local, __, gateway = make_federation()
+    trip_breaker(local, gateway)
+    assert local.services.stats.get("gateway.breaker.trips") == 1
+    # Fail fast: no message reaches the remote while the breaker is open.
+    before = local.services.stats.get("foreign.messages")
+    with pytest.raises(GatewayError):
+        gateway.insert((1, 2))
+    assert local.services.stats.get("foreign.messages") == before
+    assert local.services.stats.get("gateway.fail_fast") == 1
+
+
+def test_open_breaker_degrades_reads_instead_of_crashing():
+    local, remote_table, gateway = make_federation(breaker_cooldown=100)
+    trip_breaker(local, gateway)
+    assert gateway.rows() == []
+    assert local.services.stats.get("gateway.degraded_scans") == 1
+    key = remote_table.scan()[0][0]
+    assert gateway.fetch(key) is None
+    assert local.services.stats.get("gateway.degraded_fetches") == 1
+    # The planner sees an unavailable relation as empty.
+    assert local.execute("SELECT * FROM inventory_gw") == []
+
+
+def test_cooldown_probe_closes_the_breaker():
+    local, remote_table, gateway = make_federation(breaker_cooldown=2)
+    trip_breaker(local, gateway)
+    # Two calls fail fast (consuming the cooldown), the third is the
+    # half-open probe — it reaches the healthy remote and closes the
+    # breaker.
+    assert gateway.rows() == []
+    assert gateway.rows() == []
+    assert sorted(gateway.rows()) == sorted(remote_table.rows())
+    assert local.services.stats.get("gateway.half_open_probes") == 1
+    assert local.services.stats.get("gateway.breaker.closes") == 1
+    # Fully recovered: writes flow again.
+    key = gateway.insert((99, 990))
+    assert remote_table.fetch(key) == (99, 990)
+
+
+def test_failed_probe_reopens_the_breaker():
+    local, __, gateway = make_federation(breaker_cooldown=1)
+    trip_breaker(local, gateway)
+    arm_transient(local, nth=1, one_shot=False)  # remote still down
+    assert gateway.rows() == []  # fail fast, consumes the cooldown
+    assert gateway.rows() == []  # probe runs, fails, re-trips
+    local.services.faults.disarm()
+    assert local.services.stats.get("gateway.breaker.trips") == 2
+
+
+def test_breaker_attributes_validated():
+    remote = Database(page_size=1024)
+    remote.create_table("r", [("a", "INT")])
+    local = Database(page_size=1024)
+    with pytest.raises(StorageError):
+        local.create_table("gw", [("a", "INT")], storage_method="foreign",
+                           attributes={"database": remote, "relation": "r",
+                                       "retries": -1})
+    with pytest.raises(StorageError):
+        local.create_table("gw", [("a", "INT")], storage_method="foreign",
+                           attributes={"database": remote, "relation": "r",
+                                       "breaker_cooldown": "soon"})
+
+
+def test_success_resets_consecutive_failure_count():
+    local, remote_table, gateway = make_federation()
+    # Two exhausted calls (one short of the threshold) ...
+    arm_transient(local, nth=1, one_shot=False)
+    for __ in range(2):
+        with pytest.raises(GatewayError):
+            gateway.insert((99, 990))
+    local.services.faults.disarm()
+    # ... then a success: the streak resets, so two more failures still
+    # don't trip the breaker.
+    gateway.insert((50, 500))
+    arm_transient(local, nth=1, one_shot=False)
+    for __ in range(2):
+        with pytest.raises(GatewayError):
+            gateway.insert((99, 990))
+    local.services.faults.disarm()
+    assert local.services.stats.get("gateway.breaker.trips") == 0

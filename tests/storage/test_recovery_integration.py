@@ -301,3 +301,40 @@ def test_btree_file_storage_crash_with_key_movement(db):
     ids = [r[0] for r in table.rows()]
     assert 500 in ids and 5 not in ids
     assert 6 in ids and 600 not in ids
+
+def test_close_forces_pending_group_commits():
+    db = Database(page_size=1024, buffer_capacity=128, group_commit=8)
+    table = db.create_table("t", [("id", "INT")])
+    for i in range(3):  # a partial group: durability still deferred
+        table.insert((i,))
+    assert db.services.transactions.pending_group_commits() >= 3
+    db.close()
+    assert db.services.transactions.pending_group_commits() == 0
+    assert db.services.stats.get("db.closes") == 1
+    db.restart()  # nothing committed may be lost after close()
+    assert table.count() == 3
+
+
+def test_close_aborts_open_session_transaction():
+    db = Database(page_size=1024, buffer_capacity=128)
+    table = db.create_table("t", [("id", "INT")])
+    table.insert((1,))
+    db.begin()
+    table.insert((2,))
+    db.close()
+    assert not db.in_transaction
+    assert table.rows() == [(1,)]
+
+
+def test_checkpoint_forces_pending_group_commits():
+    db = Database(page_size=1024, buffer_capacity=128, group_commit=8)
+    table = db.create_table("t", [("id", "INT")])
+    for i in range(3):
+        table.insert((i,))
+    assert db.services.transactions.pending_group_commits() >= 3
+    # An enqueued COMMIT must neither fall below the truncation horizon
+    # nor be classified a loser by the checkpoint's ATT snapshot.
+    db.checkpoint(truncate=True)
+    assert db.services.transactions.pending_group_commits() == 0
+    db.restart()
+    assert table.count() == 3
