@@ -34,3 +34,18 @@ def pages_touched(db, fn):
     before = stats.get("disk.reads") + stats.get("buffer.hits")
     fn()
     return stats.get("disk.reads") + stats.get("buffer.hits") - before
+
+
+def bench_payload(bench: str, config: dict, counters: dict,
+                  derived: dict) -> dict:
+    """The machine-readable artifact schema shared by every bench.
+
+    Each experiment's CLI entry point emits exactly this shape (and the
+    repo-root ``BENCH_E*.json`` files archive one run per PR), so the
+    performance trajectory can be diffed across commits without knowing
+    any bench's internals: ``config`` pins the workload parameters,
+    ``counters`` holds raw deterministic counter deltas, ``derived``
+    holds the ratios the acceptance assertions gate on.
+    """
+    return {"bench": bench, "config": config,
+            "counters": counters, "derived": derived}

@@ -7,12 +7,25 @@ page), and one attached-procedure call per attachment type.  With three
 attachment types riding on the relation, a 1 000-row insert must cost at
 least 3x fewer savepoint + lock-manager calls and fewer buffer-pool pins
 than the same rows tuple-at-a-time — with byte-identical contents.
+
+Runnable directly for the CI smoke profile::
+
+    python benchmarks/bench_bulk.py --rows 500 --json bench-bulk.json
 """
+
+import argparse
+import json
+import sys
 
 import pytest
 
 from repro import AccessPath, Database
 from repro.workloads import employee_records
+
+try:
+    from benchmarks._helpers import bench_payload
+except ImportError:          # executed directly: python benchmarks/bench_...
+    from _helpers import bench_payload
 
 N = 1_000
 COUNTERS = ("txn.savepoints_set", "locks.acquire_calls", "buffer.pins")
@@ -51,20 +64,35 @@ def index_contents(db):
         for row in table.rows())
 
 
-@pytest.fixture(scope="module")
-def work_profile():
+def bulk_profile(rows: int = N) -> dict:
     """Deterministic counter deltas for both strategies (measured once)."""
-    rows = employee_records(N)
+    data = employee_records(rows)
     db_one = build_db()
     table_one = db_one.table("employee")
-    one = measured(lambda: [table_one.insert(row) for row in rows], db_one)
+    one = measured(lambda: [table_one.insert(row) for row in data], db_one)
     db_set = build_db()
     table_set = db_set.table("employee")
-    batch = measured(lambda: table_set.insert_many(rows), db_set)
+    batch = measured(lambda: table_set.insert_many(data), db_set)
     # Identical resulting relation and index contents.
-    assert sorted(table_one.rows()) == sorted(table_set.rows())
-    assert index_contents(db_one) == index_contents(db_set)
-    return one, batch
+    identical = (sorted(table_one.rows()) == sorted(table_set.rows())
+                 and index_contents(db_one) == index_contents(db_set))
+    one_calls = one["txn.savepoints_set"] + one["locks.acquire_calls"]
+    batch_calls = batch["txn.savepoints_set"] + batch["locks.acquire_calls"]
+    return bench_payload(
+        "E14-bulk-modification",
+        {"rows": rows, "attachment_types": 3},
+        {"tuple_at_a_time": one, "set_at_a_time": batch},
+        {"savepoint_lock_ratio": one_calls / max(1, batch_calls),
+         "pin_ratio": one["buffer.pins"] / max(1, batch["buffer.pins"]),
+         "identical_contents": identical})
+
+
+@pytest.fixture(scope="module")
+def work_profile():
+    profile = bulk_profile(N)
+    assert profile["derived"]["identical_contents"]
+    return (profile["counters"]["tuple_at_a_time"],
+            profile["counters"]["set_at_a_time"])
 
 
 def test_batched_makes_3x_fewer_savepoint_and_lock_calls(work_profile):
@@ -124,3 +152,29 @@ def test_bulk_delete_batched(benchmark):
     benchmark.pedantic(run, setup=setup, rounds=3)
     benchmark.extra_info["rows"] = N
     benchmark.extra_info["strategy"] = "set-at-a-time delete"
+
+
+# ---------------------------------------------------------------------------
+# CI smoke entry point
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=N)
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the profile as JSON")
+    args = parser.parse_args(argv)
+    result = bulk_profile(args.rows)
+    payload = json.dumps(result, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(payload + "\n")
+    print(payload)
+    ok = (result["derived"]["identical_contents"]
+          and result["derived"]["savepoint_lock_ratio"] >= 3
+          and result["derived"]["pin_ratio"] > 1)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,11 @@ from repro import AccessPath, Database
 from repro.errors import (ExtensionFault, GatewayError, ReproError,
                           UniqueViolation)
 
+try:
+    from benchmarks._helpers import bench_payload
+except ImportError:          # executed directly: python benchmarks/bench_...
+    from _helpers import bench_payload
+
 SEED = 20260806
 ROUNDS = 800
 CRASH_EVERY = 900        # WAL appends between forced crash/restarts
@@ -341,7 +346,21 @@ def main(argv=None) -> int:
                         help="write the profile as JSON")
     args = parser.parse_args(argv)
     result = e17_profile(args.seed, args.rounds, args.crash_every)
-    payload = json.dumps(result, indent=2, sort_keys=True)
+    out = bench_payload(
+        "E17-fault-containment",
+        {"seed": args.seed, "rounds": args.rounds,
+         "crash_every": args.crash_every},
+        {"fuzz": result["fuzz"], "quarantine": result["quarantine"],
+         "breaker": result["breaker"],
+         "faults_by_point": result["faults_by_point"]},
+        {"total_faults": result["total_faults"],
+         "points_hit": result["points_hit"],
+         "invariant_violations": result["fuzz"]["invariant_violations"],
+         "byte_identical_restart": result["fuzz"]["byte_identical_restart"],
+         "index_consistent_after_rebuild":
+             result["quarantine"]["index_consistent_after_rebuild"],
+         "breaker_recovered": result["breaker"]["recovered_after_cooldown"]})
+    payload = json.dumps(out, indent=2, sort_keys=True)
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(payload + "\n")

@@ -23,6 +23,11 @@ import pytest
 
 from repro import Database
 
+try:
+    from benchmarks._helpers import bench_payload
+except ImportError:          # executed directly: python benchmarks/bench_...
+    from _helpers import bench_payload
+
 N = 2000
 MIN_REDO_RATIO = 50
 MIN_LOGGED_OPS = 10_000
@@ -259,7 +264,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     result = recovery_profile(args.rows)
     result["group_commit"] = group_commit_profile()
-    payload = json.dumps(result, indent=2, sort_keys=True)
+    out = bench_payload(
+        "E16-checkpointed-recovery",
+        {"rows": args.rows,
+         "group_commit_limit": result["group_commit"]["limit"]},
+        {"logged_ops": result["logged_ops"],
+         "baseline": result["baseline"],
+         "checkpointed": result["checkpointed"],
+         "group_commit": result["group_commit"]},
+        {"redo_ratio": result["redo_ratio"],
+         "truncated_fraction": result["truncated_fraction"],
+         "byte_identical": result["byte_identical"],
+         "contents_correct": result["contents_correct"],
+         "group_commit_force_reduction":
+             result["group_commit"]["force_reduction"]})
+    payload = json.dumps(out, indent=2, sort_keys=True)
     if args.json:
         with open(args.json, "w") as fh:
             fh.write(payload + "\n")

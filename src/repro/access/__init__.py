@@ -16,6 +16,7 @@ def builtin_attachment_types():
 
     1. btree_index   2. hash_index   3. rtree   4. join_index
     5. check   6. unique   7. referential   8. trigger   9. aggregate
+    10. statistics
     """
     from ..constraints.check import CheckConstraintAttachment
     from ..constraints.referential import ReferentialIntegrityAttachment
@@ -26,6 +27,7 @@ def builtin_attachment_types():
     from .hash_index import HashIndexAttachment
     from .join_index import JoinIndexAttachment
     from .rtree import RTreeAttachment
+    from .statistics import StatisticsAttachment
     return [
         BTreeIndexAttachment(),            # id 1
         HashIndexAttachment(),             # id 2
@@ -36,4 +38,5 @@ def builtin_attachment_types():
         ReferentialIntegrityAttachment(),  # id 7
         TriggerAttachment(),               # id 8
         AggregateAttachment(),             # id 9
+        StatisticsAttachment(),            # id 10
     ]

@@ -439,6 +439,16 @@ class BTreeIndexAttachment(AttachmentType):
         interpolated = self._interpolate_selectivity(ctx, instance, low, high)
         if interpolated is not None:
             selectivity = interpolated
+        if equality:
+            # Interpolation degenerates for equality (a point "range"),
+            # so a distinct-count estimate from an installed statistics
+            # attachment takes precedence: expected = rows / ndv.
+            from .statistics import statistics_for
+            table_stats = statistics_for(ctx, handle)
+            if table_stats is not None:
+                ndv_selectivity = table_stats.selectivity(leading, "=", None)
+                if ndv_selectivity is not None:
+                    selectivity = ndv_selectivity
         if instance["unique"] and equality and len(key_fields) == 1:
             expected = 1.0
         else:

@@ -442,6 +442,16 @@ class HashIndexAttachment(AttachmentType):
         tuples = max(1, method.record_count(ctx, handle))
         expected = max(1.0, instance["nentries"]
                        / max(1, len(instance["buckets"])) / 4.0)
+        if len(instance["key_fields"]) == 1:
+            # Precomputed statistics beat the bucket-load heuristic:
+            # an equality probe returns rows / ndv matches.
+            from .statistics import statistics_for
+            table_stats = statistics_for(ctx, handle)
+            if table_stats is not None:
+                selectivity = table_stats.selectivity(
+                    instance["key_fields"][0], "=", None)
+                if selectivity is not None:
+                    expected = max(1.0, tuples * selectivity)
         expected = min(expected, float(tuples))
         # One bucket page + one base fetch per match.
         return AccessCost(io_pages=1 + expected, cpu_tuples=expected,

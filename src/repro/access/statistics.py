@@ -1,0 +1,394 @@
+"""Precomputed per-column statistics attachment.
+
+The paper lists precomputed statistics as a first-class use of
+attachment storage: attachments "may have associated storage.  This
+storage can be used to maintain access structures, and even to maintain
+statistics about relations or precomputed function values".  This type
+maintains, per tracked column, as a side effect of every insert/update/
+delete through the standard batched attachment hooks:
+
+* the relation **row count** (exact);
+* the **null count** (exact);
+* **min/max** — incremental on insert, marked *stale* when the current
+  extreme is deleted and lazily repaired by one scan on the next read
+  (the same discipline as the aggregate attachment);
+* a **distinct-value estimate** via a KMV (k-minimum-values) sketch:
+  the :data:`_KMV_K` smallest 32-bit value hashes seen.  With fewer
+  than k entries the sketch is exact; at k the estimator
+  ``(k-1) * 2^32 / kth_smallest`` applies.  Deletions do not shrink the
+  sketch (it can only overestimate after heavy deletion; ``rebuild``
+  re-derives it exactly).
+
+Consumers reach the numbers through :func:`statistics_for`, which wraps
+the first live instance on a relation in a :class:`TableStatistics`
+view.  The planner uses it for real selectivities in place of the
+System R ``DEFAULT_SELECTIVITY`` constants; the executor uses the row
+count for row↔columnar path selection and (via the plan's expected
+cardinality) batch sizing.
+
+DDL attributes: ``columns`` — optional list of column names to track
+(default: every column).
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_left, insort
+from typing import Optional
+
+from ..core.attachment import AttachmentType
+from ..errors import StorageError
+from ..services.recovery import ResourceHandler
+
+__all__ = ["StatisticsAttachment", "TableStatistics", "statistics_for"]
+
+#: KMV sketch size: exact distinct counts up to this many values, an
+#: unbiased estimate beyond.
+_KMV_K = 64
+
+_HASH_SPACE = float(2 ** 32)
+
+
+def _value_hash(value) -> int:
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+def _kmv_add(kmv: list, value) -> None:
+    """Fold one value into the k-minimum-values sketch (sorted list of
+    distinct hashes, at most ``_KMV_K`` long)."""
+    h = _value_hash(value)
+    at = bisect_left(kmv, h)
+    if at < len(kmv) and kmv[at] == h:
+        return
+    if len(kmv) < _KMV_K:
+        insort(kmv, h)
+    elif h < kmv[-1]:
+        insort(kmv, h)
+        kmv.pop()
+
+
+def _kmv_estimate(kmv: list) -> int:
+    if len(kmv) < _KMV_K:
+        return len(kmv)
+    return max(len(kmv), int((_KMV_K - 1) * _HASH_SPACE / kmv[-1]))
+
+
+def _copy_state(state: dict) -> dict:
+    """Deep-enough copy for undo logging (nested per-column dicts and
+    sketch lists are mutated in place by maintenance)."""
+    return {"row_count": state["row_count"],
+            "columns": {index: dict(column, kmv=list(column["kmv"]))
+                        for index, column in state["columns"].items()}}
+
+
+class _StatisticsHandler(ResourceHandler):
+    def __init__(self, attachment: "StatisticsAttachment"):
+        self.attachment = attachment
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        if getattr(services, "in_restart", False):
+            return
+        database = services.database
+        entry = database.catalog.entry_by_id(payload["relation_id"])
+        field = entry.handle.descriptor.attachment_field(
+            self.attachment.type_id)
+        if field is None:
+            return
+        instance = field["instances"].get(payload["instance"])
+        if instance is None:
+            return
+        instance["state"] = _copy_state(payload["old_state"])
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        """No redo: recomputed from the base relation after restart."""
+
+
+class StatisticsAttachment(AttachmentType):
+    """Per-column row-count/null/min/max/distinct statistics."""
+
+    name = "statistics"
+    is_access_path = False   # it answers estimates, not record keys
+    recoverable = True
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        columns = attributes.pop("columns", None)
+        if attributes:
+            raise StorageError(
+                f"statistics: unknown attributes {sorted(attributes)}")
+        if columns is None:
+            columns = [field.name for field in schema.fields]
+        else:
+            columns = list(columns)
+            if not columns:
+                raise StorageError(
+                    "statistics: 'columns' must name at least one column")
+            for column in columns:
+                schema.field(column)  # raises on unknown names
+        return {"columns": columns}
+
+    def create_instance(self, ctx, handle, instance_name, attributes) -> dict:
+        indexes = [handle.schema.field_index(name)
+                   for name in attributes["columns"]]
+        instance = {"name": instance_name,
+                    "columns": list(attributes["columns"]),
+                    "field_indexes": indexes,
+                    "state": self._empty_state(indexes)}
+        self._recompute(ctx, handle, instance)
+        return instance
+
+    def destroy_instance(self, ctx, handle, instance_name, instance) -> None:
+        instance["state"] = self._empty_state(instance["field_indexes"])
+
+    @staticmethod
+    def _empty_state(indexes) -> dict:
+        return {"row_count": 0,
+                "columns": {index: {"nulls": 0, "min": None, "max": None,
+                                    "stale": False, "kmv": []}
+                            for index in indexes}}
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _StatisticsHandler(self)
+
+    def rebuild(self, ctx, handle, field) -> None:
+        for instance in field["instances"].values():
+            self._recompute(ctx, handle, instance)
+        ctx.stats.bump("statistics.rebuilds")
+
+    def _recompute(self, ctx, handle, instance) -> None:
+        """One full scan re-derives every tracked column's statistics."""
+        state = self._empty_state(instance["field_indexes"])
+        columns = state["columns"]
+        method = ctx.database.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        scan = method.open_scan(ctx, handle)
+        try:
+            while True:
+                batch = scan.next_batch(256)
+                if not batch:
+                    break
+                state["row_count"] += len(batch)
+                for __, record in batch:
+                    for index, column in columns.items():
+                        self._absorb(column, record[index])
+        finally:
+            scan.close()
+            ctx.services.scans.unregister(scan)
+        instance["state"] = state
+        ctx.stats.bump("statistics.recomputations")
+
+    # -- attached procedures ---------------------------------------------------
+    # The batch hooks log one before-image per batch and fold the whole
+    # batch into the sketch state in one pass; the per-record hooks below
+    # remain for tuple-at-a-time callers.
+
+    def on_insert_batch(self, ctx, handle, field, keys, new_records) -> None:
+        for instance in field["instances"].values():
+            self._log_old(ctx, handle, instance)
+            state = instance["state"]
+            state["row_count"] += len(new_records)
+            for index, column in state["columns"].items():
+                for record in new_records:
+                    self._absorb(column, record[index])
+        self._bump_batch(ctx, field, len(new_records))
+
+    def on_update_batch(self, ctx, handle, field, items) -> None:
+        for instance in field["instances"].values():
+            self._log_old(ctx, handle, instance)
+            state = instance["state"]
+            for index, column in state["columns"].items():
+                for __, __new_key, old_record, new_record in items:
+                    if old_record[index] == new_record[index]:
+                        continue
+                    self._retire(column, old_record[index])
+                    self._absorb(column, new_record[index])
+        self._bump_batch(ctx, field, len(items))
+
+    def on_delete_batch(self, ctx, handle, field, items) -> None:
+        for instance in field["instances"].values():
+            self._log_old(ctx, handle, instance)
+            state = instance["state"]
+            state["row_count"] -= len(items)
+            for index, column in state["columns"].items():
+                for __, old_record in items:
+                    self._retire(column, old_record[index])
+        self._bump_batch(ctx, field, len(items))
+
+    def on_insert(self, ctx, handle, field, key, new_record) -> None:
+        self.on_insert_batch(ctx, handle, field, [key], [new_record])
+
+    def on_update(self, ctx, handle, field, old_key, new_key, old_record,
+                  new_record) -> None:
+        self.on_update_batch(ctx, handle, field,
+                             [(old_key, new_key, old_record, new_record)])
+
+    def on_delete(self, ctx, handle, field, key, old_record) -> None:
+        self.on_delete_batch(ctx, handle, field, [(key, old_record)])
+
+    @staticmethod
+    def _bump_batch(ctx, field, nrecords: int) -> None:
+        ctx.stats.bump_many({
+            "statistics.maintenance_batches": len(field["instances"]),
+            "statistics.maintenance_ops":
+                nrecords * len(field["instances"])})
+
+    def _log_old(self, ctx, handle, instance) -> None:
+        ctx.log(self.resource, {
+            "relation_id": handle.relation_id, "instance": instance["name"],
+            "old_state": _copy_state(instance["state"])})
+
+    @staticmethod
+    def _absorb(column: dict, value) -> None:
+        if value is None:
+            column["nulls"] += 1
+            return
+        try:
+            if column["min"] is None or value < column["min"]:
+                column["min"] = value
+            if column["max"] is None or value > column["max"]:
+                column["max"] = value
+        except TypeError:
+            pass  # unorderable values (boxes, bytes) keep no extremes
+        _kmv_add(column["kmv"], value)
+
+    @staticmethod
+    def _retire(column: dict, value) -> None:
+        if value is None:
+            column["nulls"] -= 1
+            return
+        # The sketch cannot forget; the extremes invalidate lazily.
+        if value == column["min"] or value == column["max"]:
+            column["stale"] = True
+
+    # -- reading ---------------------------------------------------------------
+    def view(self, ctx, handle, instance) -> "TableStatistics":
+        return TableStatistics(self, ctx, handle, instance)
+
+
+class TableStatistics:
+    """Read view over one statistics instance, as consumed by the
+    planner's cost estimators and the executor's path selection."""
+
+    __slots__ = ("_attachment", "_ctx", "_handle", "_instance")
+
+    def __init__(self, attachment, ctx, handle, instance):
+        self._attachment = attachment
+        self._ctx = ctx
+        self._handle = handle
+        self._instance = instance
+
+    @property
+    def row_count(self) -> Optional[int]:
+        return self._instance["state"]["row_count"]
+
+    def tracks(self, index: int) -> bool:
+        return index in self._instance["state"]["columns"]
+
+    def column(self, index: int, repair: bool = False) -> Optional[dict]:
+        """The column's state dict, repairing stale extremes when the
+        caller needs min/max (one scan, same lazy discipline as the
+        aggregate attachment)."""
+        column = self._instance["state"]["columns"].get(index)
+        if column is None:
+            return None
+        if repair and column["stale"]:
+            self._attachment._recompute(self._ctx, self._handle,
+                                        self._instance)
+            column = self._instance["state"]["columns"].get(index)
+        return column
+
+    def distinct(self, index: int) -> Optional[int]:
+        column = self.column(index)
+        if column is None:
+            return None
+        return _kmv_estimate(column["kmv"])
+
+    def null_fraction(self, index: int) -> Optional[float]:
+        column = self.column(index)
+        rows = self.row_count
+        if column is None or not rows:
+            return None
+        return min(1.0, max(0.0, column["nulls"] / rows))
+
+    def selectivity(self, index: int, op: str, value) -> Optional[float]:
+        """Estimated fraction of rows satisfying ``column <op> value``,
+        or ``None`` when these statistics cannot say (untracked column,
+        unorderable range, empty relation)."""
+        column = self.column(index, repair=op in ("<", "<=", ">", ">="))
+        rows = self.row_count
+        if column is None or not rows:
+            return None
+        self._ctx.stats.bump("statistics.consultations")
+        nonnull = max(0, rows - column["nulls"])
+        if not nonnull:
+            return 0.0
+        available = nonnull / rows
+        if op == "=":
+            distinct = _kmv_estimate(column["kmv"])
+            if not distinct:
+                return 0.0
+            return min(1.0, available / distinct)
+        if op == "!=":
+            distinct = _kmv_estimate(column["kmv"])
+            if not distinct:
+                return 0.0
+            return available * (1.0 - 1.0 / distinct)
+        if op in ("<", "<=", ">", ">="):
+            low, high = column["min"], column["max"]
+            if low is None or high is None:
+                return None
+            try:
+                if high == low:
+                    fraction = 1.0 if (
+                        (op in ("<=", ">=") and value == low)
+                        or (op in ("<", "<=") and low < value)
+                        or (op in (">", ">=") and low > value)) else 0.0
+                elif op in ("<", "<="):
+                    fraction = (value - low) / (high - low)
+                else:
+                    fraction = (high - value) / (high - low)
+            except TypeError:
+                return None  # non-numeric range (strings order, not space)
+            return available * min(1.0, max(0.0, fraction))
+        return None
+
+
+def predicate_selectivity(table_stats: Optional[TableStatistics],
+                          pred) -> Optional[float]:
+    """Selectivity of one eligible predicate from the statistics, or
+    ``None`` when they cannot say.
+
+    Equality and inequality need only the distinct count, so they work
+    even when the comparison value is a bound parameter; range
+    interpolation needs a literal bound at planning time.
+    """
+    if table_stats is None or not getattr(pred, "is_simple", False):
+        return None
+    if pred.op in ("=", "!="):
+        return table_stats.selectivity(pred.field_index, pred.op, None)
+    if pred.op not in ("<", "<=", ">", ">="):
+        return None
+    from ..services.predicate import Const
+    if not isinstance(pred.operand, Const):
+        return None
+    return table_stats.selectivity(pred.field_index, pred.op,
+                                   pred.operand.value)
+
+
+def statistics_for(ctx, handle) -> Optional[TableStatistics]:
+    """The relation's statistics view, or ``None`` when no live
+    statistics instance is installed."""
+    database = getattr(ctx, "database", None)
+    if database is None:
+        return None
+    try:
+        attachment = database.registry.attachment_type_by_name("statistics")
+    except Exception:
+        return None
+    field = handle.descriptor.attachment_field(attachment.type_id)
+    if field is None:
+        return None
+    for instance in field["instances"].values():
+        return attachment.view(ctx, handle, instance)
+    return None

@@ -208,14 +208,22 @@ class StorageMethod(abc.ABC):
         """Cost of scanning this relation applying the eligible predicates.
 
         The default models a full scan: every page read, every tuple
-        touched, output scaled by the predicates' default selectivities.
+        touched, output scaled by the predicates' selectivities — real
+        ones from an installed statistics attachment when available, the
+        System R defaults otherwise.
         """
+        from ..access.statistics import (predicate_selectivity,
+                                         statistics_for)
         from ..query.cost import DEFAULT_SELECTIVITY
+        table_stats = statistics_for(ctx, handle)
         tuples = max(1, self.record_count(ctx, handle))
         pages = max(1, self.page_count(ctx, handle))
         selectivity = 1.0
         for pred in eligible:
-            if pred.is_simple:
+            estimated = predicate_selectivity(table_stats, pred)
+            if estimated is not None:
+                selectivity *= estimated
+            elif pred.is_simple:
                 selectivity *= DEFAULT_SELECTIVITY.get(pred.op, 0.5)
             else:
                 selectivity *= 0.5

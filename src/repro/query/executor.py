@@ -25,6 +25,9 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.records import RecordView
 from ..errors import QueryError
+from ..services.predicate import Col
+from . import kernels
+from .columnar import ColumnBatch
 from .cost import EligiblePredicate
 from .planner import JoinStep, SelectPlan, TableAccess
 
@@ -36,6 +39,18 @@ _EMPTY_VIEW = RecordView({})
 #: LIMIT that stops early never paid for a deep scan.
 _BATCH_MIN = 32
 _BATCH_MAX = 512
+
+#: Aggregates the columnar fold kernel implements.
+_VECTOR_AGGREGATES = frozenset({"count", "sum", "min", "max", "avg"})
+
+
+class _ColumnarFallback(Exception):
+    """Internal: a columnar kernel failed; rerun the plan row-at-a-time.
+
+    Raised only for errors inside the columnar machinery itself — scan
+    and dispatch errors pass through untouched, so a storage fault fails
+    identically on both paths.
+    """
 
 
 class _OrderKey:
@@ -71,6 +86,15 @@ class Executor:
 
     def __init__(self, database):
         self.database = database
+        #: Route vectorizable plans down the columnar path (benchmarks
+        #: and equivalence tests toggle this to measure the row path).
+        self.columnar_enabled = True
+        #: Below this (statistics-attested) table size the columnar
+        #: path's per-batch setup outweighs its per-row savings; plans
+        #: on smaller relations stay row-at-a-time.  Only applies when a
+        #: statistics attachment is installed — without one the executor
+        #: has no row count to consult.
+        self.columnar_min_rows = 32
 
     # ------------------------------------------------------------------
     # SELECT
@@ -81,6 +105,18 @@ class Executor:
         fast = self._aggregate_fast_path(ctx, plan)
         if fast is not None:
             return fast
+        shape = self._columnar_shape(plan)
+        if shape is not None and self.columnar_enabled \
+                and self._columnar_worthwhile(ctx, plan):
+            try:
+                return self._run_columnar(ctx, plan, params, shape)
+            except _ColumnarFallback:
+                # Kernel failure degrades to the row pipeline — the
+                # columnar path costs performance, never answers.
+                ctx.stats.bump("executor.columnar.fallbacks")
+        return self._run_rows(ctx, plan, params)
+
+    def _run_rows(self, ctx, plan: SelectPlan, params: dict) -> List[Tuple]:
         left_handle = plan.handles[plan.alias]
         rows: Iterator[Tuple]
         if plan.join is None:
@@ -89,7 +125,7 @@ class Executor:
             else:
                 rows = (record for __, record in
                         self._access_rows(ctx, left_handle, plan.access,
-                                          params))
+                                          params, plan.limit))
         else:
             rows = self._join_rows(ctx, plan, params)
         if plan.where is not None and plan.join is not None:
@@ -97,7 +133,7 @@ class Executor:
                                          params, ctx.stats)
             rows = (row for row in rows if cross.matches(row))
         if any(aggregate for __, __, aggregate in plan.items):
-            return self._aggregate(plan, list(rows), params)
+            return self._aggregate(ctx, plan, list(rows), params)
         if plan.order_by and plan.needs_sort:
             if plan.limit is not None:
                 # Top-k: a bounded heap sees every row but keeps only
@@ -126,6 +162,9 @@ class Executor:
             materialised = materialised[:plan.limit]
         if plan.star:
             return materialised
+        if materialised:
+            ctx.stats.bump_many({"executor.row_ops":
+                                 len(materialised) * len(plan.items)})
         projected = []
         for row in materialised:
             view = RecordView.from_record(row)
@@ -134,11 +173,233 @@ class Executor:
         return projected
 
     # ------------------------------------------------------------------
+    # Columnar path
+    # ------------------------------------------------------------------
+    def _columnar_shape(self, plan: SelectPlan) -> Optional[dict]:
+        """The plan's vectorizable shape, or ``None`` (cached per plan)."""
+        shape = plan.columnar
+        if shape is None:
+            shape = self._analyse_columnar(plan) or False
+            plan.columnar = shape
+        return shape or None
+
+    @staticmethod
+    def _analyse_columnar(plan: SelectPlan) -> Optional[dict]:
+        """Vectorizability check: scan→filter→project and
+        scan→filter→aggregate/GROUP BY and ORDER BY(+LIMIT) shapes where
+        every output item is a plain column or a supported aggregate of
+        one.  Joins and computed expressions stay on the row path.
+        (The filter itself needs no check here: it is pushed into the
+        scan, which vectorizes what it can via ``match_indexes``.)"""
+        if plan.join is not None:
+            return None
+        if any(aggregate for __, __, aggregate in plan.items):
+            specs = []
+            for expr, __, aggregate in plan.items:
+                if aggregate is None:
+                    # Plain item inside an aggregate query: first row's
+                    # value (the grouping column in GROUP BY queries).
+                    if not isinstance(expr, Col) or expr.index is None:
+                        return None
+                    specs.append(("first", expr.index))
+                elif aggregate == "count" and expr is None:
+                    specs.append(("count_star", -1))
+                elif aggregate in _VECTOR_AGGREGATES \
+                        and isinstance(expr, Col) and expr.index is not None:
+                    specs.append((aggregate, expr.index))
+                else:
+                    return None
+            return {"mode": "aggregate", "aggregates": specs}
+        if plan.star:
+            return {"mode": "plain", "indexes": None}
+        indexes = []
+        for expr, __, __agg in plan.items:
+            if not isinstance(expr, Col) or expr.index is None:
+                return None
+            indexes.append(expr.index)
+        return {"mode": "plain", "indexes": indexes}
+
+    def _columnar_worthwhile(self, ctx, plan: SelectPlan) -> bool:
+        """Path selection from precomputed statistics: tiny relations
+        (attested by an installed statistics attachment) stay on the row
+        path, where per-batch setup cannot be amortised."""
+        if self.columnar_min_rows <= 0:
+            return True
+        from ..access.statistics import statistics_for
+        table_stats = statistics_for(ctx, plan.handles[plan.alias])
+        if table_stats is None or table_stats.row_count is None:
+            return True
+        if table_stats.row_count >= self.columnar_min_rows:
+            return True
+        ctx.stats.bump("executor.columnar.row_path_selected")
+        return False
+
+    def _run_columnar(self, ctx, plan: SelectPlan, params: dict,
+                      shape: dict) -> List[Tuple]:
+        ctx.stats.bump("executor.columnar.plans")
+        left_handle = plan.handles[plan.alias]
+        if getattr(plan, "covering", False):
+            batches = self._covering_batches(ctx, left_handle, plan, params)
+        else:
+            batches = ([record for __, record in batch] for batch in
+                       self._access_key_batches(ctx, left_handle,
+                                                plan.access, params,
+                                                plan.limit))
+        faults = getattr(ctx.services, "faults", None)
+        try:
+            if shape["mode"] == "aggregate":
+                return self._columnar_aggregate(ctx, plan, shape, batches,
+                                                faults)
+            return self._columnar_plain(ctx, plan, shape, batches, faults)
+        finally:
+            close = getattr(batches, "close", None)
+            if close is not None:
+                close()
+
+    def _columnar_plain(self, ctx, plan: SelectPlan, shape: dict,
+                        batches, faults) -> List[Tuple]:
+        stats = ctx.stats
+        order_by, limit = plan.order_by, plan.limit
+        sorting = bool(order_by) and plan.needs_sort
+        topk = sorting and limit is not None
+        top: list = []       # bounded top-k candidates (decorated)
+        collected: list = []
+        position = 0         # global row ordinal — the stable tiebreak
+        for batch_rows in batches:
+            try:
+                if faults is not None and faults.armed:
+                    faults.fire("columnar.kernel")
+                stats.bump_many({"executor.columnar.batches": 1,
+                                 "executor.columnar.rows": len(batch_rows),
+                                 "executor.columnar.kernel_calls": 1})
+                if topk:
+                    # Bounded top-k: merge the batch into the running
+                    # k-best; ties resolve by arrival order, exactly as
+                    # the row path's stable ``nsmallest`` over the
+                    # whole stream.
+                    decorated = [(_OrderKey(row, order_by), position + i,
+                                  row) for i, row in enumerate(batch_rows)]
+                    position += len(batch_rows)
+                    top = heapq.nsmallest(limit, top + decorated)
+                else:
+                    collected.extend(batch_rows)
+            except Exception as exc:
+                raise _ColumnarFallback from exc
+            if not sorting and limit is not None \
+                    and len(collected) >= limit:
+                break  # stop pulling batches, like the row path's islice
+        try:
+            if topk:
+                materialised = [row for __, __, row in top]
+                stats.bump("executor.topk")
+            elif sorting:
+                materialised = collected
+                for index, ascending in reversed(order_by):
+                    materialised.sort(key=lambda row: row[index],
+                                      reverse=not ascending)
+                stats.bump("executor.sorts")
+            else:
+                materialised = collected
+                if limit is not None:
+                    stats.bump("executor.limit_short_circuits")
+            if limit is not None:
+                materialised = materialised[:limit]
+            if plan.star:
+                return materialised
+            stats.bump("executor.columnar.kernel_calls")
+            return kernels.project_rows(materialised, shape["indexes"])
+        except Exception as exc:
+            raise _ColumnarFallback from exc
+
+    def _columnar_aggregate(self, ctx, plan: SelectPlan, shape: dict,
+                            batches, faults) -> List[Tuple]:
+        stats = ctx.stats
+        specs = shape["aggregates"]
+        group_index = plan.group_index
+        groups: Dict[object, list] = {}
+        value_lists: List[list] = [[] for __ in specs]
+        row_count = 0
+        first_row = None
+        for batch_rows in batches:
+            try:
+                if faults is not None and faults.armed:
+                    faults.fire("columnar.kernel")
+                stats.bump_many({"executor.columnar.batches": 1,
+                                 "executor.columnar.rows": len(batch_rows)})
+                batch = ColumnBatch.from_rows(batch_rows,
+                                              plan.combined_schema.fields)
+                if group_index is not None:
+                    # Hash group-by: partition the batch on the grouping
+                    # column in one pass.
+                    for value, row in zip(batch.column(group_index),
+                                          batch_rows):
+                        groups.setdefault(value, []).append(row)
+                    stats.bump("executor.columnar.kernel_calls")
+                    continue
+                row_count += len(batch_rows)
+                if first_row is None and batch_rows:
+                    first_row = batch_rows[0]
+                for slot, (kind, index) in enumerate(specs):
+                    if kind in ("count_star", "first"):
+                        continue
+                    value_lists[slot].extend(
+                        kernels.collect_nonnull(batch, index))
+                    stats.bump("executor.columnar.kernel_calls")
+            except Exception as exc:
+                raise _ColumnarFallback from exc
+        try:
+            if group_index is None:
+                return [self._finish_fold(specs, value_lists, row_count,
+                                          first_row)]
+            out = []
+            for value in sorted(groups, key=repr):
+                rows_g = groups[value]
+                per_group = [
+                    None if kind in ("count_star", "first") else
+                    [row[index] for row in rows_g if row[index] is not None]
+                    for kind, index in specs]
+                out.append(self._finish_fold(specs, per_group, len(rows_g),
+                                             rows_g[0]))
+            if groups:
+                stats.bump("executor.columnar.kernel_calls", len(groups))
+            return out
+        except Exception as exc:
+            raise _ColumnarFallback from exc
+
+    @staticmethod
+    def _finish_fold(specs, value_lists, row_count: int,
+                     first_row: Optional[Tuple]) -> Tuple:
+        result = []
+        for slot, (kind, index) in enumerate(specs):
+            if kind == "first":
+                result.append(first_row[index] if first_row is not None
+                              else None)
+            elif kind == "count_star":
+                result.append(row_count)
+            else:
+                result.append(kernels.fold_aggregate(
+                    kind, value_lists[slot], row_count))
+        return tuple(result)
+
+    # ------------------------------------------------------------------
     # Access routes
     # ------------------------------------------------------------------
     def _access_rows(self, ctx, handle, access: TableAccess,
-                     params: dict) -> Iterator[Tuple[object, Tuple]]:
+                     params: dict, limit: Optional[int] = None
+                     ) -> Iterator[Tuple[object, Tuple]]:
         """Yield (record key, full record) through the chosen route."""
+        for batch in self._access_key_batches(ctx, handle, access, params,
+                                              limit):
+            yield from batch
+
+    def _access_key_batches(self, ctx, handle, access: TableAccess,
+                            params: dict, limit: Optional[int]
+                            ) -> Iterator[List[Tuple[object, Tuple]]]:
+        """Yield batches of (record key, full record) through the chosen
+        route — the shared pump under both the row and columnar paths,
+        so batch schedules (and the ``executor.scan_batches``,
+        ``dispatch.*`` and ``buffer.*`` counters) are identical by
+        construction."""
         database = self.database
         predicate = access.compiled_predicate(handle.schema, params,
                                               ctx.stats)
@@ -147,13 +408,13 @@ class Executor:
                 handle.descriptor.storage_method_id)
             scan = method.open_scan(ctx, handle, None, predicate)
             try:
-                size = _BATCH_MIN
+                size = self._start_batch_size(ctx, access, limit)
                 while True:
                     batch = scan.next_batch(size)
                     ctx.stats.bump("executor.scan_batches")
                     if not batch:
                         return
-                    yield from batch
+                    yield batch
                     if size < _BATCH_MAX:
                         size *= 2
             finally:
@@ -173,8 +434,8 @@ class Executor:
             probe = self._hash_probe_key(instance, access.relevant, params)
             keys = list(attachment.fetch(ctx, handle, instance, probe))
             if keys:
-                yield from method.fetch_many(ctx, handle, keys, None,
-                                             predicate)
+                yield list(method.fetch_many(ctx, handle, keys, None,
+                                             predicate))
             return
         route = None
         if type_name == "btree_index":
@@ -183,7 +444,7 @@ class Executor:
             route = self._rtree_route(access.relevant, params)
         scan = attachment.open_scan(ctx, handle, instance, predicate, route)
         try:
-            size = _BATCH_MIN
+            size = self._start_batch_size(ctx, access, limit)
             while True:
                 batch = scan.next_batch(size)
                 ctx.stats.bump("executor.scan_batches")
@@ -193,16 +454,44 @@ class Executor:
                 # batch of records via the storage method in one call,
                 # filtering in the buffer pool.
                 keys = [record_key for record_key, __ in batch]
-                yield from method.fetch_many(ctx, handle, keys, None,
-                                             predicate)
+                yield list(method.fetch_many(ctx, handle, keys, None,
+                                             predicate))
                 if size < _BATCH_MAX:
                     size *= 2
         finally:
             scan.close()
             ctx.services.scans.unregister(scan)
 
+    @staticmethod
+    def _start_batch_size(ctx, access: TableAccess,
+                          limit: Optional[int]) -> int:
+        """First ``next_batch`` request size.
+
+        With no LIMIT to stop early for, the cost estimate's expected
+        cardinality — grounded in precomputed statistics when a
+        statistics attachment is installed — sizes the first batch, so a
+        scan expected to return thousands of rows skips the 32-row
+        warm-up doublings.  Both execution paths share this hint (the
+        batch schedule is part of the counter contract between them).
+        """
+        if limit is not None:
+            return _BATCH_MIN
+        expected = getattr(access.cost, "expected_tuples", 0.0) or 0.0
+        if expected <= _BATCH_MIN:
+            return _BATCH_MIN
+        size = _BATCH_MIN
+        while size < _BATCH_MAX and size < expected:
+            size *= 2
+        ctx.stats.bump("executor.batch_size_hints")
+        return size
+
     def _covering_rows(self, ctx, handle, plan: SelectPlan,
                        params: dict) -> Iterator[Tuple]:
+        for batch in self._covering_batches(ctx, handle, plan, params):
+            yield from batch
+
+    def _covering_batches(self, ctx, handle, plan: SelectPlan,
+                          params: dict) -> Iterator[List[Tuple]]:
         """Answer entirely from a B-tree index: the access path returns the
         record fields present in its key; the base relation is never
         touched."""
@@ -223,17 +512,19 @@ class Executor:
         ctx.stats.bump("executor.covering_scans")
         scan = attachment.open_scan(ctx, handle, instance, predicate, route)
         try:
-            size = _BATCH_MIN
+            size = self._start_batch_size(ctx, access, plan.limit)
             while True:
                 batch = scan.next_batch(size)
                 ctx.stats.bump("executor.scan_batches")
                 if not batch:
                     return
+                rows = []
                 for __, view in batch:
                     row = [None] * width
                     for index in key_fields:
                         row[index] = view[index]
-                    yield tuple(row)
+                    rows.append(tuple(row))
+                yield rows
                 if size < _BATCH_MAX:
                     size *= 2
         finally:
@@ -452,17 +743,32 @@ class Executor:
                 return [(attachment.value(ctx, handle, instance),)]
         return None
 
-    def _aggregate(self, plan: SelectPlan, rows: List[Tuple],
+    def _aggregate(self, ctx, plan: SelectPlan, rows: List[Tuple],
                    params: dict) -> List[Tuple]:
         if plan.group_index is None:
+            self._count_row_ops(ctx, plan.items, len(rows))
             return [self._fold(plan.items, rows, params)]
         groups: Dict[object, List[Tuple]] = {}
         for row in rows:
             groups.setdefault(row[plan.group_index], []).append(row)
         out = []
         for value in sorted(groups, key=repr):
+            self._count_row_ops(ctx, plan.items, len(groups[value]))
             out.append(self._fold(plan.items, groups[value], params))
         return out
+
+    @staticmethod
+    def _count_row_ops(ctx, items, nrows: int) -> None:
+        """Account the fold's per-row expression evaluations (the work
+        the columnar path replaces with per-batch kernels)."""
+        ops = 0
+        for expr, __, aggregate in items:
+            if aggregate is None:
+                ops += 1 if nrows else 0
+            elif expr is not None:
+                ops += nrows
+        if ops:
+            ctx.stats.bump_many({"executor.row_ops": ops})
 
     @staticmethod
     def _fold(items, rows: List[Tuple], params: dict) -> Tuple:
@@ -492,6 +798,8 @@ class Executor:
                 result.append(min(values))
             elif aggregate == "max":
                 result.append(max(values))
+            elif aggregate == "avg":
+                result.append(sum(values) / len(values))
         return tuple(result)
 
     # ------------------------------------------------------------------

@@ -33,7 +33,7 @@ from .ast import (CreateIndexStmt, CreateTableStmt, DeleteStmt,
 
 __all__ = ["parse_statement"]
 
-_AGGREGATES = ("count", "sum", "min", "max")
+_AGGREGATES = ("count", "sum", "min", "max", "avg")
 _TYPES = ("INT", "FLOAT", "STRING", "BOOL", "BYTES", "BOX")
 
 

@@ -827,6 +827,15 @@ def _parse_primary(tokens: _Tokens) -> Expr:
 # Bound predicate wrapper — what storage methods and attachments receive
 # ---------------------------------------------------------------------------
 
+#: Sentinel: the predicate has not attempted kernel compilation yet
+#: (``None`` in the box means "tried, not vectorizable").
+_KERNEL_UNSET = object()
+
+# Lazily imported kernel module (predicate is imported by the query layer;
+# importing it eagerly here would create a cycle).
+_kernels = None
+
+
 class Predicate:
     """A filter predicate bound to a schema.
 
@@ -835,6 +844,13 @@ class Predicate:
     call :meth:`matches` against a :class:`RecordView` while the record (or
     access-path key) is still in the buffer pool.  Rows for which the
     predicate is unknown (NULL) are rejected, as in SQL.
+
+    Batch scans call :meth:`match_indexes` instead: the expression is
+    compiled once into a column-at-a-time kernel tree (when it falls in
+    the vectorizable subset) and each batch is filtered with O(1)
+    Python-level dispatch, producing a selection vector.  The compiled
+    kernel lives in a shared one-slot box so :meth:`with_params` clones —
+    one per cached-plan execution — reuse the compilation.
     """
 
     def __init__(self, expr: Expr, schema, params: Optional[dict] = None):
@@ -842,6 +858,7 @@ class Predicate:
         self.expr = expr.bind(schema)
         self.params = dict(params) if params else {}
         self.fields_needed: frozenset = frozenset(self.expr.columns())
+        self._kernel_box = [_KERNEL_UNSET]
 
     @classmethod
     def parse(cls, text: str, schema, params: Optional[dict] = None
@@ -862,12 +879,42 @@ class Predicate:
         self.expr = expr
         self.params = dict(params) if params else {}
         self.fields_needed = frozenset(expr.columns())
+        self._kernel_box = [_KERNEL_UNSET]
         return self
 
     def matches(self, view: Union[RecordView, Sequence]) -> bool:
         if not isinstance(view, RecordView):
             view = RecordView.from_record(view)
         return self.expr.eval(view, self.params) is True
+
+    def match_indexes(self, records: Sequence[Sequence],
+                      stats=None) -> List[int]:
+        """Selection vector: sorted ordinals of ``records`` that match.
+
+        Vectorizable expressions are filtered column-at-a-time through the
+        kernel tree (compiled on first use, shared across parameter
+        clones); anything else falls back to row-at-a-time :meth:`matches`.
+        Both produce exactly the rows for which the predicate is *true*.
+        """
+        global _kernels
+        if _kernels is None:
+            from ..query import kernels as _kernel_module
+            _kernels = _kernel_module
+        kernel = self._kernel_box[0]
+        if kernel is _KERNEL_UNSET:
+            kernel = _kernels.compile_filter(self.expr)
+            self._kernel_box[0] = kernel
+        if kernel is not None and _kernels.vector_filter_enabled():
+            batch = _kernels.ColumnBatch.from_rows(records, self.schema)
+            selection = kernel.select(batch, self.params, None)
+            if stats is not None:
+                stats.bump_many({"predicate.vector_selects": 1,
+                                 "predicate.vector_rows": len(records)})
+            return selection
+        if stats is not None:
+            stats.bump_many({"predicate.row_evals": len(records)})
+        return [i for i, record in enumerate(records)
+                if self.matches(record)]
 
     def evaluable_on(self, available_fields) -> bool:
         """True when every referenced field is in ``available_fields`` —
@@ -883,6 +930,7 @@ class Predicate:
         clone.expr = self.expr
         clone.params = dict(params)
         clone.fields_needed = self.fields_needed
+        clone._kernel_box = self._kernel_box  # share the compiled kernel
         return clone
 
     def __repr__(self) -> str:

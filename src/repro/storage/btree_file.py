@@ -260,37 +260,65 @@ class BTreeFileScan(Scan):
             index = bisect.bisect_right(directory, [list(self.position),
                                                     float("inf"), 0])
         buffer = self.ctx.buffer
+        stats = self.ctx.stats
+        schema = self.handle.schema
         batch: list = []
         past_high = False
         while index < len(directory) and len(batch) < n and not past_high:
             run_page = directory[index][1]
+            # Gather the run of consecutive entries on this leaf (bounded
+            # by the high key), decode it under one pin, then filter the
+            # whole run at once — column-at-a-time when the predicate
+            # compiles to a kernel.
+            run: list = []  # (key, slot) in key order
+            run_end = index
+            while run_end < len(directory):
+                key_list, page_id, slot = directory[run_end]
+                if page_id != run_page:
+                    break
+                key = tuple(key_list)
+                if self.high is not None and key > self.high:
+                    past_high = True
+                    break
+                run.append((key, slot))
+                run_end += 1
+            if not run:
+                break  # the very next key is already past the high bound
             page = buffer.fetch(run_page)
             try:
-                while index < len(directory) and len(batch) < n:
-                    key_list, page_id, slot = directory[index]
-                    if page_id != run_page:
-                        break
-                    key = tuple(key_list)
-                    if self.high is not None and key > self.high:
-                        past_high = True
-                        break
-                    index += 1
-                    self.position = key
-                    self.state = ON
-                    self.ctx.stats.bump("btree_file.tuples_scanned")
-                    record = decode_record(self.handle.schema, page.read(slot))
-                    if self.predicate is not None \
-                            and not self.predicate.matches(record):
-                        continue
-                    self.ctx.lock_record(self.handle.relation_id, key,
-                                         LockMode.S)
-                    if self.fields is None:
-                        batch.append((key, record))
-                    else:
-                        batch.append((key, tuple(
-                            record[i] for i in self.fields)))
+                records = [decode_record(schema, page.read(slot))
+                           for _, slot in run]
             finally:
                 buffer.unpin(run_page)
+            self.state = ON
+            if self.predicate is None:
+                selected = range(len(records))
+            else:
+                selected = self.predicate.match_indexes(records, stats)
+            room = n - len(batch)
+            for i in selected[:room] if len(selected) > room else selected:
+                key = run[i][0]
+                self.ctx.lock_record(self.handle.relation_id, key,
+                                     LockMode.S)
+                if self.fields is None:
+                    batch.append((key, records[i]))
+                else:
+                    record = records[i]
+                    batch.append((key, tuple(record[f]
+                                             for f in self.fields)))
+            if len(selected) >= room and selected:
+                # Batch filled mid-run: stop at the last consumed key so
+                # the entries past it are re-examined (and only then
+                # counted) by the next call — same totals as the old
+                # entry-at-a-time loop, which never looked past the cut.
+                last = selected[room - 1] if len(selected) > room \
+                    else selected[-1]
+                self.position = run[last][0]
+                stats.bump_many({"btree_file.tuples_scanned": last + 1})
+                break
+            self.position = run[-1][0]
+            stats.bump_many({"btree_file.tuples_scanned": len(run)})
+            index = run_end
         if not batch:
             self.state = AFTER
         return batch

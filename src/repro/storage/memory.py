@@ -87,26 +87,52 @@ class MemoryScan(Scan):
         floor = self.position if self.position is not None else -1
         index = bisect.bisect_right(self._keys, floor)
         batch: list = []
-        scanned = 0
-        while index < len(self._keys) and len(batch) < n:
-            key = self._keys[index]
-            index += 1
-            record = self.rows.get(key)
-            if record is None:
-                continue  # deleted after the scan opened
-            self.position = key
+        stats = self.ctx.stats
+        keys = self._keys
+        rows = self.rows
+        while index < len(keys) and len(batch) < n:
+            # Gather a window of live rows, then filter the window in one
+            # pass — column-at-a-time when the predicate compiles.
+            chunk_keys: list = []
+            chunk_records: list = []
+            while index < len(keys) and len(chunk_records) < n:
+                key = keys[index]
+                index += 1
+                record = rows.get(key)
+                if record is None:
+                    continue  # deleted after the scan opened
+                chunk_keys.append(key)
+                chunk_records.append(record)
+            if not chunk_records:
+                break
             self.state = ON
-            scanned += 1
-            if self.predicate is not None \
-                    and not self.predicate.matches(record):
-                continue
-            self.ctx.lock_record(self.handle.relation_id, key, LockMode.S)
-            if self.fields is None:
-                batch.append((key, record))
+            if self.predicate is None:
+                selected = range(len(chunk_records))
             else:
-                batch.append((key, tuple(record[i] for i in self.fields)))
-        if scanned:
-            self.ctx.stats.bump("memory.tuples_scanned", scanned)
+                selected = self.predicate.match_indexes(chunk_records, stats)
+            room = n - len(batch)
+            for i in selected[:room] if len(selected) > room else selected:
+                key = chunk_keys[i]
+                self.ctx.lock_record(self.handle.relation_id, key,
+                                     LockMode.S)
+                if self.fields is None:
+                    batch.append((key, chunk_records[i]))
+                else:
+                    record = chunk_records[i]
+                    batch.append((key, tuple(record[f]
+                                             for f in self.fields)))
+            if len(selected) >= room and selected:
+                # Batch filled mid-window: stop at the last consumed key;
+                # rows past it are re-examined (and only then counted) by
+                # the next call, keeping totals identical to the old
+                # row-at-a-time loop.
+                last = selected[room - 1] if len(selected) > room \
+                    else selected[-1]
+                self.position = chunk_keys[last]
+                stats.bump("memory.tuples_scanned", last + 1)
+                break
+            self.position = chunk_keys[-1]
+            stats.bump("memory.tuples_scanned", len(chunk_records))
         if not batch:
             self.state = AFTER
         return batch

@@ -1,0 +1,195 @@
+"""Row ↔ columnar execution equivalence.
+
+Every supported query shape runs down both executor paths and must
+produce identical results (bit-identical floats included: both paths
+fold the same value lists in the same order).  The counter contract is
+checked too — the batch schedule (``executor.scan_batches``) and the
+dispatch/buffer work below it must not depend on the chosen path — and
+fault injection proves a kernel fault degrades to the row pipeline
+instead of answering wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.query import kernels
+
+ROWS = 300  # several doubling batches (32+64+128+...)
+
+
+def _seed_rows():
+    rows = []
+    for i in range(ROWS):
+        name = None if i % 11 == 0 else f"name{i:03d}"
+        dept = ("eng", "sales", "ops")[i % 3]
+        salary = None if i % 7 == 0 else 1000.0 + (i * 37 % 250) + i / 8.0
+        active = i % 2 == 0
+        rows.append((i, name, dept, salary, active))
+    return rows
+
+
+@pytest.fixture
+def cdb():
+    db = Database(page_size=1024, buffer_capacity=128)
+    table = db.create_table("emp", [
+        ("id", "INT", False), ("name", "STRING"), ("dept", "STRING"),
+        ("salary", "FLOAT"), ("active", "BOOL")])
+    table.insert_many(_seed_rows())
+    return db
+
+
+def both_paths(db, statement, params=None):
+    """Execute once columnar, once pure row-at-a-time (kernel filtering
+    off too); returns both result lists."""
+    executor = db.query_engine.executor
+    executor.columnar_enabled = True
+    columnar = db.execute(statement, params)
+    executor.columnar_enabled = False
+    with kernels.vector_filtering(False):
+        row = db.execute(statement, params)
+    executor.columnar_enabled = True
+    return columnar, row
+
+
+QUERIES = [
+    "SELECT * FROM emp",
+    "SELECT id, salary FROM emp",
+    "SELECT id FROM emp WHERE dept = 'eng'",
+    "SELECT id FROM emp WHERE salary > 1100.0",
+    "SELECT id FROM emp WHERE salary >= 1100.0 AND salary <= 1200.0",
+    "SELECT id FROM emp WHERE id != 10 AND id < 50",
+    "SELECT id FROM emp WHERE salary IS NULL",
+    "SELECT id, name FROM emp WHERE name IS NOT NULL AND active = TRUE",
+    "SELECT id FROM emp WHERE dept IN ('eng', 'ops')",
+    "SELECT id FROM emp WHERE dept NOT IN ('eng', 'ops')",
+    "SELECT id FROM emp WHERE id BETWEEN 40 AND 60",
+    "SELECT id FROM emp WHERE NOT (id BETWEEN 40 AND 260)",
+    "SELECT id FROM emp WHERE NOT dept = 'eng'",
+    "SELECT id FROM emp WHERE dept = 'eng' OR salary < 1050.0",
+    "SELECT id FROM emp WHERE name LIKE 'name2%'",   # row-eval filter
+    "SELECT id, salary * 2 FROM emp WHERE id < 10",  # computed projection
+    "SELECT COUNT(*) FROM emp",
+    "SELECT COUNT(salary), SUM(salary), MIN(salary), MAX(salary), "
+    "AVG(salary) FROM emp",
+    "SELECT AVG(salary) FROM emp WHERE dept = 'sales'",
+    "SELECT dept, COUNT(*), SUM(salary), AVG(salary) FROM emp GROUP BY dept",
+    "SELECT active, MIN(id), MAX(salary) FROM emp GROUP BY active",
+    "SELECT id, salary FROM emp WHERE salary IS NOT NULL "
+    "ORDER BY salary DESC LIMIT 7",
+    "SELECT id FROM emp WHERE dept = 'eng' AND salary IS NOT NULL "
+    "ORDER BY salary LIMIT 5",
+    "SELECT id, dept FROM emp ORDER BY dept, id DESC LIMIT 9",
+    "SELECT id FROM emp ORDER BY id DESC",
+    "SELECT id FROM emp LIMIT 11",
+    "SELECT id FROM emp WHERE dept = :d AND salary > :s",
+]
+
+
+@pytest.mark.parametrize("statement", QUERIES)
+def test_equivalence_matrix(cdb, statement):
+    params = {"d": "eng", "s": 1100.0} if ":d" in statement else None
+    columnar, row = both_paths(cdb, statement, params)
+    assert columnar == row
+
+
+def test_columnar_path_actually_taken(cdb):
+    cdb.execute("SELECT id FROM emp WHERE dept = 'eng'")
+    stats = cdb.services.stats
+    assert stats.get("executor.columnar.plans") >= 1
+    assert stats.get("executor.columnar.batches") >= 1
+    assert stats.get("predicate.vector_selects") >= 1
+
+
+def test_computed_projection_stays_on_row_path(cdb):
+    stats = cdb.services.stats
+    cdb.execute("SELECT salary / 1000 FROM emp WHERE id < 10")
+    assert stats.get("executor.columnar.plans") == 0
+
+
+def test_scan_counters_identical_between_paths(cdb):
+    """The batch schedule and everything below it (dispatch, buffer,
+    storage counters) must not depend on the execution path."""
+    statement = "SELECT id, salary FROM emp WHERE salary > 1100.0"
+    executor = cdb.query_engine.executor
+    stats = cdb.services.stats
+    cdb.execute(statement)  # warm the plan cache on the columnar path
+
+    executor.columnar_enabled = True
+    before = stats.snapshot()
+    cdb.execute(statement)
+    columnar_delta = stats.delta(before)
+
+    executor.columnar_enabled = False
+    before = stats.snapshot()
+    cdb.execute(statement)
+    row_delta = stats.delta(before)
+
+    families = ("executor.scan_batches", "dispatch.", "buffer.",
+                "heap.", "lock")
+    for name in set(columnar_delta) | set(row_delta):
+        if name.startswith(families):
+            assert columnar_delta.get(name, 0) == row_delta.get(name, 0), \
+                f"{name}: {columnar_delta.get(name)} != {row_delta.get(name)}"
+
+
+def test_aggregate_counters_identical_between_paths(cdb):
+    statement = ("SELECT dept, COUNT(*), SUM(salary) FROM emp "
+                 "WHERE id < 200 GROUP BY dept")
+    executor = cdb.query_engine.executor
+    stats = cdb.services.stats
+    cdb.execute(statement)
+
+    before = stats.snapshot()
+    cdb.execute(statement)
+    columnar_delta = stats.delta(before)
+
+    executor.columnar_enabled = False
+    before = stats.snapshot()
+    cdb.execute(statement)
+    row_delta = stats.delta(before)
+
+    for name in set(columnar_delta) | set(row_delta):
+        if name.startswith(("executor.scan_batches", "dispatch.",
+                            "buffer.", "heap.")):
+            assert columnar_delta.get(name, 0) == row_delta.get(name, 0)
+
+
+# ---------------------------------------------------------------------------
+# Fault containment
+# ---------------------------------------------------------------------------
+
+def test_kernel_fault_falls_back_to_row_path(cdb):
+    statement = "SELECT dept, COUNT(*), AVG(salary) FROM emp GROUP BY dept"
+    expected = cdb.execute(statement)
+    cdb.services.faults.arm("columnar.kernel", error=RuntimeError("kernel"),
+                            nth=1)
+    assert cdb.execute(statement) == expected
+    assert cdb.services.stats.get("executor.columnar.fallbacks") == 1
+    # The one-shot fault fired and the path is healthy again.
+    assert cdb.execute(statement) == expected
+    assert cdb.services.stats.get("executor.columnar.fallbacks") == 1
+
+
+def test_kernel_fault_point_not_reached_on_row_path(cdb):
+    """The injection point lives in the columnar machinery only: the row
+    path never passes it, so the same armed fault cannot touch it."""
+    statement = "SELECT id FROM emp WHERE dept = 'eng'"
+    executor = cdb.query_engine.executor
+    expected = cdb.execute(statement)
+    executor.columnar_enabled = False
+    cdb.services.faults.arm("columnar.kernel", error=RuntimeError("kernel"),
+                            nth=1)
+    assert cdb.execute(statement) == expected
+    assert cdb.services.faults.is_armed("columnar.kernel")
+
+
+def test_fallback_preserves_projection_and_topk(cdb):
+    statement = ("SELECT id, salary FROM emp WHERE salary IS NOT NULL "
+                 "ORDER BY salary DESC LIMIT 5")
+    expected = cdb.execute(statement)
+    cdb.services.faults.arm("columnar.kernel", error=RuntimeError("kernel"),
+                            nth=1)
+    assert cdb.execute(statement) == expected
+    assert cdb.services.stats.get("executor.columnar.fallbacks") == 1

@@ -1,0 +1,206 @@
+"""Columnar kernel micro-tests.
+
+Correctness is checked against the row evaluator (``Predicate.matches``
+is the ground truth for selection vectors), and the O(1)-dispatch claim
+is checked through counters: kernel invocations must scale with the
+number of *batches*, never with the number of rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.core.schema import Field, Schema
+from repro.query import kernels
+from repro.query.columnar import ColumnBatch
+from repro.services.predicate import Predicate
+
+SCHEMA = Schema("t", [Field("id", "INT", nullable=False),
+                      Field("name", "STRING"), Field("score", "FLOAT"),
+                      Field("active", "BOOL")])
+
+ROWS = [
+    (0, "ada", 1.5, True),
+    (1, None, -2.0, False),
+    (2, "bob", None, True),
+    (3, "cyd", 8.25, None),
+    (4, "dee", 8.25, True),
+    (5, None, None, False),
+    (6, "eve", 0.0, True),
+]
+
+
+def selection_by_rows(predicate):
+    return [i for i, row in enumerate(ROWS) if predicate.matches(row)]
+
+
+FILTERS = [
+    "id >= 3",
+    "id != 2",
+    "name = 'bob'",
+    "score > 1.0",
+    "score <= 8.25",
+    "name IS NULL",
+    "score IS NOT NULL",
+    "id BETWEEN 2 AND 5",
+    "NOT (id BETWEEN 2 AND 5)",
+    "name IN ('ada', 'eve')",
+    "name NOT IN ('ada', 'eve')",
+    "NOT name = 'bob'",
+    "NOT score < 1.0",
+    "active = TRUE",
+    "id > 1 AND score IS NOT NULL",
+    "name IS NULL OR score > 8.0",
+    "id < 2 OR (active = TRUE AND score >= 0.0)",
+]
+
+
+@pytest.mark.parametrize("text", FILTERS)
+def test_kernel_selection_matches_row_evaluation(text):
+    predicate = Predicate.parse(text, SCHEMA)
+    kernel = kernels.compile_filter(predicate.expr)
+    assert kernel is not None, f"{text!r} should vectorize"
+    batch = ColumnBatch.from_rows(ROWS, SCHEMA)
+    assert kernel.select(batch, {}, None) == selection_by_rows(predicate)
+
+
+@pytest.mark.parametrize("text", FILTERS)
+def test_match_indexes_agrees_with_row_fallback(text):
+    predicate = Predicate.parse(text, SCHEMA)
+    vectorized = predicate.match_indexes(ROWS)
+    with kernels.vector_filtering(False):
+        fallback = predicate.match_indexes(ROWS)
+    assert vectorized == fallback == selection_by_rows(predicate)
+
+
+@pytest.mark.parametrize("text", [
+    "name LIKE 'a%'",            # LIKE stays row-at-a-time
+    "id + 1 = 3",                # arithmetic over a column
+    "id = score",                # column-to-column comparison
+    "NOT (id > 1 AND score > 0)",  # NOT over a conjunction
+])
+def test_unvectorizable_shapes_fall_back(text):
+    predicate = Predicate.parse(text, SCHEMA)
+    assert kernels.compile_filter(predicate.expr) is None
+    assert predicate.match_indexes(ROWS) == selection_by_rows(predicate)
+
+
+def test_parameterized_predicate_shares_compiled_kernel():
+    predicate = Predicate.parse("id >= :n", SCHEMA)
+    first = predicate.with_params({"n": 3})
+    second = predicate.with_params({"n": 5})
+    assert first.match_indexes(ROWS) == [3, 4, 5, 6]
+    # The clone reuses the kernel the first execution compiled.
+    assert second._kernel_box is predicate._kernel_box
+    assert second.match_indexes(ROWS) == [5, 6]
+
+
+def test_null_comparison_selects_nothing():
+    predicate = Predicate.parse("name = :n", SCHEMA)
+    assert predicate.with_params({"n": None}).match_indexes(ROWS) == []
+
+
+# ---------------------------------------------------------------------------
+# ColumnBatch representation
+# ---------------------------------------------------------------------------
+
+def test_column_batch_columns_and_null_masks():
+    batch = ColumnBatch.from_rows(ROWS, SCHEMA)
+    assert len(batch) == len(ROWS)
+    assert batch.column(0) == tuple(range(7))
+    assert batch.null_mask(0) is None           # NOT NULL column
+    mask = batch.null_mask(1)
+    assert list(mask) == [0, 1, 0, 0, 0, 1, 0]
+
+
+def test_column_batch_typed_columns():
+    batch = ColumnBatch.from_rows(ROWS, SCHEMA)
+    typed = batch.typed_column(0, "INT")
+    assert typed is not None and typed.typecode == "q"
+    assert list(typed) == list(range(7))
+    assert batch.typed_column(2, "FLOAT") is None  # has NULLs
+    assert batch.typed_column(1, "STRING") is None
+
+
+def test_column_batch_late_materialization():
+    batch = ColumnBatch.from_rows(ROWS, SCHEMA)
+    assert batch.take([1, 4]) == [ROWS[1], ROWS[4]]
+    assert batch.gather([0, 3, 6], 2) == [1.5, 8.25, 0.0]
+    assert batch.gather(None, 3) == [row[3] for row in ROWS]
+
+
+def test_project_rows_kernel():
+    rows = [(1, "a", 2.0), (3, "b", 4.0)]
+    assert kernels.project_rows(rows, [2, 0]) == [(2.0, 1), (4.0, 3)]
+    assert kernels.project_rows(rows, [1]) == [("a",), ("b",)]
+    assert kernels.project_rows([], [0]) == []
+
+
+def test_fold_aggregate_kernel():
+    assert kernels.fold_aggregate("count_star", [], 9) == 9
+    assert kernels.fold_aggregate("count", [1, 2], 9) == 2
+    assert kernels.fold_aggregate("sum", [1.5, 2.5], 9) == 4.0
+    assert kernels.fold_aggregate("min", [3, 1], 9) == 1
+    assert kernels.fold_aggregate("max", [3, 1], 9) == 3
+    assert kernels.fold_aggregate("avg", [3.0, 1.0], 9) == 2.0
+    assert kernels.fold_aggregate("sum", [], 9) is None
+
+
+# ---------------------------------------------------------------------------
+# O(1) Python-level dispatch per batch, asserted via counters
+# ---------------------------------------------------------------------------
+
+def _bulk_db(rows):
+    db = Database(page_size=1024, buffer_capacity=128)
+    table = db.create_table("n", [("id", "INT", False), ("val", "FLOAT")])
+    table.insert_many([(i, float(i % 97)) for i in range(rows)])
+    return db
+
+
+def test_kernel_calls_scale_with_batches_not_rows():
+    db = _bulk_db(2000)
+    stats = db.services.stats
+    db.execute("SELECT id, val FROM n WHERE val > 50.0")  # warm plan
+    before = stats.snapshot()
+    db.execute("SELECT id, val FROM n WHERE val > 50.0")
+    delta = stats.delta(before)
+    batches = delta["executor.columnar.batches"]
+    assert delta["executor.columnar.rows"] >= 900
+    # One dispatch per batch plus one final projection call.
+    assert delta["executor.columnar.kernel_calls"] <= batches + 1
+    # The scan filtered column-at-a-time: one select per page/window,
+    # zero per-row predicate evaluations, zero per-row projections.
+    assert delta.get("predicate.row_evals", 0) == 0
+    assert delta.get("executor.row_ops", 0) == 0
+    assert 0 < delta["predicate.vector_selects"] <= \
+        delta["predicate.vector_rows"] // 10
+
+
+def test_aggregate_kernel_calls_scale_with_batches():
+    db = _bulk_db(2000)
+    stats = db.services.stats
+    statement = "SELECT COUNT(*), SUM(val), AVG(val) FROM n"
+    db.execute(statement)
+    before = stats.snapshot()
+    db.execute(statement)
+    delta = stats.delta(before)
+    batches = delta["executor.columnar.batches"]
+    # Two value-collecting aggregates (SUM, AVG share a column but keep
+    # their own lists) -> at most two kernel calls per batch.
+    assert delta["executor.columnar.kernel_calls"] <= 2 * batches
+    assert delta.get("executor.row_ops", 0) == 0
+
+
+def test_row_path_counts_row_ops():
+    db = _bulk_db(500)
+    db.query_engine.executor.columnar_enabled = False
+    stats = db.services.stats
+    with kernels.vector_filtering(False):
+        db.execute("SELECT id FROM n WHERE val > 50.0")
+        before = stats.snapshot()
+        db.execute("SELECT id FROM n WHERE val > 50.0")
+        delta = stats.delta(before)
+    assert delta["predicate.row_evals"] == 500
+    assert delta["executor.row_ops"] > 0
+    assert delta.get("executor.columnar.batches", 0) == 0
