@@ -42,18 +42,23 @@ from .core.dispatch import AccessPath, STORAGE_ACCESS
 from .core.records import Box, RecordView
 from .core.relation import Relation
 from .core.schema import Field, Schema
+from .core.session import Session
 from .core.storage_method import RelationHandle, StorageMethod
 from .core.attachment import AttachmentType
-from .errors import (CheckViolation, DeadlockError, IntegrityError,
-                     LockConflictError, ReferentialViolation, ReproError,
+from .errors import (AdmissionError, CheckViolation, DeadlockError,
+                     IntegrityError, LockConflictError,
+                     ReadOnlyTransactionError, ReferentialViolation,
+                     ReproError, SessionError, SnapshotError,
                      TransactionAborted, UniqueViolation, VetoError)
 from .services.predicate import Predicate, parse_expression
 
 __version__ = "1.0.0"
 
-__all__ = ["Database", "AccessPath", "STORAGE_ACCESS", "Box", "RecordView",
-           "Relation", "Field", "Schema", "RelationHandle", "StorageMethod",
-           "AttachmentType", "CheckViolation", "DeadlockError",
-           "IntegrityError", "LockConflictError", "ReferentialViolation",
-           "ReproError", "TransactionAborted", "UniqueViolation",
+__all__ = ["Database", "Session", "AccessPath", "STORAGE_ACCESS", "Box",
+           "RecordView", "Relation", "Field", "Schema", "RelationHandle",
+           "StorageMethod", "AttachmentType", "AdmissionError",
+           "CheckViolation", "DeadlockError", "IntegrityError",
+           "LockConflictError", "ReadOnlyTransactionError",
+           "ReferentialViolation", "ReproError", "SessionError",
+           "SnapshotError", "TransactionAborted", "UniqueViolation",
            "VetoError", "Predicate", "parse_expression", "__version__"]

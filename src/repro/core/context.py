@@ -53,6 +53,17 @@ class ExecutionContext:
                                                        payloads)
 
     def lock(self, resource: Hashable, mode: LockMode) -> None:
+        """Acquire a lock — unless this is a snapshot reader.
+
+        Snapshot transactions resolve reads against their snapshot at the
+        scan boundary, so locks buy them nothing: every lock request is
+        skipped (counted under ``mvcc.lock_bypasses``) and the reader can
+        neither block nor be blocked by writers.  Modifications by a
+        snapshot transaction are rejected long before this point.
+        """
+        if self.txn.snapshot is not None:
+            self.services.stats.bump("mvcc.lock_bypasses")
+            return
         self.services.locks.acquire(self.txn_id, resource, mode)
 
     def lock_relation(self, relation_id: int, mode: LockMode) -> None:

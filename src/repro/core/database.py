@@ -12,7 +12,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Optional, Sequence, Union
 
-from ..errors import TransactionError
+from ..errors import AdmissionError, TransactionError
 from ..services import SystemServices
 from .authorization import AuthorizationService
 from .catalog import Catalog
@@ -23,6 +23,7 @@ from .dispatch import DataManager
 from .registry import ExtensionRegistry
 from .relation import Relation
 from .schema import Field, Schema
+from .session import Session
 
 __all__ = ["Database"]
 
@@ -32,7 +33,8 @@ class Database:
 
     def __init__(self, page_size: int = 4096, buffer_capacity: int = 256,
                  principal: str = "admin", register_builtins: bool = True,
-                 group_commit: int = 0, auto_checkpoint_interval: int = 0):
+                 group_commit: int = 0, auto_checkpoint_interval: int = 0,
+                 max_sessions: int = 64):
         self.services = SystemServices(page_size=page_size,
                                        buffer_capacity=buffer_capacity)
         # Durability knobs: group_commit=N batches N commits per log force
@@ -53,8 +55,34 @@ class Database:
         self.principal = principal
         self._session_txn = None
         self._query_engine = None
+        #: Admission control: the bounded session pool.
+        self.max_sessions = max_sessions
+        self._sessions: Dict[int, "Session"] = {}
+        self._next_session_id = 1
         if register_builtins:
             self._register_builtins()
+
+    # ------------------------------------------------------------------
+    # Sessions (the multi-caller front door)
+    # ------------------------------------------------------------------
+    def connect(self, principal: Optional[str] = None) -> "Session":
+        """Admit a new session, or raise :class:`AdmissionError` when the
+        pool is at capacity.  ``principal`` defaults to the database's."""
+        if len(self._sessions) >= self.max_sessions:
+            self.services.stats.bump("sessions.rejected")
+            raise AdmissionError(self.max_sessions)
+        session = Session(self, self._next_session_id, principal)
+        self._next_session_id += 1
+        self._sessions[session.session_id] = session
+        self.services.stats.bump("sessions.connected")
+        return session
+
+    def _disconnect(self, session: "Session") -> None:
+        self._sessions.pop(session.session_id, None)
+
+    def sessions(self) -> tuple:
+        """The currently admitted sessions."""
+        return tuple(self._sessions.values())
 
     def _register_builtins(self) -> None:
         from ..access import builtin_attachment_types
@@ -284,13 +312,21 @@ class Database:
     def close(self) -> None:
         """Orderly shutdown: nothing committed may be lost afterwards.
 
-        Aborts an open session transaction, forces every enqueued group
-        commit (deferred durability must not outlive the process), flushes
-        the log, and writes all dirty pages back.  The instance remains
-        usable afterwards (there is no file handle to release in this
-        simulation); ``close`` exists so callers have a single point that
-        guarantees the no-pending-durability invariant.
+        Disconnects every admitted session (aborting their open
+        transactions), aborts an open database-level transaction, forces
+        every enqueued group commit (deferred durability must not outlive
+        the process), flushes the log, and writes all dirty pages back.
+
+        Idempotent and safe with sessions still open: a second ``close``
+        finds no sessions, no open transactions, and nothing pending, so
+        the group-commit force and flushes run exactly once per dirty
+        period.  The instance remains usable afterwards (there is no file
+        handle to release in this simulation); ``close`` exists so callers
+        have a single point that guarantees the no-pending-durability
+        invariant.
         """
+        for session in list(self._sessions.values()):
+            session.close()  # aborts the session's open transaction
         if self._session_txn is not None and self._session_txn.active:
             txn = self._session_txn
             self._session_txn = None
@@ -314,6 +350,13 @@ class Database:
         Returns the recovery summary.
         """
         self._session_txn = None
+        # Sessions survive a restart (the connection is not the crash
+        # domain here) but their in-flight transactions and snapshots do
+        # not: undo images are volatile, so every live snapshot is
+        # invalidated and will raise SnapshotError on its next read.
+        for session in self._sessions.values():
+            session._txn = None
+        self.services.transactions.invalidate_snapshots()
         lost = self.services.crash()
         # Lock state is volatile: pre-crash transactions hold nothing now.
         self.services.locks.reset()

@@ -31,10 +31,12 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from ..errors import (ExtensionFault, ReadOnlyError, ReproError,
-                      StorageError, UnknownObjectError)
+from ..errors import (ExtensionFault, ReadOnlyError,
+                      ReadOnlyTransactionError, ReproError, StorageError,
+                      UnknownObjectError)
 from ..services.locks import LockMode
 from ..services.predicate import Predicate
+from ..services.scans import ABSENT, SnapshotScan
 from .context import ExecutionContext
 from .registry import ExtensionRegistry
 from .storage_method import RelationHandle
@@ -214,6 +216,7 @@ class DataManager:
         """Insert a record; returns its record key."""
         record = handle.schema.check_record(record)
         method = self._modifiable_method(handle)
+        self._check_writable(ctx, handle, "insert")
         ctx.lock_relation(handle.relation_id, LockMode.IX)
         with self._operation(ctx):
             ctx.stats.bump("dispatch.inserts")
@@ -227,6 +230,7 @@ class DataManager:
                     ctx, handle, type_id, field, "insert",
                     self.registry.attached_insert[type_id],
                     ctx, handle, field, key, record)
+        self._note_versions(ctx, handle, [(key, ABSENT)])
         return key
 
     def update(self, ctx: ExecutionContext, handle: RelationHandle, key,
@@ -238,6 +242,7 @@ class DataManager:
         """
         new_record = handle.schema.check_record(new_record)
         method = self._modifiable_method(handle)
+        self._check_writable(ctx, handle, "update")
         ctx.lock_relation(handle.relation_id, LockMode.IX)
         old_record = self._require_record(ctx, handle, key)
         with self._operation(ctx):
@@ -252,11 +257,16 @@ class DataManager:
                     ctx, handle, type_id, field, "update",
                     self.registry.attached_update[type_id],
                     ctx, handle, field, key, new_key, old_record, new_record)
+        transitions = [(key, old_record)]
+        if new_key != key:  # relocated: the new key did not exist before
+            transitions.append((new_key, ABSENT))
+        self._note_versions(ctx, handle, transitions)
         return new_key
 
     def delete(self, ctx: ExecutionContext, handle: RelationHandle, key) -> None:
         """Delete the record at ``key``."""
         method = self._modifiable_method(handle)
+        self._check_writable(ctx, handle, "delete")
         ctx.lock_relation(handle.relation_id, LockMode.IX)
         old_record = self._require_record(ctx, handle, key)
         with self._operation(ctx):
@@ -271,6 +281,7 @@ class DataManager:
                     ctx, handle, type_id, field, "delete",
                     self.registry.attached_delete[type_id],
                     ctx, handle, field, key, old_record)
+        self._note_versions(ctx, handle, [(key, old_record)])
 
     # ------------------------------------------------------------------
     # Set-at-a-time relation modification operations
@@ -294,6 +305,7 @@ class DataManager:
         if not records:
             return []
         method = self._modifiable_method(handle)
+        self._check_writable(ctx, handle, "insert_batch")
         self._lock_for_batch(ctx, handle, len(records))
         with self._operation(ctx):
             ctx.stats.bump("dispatch.inserts", len(records))
@@ -307,6 +319,7 @@ class DataManager:
                     ctx, handle, type_id, field, "insert_batch",
                     self.registry.attached_insert_batch[type_id],
                     ctx, handle, field, keys, records)
+        self._note_versions(ctx, handle, [(k, ABSENT) for k in keys])
         return list(keys)
 
     def update_batch(self, ctx: ExecutionContext, handle: RelationHandle,
@@ -322,6 +335,7 @@ class DataManager:
         if not items:
             return []
         method = self._modifiable_method(handle)
+        self._check_writable(ctx, handle, "update_batch")
         self._lock_for_batch(ctx, handle, len(items))
         triples = [(key, self._require_record(ctx, handle, key),
                     handle.schema.check_record(new))
@@ -340,6 +354,12 @@ class DataManager:
                     ctx, handle, type_id, field, "update_batch",
                     self.registry.attached_update_batch[type_id],
                     ctx, handle, field, quads)
+        transitions = []
+        for key, new_key, old, __ in quads:
+            transitions.append((key, old))
+            if new_key != key:
+                transitions.append((new_key, ABSENT))
+        self._note_versions(ctx, handle, transitions)
         return list(new_keys)
 
     def delete_batch(self, ctx: ExecutionContext, handle: RelationHandle,
@@ -348,6 +368,7 @@ class DataManager:
         if not keys:
             return
         method = self._modifiable_method(handle)
+        self._check_writable(ctx, handle, "delete_batch")
         self._lock_for_batch(ctx, handle, len(keys))
         pairs = [(key, self._require_record(ctx, handle, key))
                  for key in keys]
@@ -363,6 +384,7 @@ class DataManager:
                     ctx, handle, type_id, field, "delete_batch",
                     self.registry.attached_delete_batch[type_id],
                     ctx, handle, field, pairs)
+        self._note_versions(ctx, handle, pairs)
 
     # ------------------------------------------------------------------
     # Data access operations
@@ -384,6 +406,10 @@ class DataManager:
         if access_path is None or access_path.is_storage:
             method = self.registry.storage_method(
                 handle.descriptor.storage_method_id)
+            snapshot = self._snapshot_of(ctx)
+            if snapshot is not None:
+                return self._snapshot_fetch(ctx, handle, method, key,
+                                            fields, predicate, snapshot)
             return self._storage_call(
                 ctx, handle, "fetch",
                 self.registry.storage_fetch[method.method_id],
@@ -413,6 +439,10 @@ class DataManager:
         if access_path is None or access_path.is_storage:
             method = self.registry.storage_method(
                 handle.descriptor.storage_method_id)
+            snapshot = self._snapshot_of(ctx)
+            if snapshot is not None:
+                return self._snapshot_fetch_many(ctx, handle, method, keys,
+                                                 fields, predicate, snapshot)
             return self._storage_call(
                 ctx, handle, "fetch_many",
                 self.registry.storage_fetch_many[method.method_id],
@@ -437,6 +467,10 @@ class DataManager:
         if access_path is None or access_path.is_storage:
             method = self.registry.storage_method(
                 handle.descriptor.storage_method_id)
+            snapshot = self._snapshot_of(ctx)
+            if snapshot is not None:
+                return self._snapshot_open_scan(ctx, handle, method,
+                                                fields, predicate, snapshot)
             return self._storage_call(
                 ctx, handle, "open_scan",
                 self.registry.storage_open_scan[method.method_id],
@@ -448,6 +482,105 @@ class DataManager:
             ctx, handle, access_path.type_id, field, "open_scan",
             attachment.open_scan, ctx, handle, instance, predicate,
             route=route)
+
+    # ------------------------------------------------------------------
+    # Multi-version (snapshot) reads
+    # ------------------------------------------------------------------
+    # A snapshot reader resolves every storage-path read against its
+    # Snapshot: current storage state is first *patched* with the
+    # before-images of transitions the snapshot must not see (writes by
+    # transactions that were uncommitted at — or committed after — the
+    # snapshot LSN).  Index (access-path) routes are not snapshot-aware:
+    # the executor downgrades snapshot queries to the storage route, where
+    # the full residual predicate makes the answer complete.
+
+    @staticmethod
+    def _snapshot_of(ctx: ExecutionContext):
+        return ctx.txn.snapshot
+
+    def _check_writable(self, ctx: ExecutionContext, handle: RelationHandle,
+                        op: str) -> None:
+        if ctx.txn.snapshot is not None:
+            raise ReadOnlyTransactionError(
+                f"snapshot transaction {ctx.txn_id} cannot {op} on relation "
+                f"{handle.name!r}; begin a read-write transaction instead")
+
+    def _note_versions(self, ctx: ExecutionContext, handle: RelationHandle,
+                       transitions) -> None:
+        """Tell the version store what this modification changed."""
+        self.services.transactions.note_versions(ctx.txn, handle.relation_id,
+                                                 transitions)
+
+    def _relation_patch(self, handle: RelationHandle, snapshot) -> dict:
+        return self.services.transactions.snapshot_patch(
+            snapshot, handle.relation_id)
+
+    @staticmethod
+    def _apply_read(record, fields, predicate):
+        """Predicate + projection for a snapshot image, matching what the
+        storage method would have applied had the read been pushed down."""
+        if record is None or record is ABSENT:
+            return None
+        if predicate is not None and not predicate.matches(record):
+            return None
+        if fields is None:
+            return tuple(record)
+        return tuple(record[i] for i in fields)
+
+    def _snapshot_fetch(self, ctx, handle, method, key, fields, predicate,
+                        snapshot):
+        patch = self._relation_patch(handle, snapshot)
+        if key in patch:
+            ctx.stats.bump("mvcc.records_patched")
+            return self._apply_read(patch[key], fields, predicate)
+        record = self._storage_call(
+            ctx, handle, "fetch",
+            self.registry.storage_fetch[method.method_id],
+            ctx, handle, key, None, None)
+        return self._apply_read(record, fields, predicate)
+
+    def _snapshot_fetch_many(self, ctx, handle, method, keys, fields,
+                             predicate, snapshot) -> list:
+        patch = self._relation_patch(handle, snapshot)
+        unpatched = [k for k in keys if k not in patch]
+        raw = dict(self._storage_call(
+            ctx, handle, "fetch_many",
+            self.registry.storage_fetch_many[method.method_id],
+            ctx, handle, unpatched, None, None)) if unpatched else {}
+        pairs = []
+        for key in keys:
+            if key in patch:
+                ctx.stats.bump("mvcc.records_patched")
+                image = patch[key]
+            else:
+                image = raw.get(key)
+            item = self._apply_read(image, fields, predicate)
+            if item is not None:
+                pairs.append((key, item))
+        return pairs
+
+    def _snapshot_open_scan(self, ctx, handle, method, fields, predicate,
+                            snapshot):
+        """A raw storage scan wrapped to serve the snapshot.
+
+        The base scan carries no predicate or projection — both must run
+        *after* patching, on snapshot images rather than current state.
+        """
+        base = self._storage_call(
+            ctx, handle, "open_scan",
+            self.registry.storage_open_scan[method.method_id],
+            ctx, handle, None, None)
+
+        def transform(key, record):
+            item = self._apply_read(record, fields, predicate)
+            return None if item is None else (key, item)
+
+        wrapped = SnapshotScan(
+            base,
+            patch_fn=lambda: self._relation_patch(handle, snapshot),
+            transform=transform, stats=ctx.stats)
+        ctx.services.scans.register(wrapped)
+        return wrapped
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,225 @@
+"""Sessions: the multi-caller front door to one database.
+
+The paper's extension architecture serves "an integrated database
+supporting multiple applications"; the unit of concurrency is therefore
+the *session*, not the engine.  A :class:`Session` is one caller's
+connection: it owns a per-session transaction, carries its own principal
+for the uniform authorization facility, and shares everything engine-wide
+— the catalog, the extension registry, the common services, and the
+bound-plan cache (plans are keyed by statement text and re-validated
+against relation descriptor versions, so one session's DDL transparently
+re-translates every other session's cached plans).
+
+Admission control: the database grants at most ``max_sessions``
+concurrent sessions; :meth:`Database.connect` raises
+:class:`~repro.errors.AdmissionError` beyond that, bounding the
+transaction, lock, and scan state a burst of callers can pin.
+
+A session duck-types the :class:`Database` surface that
+:class:`~repro.core.relation.Relation` and the query engine consume
+(``catalog``, ``data``, ``services``, ``authorization``, ``principal``,
+``autocommit``), so every existing layer runs unchanged against a
+session — it just resolves transactions and principals per session.
+
+Read-only work should use ``session.begin(snapshot=True)``: the
+transaction reads a consistent snapshot through the multi-version
+machinery and takes no locks, so it neither blocks nor is blocked by any
+writer session.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from ..errors import SessionError, TransactionError
+from .context import ExecutionContext
+from .relation import Relation
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One caller's connection to a shared database."""
+
+    def __init__(self, database, session_id: int,
+                 principal: Optional[str] = None):
+        self.database = database
+        self.session_id = session_id
+        self.principal = principal if principal is not None \
+            else database.principal
+        self._txn = None
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Shared engine surface (duck-types Database for Relation/queries)
+    # ------------------------------------------------------------------
+    @property
+    def services(self):
+        return self.database.services
+
+    @property
+    def catalog(self):
+        return self.database.catalog
+
+    @property
+    def data(self):
+        return self.database.data
+
+    @property
+    def registry(self):
+        return self.database.registry
+
+    @property
+    def authorization(self):
+        return self.database.authorization
+
+    @property
+    def dependencies(self):
+        return self.database.dependencies
+
+    # ------------------------------------------------------------------
+    # Per-session transactions
+    # ------------------------------------------------------------------
+    def begin(self, snapshot: bool = False):
+        """Open this session's transaction.
+
+        ``snapshot=True`` begins a read-only snapshot transaction: reads
+        are served from a consistent point-in-time view and acquire no
+        locks (see ``services/transactions.py``).
+        """
+        self._check_open()
+        if self._txn is not None and self._txn.active:
+            raise TransactionError(
+                f"session {self.session_id} already has an open transaction")
+        with self.services.stats.session(self.session_id):
+            self._txn = self.services.transactions.begin(snapshot=snapshot)
+        return self._txn
+
+    def commit(self) -> None:
+        txn = self._require_txn()
+        self._txn = None
+        with self.services.stats.session(self.session_id):
+            try:
+                self.services.transactions.commit(txn)
+            except Exception:
+                if not txn.settled:
+                    self.services.transactions.abort(txn)
+                raise
+
+    def rollback(self) -> None:
+        txn = self._require_txn()
+        self._txn = None
+        with self.services.stats.session(self.session_id):
+            self.services.transactions.abort(txn)
+
+    def savepoint(self, name: str) -> int:
+        return self.services.transactions.savepoint(self._require_txn(), name)
+
+    def rollback_to(self, name: str) -> int:
+        return self.services.transactions.rollback_to(self._require_txn(),
+                                                      name)
+
+    @contextmanager
+    def transaction(self, snapshot: bool = False):
+        """``with session.transaction() as ctx:`` — commit on exit."""
+        txn = self.begin(snapshot=snapshot)
+        try:
+            yield ExecutionContext(txn, self.services, self)
+            self._txn = None
+            with self.services.stats.session(self.session_id):
+                self.services.transactions.commit(txn)
+        except Exception:
+            if not txn.settled:
+                self._txn = None
+                with self.services.stats.session(self.session_id):
+                    self.services.transactions.abort(txn)
+            raise
+
+    @contextmanager
+    def autocommit(self):
+        """Join this session's open transaction, or run one for the call.
+
+        Every bump inside the block is attributed to this session as well
+        as engine-wide, so per-session counters reconcile in benchmarks.
+        """
+        self._check_open()
+        with self.services.stats.session(self.session_id):
+            if self._txn is not None and self._txn.active:
+                yield ExecutionContext(self._txn, self.services, self)
+                return
+            txn = self.services.transactions.begin()
+            try:
+                yield ExecutionContext(txn, self.services, self)
+                self.services.transactions.commit(txn)
+            except Exception:
+                if not txn.settled:
+                    self.services.transactions.abort(txn)
+                raise
+
+    def _require_txn(self):
+        self._check_open()
+        if self._txn is None or not self._txn.active:
+            raise TransactionError(
+                f"session {self.session_id} has no open transaction")
+        return self._txn
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.active
+
+    # ------------------------------------------------------------------
+    # Work surface
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Relation:
+        self._check_open()
+        self.catalog.entry(name)  # fail fast on unknown names
+        return Relation(self, name)
+
+    def execute(self, statement: str, params: Optional[dict] = None):
+        """Run a mini-SQL statement through the shared plan cache, under
+        this session's transaction and principal."""
+        self._check_open()
+        return self.database.query_engine.execute(statement, params,
+                                                  scope=self)
+
+    def explain(self, statement: str) -> dict:
+        self._check_open()
+        return self.database.query_engine.explain(statement, scope=self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Disconnect: abort any open transaction, free the admission slot.
+
+        Idempotent — closing a closed session is a no-op.
+        """
+        if self.closed:
+            return
+        if self._txn is not None and self._txn.active:
+            txn = self._txn
+            self._txn = None
+            with self.services.stats.session(self.session_id):
+                self.services.transactions.abort(txn)
+        self.closed = True
+        self.database._disconnect(self)
+        self.services.stats.bump("sessions.closed")
+
+    def __enter__(self) -> "Session":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise SessionError(f"session {self.session_id} is closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else (
+            "in-txn" if self.in_transaction else "idle")
+        return (f"Session(id={self.session_id}, "
+                f"principal={self.principal!r}, {state})")

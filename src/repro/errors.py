@@ -124,6 +124,27 @@ class TransactionAborted(TransactionError):
     """The transaction was aborted and rolled back."""
 
 
+class ReadOnlyTransactionError(TransactionError):
+    """A snapshot (read-only) transaction attempted a modification."""
+
+
+class SnapshotError(TransactionError):
+    """A snapshot can no longer serve reads (e.g. it spanned a restart)."""
+
+
+class AdmissionError(ReproError):
+    """The session pool is at capacity; the connection was not admitted."""
+
+    def __init__(self, limit: int):
+        super().__init__(
+            f"session pool is at capacity ({limit} active sessions)")
+        self.limit = limit
+
+
+class SessionError(ReproError):
+    """Session protocol violation (use after close, nested begin, ...)."""
+
+
 class LockError(ReproError):
     """Base class for concurrency control failures."""
 
@@ -146,11 +167,19 @@ class LockConflictError(LockError):
 
 
 class DeadlockError(LockError):
-    """A cycle was found in the waits-for graph; the requester is the victim."""
+    """A cycle was found in the waits-for graph.
 
-    def __init__(self, cycle):
+    ``cycle`` is normalised (rotated so its smallest transaction id comes
+    first) so the same deadlock always reports the same cycle; ``victim``
+    is the deterministically selected transaction that should abort (the
+    youngest — highest id — participant).  The requester receiving this
+    error is not necessarily the victim; callers abort ``victim``.
+    """
+
+    def __init__(self, cycle, victim=None):
         super().__init__(f"deadlock detected, waits-for cycle: {list(cycle)}")
         self.cycle = tuple(cycle)
+        self.victim = victim if victim is not None else max(self.cycle)
 
 
 class RecoveryError(ReproError):

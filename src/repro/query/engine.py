@@ -36,26 +36,30 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
-    def execute(self, text: str, params: Optional[dict] = None):
+    def execute(self, text: str, params: Optional[dict] = None,
+                scope=None):
+        """Run a statement.  ``scope`` is the caller's transaction and
+        principal scope — a Session, or the database itself (the default);
+        the plan cache is shared across all scopes."""
         statement_text = text.strip()
         head = statement_text.split(None, 1)[0].lower() if statement_text \
             else ""
         if head in ("create", "drop"):
             return self._execute_ddl(statement_text)
         if head == "select":
-            return self._execute_select(statement_text, params)
+            return self._execute_select(statement_text, params, scope)
         if head == "insert":
-            return self._execute_insert(statement_text, params)
+            return self._execute_insert(statement_text, params, scope)
         if head == "update":
-            return self._execute_update(statement_text, params)
+            return self._execute_update(statement_text, params, scope)
         if head == "delete":
-            return self._execute_delete(statement_text, params)
+            return self._execute_delete(statement_text, params, scope)
         raise QueryError(f"unsupported statement: {statement_text[:40]!r}")
 
-    def explain(self, text: str) -> dict:
+    def explain(self, text: str, scope=None) -> dict:
         """Plan (through the cache) and describe the chosen routes."""
         statement_text = text.strip()
-        db = self.database
+        db = scope if scope is not None else self.database
         with db.autocommit() as ctx:
             plan = self.cache.execute(
                 statement_text,
@@ -67,8 +71,8 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # SELECT
     # ------------------------------------------------------------------
-    def _execute_select(self, text: str, params) -> List[Tuple]:
-        db = self.database
+    def _execute_select(self, text: str, params, scope=None) -> List[Tuple]:
+        db = scope if scope is not None else self.database
         with db.autocommit() as ctx:
             plan = self.cache.execute(
                 text, lambda: self._translate_select(ctx, text))
@@ -99,8 +103,8 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # INSERT / UPDATE / DELETE
     # ------------------------------------------------------------------
-    def _execute_insert(self, text: str, params) -> int:
-        db = self.database
+    def _execute_insert(self, text: str, params, scope=None) -> int:
+        db = scope if scope is not None else self.database
         with db.autocommit() as ctx:
             plan = self.cache.execute(
                 text, lambda: self._translate_insert(ctx, text))
@@ -117,8 +121,8 @@ class QueryEngine:
         payload = (handle, statement.columns, statement.rows)
         return "insert", payload, {relation_token(handle.name)}
 
-    def _execute_update(self, text: str, params) -> int:
-        db = self.database
+    def _execute_update(self, text: str, params, scope=None) -> int:
+        db = scope if scope is not None else self.database
         with db.autocommit() as ctx:
             plan = self.cache.execute(
                 text, lambda: self._translate_update(ctx, text))
@@ -143,8 +147,8 @@ class QueryEngine:
             dependencies.add(attachment_token(access.access[2]))
         return "update", (handle, access, assignments), dependencies
 
-    def _execute_delete(self, text: str, params) -> int:
-        db = self.database
+    def _execute_delete(self, text: str, params, scope=None) -> int:
+        db = scope if scope is not None else self.database
         with db.autocommit() as ctx:
             plan = self.cache.execute(
                 text, lambda: self._translate_delete(ctx, text))

@@ -120,7 +120,11 @@ class Executor:
         left_handle = plan.handles[plan.alias]
         rows: Iterator[Tuple]
         if plan.join is None:
-            if getattr(plan, "covering", False):
+            # Covering-index reads answer from index entries alone, which
+            # are not versioned — snapshot readers fall back to the
+            # (patched) storage route instead.
+            if getattr(plan, "covering", False) \
+                    and ctx.txn.snapshot is None:
                 rows = self._covering_rows(ctx, left_handle, plan, params)
             else:
                 rows = (record for __, record in
@@ -238,7 +242,7 @@ class Executor:
                       shape: dict) -> List[Tuple]:
         ctx.stats.bump("executor.columnar.plans")
         left_handle = plan.handles[plan.alias]
-        if getattr(plan, "covering", False):
+        if getattr(plan, "covering", False) and ctx.txn.snapshot is None:
             batches = self._covering_batches(ctx, left_handle, plan, params)
         else:
             batches = ([record for __, record in batch] for batch in
@@ -403,6 +407,30 @@ class Executor:
         database = self.database
         predicate = access.compiled_predicate(handle.schema, params,
                                               ctx.stats)
+        if ctx.txn.snapshot is not None:
+            # Snapshot readers always take the storage route through the
+            # dispatch layer, which patches each record to its snapshot
+            # image.  Index routes are not snapshot-aware (entries added
+            # or removed after the snapshot would leak through), and the
+            # access's compiled predicate is the *full* residual filter,
+            # so the storage downgrade returns exactly the same rows.
+            if not access.is_storage:
+                ctx.stats.bump("mvcc.route_downgrades")
+            scan = database.data.open_scan(ctx, handle, None, predicate)
+            try:
+                size = self._start_batch_size(ctx, access, limit)
+                while True:
+                    batch = scan.next_batch(size)
+                    ctx.stats.bump("executor.scan_batches")
+                    if not batch:
+                        return
+                    yield batch
+                    if size < _BATCH_MAX:
+                        size *= 2
+            finally:
+                scan.close()
+                ctx.services.scans.unregister(scan)
+            return
         if access.is_storage:
             method = database.registry.storage_method(
                 handle.descriptor.storage_method_id)
@@ -571,6 +599,20 @@ class Executor:
     # ------------------------------------------------------------------
     # Joins
     # ------------------------------------------------------------------
+    def _fetch_many(self, ctx, handle, method, keys, predicate):
+        """Batch record fetch, snapshot-aware.
+
+        Writers fetch straight from the storage method; snapshot readers
+        go through the dispatch layer, which patches each record to its
+        snapshot image (keys an index probe missed because the record was
+        deleted after the snapshot are the documented index-route
+        anomaly — see DESIGN.md).
+        """
+        if ctx.txn.snapshot is not None:
+            return self.database.data.fetch_many(ctx, handle, keys, None,
+                                                 predicate)
+        return method.fetch_many(ctx, handle, keys, None, predicate)
+
     def _join_rows(self, ctx, plan: SelectPlan,
                    params: dict) -> Iterator[Tuple]:
         join: JoinStep = plan.join
@@ -617,13 +659,14 @@ class Executor:
             if not chunk:
                 return
             left_keys = list(dict.fromkeys(lk for lk, __ in chunk))
-            left_found = dict(left_method.fetch_many(
-                ctx, left_handle, left_keys, None, left_predicate))
+            left_found = dict(self._fetch_many(
+                ctx, left_handle, left_method, left_keys, left_predicate))
             right_keys = list(dict.fromkeys(
                 rk for __, rk in chunk if rk not in right_cache))
             if right_keys:
-                right_found = dict(right_method.fetch_many(
-                    ctx, right_handle, right_keys, None, right_predicate))
+                right_found = dict(self._fetch_many(
+                    ctx, right_handle, right_method, right_keys,
+                    right_predicate))
                 for right_key in right_keys:
                     right_cache[right_key] = right_found.get(right_key)
             for left_key, right_key in chunk:
@@ -665,13 +708,12 @@ class Executor:
             yield from self._emit_index_nl(ctx, right_handle, right_method,
                                            right_predicate, block)
 
-    @staticmethod
-    def _emit_index_nl(ctx, right_handle, right_method, right_predicate,
-                       block):
+    def _emit_index_nl(self, ctx, right_handle, right_method,
+                       right_predicate, block):
         keys = list(dict.fromkeys(
             key for __, right_keys in block for key in right_keys))
-        found = dict(right_method.fetch_many(ctx, right_handle, keys, None,
-                                             right_predicate))
+        found = dict(self._fetch_many(ctx, right_handle, right_method, keys,
+                                      right_predicate))
         for left_record, right_keys in block:
             for right_key in right_keys:
                 right_record = found.get(right_key)
@@ -724,6 +766,11 @@ class Executor:
     def _aggregate_fast_path(self, ctx, plan: SelectPlan) -> Optional[List]:
         """Answer ``SELECT COUNT(*)`` from a precomputed aggregate
         attachment when one exists (no scan at all)."""
+        if ctx.txn.snapshot is not None:
+            # Precomputed aggregates track *current* state; a snapshot
+            # reader must count through the patched scan instead.
+            ctx.stats.bump("mvcc.fast_path_bypasses")
+            return None
         if (plan.join is not None or plan.where is not None
                 or plan.group_index is not None or plan.star
                 or len(plan.items) != 1):

@@ -62,16 +62,26 @@ class CompiledPredicateCache:
 
 
 class BoundPlan:
-    """One translated statement: kind, payload, and dependency tokens."""
+    """One translated statement: kind, payload, and dependency tokens.
 
-    __slots__ = ("text", "kind", "payload", "dependencies", "valid")
+    ``versions`` records each referenced relation's descriptor version at
+    translation time.  The cache re-validates them on every hit, so a
+    descriptor change that slipped past token-based invalidation (or a
+    plan shared across sessions racing a DDL) still forces re-translation
+    instead of executing against a stale descriptor.
+    """
+
+    __slots__ = ("text", "kind", "payload", "dependencies", "valid",
+                 "versions")
 
     def __init__(self, text: str, kind: str, payload,
-                 dependencies: Set[str]):
+                 dependencies: Set[str],
+                 versions: Optional[Dict[str, int]] = None):
         self.text = text
         self.kind = kind
         self.payload = payload
         self.dependencies = set(dependencies)
+        self.versions = dict(versions or {})
         self.valid = True
 
     def invalidate(self) -> None:
@@ -96,18 +106,49 @@ class PlanCache:
         needed."""
         stats = self.database.services.stats
         plan = self._plans.get(text)
-        if plan is not None and plan.valid:
+        if plan is not None and plan.valid \
+                and not self._versions_stale(plan, stats):
             stats.bump("plan_cache.hits")
             return plan
         if plan is not None:
             stats.bump("plan_cache.retranslations")
             self.database.dependencies.unregister(plan)
         kind, payload, dependencies = translate()
-        plan = BoundPlan(text, kind, payload, dependencies)
+        plan = BoundPlan(text, kind, payload, dependencies,
+                         self._capture_versions(dependencies))
         self.database.dependencies.register(plan, dependencies)
         self._plans[text] = plan
         stats.bump("plan_cache.translations")
         return plan
+
+    def _capture_versions(self, dependencies: Set[str]) -> Dict[str, int]:
+        """Descriptor versions of every relation the plan depends on."""
+        versions: Dict[str, int] = {}
+        catalog = self.database.catalog
+        for token in dependencies:
+            kind, __, name = token.partition(":")
+            if kind != "relation":
+                continue
+            try:
+                handle = catalog.handle(name)
+            except Exception:
+                continue  # dropped mid-translation; token invalidation rules
+            versions[name] = handle.descriptor.version
+        return versions
+
+    def _versions_stale(self, plan: BoundPlan, stats) -> bool:
+        """Whether a referenced descriptor changed since translation."""
+        catalog = self.database.catalog
+        for name, version in plan.versions.items():
+            try:
+                current = catalog.handle(name).descriptor.version
+            except Exception:
+                current = None  # relation dropped
+            if current != version:
+                stats.bump("plan_cache.version_mismatches")
+                plan.invalidate()
+                return True
+        return False
 
     def forget(self, text: str) -> None:
         plan = self._plans.pop(text, None)

@@ -11,8 +11,10 @@ hashable resource names (conventionally ``("rel", rel_id)`` and
 explicit waits-for graph.
 
 The library is deterministic and single-threaded, so a conflicting request
-never blocks: it registers a wait edge, runs cycle detection, and raises
-either :class:`DeadlockError` (the requester is the victim) or
+never blocks: it registers a wait edge (replacing any previous wait — a
+transaction waits for one request at a time), runs cycle detection, and
+raises either :class:`DeadlockError` (carrying the normalised cycle and a
+deterministically chosen victim, the youngest participant) or
 :class:`LockConflictError` (the caller may retry once the holder finishes).
 Wait edges are cleared when the waiter retries successfully, releases its
 locks, or cancels the wait.
@@ -105,11 +107,17 @@ class LockManager:
         blockers = {t for t, m in holders.items()
                     if t != txn_id and not compatible(wanted, m)}
         if blockers:
-            self._waits_for.setdefault(txn_id, set()).update(blockers)
+            # A transaction waits for exactly one request at a time, so a
+            # new conflict *replaces* the wait edges — accumulating edges
+            # from earlier retries on other resources manufactured
+            # phantom cycles out of waits that no longer existed.
+            self._waits_for[txn_id] = set(blockers)
             cycle = self._find_cycle(txn_id)
             if cycle:
                 self.cancel_wait(txn_id)
-                raise DeadlockError(cycle)
+                if self.stats is not None:
+                    self.stats.bump("locks.deadlocks_detected")
+                raise DeadlockError(self._normalize_cycle(cycle))
             raise LockConflictError(resource, wanted, blockers)
         holders[txn_id] = wanted
         self._held.setdefault(txn_id, set()).add(resource)
@@ -187,6 +195,20 @@ class LockManager:
         return {w: frozenset(hs) for w, hs in self._waits_for.items()}
 
     # -- deadlock detection ---------------------------------------------------------------
+    @staticmethod
+    def _normalize_cycle(cycle: List[int]) -> List[int]:
+        """Canonical form of a waits-for cycle.
+
+        ``_find_cycle`` returns ``[a, b, ..., a]`` starting wherever the
+        DFS happened to close the loop; the same deadlock must always
+        report the same cycle (and hence the same deterministic victim),
+        so drop the duplicated endpoint and rotate the smallest
+        transaction id to the front.
+        """
+        nodes = cycle[:-1] if len(cycle) > 1 and cycle[0] == cycle[-1] else cycle
+        pivot = nodes.index(min(nodes))
+        return nodes[pivot:] + nodes[:pivot]
+
     def _find_cycle(self, start: int) -> Optional[List[int]]:
         """Depth-first search for a cycle through ``start`` in waits-for."""
         path: List[int] = []

@@ -25,12 +25,18 @@ from ..errors import ScanError
 from . import events as ev
 from .events import EventService
 
-__all__ = ["ScanPosition", "Scan", "ScanService",
-           "BEFORE", "ON", "AFTER"]
+__all__ = ["ScanPosition", "Scan", "ScanService", "SnapshotScan",
+           "ABSENT", "BEFORE", "ON", "AFTER"]
 
 BEFORE = "before"
 ON = "on"
 AFTER = "after"
+
+#: Sentinel: under a snapshot, this record key must not be seen at all
+#: (the version store's "the record did not exist" image).  Defined here
+#: (the scan boundary) so both the transaction service's version store
+#: and the snapshot scan wrapper can share it without an import cycle.
+ABSENT = object()
 
 
 class ScanPosition:
@@ -106,6 +112,101 @@ class Scan:
     def _check_open(self) -> None:
         if self.closed:
             raise ScanError("scan used after close")
+
+
+class SnapshotScan(Scan):
+    """Wraps a raw storage scan to serve a snapshot reader.
+
+    The base scan must deliver *full* ``(key, record)`` pairs with no
+    predicate or projection pushed down — the wrapper rewinds each record
+    to its snapshot image first (``patch_fn`` returns the relation's
+    current rewind patch, recomputed per batch so writes committed *after*
+    the snapshot mid-scan are still patched back out), then applies the
+    caller's ``transform`` (predicate + projection; return ``None`` to
+    drop an item).
+
+    Records the snapshot saw but a later writer deleted (or relocated)
+    are no longer in storage at all: the wrapper *resurrects* them from
+    the patch once the base scan is exhausted, in deterministic key
+    order.
+    """
+
+    def __init__(self, base: Scan, patch_fn, transform=None, stats=None):
+        super().__init__(base.txn_id)
+        self.base = base
+        self._patch_fn = patch_fn
+        self._transform = transform
+        self._stats = stats
+        self._seen: set = set()
+        self._base_exhausted = False
+        self._resurrect: List = []
+
+    # -- the Scan protocol ------------------------------------------------------
+    def next(self):
+        batch = self.next_batch(1)
+        return batch[0] if batch else None
+
+    def next_batch(self, n: int) -> list:
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        self._check_open()
+        out: list = []
+        # An empty non-final batch would read as end-of-scan to callers,
+        # so keep pulling until we produce at least one item or truly run
+        # out (base exhausted *and* resurrection list drained).
+        while not out and not self._base_exhausted:
+            batch = self.base.next_batch(n)
+            if not batch:
+                self._base_exhausted = True
+                self._prepare_resurrection()
+                break
+            patch = self._patch_fn()
+            for key, record in batch:
+                self._seen.add(key)
+                if key in patch:
+                    image = patch[key]
+                    if self._stats is not None:
+                        self._stats.bump("mvcc.records_patched")
+                    if image is ABSENT:
+                        continue  # born after the snapshot: invisible
+                    record = image
+                item = self._apply(key, record)
+                if item is not None:
+                    out.append(item)
+        while len(out) < n and self._resurrect:
+            key, record = self._resurrect.pop(0)
+            item = self._apply(key, record)
+            if item is not None:
+                out.append(item)
+        return out
+
+    def save_position(self) -> ScanPosition:
+        return self.base.save_position()
+
+    def restore_position(self, position: ScanPosition) -> None:
+        self.base.restore_position(position)
+
+    def close(self) -> None:
+        if not self.base.closed:
+            self.base.close()
+        super().close()
+
+    # -- internals --------------------------------------------------------------
+    def _apply(self, key, record):
+        if self._transform is not None:
+            return self._transform(key, record)
+        return (key, record)
+
+    def _prepare_resurrection(self) -> None:
+        pending = [(key, image) for key, image in self._patch_fn().items()
+                   if image is not ABSENT and key not in self._seen]
+        try:
+            pending.sort()
+        except TypeError:  # heterogeneous keys: still deterministic
+            pending.sort(key=repr)
+        if pending and self._stats is not None:
+            self._stats.bump("mvcc.records_resurrected", len(pending))
+        self._resurrect = pending
 
 
 class ScanService:

@@ -17,19 +17,42 @@ Group commit reports under ``txn.group_commit.*``.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
+from contextlib import contextmanager
+from typing import Dict, Optional
 
 __all__ = ["StatsService"]
 
 
 class StatsService:
-    """A named-counter sink with snapshot/delta support."""
+    """A named-counter sink with snapshot/delta support.
+
+    Counters are engine-wide; a *session scope* (``with
+    stats.session(id):``) additionally mirrors every bump into that
+    session's private counter set, so per-session and engine-wide totals
+    reconcile exactly: for any counter, the sum over sessions plus the
+    out-of-session remainder equals the engine-wide value.
+    """
 
     def __init__(self):
         self._counters = Counter()
+        self._session: Optional[int] = None
+        self._per_session: Dict[int, Counter] = {}
+
+    @contextmanager
+    def session(self, session_id: int):
+        """Attribute all bumps inside the block to ``session_id`` too."""
+        previous = self._session
+        self._session = session_id
+        try:
+            yield self
+        finally:
+            self._session = previous
 
     def bump(self, name: str, amount: int = 1) -> None:
         self._counters[name] += amount
+        if self._session is not None:
+            self._per_session.setdefault(self._session,
+                                         Counter())[name] += amount
 
     def bump_many(self, counters: Dict[str, int]) -> None:
         """Add several counters at once (one call per batch, not per record).
@@ -40,12 +63,29 @@ class StatsService:
         bookkeeping cost stops scaling with the batch size.
         """
         self._counters.update(counters)
+        if self._session is not None:
+            self._per_session.setdefault(self._session,
+                                         Counter()).update(counters)
 
     def get(self, name: str) -> int:
         return self._counters[name]
 
+    def session_get(self, session_id: int, name: str) -> int:
+        return self._per_session.get(session_id, Counter())[name]
+
+    def session_snapshot(self, session_id: int) -> dict:
+        return dict(self._per_session.get(session_id, Counter()))
+
+    def session_ids(self) -> tuple:
+        return tuple(self._per_session)
+
+    def drop_session(self, session_id: int) -> None:
+        """Forget a closed session's counters (engine-wide ones remain)."""
+        self._per_session.pop(session_id, None)
+
     def reset(self) -> None:
         self._counters.clear()
+        self._per_session.clear()
 
     def snapshot(self) -> dict:
         return dict(self._counters)

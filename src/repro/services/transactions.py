@@ -24,23 +24,213 @@ window group commit trades for an N-fold reduction in log forces.
 Transactions with at-commit deferred actions (e.g. the deferred release
 of dropped storage) never join a group: their commit must be durable
 before the externalized release runs.
+
+Multi-version reads: ``begin(snapshot=True)`` starts a read-only
+transaction under snapshot isolation.  It captures a :class:`Snapshot`
+(the current end of log + the set of then-active writers) and resolves
+every read at the scan boundary by patching current storage state with
+the undo images writers produce anyway (:class:`VersionStore`).  A
+record version is visible iff its writer's COMMIT record LSN is at or
+below the snapshot LSN.  Snapshot readers take no locks and write no
+log records — they neither block nor are blocked by the lock-based
+writer/serializable mode, which is unchanged.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional
+from typing import Dict, FrozenSet, List, Optional
 
-from ..errors import TransactionError
+from ..errors import (ReadOnlyTransactionError, SnapshotError,
+                      TransactionError)
 from . import events as ev
 from . import wal as wal_records
 from .events import EventService
 from .locks import LockManager
 from .recovery import RecoveryManager
-from .scans import ScanService
+from .scans import ABSENT, ScanService
 from .wal import LogManager
 
-__all__ = ["TxnState", "Transaction", "TransactionManager"]
+__all__ = ["TxnState", "Transaction", "TransactionManager",
+           "Snapshot", "VersionStore", "ABSENT"]
+
+
+class Snapshot:
+    """A consistent read point: begin LSN + the then-active writer set.
+
+    Visibility is decided purely from commit LSNs (see
+    :meth:`TransactionManager.snapshot_patch`): the active set is carried
+    for introspection and diagnostics — any member that later commits
+    necessarily does so above ``lsn``, so the LSN rule subsumes it.
+    """
+
+    __slots__ = ("snapshot_id", "lsn", "active_ids", "owner_txn_id",
+                 "invalidated")
+
+    def __init__(self, snapshot_id: int, lsn: int,
+                 active_ids: FrozenSet[int], owner_txn_id: int):
+        self.snapshot_id = snapshot_id
+        self.lsn = lsn
+        self.active_ids = active_ids
+        self.owner_txn_id = owner_txn_id
+        #: Set at restart: undo images are volatile, so a snapshot taken
+        #: before a crash cannot reconstruct its read point afterwards.
+        self.invalidated = False
+
+    def check_valid(self) -> None:
+        if self.invalidated:
+            raise SnapshotError(
+                f"snapshot {self.snapshot_id} (LSN {self.lsn}) spanned a "
+                f"restart and can no longer serve reads")
+
+    def __repr__(self) -> str:
+        return (f"Snapshot(id={self.snapshot_id}, lsn={self.lsn}, "
+                f"active={sorted(self.active_ids)})")
+
+
+class _Version:
+    """One record transition: ``before`` is the undo image (ABSENT for an
+    insert), tagged with the writing transaction and its log LSN."""
+
+    __slots__ = ("lsn", "txn_id", "key", "before", "cancelled")
+
+    def __init__(self, lsn: int, txn_id: int, key, before):
+        self.lsn = lsn
+        self.txn_id = txn_id
+        self.key = key
+        self.before = before
+        self.cancelled = False
+
+
+class VersionStore:
+    """In-memory index over the WAL's undo images, keyed by relation.
+
+    The store is volatile by design — it only has to cover the window a
+    live snapshot can see, which never spans a restart.  Entries are
+    cancelled (not removed) when a rollback undoes their operations —
+    mirroring the CLR chain — and reclaimed once no live or future
+    snapshot could need them.
+    """
+
+    def __init__(self, stats=None):
+        self.stats = stats
+        self._by_relation: Dict[int, List[_Version]] = {}
+        self._by_txn: Dict[int, List[_Version]] = {}
+
+    def note(self, lsn: int, txn_id: int, relation_id: int,
+             transitions) -> None:
+        """Record ``(key, before_image)`` transitions for one operation."""
+        relation_entries = self._by_relation.setdefault(relation_id, [])
+        txn_entries = self._by_txn.setdefault(txn_id, [])
+        count = 0
+        for key, before in transitions:
+            entry = _Version(lsn, txn_id, key, before)
+            relation_entries.append(entry)
+            txn_entries.append(entry)
+            count += 1
+        if count and self.stats is not None:
+            self.stats.bump("mvcc.versions_noted", count)
+
+    def cancel(self, txn_id: int, above_lsn: int) -> int:
+        """Cancel the transaction's transitions with LSN > ``above_lsn``.
+
+        A partial rollback to a savepoint (or a total rollback with
+        ``above_lsn=0``) physically restores the before-images, so the
+        cancelled transitions never happened as far as any snapshot is
+        concerned.  Returns how many transitions were cancelled.
+        """
+        cancelled = 0
+        for entry in self._by_txn.get(txn_id, ()):
+            if entry.lsn > above_lsn and not entry.cancelled:
+                entry.cancelled = True
+                cancelled += 1
+        return cancelled
+
+    def patch(self, snapshot: Snapshot, relation_id: int,
+              commit_lsns: Dict[int, int]) -> dict:
+        """The rewind patch for one relation under ``snapshot``.
+
+        Returns ``{record_key: snapshot_image}`` where the image is the
+        record as the snapshot must see it, or :data:`ABSENT` when the
+        snapshot must not see the key at all.  Keys absent from the patch
+        are read as-is from current storage.
+
+        Walks the relation's transitions newest-first.  Per key, the
+        invisible transitions always form a suffix of the key's history
+        (writers serialize on record X locks, so a key's writers commit
+        in LSN order); the walk keeps overwriting a key's patch with
+        ever-older before-images until it meets a visible transition,
+        which finalises the key.
+        """
+        patch: dict = {}
+        final = set()
+        lsn_bound = snapshot.lsn
+        for entry in reversed(self._by_relation.get(relation_id, ())):
+            if entry.cancelled:
+                continue
+            key = entry.key
+            if key in final:
+                continue
+            commit_lsn = commit_lsns.get(entry.txn_id)
+            if commit_lsn is not None and commit_lsn <= lsn_bound:
+                # Visible: this transition's after-state is what the
+                # snapshot sees.  If newer invisible transitions put a
+                # before-image in the patch, that image *is* this
+                # after-state — keep it; either way the key is decided.
+                final.add(key)
+                continue
+            patch[key] = entry.before
+        return patch
+
+    def reclaim(self, commit_lsns: Dict[int, int], active_txn_ids,
+                min_snapshot_lsn: Optional[int]) -> int:
+        """Drop entries no live (or future) snapshot could need.
+
+        An entry survives if its writer is still active (a future
+        snapshot will carry it in its active set and need the undo
+        image), or committed above the oldest live snapshot's LSN.
+        Cancelled entries and entries of settled transactions below the
+        horizon are reclaimed.  Returns how many entries were dropped.
+        """
+        active = set(active_txn_ids)
+
+        def needed(entry: _Version) -> bool:
+            if entry.cancelled:
+                return False
+            if entry.txn_id in active:
+                return True
+            commit_lsn = commit_lsns.get(entry.txn_id)
+            if commit_lsn is None:
+                return False  # aborted: transitions already cancelled
+            return (min_snapshot_lsn is not None
+                    and commit_lsn > min_snapshot_lsn)
+
+        dropped = 0
+        for relation_id in list(self._by_relation):
+            entries = self._by_relation[relation_id]
+            kept = [e for e in entries if needed(e)]
+            dropped += len(entries) - len(kept)
+            if kept:
+                self._by_relation[relation_id] = kept
+            else:
+                del self._by_relation[relation_id]
+        for txn_id in list(self._by_txn):
+            kept = [e for e in self._by_txn[txn_id] if needed(e)]
+            if kept:
+                self._by_txn[txn_id] = kept
+            else:
+                del self._by_txn[txn_id]
+        if dropped and self.stats is not None:
+            self.stats.bump("mvcc.versions_reclaimed", dropped)
+        return dropped
+
+    def clear(self) -> None:
+        """Forget everything (restart: undo images are volatile)."""
+        self._by_relation.clear()
+        self._by_txn.clear()
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_relation.values())
 
 
 class TxnState(enum.Enum):
@@ -56,6 +246,10 @@ class Transaction:
     def __init__(self, txn_id: int):
         self.txn_id = txn_id
         self.state = TxnState.ACTIVE
+        #: Set for read-only (snapshot-isolated) transactions: the
+        #: consistent read point every read resolves against.  Writers
+        #: (the lock-based serializable mode) leave it ``None``.
+        self.snapshot: Optional[Snapshot] = None
         self.savepoints: Dict[str, int] = {}     # name -> SAVEPOINT record LSN
         self._savepoint_order: list = []
         #: Per-transaction modification-operation sequence.  The dispatch
@@ -67,6 +261,11 @@ class Transaction:
     @property
     def active(self) -> bool:
         return self.state is TxnState.ACTIVE
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this is a snapshot (multi-version read) transaction."""
+        return self.snapshot is not None
 
     @property
     def settled(self) -> bool:
@@ -106,18 +305,48 @@ class TransactionManager:
         #: N > 0 enqueues commits and auto-flushes once N are pending.
         self.group_commit_limit = 0
         self._group_queue: list = []  # pending COMMIT record LSNs
+        # -- multi-version read support --------------------------------
+        #: Undo-image index the scan boundary patches reads with.
+        self.versions = VersionStore(stats)
+        #: txn_id -> COMMIT record LSN, stamped when COMMIT is appended.
+        self._commit_lsns: Dict[int, int] = {}
+        self._snapshots: Dict[int, Snapshot] = {}
+        self._next_snapshot_id = 1
 
     # -- lifecycle -------------------------------------------------------------
-    def begin(self) -> Transaction:
+    def begin(self, snapshot: bool = False) -> Transaction:
+        """Start a transaction.
+
+        With ``snapshot=True`` the transaction is read-only under snapshot
+        isolation: it gets a consistent read point (the current end of
+        log + the set of then-active writers), resolves every read
+        against it at the scan boundary, and never takes locks or writes
+        log records — so it neither blocks nor is blocked by writers.
+        """
         txn = Transaction(self._next_id)
         self._next_id += 1
         self._active[txn.txn_id] = txn
-        self.wal.append(txn.txn_id, wal_records.BEGIN)
+        if snapshot:
+            active_writers = frozenset(
+                t.txn_id for t in self._active.values()
+                if t.snapshot is None and t.txn_id != txn.txn_id)
+            snap = Snapshot(self._next_snapshot_id, self.wal.current_lsn,
+                            active_writers, txn.txn_id)
+            self._next_snapshot_id += 1
+            self._snapshots[snap.snapshot_id] = snap
+            txn.snapshot = snap
+            if self.stats is not None:
+                self.stats.bump("txn.snapshots_begun")
+        else:
+            self.wal.append(txn.txn_id, wal_records.BEGIN)
         return txn
 
     def commit(self, txn: Transaction) -> None:
         """Commit; a veto from a deferred action aborts instead."""
         txn.check_active()
+        if txn.snapshot is not None:
+            self._finish_read_only(txn, TxnState.COMMITTED)
+            return
         try:
             # Deferred integrity constraints run here and may veto.
             self.events.fire(txn.txn_id, ev.BEFORE_PREPARE)
@@ -126,6 +355,13 @@ class TransactionManager:
             raise
         txn.state = TxnState.PREPARED
         record = self.wal.append(txn.txn_id, wal_records.COMMIT)
+        # Visibility is decided by the COMMIT record's LSN: a snapshot
+        # taken at LSN S sees exactly the writers whose COMMIT appended
+        # at or below S.  Stamping here (before the flush) means commits
+        # deferred by group commit are already visible to new snapshots —
+        # visibility and durability are deliberately decoupled, exactly
+        # the group-commit window documented above.
+        self._commit_lsns[txn.txn_id] = record.lsn
         # Commit is durable once the log is stable through the COMMIT
         # record.  At-commit deferred actions externalize state (deferred
         # storage release), so their transactions always force solo.
@@ -149,8 +385,17 @@ class TransactionManager:
         if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
             raise TransactionError(
                 f"transaction {txn.txn_id} already {txn.state.value}")
+        if txn.snapshot is not None:
+            self._finish_read_only(txn, TxnState.ABORTED)
+            return
+        # A commit that failed between the COMMIT append and the flush is
+        # being resolved here: withdraw its visibility stamp first.
+        self._commit_lsns.pop(txn.txn_id, None)
         self.wal.append(txn.txn_id, wal_records.ABORT)
         self.recovery.rollback(txn.txn_id, to_lsn=0)
+        # The rollback restored every before-image, so the transaction's
+        # transitions never happened as far as any snapshot is concerned.
+        self.versions.cancel(txn.txn_id, above_lsn=0)
         self.wal.append(txn.txn_id, wal_records.END)
         # Force the log through the END record: without this, a crash
         # right after a "completed" abort loses the CLR/ABORT/END chain
@@ -165,6 +410,76 @@ class TransactionManager:
             txn.state = TxnState.ABORTED
             self.events.fire(txn.txn_id, ev.AT_END)
             self._active.pop(txn.txn_id, None)
+
+    def _finish_read_only(self, txn: Transaction, state: TxnState) -> None:
+        """End a snapshot transaction: no log records, no flush.
+
+        A snapshot transaction holds no locks and wrote nothing, so
+        commit and abort are the same cheap operation — release the read
+        point, close its scans, and reclaim versions nothing needs.
+        """
+        self.events.discard(txn.txn_id)
+        try:
+            self.events.fire(txn.txn_id, ev.AT_END)  # scan service closes scans
+        finally:
+            snap = txn.snapshot
+            self._snapshots.pop(snap.snapshot_id, None)
+            txn.state = state
+            self._active.pop(txn.txn_id, None)
+            self._reclaim_versions()
+            if self.stats is not None:
+                self.stats.bump("txn.read_only_finished")
+
+    # -- multi-version reads ----------------------------------------------------------
+    def snapshot_patch(self, snapshot: Snapshot, relation_id: int) -> dict:
+        """The rewind patch one relation needs under ``snapshot``
+        (see :meth:`VersionStore.patch`)."""
+        snapshot.check_valid()
+        return self.versions.patch(snapshot, relation_id, self._commit_lsns)
+
+    def note_versions(self, txn: Transaction, relation_id: int,
+                      transitions) -> None:
+        """Record a writer's ``(key, before_image)`` transitions.
+
+        Called by the dispatch layer right after the storage method
+        applied (and logged) one operation; the current end of log tags
+        the transitions so savepoint rollbacks cancel exactly the ones
+        above the savepoint LSN.
+        """
+        self.versions.note(self.wal.current_lsn, txn.txn_id, relation_id,
+                           transitions)
+
+    def commit_lsn(self, txn_id: int) -> Optional[int]:
+        """The COMMIT record LSN stamped for ``txn_id`` (None if not
+        committed or already pruned)."""
+        return self._commit_lsns.get(txn_id)
+
+    def oldest_snapshot_lsn(self) -> Optional[int]:
+        if not self._snapshots:
+            return None
+        return min(s.lsn for s in self._snapshots.values())
+
+    def live_snapshots(self) -> tuple:
+        return tuple(self._snapshots.values())
+
+    def _reclaim_versions(self) -> None:
+        self.versions.reclaim(self._commit_lsns, self._active.keys(),
+                              self.oldest_snapshot_lsn())
+        # Prune commit stamps nothing references any more: a stamp is
+        # only consulted for transitions still in the store.
+        live = self.versions._by_txn
+        for txn_id in [t for t in self._commit_lsns
+                       if t not in live and t not in self._active]:
+            del self._commit_lsns[txn_id]
+
+    def invalidate_snapshots(self) -> None:
+        """Restart boundary: undo images are volatile, so no snapshot
+        taken before the crash can serve reads afterwards."""
+        for snap in self._snapshots.values():
+            snap.invalidated = True
+        self._snapshots.clear()
+        self.versions.clear()
+        self._commit_lsns.clear()
 
     # -- group commit -----------------------------------------------------------------
     def commit_group(self) -> int:
@@ -194,6 +509,10 @@ class TransactionManager:
     def savepoint(self, txn: Transaction, name: str) -> int:
         """Establish a rollback point; returns its LSN."""
         txn.check_active()
+        if txn.snapshot is not None:
+            raise ReadOnlyTransactionError(
+                f"transaction {txn.txn_id} is a snapshot reader; savepoints "
+                f"only apply to transactions that modify data")
         if name in txn.savepoints:
             raise TransactionError(f"savepoint {name!r} already exists")
         record = self.wal.append(txn.txn_id, wal_records.SAVEPOINT,
@@ -216,6 +535,9 @@ class TransactionManager:
         if name not in txn.savepoints:
             raise TransactionError(f"no savepoint named {name!r}")
         undone = self.recovery.rollback(txn.txn_id, to_lsn=txn.savepoints[name])
+        # The partial rollback restored before-images above the savepoint:
+        # cancel exactly those transitions in the version store.
+        self.versions.cancel(txn.txn_id, above_lsn=txn.savepoints[name])
         self.events.fire(txn.txn_id, ev.SAVEPOINT_ROLLBACK, name=name)
         # Cancel savepoints nested inside the one we rolled back to.
         while txn._savepoint_order and txn._savepoint_order[-1] != name:

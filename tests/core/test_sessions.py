@@ -1,0 +1,215 @@
+"""Sessions: admission control, per-session transactions, the shared
+plan cache, per-session statistics, and lifecycle safety."""
+
+import pytest
+
+from repro import AdmissionError, Database, SessionError
+from repro.errors import TransactionError
+
+
+def make_db(**kwargs):
+    db = Database(**kwargs)
+    db.create_table("emp", [("id", "INT", False), ("name", "STRING"),
+                            ("salary", "FLOAT")])
+    db.create_index("emp_id", "emp", ["id"], unique=True)
+    db.table("emp").insert_many([
+        (1, "alice", 120000.0), (2, "bob", 95000.0), (3, "carol", 130000.0)])
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+def test_admission_bounds_session_pool():
+    db = make_db(max_sessions=2)
+    s1 = db.connect()
+    s2 = db.connect()
+    with pytest.raises(AdmissionError) as info:
+        db.connect()
+    assert "2" in str(info.value)
+    assert db.services.stats.get("sessions.rejected") == 1
+    # Closing a session frees its admission slot.
+    s1.close()
+    s3 = db.connect()
+    assert not s3.closed
+    assert db.services.stats.get("sessions.connected") == 3
+    s2.close()
+    s3.close()
+
+
+def test_session_ids_are_distinct_and_listed():
+    db = make_db()
+    sessions = [db.connect() for _ in range(5)]
+    ids = {s.session_id for s in sessions}
+    assert len(ids) == 5
+    assert set(db.sessions()) == set(sessions)
+    for s in sessions:
+        s.close()
+    assert db.sessions() == ()
+
+
+# ---------------------------------------------------------------------------
+# Per-session transactions
+# ---------------------------------------------------------------------------
+
+def test_sessions_have_independent_transactions():
+    db = make_db()
+    s1, s2 = db.connect(), db.connect()
+    t1 = s1.begin()
+    t2 = s2.begin()
+    assert t1.txn_id != t2.txn_id
+    assert s1.in_transaction and s2.in_transaction
+    s1.commit()
+    assert not s1.in_transaction
+    assert s2.in_transaction          # s1's commit did not touch s2
+    s2.rollback()
+
+
+def test_double_begin_rejected():
+    db = make_db()
+    with db.connect() as session:
+        session.begin()
+        with pytest.raises(TransactionError):
+            session.begin()
+        session.rollback()
+
+
+def test_session_relation_operations_and_transaction_scope():
+    db = make_db()
+    with db.connect() as session:
+        emp = session.table("emp")
+        key = emp.insert((4, "dave", 70000.0))
+        assert emp.fetch(key)[1] == "dave"
+        session.begin()
+        emp.update_where("id = 4", {"salary": 75000.0})
+        session.rollback()                      # per-session rollback
+        assert emp.rows(where="id = 4")[0][2] == 70000.0
+
+
+def test_session_transaction_contextmanager_commits():
+    db = make_db()
+    with db.connect() as session:
+        with session.transaction():
+            session.table("emp").update_where("id = 1", {"salary": 1.0})
+        assert session.table("emp").rows(where="id = 1")[0][2] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Shared plan cache
+# ---------------------------------------------------------------------------
+
+def test_plan_cache_shared_across_sessions():
+    db = make_db()
+    stats = db.services.stats
+    s1, s2 = db.connect(), db.connect()
+    statement = "SELECT name FROM emp WHERE salary > 100000.0"
+    expected = sorted(s1.execute(statement))
+    before = stats.snapshot()
+    assert sorted(s2.execute(statement)) == expected
+    delta = stats.delta(before)
+    assert delta.get("plan_cache.hits", 0) >= 1
+    assert "plan_cache.translations" not in delta
+    s1.close()
+    s2.close()
+
+
+def test_plan_cache_retranslates_on_descriptor_version_change():
+    db = make_db()
+    stats = db.services.stats
+    s1 = db.connect()
+    statement = "SELECT id FROM emp WHERE id = 2"
+    assert s1.execute(statement) == [(2,)]
+    # Another caller's DDL bumps the descriptor version out from under
+    # the cached plan; the next execution must notice and re-translate.
+    db.catalog.handle("emp").descriptor.version += 1
+    before = stats.snapshot()
+    assert s1.execute(statement) == [(2,)]
+    delta = stats.delta(before)
+    assert delta.get("plan_cache.version_mismatches", 0) >= 1
+    assert delta.get("plan_cache.retranslations", 0) >= 1
+    s1.close()
+
+
+# ---------------------------------------------------------------------------
+# Per-session statistics
+# ---------------------------------------------------------------------------
+
+def test_per_session_counters_reconcile_with_engine_totals():
+    db = make_db()
+    stats = db.services.stats
+    s1, s2 = db.connect(), db.connect()
+    before = stats.get("locks.acquire_calls")
+    s1.table("emp").rows()
+    s1.table("emp").rows()
+    s2.table("emp").rows()
+    engine_delta = stats.get("locks.acquire_calls") - before
+    per_session = (stats.session_get(s1.session_id, "locks.acquire_calls")
+                   + stats.session_get(s2.session_id, "locks.acquire_calls"))
+    assert engine_delta == per_session > 0
+    assert stats.session_get(s1.session_id, "locks.acquire_calls") \
+        == 2 * stats.session_get(s2.session_id, "locks.acquire_calls")
+    s1.close()
+    s2.close()
+
+
+def test_session_counters_dropped_on_demand():
+    db = make_db()
+    stats = db.services.stats
+    with db.connect() as session:
+        session.table("emp").rows()
+        sid = session.session_id
+        assert stats.session_snapshot(sid)
+    stats.drop_session(sid)
+    assert stats.session_snapshot(sid) == {}
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+def test_closed_session_rejects_all_work():
+    db = make_db()
+    session = db.connect()
+    session.close()
+    for call in (session.begin, lambda: session.table("emp"),
+                 lambda: session.execute("SELECT id FROM emp")):
+        with pytest.raises(SessionError):
+            call()
+
+
+def test_session_close_is_idempotent_and_aborts_open_txn():
+    db = make_db()
+    session = db.connect()
+    session.begin()
+    session.table("emp").update_where("id = 1", {"salary": 0.0})
+    session.close()
+    session.close()                    # second close is a no-op
+    assert db.services.stats.get("sessions.closed") == 1
+    assert db.table("emp").rows(where="id = 1")[0][2] == 120000.0
+
+
+def test_database_close_drains_open_sessions_idempotently():
+    db = make_db(group_commit=8)
+    s1, s2 = db.connect(), db.connect()
+    s1.begin()
+    s1.table("emp").update_where("id = 1", {"salary": 0.0})
+    with s2.transaction():
+        s2.table("emp").update_where("id = 2", {"salary": 1.0})
+    assert db.services.transactions.pending_group_commits() > 0
+    db.close()
+    assert s1.closed and s2.closed
+    assert db.sessions() == ()
+    # Pending group commits were forced exactly once; nothing is left.
+    assert db.services.transactions.pending_group_commits() == 0
+    db.close()                         # closing a closed database is safe
+
+
+def test_restart_invalidates_session_transactions():
+    db = make_db()
+    session = db.connect()
+    session.begin()
+    db.restart()
+    assert not session.in_transaction   # in-flight txn did not survive
+    assert session.table("emp").count("id >= 1") == 3   # session itself did
+    session.close()

@@ -124,3 +124,105 @@ def test_intent_locks_allow_fine_grained_sharing():
     locks.acquire(2, ("rec", 7, "k2"), LockMode.X)
     with pytest.raises(LockConflictError):
         locks.acquire(2, ("rec", 7, "k1"), LockMode.X)
+
+
+# ---------------------------------------------------------------------------
+# Deadlock detection: cycles, victims, and wait-edge hygiene
+# ---------------------------------------------------------------------------
+
+def test_two_txn_cycle_is_normalized_with_deterministic_victim():
+    locks = LockManager()
+    locks.acquire(1, "a", LockMode.X)
+    locks.acquire(2, "b", LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "b", LockMode.X)
+    with pytest.raises(DeadlockError) as info:
+        locks.acquire(2, "a", LockMode.X)
+    # Canonical cycle: smallest txn first, no duplicated endpoint; the
+    # victim is the youngest (largest id) participant.
+    assert list(info.value.cycle) == [1, 2]
+    assert info.value.victim == 2
+
+
+def test_three_txn_cycle_reports_full_rotation():
+    locks = LockManager()
+    for txn, resource in ((5, "a"), (3, "b"), (9, "c")):
+        locks.acquire(txn, resource, LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(5, "b", LockMode.X)      # 5 -> 3
+    with pytest.raises(LockConflictError):
+        locks.acquire(3, "c", LockMode.X)      # 3 -> 9
+    with pytest.raises(DeadlockError) as info:
+        locks.acquire(9, "a", LockMode.X)      # 9 -> 5 closes the loop
+    assert list(info.value.cycle) == [3, 9, 5]       # min rotated to the front
+    assert info.value.victim == 9
+
+
+def test_upgrade_deadlock_between_two_sharers():
+    """The classic self-upgrade deadlock: two S holders each want X.
+    Neither can proceed (each waits for the other's S), so the second
+    upgrade attempt must be diagnosed as a deadlock, not a plain
+    conflict the caller would retry forever."""
+    locks = LockManager()
+    locks.acquire(1, "r", LockMode.S)
+    locks.acquire(2, "r", LockMode.S)
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "r", LockMode.X)      # 1 waits for 2's S
+    with pytest.raises(DeadlockError) as info:
+        locks.acquire(2, "r", LockMode.X)      # 2 waits for 1's S: cycle
+    assert list(info.value.cycle) == [1, 2]
+    assert info.value.victim == 2
+
+
+def test_self_upgrade_alone_never_deadlocks():
+    """A transaction never waits for itself: upgrading S to X with no
+    other holders is granted immediately."""
+    locks = LockManager()
+    locks.acquire(1, "r", LockMode.S)
+    assert locks.acquire(1, "r", LockMode.X) is LockMode.X
+    assert locks.waits_for() == {}
+
+
+def test_cancel_wait_withdraws_the_edge():
+    locks = LockManager()
+    locks.acquire(1, "a", LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(2, "a", LockMode.X)
+    assert 2 in locks.waits_for()
+    locks.cancel_wait(2)                       # caller gave up the request
+    assert locks.waits_for() == {}
+    # With the edge gone, 1 can take 2's resources without a false cycle.
+    locks.acquire(2, "b", LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "b", LockMode.X)
+
+
+def test_new_wait_replaces_stale_edge_no_phantom_deadlock():
+    """A transaction waits for one request at a time.  A conflict edge
+    left over from an abandoned request must not combine with the
+    current one to manufacture a cycle that does not exist."""
+    locks = LockManager()
+    locks.acquire(1, "a", LockMode.X)
+    locks.acquire(2, "b", LockMode.X)
+    locks.acquire(3, "c", LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "b", LockMode.X)      # stale: 1 -> 2
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "c", LockMode.X)      # replaces it: 1 -> 3
+    # If the stale 1 -> 2 edge survived, this would "close" 2 -> 1 -> 2.
+    with pytest.raises(LockConflictError):
+        locks.acquire(2, "a", LockMode.X)
+    assert locks.waits_for() == {1: frozenset({3}), 2: frozenset({1})}
+
+
+def test_deadlock_counter_and_wait_cleanup():
+    locks = LockManager()
+    locks.acquire(1, "a", LockMode.X)
+    locks.acquire(2, "b", LockMode.X)
+    with pytest.raises(LockConflictError):
+        locks.acquire(1, "b", LockMode.X)
+    with pytest.raises(DeadlockError):
+        locks.acquire(2, "a", LockMode.X)
+    # The loser's wait edge was cancelled when the deadlock was raised:
+    # the graph holds only the survivor's genuine wait.
+    assert locks.waits_for() == {1: frozenset({2})}
