@@ -575,10 +575,22 @@ class DataManager:
             item = self._apply_read(record, fields, predicate)
             return None if item is None else (key, item)
 
+        batch_transform = None
+        if fields is None and predicate is not None \
+                and hasattr(predicate, "match_indexes"):
+            # Full-record reads filter the whole patched batch through
+            # the predicate's vector kernels — the same set-at-a-time
+            # filtering a quiesced storage scan gets from pushdown.
+            def batch_transform(pairs):
+                records = [record for __, record in pairs]
+                return [(pairs[i][0], tuple(records[i]))
+                        for i in predicate.match_indexes(records)]
+
         wrapped = SnapshotScan(
             base,
             patch_fn=lambda: self._relation_patch(handle, snapshot),
-            transform=transform, stats=ctx.stats)
+            transform=transform, stats=ctx.stats,
+            batch_transform=batch_transform)
         ctx.services.scans.register(wrapped)
         return wrapped
 

@@ -1,0 +1,534 @@
+"""Pluggable kernel backends for the columnar operator IR.
+
+The IR (:mod:`.ir`) describes *what* column-level work a plan performs;
+a backend decides *how* each vector primitive runs.  The contract is
+deliberately narrow — lists of Python values in, lists of Python values
+out, ``None`` meaning SQL NULL throughout — so a backend can be swapped
+behind the same compiled program with zero planner changes and
+bit-identical results.
+
+Two backends ship:
+
+* :class:`PythonBackend` — the default.  Per-row work stays inside
+  C-implemented primitives (comprehension bytecode, ``zip``, ``sorted``,
+  ``dict``), exactly like the PR-5 kernel library.
+* :class:`NumpyBackend` — optional (``pip install repro[numpy]``).  It
+  packs homogeneous columns into ``ndarray`` storage per call and runs
+  comparisons, float arithmetic, stable sorts, and the hash-join
+  bucketize step through NumPy, falling back to the Python primitive
+  whenever a column does not pack or the operation's SQL semantics
+  (NULL propagation, exact int arithmetic, division errors) cannot be
+  reproduced exactly.  Results are bit-identical by construction: every
+  value crossing the boundary round-trips through ``ndarray.tolist()``,
+  aggregate folds reuse the shared sequential-order kernels, and any
+  case NumPy would answer differently (int overflow, division by zero,
+  mixed-type columns) is delegated to the Python primitive instead.
+
+Backend selection: ``Database(kernel_backend=...)`` accepts ``"python"``,
+``"numpy"``, a backend instance, or ``None`` for auto-detection (NumPy
+when importable, unless ``REPRO_DISABLE_NUMPY`` is set — the CI leg that
+proves the pure-Python fallback sets it).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PredicateError
+
+__all__ = ["KernelBackend", "PythonBackend", "NumpyBackend",
+           "numpy_available", "resolve"]
+
+#: Environment switch: pretend NumPy is absent (CI fallback leg, tests).
+_DISABLE_ENV = "REPRO_DISABLE_NUMPY"
+
+
+def numpy_available() -> bool:
+    """Whether the NumPy backend can be used in this process."""
+    if os.environ.get(_DISABLE_ENV):
+        return False
+    try:
+        import numpy  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def resolve(spec=None) -> "KernelBackend":
+    """Resolve a ``Database(kernel_backend=...)`` argument to a backend.
+
+    ``None`` auto-detects (NumPy when available), strings name a backend,
+    and instances pass through unchanged.
+    """
+    if spec is None:
+        return NumpyBackend() if numpy_available() else PythonBackend()
+    if isinstance(spec, KernelBackend):
+        return spec
+    if isinstance(spec, str):
+        name = spec.lower()
+        if name == "python":
+            return PythonBackend()
+        if name == "numpy":
+            if not numpy_available():
+                raise PredicateError(
+                    "kernel_backend='numpy' requested but NumPy is not "
+                    "importable (install repro[numpy])")
+            return NumpyBackend()
+        raise PredicateError(f"unknown kernel backend {spec!r}")
+    raise PredicateError(f"cannot resolve kernel backend from {spec!r}")
+
+
+class KernelBackend:
+    """The vector-primitive protocol the IR programs against.
+
+    Every method takes and returns plain Python sequences; ``None``
+    elements are SQL NULL.  Truth vectors hold ``True``/``False``/``None``
+    (three-valued logic).  Selection vectors are sorted lists of row
+    ordinals.
+    """
+
+    name = "abstract"
+
+    # -- scalar expression primitives ----------------------------------
+    def arith(self, op: str, left, right) -> list:
+        raise NotImplementedError
+
+    def neg(self, values) -> list:
+        raise NotImplementedError
+
+    def compare(self, op: str, left, right) -> list:
+        raise NotImplementedError
+
+    def logical_not(self, values) -> list:
+        raise NotImplementedError
+
+    def logical_and(self, vectors: Sequence[list]) -> list:
+        raise NotImplementedError
+
+    def logical_or(self, vectors: Sequence[list]) -> list:
+        raise NotImplementedError
+
+    def is_null(self, values, negated: bool) -> list:
+        raise NotImplementedError
+
+    def between(self, values, lo, hi) -> list:
+        raise NotImplementedError
+
+    def in_list(self, values, members: set, has_null: bool) -> list:
+        raise NotImplementedError
+
+    def like(self, values, regex) -> list:
+        raise NotImplementedError
+
+    def apply(self, name: str, fn, arg_vectors: Sequence[list]) -> list:
+        raise NotImplementedError
+
+    # -- selection / materialisation -----------------------------------
+    def select_true(self, values) -> List[int]:
+        raise NotImplementedError
+
+    def gather(self, values, selection: Sequence[int]) -> list:
+        raise NotImplementedError
+
+    # -- join / group primitives ---------------------------------------
+    def hash_build(self, keys) -> Dict[object, List[int]]:
+        raise NotImplementedError
+
+    def hash_probe(self, table: Dict[object, List[int]], keys
+                   ) -> Tuple[List[int], List[int]]:
+        raise NotImplementedError
+
+    def merge_pairs(self, left_keys, right_keys
+                    ) -> Tuple[List[int], List[int]]:
+        raise NotImplementedError
+
+    def group_runs(self, keys) -> Tuple[List[int], List[int]]:
+        raise NotImplementedError
+
+
+def _broadcast(value, n: int) -> list:
+    return [value] * n
+
+
+class PythonBackend(KernelBackend):
+    """Pure-Python vector primitives (the default backend).
+
+    Each method is one Python-level dispatch per batch; the per-row work
+    runs inside C-implemented primitives.  This is the reference
+    implementation every other backend must match bit-for-bit.
+    """
+
+    name = "python"
+
+    # -- scalar expression primitives ----------------------------------
+    def arith(self, op: str, left, right) -> list:
+        try:
+            if op == "+":
+                return [None if a is None or b is None else a + b
+                        for a, b in zip(left, right)]
+            if op == "-":
+                return [None if a is None or b is None else a - b
+                        for a, b in zip(left, right)]
+            if op == "*":
+                return [None if a is None or b is None else a * b
+                        for a, b in zip(left, right)]
+            if op == "/":
+                return [None if a is None or b is None else a / b
+                        for a, b in zip(left, right)]
+            if op == "%":
+                return [None if a is None or b is None else a % b
+                        for a, b in zip(left, right)]
+        except (TypeError, ZeroDivisionError) as exc:
+            raise PredicateError(f"cannot evaluate vector {op}: {exc}") \
+                from exc
+        raise PredicateError(f"unknown arithmetic operator {op!r}")
+
+    def neg(self, values) -> list:
+        try:
+            return [None if v is None else -v for v in values]
+        except TypeError as exc:
+            raise PredicateError(f"cannot negate: {exc}") from exc
+
+    def compare(self, op: str, left, right) -> list:
+        try:
+            if op == "=":
+                return [None if a is None or b is None else a == b
+                        for a, b in zip(left, right)]
+            if op == "!=":
+                return [None if a is None or b is None else a != b
+                        for a, b in zip(left, right)]
+            if op == "<":
+                return [None if a is None or b is None else a < b
+                        for a, b in zip(left, right)]
+            if op == "<=":
+                return [None if a is None or b is None else a <= b
+                        for a, b in zip(left, right)]
+            if op == ">":
+                return [None if a is None or b is None else a > b
+                        for a, b in zip(left, right)]
+            if op == ">=":
+                return [None if a is None or b is None else a >= b
+                        for a, b in zip(left, right)]
+        except TypeError as exc:
+            raise PredicateError(f"cannot compare vector {op}: {exc}") \
+                from exc
+        raise PredicateError(f"unknown comparison operator {op!r}")
+
+    def logical_not(self, values) -> list:
+        return [None if v is None else not v for v in values]
+
+    def logical_and(self, vectors: Sequence[list]) -> list:
+        # SQL three-valued AND: False dominates, then unknown.
+        out = list(vectors[0])
+        for vector in vectors[1:]:
+            out = [False if a is False or b is False
+                   else (None if a is None or b is None else True)
+                   for a, b in zip(out, vector)]
+        return out
+
+    def logical_or(self, vectors: Sequence[list]) -> list:
+        out = list(vectors[0])
+        for vector in vectors[1:]:
+            out = [True if a is True or b is True
+                   else (None if a is None or b is None else False)
+                   for a, b in zip(out, vector)]
+        return out
+
+    def is_null(self, values, negated: bool) -> list:
+        if negated:
+            return [v is not None for v in values]
+        return [v is None for v in values]
+
+    def between(self, values, lo, hi) -> list:
+        try:
+            return [None if v is None or a is None or b is None
+                    else a <= v <= b
+                    for v, a, b in zip(values, lo, hi)]
+        except TypeError as exc:
+            raise PredicateError(f"cannot range-compare: {exc}") from exc
+
+    def in_list(self, values, members: set, has_null: bool) -> list:
+        if has_null:
+            # ``x IN (..., NULL)``: a match is True, a miss is unknown.
+            return [None if v is None else (True if v in members else None)
+                    for v in values]
+        return [None if v is None else v in members for v in values]
+
+    def like(self, values, regex) -> list:
+        out = []
+        match = regex.match
+        for v in values:
+            if v is None:
+                out.append(None)
+            elif not isinstance(v, str):
+                raise PredicateError(f"LIKE needs a string, got {v!r}")
+            else:
+                out.append(match(v) is not None)
+        return out
+
+    def apply(self, name: str, fn, arg_vectors: Sequence[list]) -> list:
+        out = []
+        for args in zip(*arg_vectors):
+            if any(a is None for a in args):
+                out.append(None)
+                continue
+            try:
+                out.append(fn(*args))
+            except PredicateError:
+                raise
+            except Exception as exc:
+                raise PredicateError(
+                    f"function {name}({list(args)!r}) failed: {exc}") \
+                    from exc
+        return out
+
+    # -- selection / materialisation -----------------------------------
+    def select_true(self, values) -> List[int]:
+        return [i for i, v in enumerate(values) if v is True]
+
+    def gather(self, values, selection: Sequence[int]) -> list:
+        return [values[i] for i in selection]
+
+    # -- join / group primitives ---------------------------------------
+    def hash_build(self, keys) -> Dict[object, List[int]]:
+        """Key → build-side ordinals (insertion order); NULL keys never
+        join, so they are left out of the table."""
+        table: Dict[object, List[int]] = {}
+        setdefault = table.setdefault
+        for ordinal, key in enumerate(keys):
+            if key is not None:
+                setdefault(key, []).append(ordinal)
+        return table
+
+    def hash_probe(self, table: Dict[object, List[int]], keys
+                   ) -> Tuple[List[int], List[int]]:
+        """Parallel (probe ordinal, build ordinal) match lists, probe-major
+        with build matches in insertion order."""
+        probe_out: List[int] = []
+        build_out: List[int] = []
+        get = table.get
+        for ordinal, key in enumerate(keys):
+            if key is None:
+                continue
+            bucket = get(key)
+            if bucket:
+                probe_out.extend([ordinal] * len(bucket))
+                build_out.extend(bucket)
+        return probe_out, build_out
+
+    def merge_pairs(self, left_keys, right_keys
+                    ) -> Tuple[List[int], List[int]]:
+        """Equi-join two key vectors that already arrive sorted ascending:
+        detect runs of equal keys on each side and emit the cross product
+        of matching runs, left-major."""
+        left_out: List[int] = []
+        right_out: List[int] = []
+        i = j = 0
+        nl, nr = len(left_keys), len(right_keys)
+        while i < nl and j < nr:
+            lk = left_keys[i]
+            if lk is None:
+                i += 1
+                continue
+            rk = right_keys[j]
+            if rk is None:
+                j += 1
+                continue
+            if lk < rk:
+                i += 1
+            elif rk < lk:
+                j += 1
+            else:
+                i_end = i + 1
+                while i_end < nl and left_keys[i_end] == lk:
+                    i_end += 1
+                j_end = j + 1
+                while j_end < nr and right_keys[j_end] == rk:
+                    j_end += 1
+                span = j_end - j
+                for li in range(i, i_end):
+                    left_out.extend([li] * span)
+                    right_out.extend(range(j, j_end))
+                i, j = i_end, j_end
+        return left_out, right_out
+
+    def group_runs(self, keys) -> Tuple[List[int], List[int]]:
+        """Sort-based grouping: a stable order over the key vector plus
+        the start offset of each run of equal keys.
+
+        The sort key is ``repr`` so mixed-type and NULL keys order
+        deterministically; stability preserves arrival order within each
+        group, which keeps float folds bit-identical to the row path.
+        """
+        n = len(keys)
+        reprs = list(map(repr, keys))
+        order = sorted(range(n), key=reprs.__getitem__)
+        ordered = [keys[i] for i in order]
+        starts = [0] if n else []
+        starts.extend(i for i in range(1, n)
+                      if ordered[i] != ordered[i - 1])
+        return order, starts
+
+
+class NumpyBackend(PythonBackend):
+    """NumPy-accelerated primitives behind the same IR.
+
+    Falls back to the Python primitive per call whenever a column does
+    not pack into a homogeneous ``ndarray`` or NumPy's semantics would
+    diverge from SQL's (int overflow wraps, ``/0`` yields ``inf``), so
+    swapping this backend in can change only the speed of an answer.
+    """
+
+    name = "numpy"
+
+    def __init__(self):
+        import numpy
+        self._np = numpy
+
+    # -- packing -------------------------------------------------------
+    def _pack(self, values, numeric_only: bool = False):
+        """``values`` as a homogeneous ndarray, or ``None``.
+
+        Only exact-typed columns pack: all-int (int64 range), all-float,
+        or — unless ``numeric_only`` — all-str.  Mixed int/float columns
+        are refused because packing would turn exact int arithmetic into
+        float arithmetic and break bit-identity with the row path.
+        """
+        np = self._np
+        if isinstance(values, np.ndarray):
+            return values
+        if not values:
+            return None
+        first_type = type(values[0])
+        if first_type is int:
+            if any(type(v) is not int for v in values):
+                return None
+            try:
+                return np.asarray(values, dtype=np.int64)
+            except OverflowError:
+                return None
+        if first_type is float:
+            if any(type(v) is not float for v in values):
+                return None
+            return np.asarray(values, dtype=np.float64)
+        if first_type is str and not numeric_only:
+            if any(type(v) is not str for v in values):
+                return None
+            return np.asarray(values)
+        return None
+
+    # -- scalar expression primitives ----------------------------------
+    def arith(self, op: str, left, right) -> list:
+        np = self._np
+        lhs = self._pack(left, numeric_only=True)
+        rhs = self._pack(right, numeric_only=True) if lhs is not None \
+            else None
+        # Exact-int arithmetic must stay in Python (int64 overflow wraps
+        # silently); float results are IEEE-754 either way.
+        if lhs is None or rhs is None \
+                or (lhs.dtype.kind != "f" and rhs.dtype.kind != "f"):
+            return super().arith(op, left, right)
+        if op == "+":
+            return (lhs + rhs).tolist()
+        if op == "-":
+            return (lhs - rhs).tolist()
+        if op == "*":
+            return (lhs * rhs).tolist()
+        if op in ("/", "%"):
+            if bool((rhs == 0).any()):
+                # The row path raises through ZeroDivisionError; NumPy
+                # would answer inf/nan.  Delegate for identical errors.
+                return super().arith(op, left, right)
+            divided = lhs / rhs if op == "/" else np.mod(lhs, rhs)
+            return divided.tolist()
+        return super().arith(op, left, right)
+
+    def compare(self, op: str, left, right) -> list:
+        lhs = self._pack(left)
+        rhs = self._pack(right) if lhs is not None else None
+        # Mixed kinds fall back: int64 vs float64 comparison would route
+        # through lossy float conversion (Python compares exactly).
+        if lhs is None or rhs is None or lhs.dtype.kind != rhs.dtype.kind:
+            return super().compare(op, left, right)
+        if op == "=":
+            return (lhs == rhs).tolist()
+        if op == "!=":
+            return (lhs != rhs).tolist()
+        if op == "<":
+            return (lhs < rhs).tolist()
+        if op == "<=":
+            return (lhs <= rhs).tolist()
+        if op == ">":
+            return (lhs > rhs).tolist()
+        if op == ">=":
+            return (lhs >= rhs).tolist()
+        return super().compare(op, left, right)
+
+    # -- selection / materialisation -----------------------------------
+    def select_true(self, values) -> List[int]:
+        np = self._np
+        if values and all(type(v) is bool for v in values):
+            return np.nonzero(np.asarray(values, dtype=bool))[0].tolist()
+        return super().select_true(values)
+
+    def gather(self, values, selection: Sequence[int]) -> list:
+        packed = self._pack(values)
+        if packed is None or not selection:
+            return super().gather(values, selection)
+        np = self._np
+        return packed[np.asarray(selection, dtype=np.intp)].tolist()
+
+    # -- join / group primitives ---------------------------------------
+    def hash_probe(self, table: Dict[object, List[int]], keys
+                   ) -> Tuple[List[int], List[int]]:
+        """Sort + bucketize (TQP-style): binary-search each probe key in
+        the sorted build-key vector and expand the hit ranges to pairs —
+        four NumPy calls replace the per-row dict probes."""
+        np = self._np
+        probe = self._pack(keys)
+        if probe is None or not table:
+            return super().hash_probe(table, keys)
+        build_keys = list(table.keys())
+        packed_build = self._pack(build_keys)
+        if packed_build is None \
+                or packed_build.dtype.kind != probe.dtype.kind:
+            return super().hash_probe(table, keys)
+        order = np.argsort(packed_build, kind="stable")
+        sorted_build = packed_build[order]
+        lo = np.searchsorted(sorted_build, probe, side="left")
+        hi = np.searchsorted(sorted_build, probe, side="right")
+        counts = hi - lo
+        if not int(counts.sum()):
+            return [], []
+        probe_idx = np.repeat(np.arange(len(keys)), counts)
+        # Offsets of each match inside its probe row's [lo, hi) range.
+        total = int(counts.sum())
+        step = np.arange(total) - np.repeat(
+            np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+        bucket_pos = np.repeat(lo, counts) + step
+        bucket_keys = order[bucket_pos]
+        # Expand each matched *distinct key* to its build ordinals, in
+        # insertion order (the table's buckets), probe-major.
+        probe_out: List[int] = []
+        build_out: List[int] = []
+        for p, b in zip(probe_idx.tolist(), bucket_keys.tolist()):
+            bucket = table[build_keys[b]]
+            probe_out.extend([p] * len(bucket))
+            build_out.extend(bucket)
+        return probe_out, build_out
+
+    def group_runs(self, keys) -> Tuple[List[int], List[int]]:
+        np = self._np
+        packed = self._pack(keys)
+        if packed is None:
+            return super().group_runs(keys)
+        order = np.argsort(packed, kind="stable")
+        ordered = packed[order]
+        if len(ordered):
+            starts = [0]
+            starts.extend(
+                (np.nonzero(ordered[1:] != ordered[:-1])[0] + 1).tolist())
+        else:
+            starts = []
+        return order.tolist(), starts

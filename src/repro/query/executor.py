@@ -20,15 +20,16 @@ execution.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from itertools import islice
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.records import RecordView
 from ..errors import QueryError
-from ..services.predicate import Col
-from . import kernels
-from .columnar import ColumnBatch
+from . import ir
 from .cost import EligiblePredicate
+from .ir import KernelFallback as _ColumnarFallback
+from .ir import OrderKey as _OrderKey
 from .planner import JoinStep, SelectPlan, TableAccess
 
 __all__ = ["Executor"]
@@ -39,46 +40,6 @@ _EMPTY_VIEW = RecordView({})
 #: LIMIT that stops early never paid for a deep scan.
 _BATCH_MIN = 32
 _BATCH_MAX = 512
-
-#: Aggregates the columnar fold kernel implements.
-_VECTOR_AGGREGATES = frozenset({"count", "sum", "min", "max", "avg"})
-
-
-class _ColumnarFallback(Exception):
-    """Internal: a columnar kernel failed; rerun the plan row-at-a-time.
-
-    Raised only for errors inside the columnar machinery itself — scan
-    and dispatch errors pass through untouched, so a storage fault fails
-    identically on both paths.
-    """
-
-
-class _OrderKey:
-    """Sort key honouring per-column ASC/DESC for one ORDER BY spec.
-
-    ``heapq.nsmallest`` compares decorated ``(key, index, row)`` tuples,
-    and tuple comparison probes ``==`` before ``<`` — both must be
-    defined.  Ties fall through to the decoration index, which keeps the
-    top-k selection stable, like the full sort it replaces.
-    """
-
-    __slots__ = ("row", "order_by")
-
-    def __init__(self, row, order_by):
-        self.row = row
-        self.order_by = order_by
-
-    def __lt__(self, other):
-        for index, ascending in self.order_by:
-            mine, theirs = self.row[index], other.row[index]
-            if mine == theirs:
-                continue
-            return (mine < theirs) if ascending else (theirs < mine)
-        return False
-
-    def __eq__(self, other):
-        return all(self.row[index] == other.row[index]
-                   for index, __ in self.order_by)
 
 
 class Executor:
@@ -95,6 +56,10 @@ class Executor:
         #: statistics attachment is installed — without one the executor
         #: has no row count to consult.
         self.columnar_min_rows = 32
+        #: Cap (distinct inner keys) on the join-index right-record memo;
+        #: least-recently-used entries are evicted past this, bounding a
+        #: large join's memory by a constant instead of the inner table.
+        self.join_memo_capacity = 1024
 
     # ------------------------------------------------------------------
     # SELECT
@@ -105,11 +70,20 @@ class Executor:
         fast = self._aggregate_fast_path(ctx, plan)
         if fast is not None:
             return fast
-        shape = self._columnar_shape(plan)
-        if shape is not None and self.columnar_enabled \
+        program = (self._columnar_program(plan)
+                   if self.columnar_enabled else None)
+        if program is not None and program.join is not None \
+                and program.prefer_row_join and ctx.txn.snapshot is None:
+            # The keyed join route (index nested-loop / join index)
+            # undercuts a scan-both-sides hash join here.  Snapshot
+            # readers still vectorize: their row path downgrades index
+            # routes anyway, so the keyed advantage disappears.
+            ctx.stats.bump("executor.columnar.ir.row_path_selected")
+            program = None
+        if program is not None and self.columnar_enabled \
                 and self._columnar_worthwhile(ctx, plan):
             try:
-                return self._run_columnar(ctx, plan, params, shape)
+                return self._run_columnar(ctx, plan, params, program)
             except _ColumnarFallback:
                 # Kernel failure degrades to the row pipeline — the
                 # columnar path costs performance, never answers.
@@ -135,7 +109,7 @@ class Executor:
         if plan.where is not None and plan.join is not None:
             cross = plan.where_cache.get(plan.where, plan.combined_schema,
                                          params, ctx.stats)
-            rows = (row for row in rows if cross.matches(row))
+            rows = self._cross_filter_rows(ctx, rows, cross)
         if any(aggregate for __, __, aggregate in plan.items):
             return self._aggregate(ctx, plan, list(rows), params)
         if plan.order_by and plan.needs_sort:
@@ -176,52 +150,34 @@ class Executor:
                                    for expr, __, __ in plan.items))
         return projected
 
+    @staticmethod
+    def _cross_filter_rows(ctx, rows, cross) -> Iterator[Tuple]:
+        """Residual cross-table filter, tuple-at-a-time (one row op per
+        row examined — flushed when the pipeline closes)."""
+        examined = 0
+        try:
+            for row in rows:
+                examined += 1
+                if cross.matches(row):
+                    yield row
+        finally:
+            if examined:
+                ctx.stats.bump("executor.row_ops", examined)
+
     # ------------------------------------------------------------------
     # Columnar path
     # ------------------------------------------------------------------
-    def _columnar_shape(self, plan: SelectPlan) -> Optional[dict]:
-        """The plan's vectorizable shape, or ``None`` (cached per plan)."""
-        shape = plan.columnar
-        if shape is None:
-            shape = self._analyse_columnar(plan) or False
-            plan.columnar = shape
-        return shape or None
-
     @staticmethod
-    def _analyse_columnar(plan: SelectPlan) -> Optional[dict]:
-        """Vectorizability check: scan→filter→project and
-        scan→filter→aggregate/GROUP BY and ORDER BY(+LIMIT) shapes where
-        every output item is a plain column or a supported aggregate of
-        one.  Joins and computed expressions stay on the row path.
-        (The filter itself needs no check here: it is pushed into the
-        scan, which vectorizes what it can via ``match_indexes``.)"""
-        if plan.join is not None:
-            return None
-        if any(aggregate for __, __, aggregate in plan.items):
-            specs = []
-            for expr, __, aggregate in plan.items:
-                if aggregate is None:
-                    # Plain item inside an aggregate query: first row's
-                    # value (the grouping column in GROUP BY queries).
-                    if not isinstance(expr, Col) or expr.index is None:
-                        return None
-                    specs.append(("first", expr.index))
-                elif aggregate == "count" and expr is None:
-                    specs.append(("count_star", -1))
-                elif aggregate in _VECTOR_AGGREGATES \
-                        and isinstance(expr, Col) and expr.index is not None:
-                    specs.append((aggregate, expr.index))
-                else:
-                    return None
-            return {"mode": "aggregate", "aggregates": specs}
-        if plan.star:
-            return {"mode": "plain", "indexes": None}
-        indexes = []
-        for expr, __, __agg in plan.items:
-            if not isinstance(expr, Col) or expr.index is None:
-                return None
-            indexes.append(expr.index)
-        return {"mode": "plain", "indexes": indexes}
+    def _columnar_program(plan: SelectPlan) -> Optional[ir.Program]:
+        """The plan's compiled columnar program, or ``None`` (cached on
+        the bound plan; the plan cache's descriptor-version revalidation
+        discards the whole plan — and with it this program — whenever a
+        referenced relation changes shape)."""
+        program = plan.columnar
+        if program is None:
+            program = ir.lower_select(plan) or False
+            plan.columnar = program
+        return program or None
 
     def _columnar_worthwhile(self, ctx, plan: SelectPlan) -> bool:
         """Path selection from precomputed statistics: tiny relations
@@ -239,151 +195,41 @@ class Executor:
         return False
 
     def _run_columnar(self, ctx, plan: SelectPlan, params: dict,
-                      shape: dict) -> List[Tuple]:
-        ctx.stats.bump("executor.columnar.plans")
+                      program: ir.Program) -> List[Tuple]:
+        ctx.stats.bump_many({"executor.columnar.plans": 1,
+                             "executor.columnar.ir.programs": 1})
         left_handle = plan.handles[plan.alias]
-        if getattr(plan, "covering", False) and ctx.txn.snapshot is None:
-            batches = self._covering_batches(ctx, left_handle, plan, params)
+        if getattr(plan, "covering", False) and ctx.txn.snapshot is None \
+                and plan.join is None:
+            left_batches = self._covering_batches(ctx, left_handle, plan,
+                                                  params)
         else:
-            batches = ([record for __, record in batch] for batch in
-                       self._access_key_batches(ctx, left_handle,
-                                                plan.access, params,
-                                                plan.limit))
-        faults = getattr(ctx.services, "faults", None)
+            left_batches = (
+                [record for __, record in batch] for batch in
+                self._access_key_batches(
+                    ctx, left_handle, plan.access, params,
+                    plan.limit if plan.join is None else None))
+        right_batches = None
+        if plan.join is not None:
+            right_handle = next(handle for alias, handle
+                                in plan.handles.items()
+                                if alias != plan.alias)
+            right_batches = (
+                [record for __, record in batch] for batch in
+                self._access_key_batches(ctx, right_handle,
+                                         plan.join.right_access, params,
+                                         None))
+        rt = ir.Runtime(ctx.stats, getattr(ctx.services, "faults", None),
+                        params, self.database.kernel_backend,
+                        plan.combined_schema.fields, left_batches,
+                        right_batches)
         try:
-            if shape["mode"] == "aggregate":
-                return self._columnar_aggregate(ctx, plan, shape, batches,
-                                                faults)
-            return self._columnar_plain(ctx, plan, shape, batches, faults)
+            return program.run(rt)
         finally:
-            close = getattr(batches, "close", None)
-            if close is not None:
-                close()
-
-    def _columnar_plain(self, ctx, plan: SelectPlan, shape: dict,
-                        batches, faults) -> List[Tuple]:
-        stats = ctx.stats
-        order_by, limit = plan.order_by, plan.limit
-        sorting = bool(order_by) and plan.needs_sort
-        topk = sorting and limit is not None
-        top: list = []       # bounded top-k candidates (decorated)
-        collected: list = []
-        position = 0         # global row ordinal — the stable tiebreak
-        for batch_rows in batches:
-            try:
-                if faults is not None and faults.armed:
-                    faults.fire("columnar.kernel")
-                stats.bump_many({"executor.columnar.batches": 1,
-                                 "executor.columnar.rows": len(batch_rows),
-                                 "executor.columnar.kernel_calls": 1})
-                if topk:
-                    # Bounded top-k: merge the batch into the running
-                    # k-best; ties resolve by arrival order, exactly as
-                    # the row path's stable ``nsmallest`` over the
-                    # whole stream.
-                    decorated = [(_OrderKey(row, order_by), position + i,
-                                  row) for i, row in enumerate(batch_rows)]
-                    position += len(batch_rows)
-                    top = heapq.nsmallest(limit, top + decorated)
-                else:
-                    collected.extend(batch_rows)
-            except Exception as exc:
-                raise _ColumnarFallback from exc
-            if not sorting and limit is not None \
-                    and len(collected) >= limit:
-                break  # stop pulling batches, like the row path's islice
-        try:
-            if topk:
-                materialised = [row for __, __, row in top]
-                stats.bump("executor.topk")
-            elif sorting:
-                materialised = collected
-                for index, ascending in reversed(order_by):
-                    materialised.sort(key=lambda row: row[index],
-                                      reverse=not ascending)
-                stats.bump("executor.sorts")
-            else:
-                materialised = collected
-                if limit is not None:
-                    stats.bump("executor.limit_short_circuits")
-            if limit is not None:
-                materialised = materialised[:limit]
-            if plan.star:
-                return materialised
-            stats.bump("executor.columnar.kernel_calls")
-            return kernels.project_rows(materialised, shape["indexes"])
-        except Exception as exc:
-            raise _ColumnarFallback from exc
-
-    def _columnar_aggregate(self, ctx, plan: SelectPlan, shape: dict,
-                            batches, faults) -> List[Tuple]:
-        stats = ctx.stats
-        specs = shape["aggregates"]
-        group_index = plan.group_index
-        groups: Dict[object, list] = {}
-        value_lists: List[list] = [[] for __ in specs]
-        row_count = 0
-        first_row = None
-        for batch_rows in batches:
-            try:
-                if faults is not None and faults.armed:
-                    faults.fire("columnar.kernel")
-                stats.bump_many({"executor.columnar.batches": 1,
-                                 "executor.columnar.rows": len(batch_rows)})
-                batch = ColumnBatch.from_rows(batch_rows,
-                                              plan.combined_schema.fields)
-                if group_index is not None:
-                    # Hash group-by: partition the batch on the grouping
-                    # column in one pass.
-                    for value, row in zip(batch.column(group_index),
-                                          batch_rows):
-                        groups.setdefault(value, []).append(row)
-                    stats.bump("executor.columnar.kernel_calls")
-                    continue
-                row_count += len(batch_rows)
-                if first_row is None and batch_rows:
-                    first_row = batch_rows[0]
-                for slot, (kind, index) in enumerate(specs):
-                    if kind in ("count_star", "first"):
-                        continue
-                    value_lists[slot].extend(
-                        kernels.collect_nonnull(batch, index))
-                    stats.bump("executor.columnar.kernel_calls")
-            except Exception as exc:
-                raise _ColumnarFallback from exc
-        try:
-            if group_index is None:
-                return [self._finish_fold(specs, value_lists, row_count,
-                                          first_row)]
-            out = []
-            for value in sorted(groups, key=repr):
-                rows_g = groups[value]
-                per_group = [
-                    None if kind in ("count_star", "first") else
-                    [row[index] for row in rows_g if row[index] is not None]
-                    for kind, index in specs]
-                out.append(self._finish_fold(specs, per_group, len(rows_g),
-                                             rows_g[0]))
-            if groups:
-                stats.bump("executor.columnar.kernel_calls", len(groups))
-            return out
-        except Exception as exc:
-            raise _ColumnarFallback from exc
-
-    @staticmethod
-    def _finish_fold(specs, value_lists, row_count: int,
-                     first_row: Optional[Tuple]) -> Tuple:
-        result = []
-        for slot, (kind, index) in enumerate(specs):
-            if kind == "first":
-                result.append(first_row[index] if first_row is not None
-                              else None)
-            elif kind == "count_star":
-                result.append(row_count)
-            else:
-                result.append(kernels.fold_aggregate(
-                    kind, value_lists[slot], row_count))
-        return tuple(result)
+            for source in (left_batches, right_batches):
+                close = getattr(source, "close", None)
+                if close is not None:
+                    close()
 
     # ------------------------------------------------------------------
     # Access routes
@@ -651,18 +497,27 @@ class Executor:
         ctx.stats.bump("executor.join_index_joins")
         # Many pairs share one inner record (foreign-key joins); memoise
         # right-side fetches for the duration of the operation (the locks
-        # taken by the first fetch protect the cached copy).
-        right_cache: Dict[object, Optional[Tuple]] = {}
+        # taken by the first fetch protect the cached copy).  The memo is
+        # LRU-bounded: past ``join_memo_capacity`` distinct keys the
+        # coldest entries are dropped and refetched on the next touch,
+        # so a huge inner relation costs repeat fetches, not memory.
+        capacity = self.join_memo_capacity
+        right_cache: "OrderedDict[object, Optional[Tuple]]" = OrderedDict()
         pairs = iter(attachment.pairs(instance))
         while True:
             chunk = list(islice(pairs, _BATCH_MAX))
             if not chunk:
                 return
+            ctx.stats.bump("executor.row_ops", len(chunk))
             left_keys = list(dict.fromkeys(lk for lk, __ in chunk))
             left_found = dict(self._fetch_many(
                 ctx, left_handle, left_method, left_keys, left_predicate))
-            right_keys = list(dict.fromkeys(
-                rk for __, rk in chunk if rk not in right_cache))
+            right_keys = []
+            for __, right_key in chunk:
+                if right_key in right_cache:
+                    right_cache.move_to_end(right_key)
+                elif right_key not in right_keys:
+                    right_keys.append(right_key)
             if right_keys:
                 right_found = dict(self._fetch_many(
                     ctx, right_handle, right_method, right_keys,
@@ -677,6 +532,14 @@ class Executor:
                 if right_record is None:
                     continue
                 yield tuple(left_record) + tuple(right_record)
+            # Trim after the chunk is emitted — every key the chunk
+            # needed is still present while it is being joined.
+            if capacity and len(right_cache) > capacity:
+                evicted = 0
+                while len(right_cache) > capacity:
+                    right_cache.popitem(last=False)
+                    evicted += 1
+                ctx.stats.bump("executor.join_memo_evictions", evicted)
 
     def _join_index_nl(self, ctx, plan, join, left_handle, right_handle,
                        params):
@@ -691,22 +554,29 @@ class Executor:
         # record keys a block of outer rows at a time: one fetch_many
         # call covers every inner record the block needs.
         block: List[Tuple[Tuple, List]] = []
-        for __, left_record in self._access_rows(ctx, left_handle,
-                                                 plan.access, params):
-            value = left_record[join.left_index]
-            if value is None:
-                continue
-            right_keys = list(probe(ctx, value))
-            if right_keys:
-                block.append((left_record, right_keys))
-            if len(block) >= _BATCH_MIN:
+        probe_ops = 0  # one op per outer-row index probe
+        try:
+            for __, left_record in self._access_rows(ctx, left_handle,
+                                                     plan.access, params):
+                value = left_record[join.left_index]
+                if value is None:
+                    continue
+                probe_ops += 1
+                right_keys = list(probe(ctx, value))
+                if right_keys:
+                    block.append((left_record, right_keys))
+                if len(block) >= _BATCH_MIN:
+                    yield from self._emit_index_nl(ctx, right_handle,
+                                                   right_method,
+                                                   right_predicate, block)
+                    block = []
+            if block:
                 yield from self._emit_index_nl(ctx, right_handle,
                                                right_method,
                                                right_predicate, block)
-                block = []
-        if block:
-            yield from self._emit_index_nl(ctx, right_handle, right_method,
-                                           right_predicate, block)
+        finally:
+            if probe_ops:
+                ctx.stats.bump("executor.row_ops", probe_ops)
 
     def _emit_index_nl(self, ctx, right_handle, right_method,
                        right_predicate, block):
@@ -751,14 +621,20 @@ class Executor:
         right_rows = [record for __, record in
                       self._access_rows(ctx, right_handle, join.right_access,
                                         params)]
-        for __, left_record in self._access_rows(ctx, left_handle,
-                                                 plan.access, params):
-            value = left_record[join.left_index]
-            if value is None:
-                continue
-            for right_record in right_rows:
-                if right_record[join.right_index] == value:
-                    yield tuple(left_record) + tuple(right_record)
+        inner_ops = 0  # one op per inner comparison — flushed at close
+        try:
+            for __, left_record in self._access_rows(ctx, left_handle,
+                                                     plan.access, params):
+                value = left_record[join.left_index]
+                if value is None:
+                    continue
+                inner_ops += len(right_rows)
+                for right_record in right_rows:
+                    if right_record[join.right_index] == value:
+                        yield tuple(left_record) + tuple(right_record)
+        finally:
+            if inner_ops:
+                ctx.stats.bump("executor.row_ops", inner_ops)
 
     # ------------------------------------------------------------------
     # Aggregation

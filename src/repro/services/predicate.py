@@ -906,7 +906,18 @@ class Predicate:
             self._kernel_box[0] = kernel
         if kernel is not None and _kernels.vector_filter_enabled():
             batch = _kernels.ColumnBatch.from_rows(records, self.schema)
-            selection = kernel.select(batch, self.params, None)
+            try:
+                selection = kernel.select(batch, self.params, None)
+            except PredicateError:
+                # Vector kernels evaluate whole sub-expressions; the row
+                # evaluator's short-circuiting (OR with an early True)
+                # may never reach the part that errored.  Re-run this
+                # batch row-at-a-time so errors surface — or not —
+                # exactly as they always did.
+                if stats is not None:
+                    stats.bump_many({"predicate.row_evals": len(records)})
+                return [i for i, record in enumerate(records)
+                        if self.matches(record)]
             if stats is not None:
                 stats.bump_many({"predicate.vector_selects": 1,
                                  "predicate.vector_rows": len(records)})

@@ -131,11 +131,18 @@ class SnapshotScan(Scan):
     order.
     """
 
-    def __init__(self, base: Scan, patch_fn, transform=None, stats=None):
+    def __init__(self, base: Scan, patch_fn, transform=None, stats=None,
+                 batch_transform=None):
         super().__init__(base.txn_id)
         self.base = base
         self._patch_fn = patch_fn
         self._transform = transform
+        # Set-at-a-time variant: receives the whole patched batch of
+        # ``(key, record)`` pairs and returns the surviving items.  When
+        # present it replaces per-record ``transform`` calls, so snapshot
+        # readers run the same vectorized filter kernels as quiesced
+        # scans.
+        self._batch_transform = batch_transform
         self._stats = stats
         self._seen: set = set()
         self._base_exhausted = False
@@ -161,6 +168,7 @@ class SnapshotScan(Scan):
                 self._prepare_resurrection()
                 break
             patch = self._patch_fn()
+            candidates = []
             for key, record in batch:
                 self._seen.add(key)
                 if key in patch:
@@ -170,14 +178,13 @@ class SnapshotScan(Scan):
                     if image is ABSENT:
                         continue  # born after the snapshot: invisible
                     record = image
-                item = self._apply(key, record)
-                if item is not None:
-                    out.append(item)
+                candidates.append((key, record))
+            out.extend(self._apply_batch(candidates))
         while len(out) < n and self._resurrect:
-            key, record = self._resurrect.pop(0)
-            item = self._apply(key, record)
-            if item is not None:
-                out.append(item)
+            take = min(n - len(out), len(self._resurrect))
+            chunk = self._resurrect[:take]
+            del self._resurrect[:take]
+            out.extend(self._apply_batch(chunk))
         return out
 
     def save_position(self) -> ScanPosition:
@@ -196,6 +203,16 @@ class SnapshotScan(Scan):
         if self._transform is not None:
             return self._transform(key, record)
         return (key, record)
+
+    def _apply_batch(self, pairs: list) -> list:
+        if self._batch_transform is not None:
+            return self._batch_transform(pairs)
+        out = []
+        for key, record in pairs:
+            item = self._apply(key, record)
+            if item is not None:
+                out.append(item)
+        return out
 
     def _prepare_resurrection(self) -> None:
         pending = [(key, image) for key, image in self._patch_fn().items()

@@ -102,10 +102,14 @@ def test_columnar_path_actually_taken(cdb):
     assert stats.get("predicate.vector_selects") >= 1
 
 
-def test_computed_projection_stays_on_row_path(cdb):
+def test_computed_projection_vectorizes(cdb):
+    """Computed projections compile through the expression compiler and
+    run columnar (they stayed on the row path before the operator IR)."""
     stats = cdb.services.stats
-    cdb.execute("SELECT salary / 1000 FROM emp WHERE id < 10")
-    assert stats.get("executor.columnar.plans") == 0
+    columnar, row = both_paths(cdb, "SELECT salary / 1000 FROM emp "
+                                    "WHERE id < 10")
+    assert columnar == row
+    assert stats.get("executor.columnar.plans") >= 1
 
 
 def test_scan_counters_identical_between_paths(cdb):

@@ -1,0 +1,260 @@
+"""Columnar operator IR: joins, grouped aggregates, compiled scalar
+expressions, backend parity, snapshot reads, and program caching.
+
+Extends the row ↔ columnar equivalence matrix of
+``test_columnar_equivalence.py`` to the shapes the operator IR added:
+equi-joins (duplicate and NULL keys), grouped aggregates over joins,
+computed projections with NULL-propagating expression kernels, and the
+pure-Python versus NumPy kernel backends — every comparison is ``==``
+on ordered result lists, i.e. bit-identical, not equal-as-sets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.query import backends, ir, kernels
+
+pytestmark = []
+
+BACKENDS = ["python"]
+if backends.numpy_available():
+    BACKENDS.append("numpy")
+
+
+def _seed(db):
+    dept = db.create_table("dept", [("dno", "INT", False),
+                                    ("dname", "STRING"),
+                                    ("budget", "FLOAT")])
+    emp = db.create_table("emp", [("eid", "INT", False), ("dno", "INT"),
+                                  ("name", "STRING"), ("sal", "FLOAT")])
+    dept.insert_many([(i, f"d{i}", float(i * 1000)) for i in range(12)])
+    rows = []
+    for i in range(300):
+        # i % 13 == 0 → NULL join key; dno 12/13 → no dept match;
+        # several employees share each dno → duplicate keys both sides
+        # of the key space.
+        dno = None if i % 13 == 0 else (i * 5) % 14
+        sal = None if i % 11 == 0 else 1000.0 + (i * 37 % 250) + i / 8.0
+        name = None if i % 17 == 0 else f"e{i:03d}"
+        rows.append((i, dno, name, sal))
+    emp.insert_many(rows)
+    return db
+
+
+@pytest.fixture(params=BACKENDS)
+def jdb(request):
+    return _seed(Database(page_size=1024, buffer_capacity=256,
+                          kernel_backend=request.param))
+
+
+def both_paths(db, statement, params=None):
+    executor = db.query_engine.executor
+    executor.columnar_enabled = True
+    columnar = db.execute(statement, params)
+    executor.columnar_enabled = False
+    with kernels.vector_filtering(False):
+        row = db.execute(statement, params)
+    executor.columnar_enabled = True
+    return columnar, row
+
+
+JOIN_QUERIES = [
+    "SELECT * FROM emp JOIN dept ON emp.dno = dept.dno",
+    "SELECT emp.eid, dept.dname FROM emp JOIN dept ON emp.dno = dept.dno",
+    "SELECT dept.dname, emp.eid FROM dept JOIN emp ON dept.dno = emp.dno",
+    "SELECT emp.eid, emp.sal * 2 FROM emp JOIN dept "
+    "ON emp.dno = dept.dno WHERE emp.sal > 1100.0",
+    "SELECT emp.eid FROM emp JOIN dept ON emp.dno = dept.dno "
+    "WHERE emp.sal + dept.budget > 6000.0",
+    "SELECT COUNT(*), SUM(emp.sal), AVG(dept.budget) FROM emp "
+    "JOIN dept ON emp.dno = dept.dno",
+    "SELECT dept.dname, COUNT(*), SUM(emp.sal) FROM emp JOIN dept "
+    "ON emp.dno = dept.dno GROUP BY dname",
+    "SELECT dept.dname, AVG(emp.sal), MIN(emp.eid) FROM emp JOIN dept "
+    "ON emp.dno = dept.dno WHERE emp.name IS NOT NULL GROUP BY dname",
+    "SELECT emp.eid, dept.budget FROM emp JOIN dept ON emp.dno = dept.dno "
+    "ORDER BY dept.budget DESC, emp.eid LIMIT 9",
+]
+
+
+@pytest.mark.parametrize("statement", JOIN_QUERIES)
+def test_join_equivalence(jdb, statement):
+    columnar, row = both_paths(jdb, statement)
+    assert columnar == row
+    assert jdb.services.stats.get("executor.columnar.ir.join.hash") \
+        + jdb.services.stats.get("executor.columnar.ir.join.merge") >= 1
+
+
+EXPRESSION_QUERIES = [
+    # NULL-propagating arithmetic and comparisons over nullable columns
+    "SELECT sal + 1, sal * 2 - eid FROM emp",
+    "SELECT -sal, eid % 7 FROM emp WHERE eid > 10",
+    "SELECT lower(name), length(name) FROM emp",
+    "SELECT abs(eid - 150) FROM emp WHERE sal IS NOT NULL",
+    "SELECT eid FROM emp WHERE sal + dno > 1100.0",
+    "SELECT eid FROM emp WHERE eid + 1 BETWEEN dno AND 250",
+    "SELECT eid, sal IS NULL FROM emp",
+    "SELECT SUM(sal / 2), AVG(sal + 0.5), COUNT(sal * 2) FROM emp",
+    "SELECT dno, SUM(sal / 2), COUNT(*) FROM emp GROUP BY dno",
+]
+
+
+@pytest.mark.parametrize("statement", EXPRESSION_QUERIES)
+def test_compiled_expression_equivalence(jdb, statement):
+    columnar, row = both_paths(jdb, statement)
+    assert columnar == row
+
+
+def test_expression_queries_actually_vectorize(jdb):
+    stats = jdb.services.stats
+    before = stats.get("executor.columnar.plans")
+    jdb.execute("SELECT sal * 2 + 1 FROM emp WHERE eid % 3 = 1")
+    assert stats.get("executor.columnar.plans") == before + 1
+
+
+@pytest.mark.skipif(len(BACKENDS) < 2, reason="NumPy not available")
+@pytest.mark.parametrize("statement", JOIN_QUERIES + EXPRESSION_QUERIES)
+def test_python_numpy_backend_parity(statement):
+    py = _seed(Database(page_size=1024, buffer_capacity=256,
+                        kernel_backend="python"))
+    np_db = _seed(Database(page_size=1024, buffer_capacity=256,
+                           kernel_backend="numpy"))
+    assert py.execute(statement) == np_db.execute(statement)
+
+
+def test_disable_env_forces_python_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+    assert not backends.numpy_available()
+    assert backends.resolve(None).name == "python"
+    db = _seed(Database(page_size=1024, buffer_capacity=256))
+    assert db.kernel_backend.name == "python"
+    columnar, row = both_paths(
+        db, "SELECT emp.eid, dept.dname FROM emp JOIN dept "
+            "ON emp.dno = dept.dno")
+    assert columnar == row
+
+
+# ---------------------------------------------------------------------------
+# Sort-merge join over ordered inputs
+# ---------------------------------------------------------------------------
+
+def test_merge_join_on_ordered_storage():
+    db = Database(page_size=1024, buffer_capacity=256,
+                  kernel_backend="python")
+    db.create_table("a", [("k", "INT", False), ("av", "STRING")],
+                    storage_method="btree_file", attributes={"key": ["k"]})
+    db.create_table("b", [("k", "INT", False), ("bv", "FLOAT")],
+                    storage_method="btree_file", attributes={"key": ["k"]})
+    db.table("a").insert_many([(i, f"a{i}") for i in range(120)])
+    db.table("b").insert_many([(i * 2, float(i)) for i in range(90)])
+    statement = "SELECT a.k, b.bv FROM a JOIN b ON a.k = b.k"
+    columnar, row = both_paths(db, statement)
+    assert sorted(columnar) == sorted(row)
+    assert db.services.stats.get("executor.columnar.ir.join.merge") >= 1
+
+
+# ---------------------------------------------------------------------------
+# Snapshot readers run columnar, bit-identically
+# ---------------------------------------------------------------------------
+
+SNAPSHOT_QUERIES = [
+    "SELECT eid, sal FROM emp WHERE sal > 1100.0",
+    "SELECT dno, COUNT(*), SUM(sal) FROM emp GROUP BY dno",
+    "SELECT emp.eid, dept.dname FROM emp JOIN dept ON emp.dno = dept.dno",
+]
+
+
+@pytest.mark.parametrize("statement", SNAPSHOT_QUERIES)
+def test_snapshot_read_is_columnar_and_bit_identical(statement):
+    db = _seed(Database(page_size=1024, buffer_capacity=256))
+    quiesced = db.execute(statement)  # current state, nobody writing
+    reader, writer = db.connect(), db.connect()
+    reader.begin(snapshot=True)
+    with writer.transaction():
+        writer.table("emp").update_where("eid % 2 = 0", {"sal": 1.0})
+        writer.table("emp").delete_where("eid % 5 = 1")
+    stats = db.services.stats
+    before = stats.get("executor.columnar.plans")
+    under_snapshot = reader.execute(statement)
+    # The snapshot reader went down the columnar path and computed,
+    # over patched batches, exactly the quiesced values (deleted rows
+    # come back via resurrection, which appends them in key order — so
+    # row *order* may differ from the quiesced scan, the content is
+    # bit-identical).
+    assert stats.get("executor.columnar.plans") == before + 1
+    assert sorted(under_snapshot, key=repr) == sorted(quiesced, key=repr)
+    # The two executor paths agree exactly under the same snapshot
+    # (identical row order included).
+    db.query_engine.executor.columnar_enabled = False
+    try:
+        with kernels.vector_filtering(False):
+            assert reader.execute(statement) == under_snapshot
+    finally:
+        db.query_engine.executor.columnar_enabled = True
+    reader.commit()
+    assert db.execute(statement) != quiesced  # the writes are real
+
+
+# ---------------------------------------------------------------------------
+# Join-index memo: LRU bound
+# ---------------------------------------------------------------------------
+
+def test_join_index_memo_lru_bound():
+    db = _seed(Database(page_size=1024, buffer_capacity=256))
+    db.create_attachment("emp", "join_index", "emp_dept_ji",
+                         {"other": "dept", "column": "dno",
+                          "other_column": "dno"})
+    statement = ("SELECT emp.eid, dept.dname FROM emp JOIN dept "
+                 "ON emp.dno = dept.dno")
+    executor = db.query_engine.executor
+    executor.columnar_enabled = False
+
+    def run_join_index():
+        with db.autocommit() as ctx:
+            from repro.query.parser import parse_statement
+            from repro.query.planner import plan_select
+            plan = plan_select(ctx, parse_statement(statement), statement)
+            plan.join.method = "join_index"
+            plan.join.join_index_instance = "emp_dept_ji"
+            return executor.run_select(ctx, plan, None)
+
+    unbounded = run_join_index()
+    assert db.services.stats.get("executor.join_memo_evictions") == 0
+    executor.join_memo_capacity = 4  # far below the 12 distinct depts
+    bounded = run_join_index()
+    assert bounded == unbounded
+    assert db.services.stats.get("executor.join_memo_evictions") > 0
+
+
+# ---------------------------------------------------------------------------
+# Program caching and invalidation
+# ---------------------------------------------------------------------------
+
+def test_program_compiled_once_and_invalidated_by_ddl(monkeypatch):
+    db = _seed(Database(page_size=1024, buffer_capacity=256))
+    statement = "SELECT eid, sal * 2 FROM emp WHERE dno = 3"
+    compiles = []
+    original = ir.lower_select
+    monkeypatch.setattr(ir, "lower_select",
+                        lambda plan: (compiles.append(1), original(plan))[1])
+    first = db.execute(statement)
+    assert db.execute(statement) == first
+    assert len(compiles) == 1  # cached plan carries its compiled program
+    # A DDL change bumps the descriptor version: the plan cache discards
+    # the stale plan and the fresh plan recompiles its program.
+    db.create_index("emp_eid", "emp", ["eid"], unique=True)
+    assert sorted(db.execute(statement)) == sorted(first)
+    assert len(compiles) >= 2
+
+
+def test_join_kernel_fault_falls_back_to_row_path():
+    db = _seed(Database(page_size=1024, buffer_capacity=256))
+    statement = ("SELECT emp.eid, dept.dname FROM emp JOIN dept "
+                 "ON emp.dno = dept.dno WHERE emp.sal > 1050.0")
+    expected = db.execute(statement)
+    db.services.faults.arm("columnar.kernel",
+                           error=RuntimeError("kernel"), nth=1)
+    assert db.execute(statement) == expected
+    assert db.services.stats.get("executor.columnar.fallbacks") == 1
