@@ -32,11 +32,11 @@ DDL attributes: ``columns`` — optional list of column names to track
 
 from __future__ import annotations
 
-import zlib
 from bisect import bisect_left, insort
 from typing import Optional
 
 from ..core.attachment import AttachmentType
+from ..core.hashing import HASH_SPACE, stable_hash
 from ..errors import StorageError
 from ..services.recovery import ResourceHandler
 
@@ -46,11 +46,11 @@ __all__ = ["StatisticsAttachment", "TableStatistics", "statistics_for"]
 #: unbiased estimate beyond.
 _KMV_K = 64
 
-_HASH_SPACE = float(2 ** 32)
+_HASH_SPACE = float(HASH_SPACE)
 
-
-def _value_hash(value) -> int:
-    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+#: The sketch hash is the shared stable (salt-free CRC) hash, so sketch
+#: contents are reproducible across processes and agree with shard routing.
+_value_hash = stable_hash
 
 
 def _kmv_add(kmv: list, value) -> None:

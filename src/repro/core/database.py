@@ -14,6 +14,8 @@ from typing import Dict, Optional, Sequence, Union
 
 from ..errors import AdmissionError, TransactionError
 from ..services import SystemServices
+from ..services import wal as wal_records
+from ..services.transactions import TxnState
 from .authorization import AuthorizationService
 from .catalog import Catalog
 from .context import ExecutionContext
@@ -345,6 +347,14 @@ class Database:
             txn = self._session_txn
             self._session_txn = None
             self.services.transactions.abort(txn)
+        # Drain PREPARED limbo: a participant whose coordinator died (or a
+        # commit that failed between states) must not hold locks and
+        # undecided changes past shutdown.  Presumed abort applies — an
+        # orderly close is this database's heuristic decision point.
+        for txn in self.services.transactions.active_transactions():
+            if txn.state is TxnState.PREPARED:
+                self.services.transactions.abort(txn)
+                self.services.stats.bump("txn.indoubt.resolved")
         self.services.transactions.commit_group()
         self.services.wal.flush()
         self.services.buffer.flush_all()
@@ -381,6 +391,15 @@ class Database:
             self.services.in_restart = False
         summary["log_records_lost"] = lost
         self.services.transactions._active.clear()
+        self.services.transactions._by_gtid.clear()
+        # In-doubt participants re-enter the active table in PREPARED
+        # state: their stable PREPARE vote binds this database, so they
+        # hold their (redone) changes until the coordinator's decision
+        # arrives.  Their deferred actions were volatile and died with
+        # the crash.
+        for txn_id, gtid in summary.get("indoubt", {}).items():
+            self.services.events.discard(txn_id)
+            self.services.transactions.register_indoubt(txn_id, gtid)
 
         for entry in self.catalog.relations():
             handle = entry.handle
@@ -402,7 +421,52 @@ class Database:
                         rebuild(ctx, handle, field)
                         rebuilt += 1
         summary["attachment_types_rebuilt"] = rebuilt
+        # Coordinator-side resolution: decisions this database logged and
+        # committed are re-delivered to participants still in doubt.
+        summary["indoubt_resolved"] = self.resolve_indoubt()
         return summary
+
+    def resolve_indoubt(self) -> int:
+        """Re-deliver surviving commit decisions to in-doubt participants.
+
+        Walks the retained log for decision records (logical UPDATEs with
+        ``op == "decision"``) written by transactions whose COMMIT is
+        stable, and hands each to the owning storage method's
+        ``resolve_decision`` hook — which commits the still-prepared
+        participants it can reach.  Decisions of loser transactions need
+        no delivery: restart undo already presumed abort for them.
+
+        Idempotent, and also callable on demand — e.g. after a crashed
+        shard comes back up, the coordinator re-resolves so the shard's
+        re-registered in-doubt transactions settle.  Returns how many
+        participants were resolved.
+        """
+        wal = self.services.wal
+        committed = set()
+        decisions = []
+        for record in wal.forward():
+            if record.kind == wal_records.COMMIT:
+                committed.add(record.txn_id)
+            elif (record.kind == wal_records.UPDATE
+                    and record.payload.get("op") == "decision"):
+                decisions.append(record)
+        resolved = 0
+        for record in decisions:
+            if record.txn_id not in committed:
+                continue
+            try:
+                entry = self.catalog.entry_by_id(
+                    record.payload["relation_id"])
+            except Exception:
+                continue  # relation dropped since; nothing to deliver to
+            method = self.registry.storage_method(
+                entry.handle.descriptor.storage_method_id)
+            hook = getattr(method, "resolve_decision", None)
+            if hook is not None:
+                resolved += hook(self, entry.handle, record.payload)
+        if resolved:
+            self.services.stats.bump("txn.indoubt.resolved", resolved)
+        return resolved
 
     def __repr__(self) -> str:
         return (f"Database({len(self.catalog.relation_names())} relations, "

@@ -178,6 +178,7 @@ class RecoveryManager:
                         # work a loser and undo it.
                         continue
                 att[txn.txn_id] = {"state": txn.state.value,
+                                   "gtid": txn.gtid,
                                    "last_lsn": last,
                                    "first_lsn": wal.first_lsn(txn.txn_id)}
         dpt = {}
@@ -251,7 +252,14 @@ class RecoveryManager:
 
         committed: Set[int] = set()
         ended: Set[int] = set()
+        aborted: Set[int] = set()
         seen: Set[int] = set(att)
+        # Two-phase participants: txn_id -> gtid for transactions whose
+        # PREPARE vote is stable.  Seeded from the checkpointed ATT (a
+        # checkpoint can postdate the PREPARE record).
+        prepared: Dict[int, object] = {
+            txn_id: info.get("gtid") for txn_id, info in att.items()
+            if info.get("state") == "prepared" and info.get("gtid")}
         analyzed = 0
         for record in wal.forward(analysis_start):
             analyzed += 1
@@ -262,8 +270,20 @@ class RecoveryManager:
                 committed.add(record.txn_id)
             elif record.kind == wal_records.END:
                 ended.add(record.txn_id)
-        losers = sorted(seen - committed - ended)
+            elif record.kind == wal_records.ABORT:
+                aborted.add(record.txn_id)
+            elif record.kind == wal_records.PREPARE:
+                prepared[record.txn_id] = record.payload.get("gtid")
+        # A stable PREPARE without a decision leaves the transaction *in
+        # doubt*: its vote binds this database, so restart must neither
+        # commit nor undo it — redo re-applies its effects, undo skips it,
+        # and it re-enters the active table awaiting the coordinator.
+        indoubt = {txn_id: gtid for txn_id, gtid in prepared.items()
+                   if txn_id not in committed and txn_id not in ended
+                   and txn_id not in aborted}
+        losers = sorted(seen - committed - ended - set(indoubt))
         self._bump("recovery.analysis.records", analyzed)
+        self._bump("recovery.analysis.indoubt", len(indoubt))
 
         # Give handlers a chance to prepare redo for loser operations —
         # e.g. a loser DROP removed its catalog entry before the crash,
@@ -307,6 +327,7 @@ class RecoveryManager:
         if buffer is not None:
             buffer.flush_all()
         return {"losers": losers, "redone": redone, "undone": undone,
+                "indoubt": indoubt,
                 "committed": sorted(committed),
                 "checkpoint_lsn": master, "redo_from": redo_start,
                 "analysis_records": analyzed,

@@ -1,0 +1,139 @@
+"""Remote-call transport: retry, backoff, circuit breaker, fault points.
+
+Extracted from the foreign-database gateway (PR 4) so that *any* component
+talking to another database instance — the foreign storage method, the
+sharded storage method's per-shard channels — shares one implementation of
+the unreliable-messaging discipline:
+
+* every message round trip is **accounted** (a message counter plus a
+  configurable latency charge in I/O-page-equivalent units) and passes
+  through named **fault injection points**, so tests and benches can lose
+  exactly the Nth message to exactly one peer;
+* transient :class:`~repro.errors.GatewayError`\\ s are retried with
+  bounded deterministic exponential backoff, charged as latency units
+  rather than wall-clock sleep;
+* repeated exhausted calls trip a per-channel **circuit breaker**: calls
+  then fail fast (no message attempted) for a cooldown of calls, after
+  which one half-open probe either closes the breaker or re-opens it.
+
+A *channel* is a plain descriptor dict (the storage descriptor for the
+foreign method; one per shard for the sharded method) carrying the knobs
+``latency``, ``retries``, ``breaker_threshold``, ``breaker_cooldown``;
+the breaker state itself lives in the channel under ``"breaker"``, so
+every remote relation (or shard) fails independently.
+
+A :class:`RemoteTransport` is configuration only — fault-point names and
+counter names — and holds no mutable state, so one instance can serve any
+number of channels.  The default configuration reproduces the foreign
+gateway's historical counter names exactly (``foreign.messages``,
+``gateway.retry.attempts``, ...), which existing test suites pin.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import GatewayError
+
+__all__ = ["RemoteTransport"]
+
+
+class RemoteTransport:
+    """Retry + circuit-breaker discipline over named channels."""
+
+    def __init__(self, fault_points: Sequence[str] = ("foreign.remote_call",),
+                 message_counter: str = "foreign.messages",
+                 latency_counter: str = "foreign.latency_units",
+                 counter_prefix: str = "gateway"):
+        self.fault_points = tuple(fault_points)
+        self.message_counter = message_counter
+        self.latency_counter = latency_counter
+        self.counter_prefix = counter_prefix
+
+    # -- message accounting ----------------------------------------------------
+    def remote_call(self, ctx_or_services, channel: dict, stats) -> None:
+        """Account one message round trip on ``channel``.
+
+        Fires every configured fault point (in order) *before* charging,
+        so a lost message costs nothing and the surrounding :meth:`call`
+        retry loop can safely re-run the action.
+        """
+        services = getattr(ctx_or_services, "services", ctx_or_services)
+        faults = getattr(services, "faults", None)
+        if faults is not None and faults.armed:
+            for point in self.fault_points:
+                faults.fire(point)
+        stats.bump(self.message_counter)
+        stats.bump(self.latency_counter,
+                   int(channel.get("latency", 2.0) * 100))
+
+    # -- breaker state ---------------------------------------------------------
+    @staticmethod
+    def breaker(channel: dict) -> dict:
+        """The channel's circuit-breaker state (created on first use)."""
+        return channel.setdefault(
+            "breaker", {"failures": 0, "open": False, "cooldown_left": 0})
+
+    def available(self, channel: dict) -> bool:
+        """False while the breaker is open (reads degrade, writes fail fast)."""
+        return not self.breaker(channel)["open"]
+
+    def reset(self, channel: dict) -> None:
+        """Administratively close the breaker (e.g. after a healed peer)."""
+        channel["breaker"] = {"failures": 0, "open": False,
+                              "cooldown_left": 0}
+
+    # -- the guarded call ------------------------------------------------------
+    def call(self, channel: dict, stats, action):
+        """Run one remote interaction behind retry + circuit breaker.
+
+        ``action()`` performs the message round trip (including its
+        :meth:`remote_call` accounting) and returns the result.  Transient
+        :class:`GatewayError`\\ s are retried up to the channel's
+        ``retries`` with deterministic exponential backoff charged as
+        latency units.  An exhausted call counts a breaker failure;
+        ``breaker_threshold`` of them in a row open the breaker, and while
+        it is open every call fails fast until ``breaker_cooldown``
+        fail-fast calls have passed — then one half-open probe runs for
+        real and closes the breaker on success.
+        """
+        prefix = self.counter_prefix
+        breaker = self.breaker(channel)
+        if breaker["open"]:
+            if breaker["cooldown_left"] > 0:
+                breaker["cooldown_left"] -= 1
+                stats.bump(f"{prefix}.fail_fast")
+                raise GatewayError(
+                    f"remote channel to {channel.get('relation')!r} is "
+                    "unavailable (circuit breaker open)")
+            stats.bump(f"{prefix}.half_open_probes")  # probe falls through
+        retries = int(channel.get("retries", 3))
+        base_latency = int(channel.get("latency", 2.0) * 100)
+        attempt = 0
+        while True:
+            try:
+                result = action()
+            except GatewayError:
+                if attempt < retries:
+                    # Bounded deterministic backoff: the retry charges
+                    # escalating latency units instead of wall-clock sleep.
+                    stats.bump(f"{prefix}.retry.attempts")
+                    stats.bump(f"{prefix}.retry.backoff_units",
+                               base_latency * (2 ** attempt))
+                    attempt += 1
+                    continue
+                stats.bump(f"{prefix}.retry.exhausted")
+                breaker["failures"] += 1
+                if breaker["failures"] >= int(
+                        channel.get("breaker_threshold", 3)):
+                    breaker["open"] = True
+                    breaker["cooldown_left"] = int(
+                        channel.get("breaker_cooldown", 8))
+                    stats.bump(f"{prefix}.breaker.trips")
+                raise
+            if breaker["open"]:
+                stats.bump(f"{prefix}.breaker.closes")
+            breaker["open"] = False
+            breaker["failures"] = 0
+            breaker["cooldown_left"] = 0
+            return result

@@ -20,7 +20,42 @@ from collections import Counter
 from contextlib import contextmanager
 from typing import Dict, Optional
 
-__all__ = ["StatsService"]
+__all__ = ["StatsService", "NamespacedStats"]
+
+
+class NamespacedStats:
+    """A bump-compatible view that mirrors counters under a namespace.
+
+    ``namespace.bump("remote.messages")`` increments both the engine-wide
+    ``remote.messages`` total *and* ``<ns>.remote.messages`` — e.g.
+    ``shard.0.remote.messages`` — so per-peer breakdowns and engine totals
+    reconcile exactly (the same discipline the per-session mirror uses).
+    Derived benchmark metrics (E21's per-shard critical path) read the
+    namespaced counters instead of wall-clock time.
+    """
+
+    __slots__ = ("_stats", "_ns")
+
+    def __init__(self, stats: "StatsService", ns: str):
+        self._stats = stats
+        self._ns = ns
+
+    @property
+    def namespace(self) -> str:
+        return self._ns
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._stats.bump(name, amount)
+        self._stats.bump(f"{self._ns}.{name}", amount)
+
+    def bump_many(self, counters: Dict[str, int]) -> None:
+        self._stats.bump_many(counters)
+        self._stats.bump_many({f"{self._ns}.{name}": amount
+                               for name, amount in counters.items()})
+
+    def get(self, name: str) -> int:
+        """The namespaced value (use the underlying service for totals)."""
+        return self._stats.get(f"{self._ns}.{name}")
 
 
 class StatsService:
@@ -37,6 +72,14 @@ class StatsService:
         self._counters = Counter()
         self._session: Optional[int] = None
         self._per_session: Dict[int, Counter] = {}
+        self._namespaces: Dict[str, NamespacedStats] = {}
+
+    def namespace(self, ns: str) -> NamespacedStats:
+        """A view whose bumps also mirror under ``<ns>.<counter>``."""
+        view = self._namespaces.get(ns)
+        if view is None:
+            view = self._namespaces[ns] = NamespacedStats(self, ns)
+        return view
 
     @contextmanager
     def session(self, session_id: int):

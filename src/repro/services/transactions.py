@@ -41,7 +41,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, FrozenSet, List, Optional
 
-from ..errors import (ReadOnlyTransactionError, SnapshotError,
+from ..errors import (GatewayError, ReadOnlyTransactionError, SnapshotError,
                       TransactionError)
 from . import events as ev
 from . import wal as wal_records
@@ -52,7 +52,7 @@ from .scans import ABSENT, ScanService
 from .wal import LogManager
 
 __all__ = ["TxnState", "Transaction", "TransactionManager",
-           "Snapshot", "VersionStore", "ABSENT"]
+           "TwoPhaseCoordinator", "Snapshot", "VersionStore", "ABSENT"]
 
 
 class Snapshot:
@@ -246,6 +246,11 @@ class Transaction:
     def __init__(self, txn_id: int):
         self.txn_id = txn_id
         self.state = TxnState.ACTIVE
+        #: Global transaction id when this transaction is a two-phase-
+        #: commit participant: set by :meth:`TransactionManager.prepare`,
+        #: durable in the PREPARE record, and how a remote coordinator
+        #: addresses the transaction after a restart.
+        self.gtid: Optional[str] = None
         #: Set for read-only (snapshot-isolated) transactions: the
         #: consistent read point every read resolves against.  Writers
         #: (the lock-based serializable mode) leave it ``None``.
@@ -301,6 +306,9 @@ class TransactionManager:
         self.stats = stats
         self._next_id = 1
         self._active: Dict[int, Transaction] = {}
+        #: Two-phase commit: gtid -> prepared (or enlisted) transaction,
+        #: so a remote coordinator can address participants by global id.
+        self._by_gtid: Dict[str, Transaction] = {}
         #: Group commit: 0 disables (every commit forces the log solo);
         #: N > 0 enqueues commits and auto-flushes once N are pending.
         self.group_commit_limit = 0
@@ -354,6 +362,14 @@ class TransactionManager:
             self.abort(txn)
             raise
         txn.state = TxnState.PREPARED
+        self._commit_prepared(txn, allow_group=True)
+
+    def _commit_prepared(self, txn: Transaction, allow_group: bool) -> None:
+        """The second half of commit: the transaction is PREPARED, its
+        fate is decided — append COMMIT, stabilize, run at-commit actions,
+        and settle.  Shared by the local one-phase :meth:`commit` and the
+        coordinator-driven :meth:`commit_decided` (which never joins a
+        group: the coordinator's decision must be durable immediately)."""
         record = self.wal.append(txn.txn_id, wal_records.COMMIT)
         # Visibility is decided by the COMMIT record's LSN: a snapshot
         # taken at LSN S sees exactly the writers whose COMMIT appended
@@ -365,7 +381,7 @@ class TransactionManager:
         # Commit is durable once the log is stable through the COMMIT
         # record.  At-commit deferred actions externalize state (deferred
         # storage release), so their transactions always force solo.
-        if (self.group_commit_limit > 0
+        if (allow_group and self.group_commit_limit > 0
                 and not self.events.pending(txn.txn_id, ev.AT_COMMIT)):
             self._group_queue.append(record.lsn)
             if self.stats is not None:
@@ -380,6 +396,99 @@ class TransactionManager:
         txn.state = TxnState.COMMITTED
         self.events.fire(txn.txn_id, ev.AT_END)
         self._active.pop(txn.txn_id, None)
+        if txn.gtid is not None:
+            self._by_gtid.pop(txn.gtid, None)
+
+    # -- two-phase commit: the participant API -----------------------------------
+    def prepare(self, txn: Transaction, gtid: str) -> None:
+        """Phase-1 vote: enter PREPARED and force the log.
+
+        Runs the before-prepare deferred actions (a veto aborts, exactly
+        as in one-phase commit), writes a PREPARE record carrying the
+        global transaction id, and forces the log through it — after a
+        successful return the vote is durable: a crash leaves the
+        transaction *in doubt*, holding its changes until the coordinator
+        decides (:meth:`commit_decided` / :meth:`abort_decided`), never
+        rolled back unilaterally by restart.
+        """
+        txn.check_active()
+        if txn.snapshot is not None:
+            raise ReadOnlyTransactionError(
+                f"transaction {txn.txn_id} is a snapshot reader; read-only "
+                f"participants commit in one phase instead of preparing")
+        if gtid in self._by_gtid and self._by_gtid[gtid] is not txn:
+            raise TransactionError(
+                f"global transaction id {gtid!r} is already in use")
+        try:
+            self.events.fire(txn.txn_id, ev.BEFORE_PREPARE)
+        except Exception:
+            self.abort(txn)
+            raise
+        txn.state = TxnState.PREPARED
+        txn.gtid = gtid
+        self._by_gtid[gtid] = txn
+        self.wal.append(txn.txn_id, wal_records.PREPARE,
+                        payload={"gtid": gtid})
+        self.wal.flush()
+        if self.stats is not None:
+            self.stats.bump("txn.prepares")
+
+    def commit_decided(self, txn: Transaction) -> None:
+        """Phase-2 commit of a PREPARED participant (coordinator said yes)."""
+        if txn.state is not TxnState.PREPARED:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.state.value}; only a "
+                f"prepared transaction can receive a commit decision")
+        self._commit_prepared(txn, allow_group=False)
+        if self.stats is not None:
+            self.stats.bump("txn.2pc.commits_decided")
+
+    def abort_decided(self, txn: Transaction) -> None:
+        """Phase-2 abort of a PREPARED participant (presumed abort)."""
+        if txn.state is not TxnState.PREPARED:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.state.value}; only a "
+                f"prepared transaction can receive an abort decision")
+        self.abort(txn)
+        if self.stats is not None:
+            self.stats.bump("txn.2pc.aborts_decided")
+
+    def find_gtid(self, gtid: str) -> Optional[Transaction]:
+        """The live transaction enlisted under ``gtid`` (None if settled)."""
+        return self._by_gtid.get(gtid)
+
+    def tag_gtid(self, txn: Transaction, gtid: str) -> None:
+        """Index an active transaction by global id before it prepares,
+        so a coordinator can find (and presumed-abort) it even when the
+        failure happens before phase 1."""
+        if gtid in self._by_gtid and self._by_gtid[gtid] is not txn:
+            raise TransactionError(
+                f"global transaction id {gtid!r} is already in use")
+        txn.gtid = gtid
+        self._by_gtid[gtid] = txn
+
+    def register_indoubt(self, txn_id: int, gtid: Optional[str]) -> Transaction:
+        """Re-admit an in-doubt transaction found by restart analysis.
+
+        The transaction re-enters the active table in PREPARED state (its
+        effects were redone from the log; restart undo skipped it) and is
+        addressable by its global id, awaiting the coordinator's decision.
+        """
+        txn = Transaction(txn_id)
+        txn.state = TxnState.PREPARED
+        txn.gtid = gtid
+        self._active[txn_id] = txn
+        if gtid is not None:
+            self._by_gtid[gtid] = txn
+        self._next_id = max(self._next_id, txn_id + 1)
+        if self.stats is not None:
+            self.stats.bump("txn.indoubt.registered")
+        return txn
+
+    def indoubt_transactions(self) -> tuple:
+        """Active transactions sitting in PREPARED state under a gtid."""
+        return tuple(t for t in self._active.values()
+                     if t.state is TxnState.PREPARED and t.gtid is not None)
 
     def abort(self, txn: Transaction) -> None:
         if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
@@ -408,6 +517,8 @@ class TransactionManager:
         finally:
             self.locks.release_all(txn.txn_id)
             txn.state = TxnState.ABORTED
+            if txn.gtid is not None:
+                self._by_gtid.pop(txn.gtid, None)
             self.events.fire(txn.txn_id, ev.AT_END)
             self._active.pop(txn.txn_id, None)
 
@@ -566,3 +677,106 @@ class TransactionManager:
 
     def get(self, txn_id: int) -> Optional[Transaction]:
         return self._active.get(txn_id)
+
+
+class TwoPhaseCoordinator:
+    """Drives N participants through presumed-abort two-phase commit.
+
+    Participants implement a small protocol (duck-typed; the sharded
+    storage method wraps each shard's child transaction in one):
+
+    * ``wrote`` — whether the participant modified anything.  Read-only
+      participants skip both phases entirely (the classic read-only
+      optimization): they have nothing to make durable and nothing to
+      undo, so the coordinator never prepares them.
+    * ``prepare(gtid)`` — phase 1: vote by entering PREPARED with the
+      vote forced to the participant's log.  Raising means *no*.
+    * ``commit_decided()`` / ``abort_decided()`` — phase 2 delivery.
+    * ``abort()`` — best-effort cleanup of a participant that may or may
+      not have prepared (phase-1 failure paths); must be idempotent.
+
+    The *decision record* is not written here: the caller logs it in the
+    coordinator's own transaction (see ``log_decision``) so that its
+    durability rides the coordinator's COMMIT force — stable decision and
+    stable commit are one atomic event, which is what restart resolution
+    keys off (decision survives → deliver commit; decision lost → the
+    coordinator transaction is a loser and undo presumes abort).
+    """
+
+    def __init__(self, services):
+        self.services = services
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        stats = getattr(self.services, "stats", None)
+        if stats is not None:
+            stats.bump(name, amount)
+
+    # -- phase 1 ---------------------------------------------------------------
+    def prepare_all(self, gtid: str, participants) -> list:
+        """Collect votes; returns the prepared (write) participants.
+
+        Read-only participants are skipped.  A failed vote aborts every
+        participant already prepared (and best-effort aborts the rest),
+        then re-raises — the caller's transaction aborts with it.
+        """
+        prepared = []
+        voters = [p for p in participants if getattr(p, "wrote", True)]
+        self._bump("txn.2pc.readonly_skips",
+                   len(list(participants)) - len(voters))
+        for participant in voters:
+            try:
+                participant.prepare(gtid)
+            except Exception:
+                self._bump("txn.2pc.votes_no")
+                for other in voters:
+                    try:
+                        other.abort()
+                    except GatewayError:
+                        self._bump("txn.2pc.indoubt")
+                raise
+            prepared.append(participant)
+        self._bump("txn.2pc.prepared", len(prepared))
+        return prepared
+
+    # -- the decision record ---------------------------------------------------
+    def log_decision(self, txn_id: int, resource: str, payload: dict):
+        """Log the commit decision inside the coordinator's transaction.
+
+        The record is an ordinary logical UPDATE for ``resource``; its
+        *undo* is the presumed-abort path (the owning extension aborts
+        the participants), so a coordinator crash before the decision is
+        stable resolves to abort with no extra machinery.
+        """
+        self._bump("txn.2pc.decisions_logged")
+        return self.services.recovery.log_update(txn_id, resource, payload)
+
+    # -- phase 2 ---------------------------------------------------------------
+    def deliver_commit(self, participants) -> list:
+        """Deliver the commit decision; returns participants left in doubt.
+
+        A delivery failure (the channel is down) does *not* fail the
+        transaction — the decision is already durable — it leaves that
+        participant prepared and in doubt, to be resolved when the peer
+        (or the coordinator) restarts and re-reads the decision.
+        """
+        indoubt = []
+        for participant in participants:
+            try:
+                participant.commit_decided()
+            except GatewayError:
+                indoubt.append(participant)
+                self._bump("txn.2pc.indoubt")
+        self._bump("txn.2pc.commits_delivered",
+                   len(list(participants)) - len(indoubt))
+        return indoubt
+
+    def deliver_abort(self, participants) -> list:
+        """Deliver the abort decision (presumed abort tolerates loss)."""
+        indoubt = []
+        for participant in participants:
+            try:
+                participant.abort()
+            except GatewayError:
+                indoubt.append(participant)
+                self._bump("txn.2pc.indoubt")
+        return indoubt

@@ -32,14 +32,15 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 from ..errors import RecoveryError
 
 __all__ = ["LogRecord", "LogManager",
-           "BEGIN", "UPDATE", "CLR", "SAVEPOINT", "COMMIT", "ABORT", "END",
-           "CHECKPOINT_BEGIN", "CHECKPOINT_END"]
+           "BEGIN", "UPDATE", "CLR", "SAVEPOINT", "PREPARE", "COMMIT",
+           "ABORT", "END", "CHECKPOINT_BEGIN", "CHECKPOINT_END"]
 
 # Log record kinds.
 BEGIN = "BEGIN"
 UPDATE = "UPDATE"          # a logical operation by a storage method/attachment
 CLR = "CLR"                # compensation: records one undone operation
 SAVEPOINT = "SAVEPOINT"
+PREPARE = "PREPARE"        # 2PC participant vote: carries the global txn id
 COMMIT = "COMMIT"
 ABORT = "ABORT"
 END = "END"

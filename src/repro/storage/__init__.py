@@ -26,10 +26,12 @@ def builtin_storage_methods():
     from .btree_file import BTreeFileStorageMethod
     from .foreign import ForeignStorageMethod
     from .readonly import ReadOnlyStorageMethod
+    from .sharded import ShardedStorageMethod
     return [
         MemoryStorageMethod(),      # id 1 — temporary relations
         HeapStorageMethod(),        # id 2 — recoverable heap (default)
         BTreeFileStorageMethod(),   # id 3 — records in the leaves of a B-tree
         ReadOnlyStorageMethod(),    # id 4 — optical-disk publishing
         ForeignStorageMethod(),     # id 5 — foreign-database gateway
+        ShardedStorageMethod(),     # id 6 — hash/range partitioning over N DBs
     ]

@@ -44,9 +44,18 @@ from ..errors import ForeignError, GatewayError, ScanError, StorageError
 from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
 from ..services.predicate import Predicate
 from ..services.recovery import ResourceHandler
+from ..services.remote import RemoteTransport
 from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
 
-__all__ = ["ForeignStorageMethod", "ForeignScan"]
+__all__ = ["ForeignStorageMethod", "ForeignScan", "TRANSPORT"]
+
+#: The gateway's transport discipline (retry/backoff/breaker) lives in the
+#: shared :class:`RemoteTransport` service; this instance pins the foreign
+#: method's historical fault-point and counter names.
+TRANSPORT = RemoteTransport(fault_points=("foreign.remote_call",),
+                            message_counter="foreign.messages",
+                            latency_counter="foreign.latency_units",
+                            counter_prefix="gateway")
 
 
 def _gateway_for(services, payload: dict):
@@ -59,78 +68,24 @@ def _gateway_for(services, payload: dict):
 
 def _remote_call(ctx_or_services, descriptor: dict, stats) -> None:
     """Account one message round trip to the foreign database."""
-    services = getattr(ctx_or_services, "services", ctx_or_services)
-    faults = getattr(services, "faults", None)
-    if faults is not None and faults.armed:
-        faults.fire("foreign.remote_call")
-    stats.bump("foreign.messages")
-    stats.bump("foreign.latency_units",
-               int(descriptor.get("latency", 2.0) * 100))
+    TRANSPORT.remote_call(ctx_or_services, descriptor, stats)
 
 
 def _breaker(descriptor: dict) -> dict:
     """The per-gateway circuit-breaker state (lives in the storage
     descriptor, so each foreign relation has its own breaker)."""
-    return descriptor.setdefault(
-        "breaker", {"failures": 0, "open": False, "cooldown_left": 0})
+    return TRANSPORT.breaker(descriptor)
 
 
 def gateway_available(descriptor: dict) -> bool:
     """False while the breaker is open (reads degrade, writes fail fast)."""
-    return not _breaker(descriptor)["open"]
+    return TRANSPORT.available(descriptor)
 
 
 def _gateway(descriptor: dict, stats, action):
-    """Run one remote interaction behind retry + circuit breaker.
-
-    ``action()`` performs the message round trip (including its
-    ``_remote_call`` accounting) and returns the result.  Transient
-    :class:`GatewayError`\\ s are retried up to the descriptor's ``retries``
-    with deterministic exponential backoff charged as latency units.  An
-    exhausted call counts a breaker failure; ``breaker_threshold`` of them
-    in a row open the breaker, and while it is open every call fails fast
-    until ``breaker_cooldown`` fail-fast calls have passed — then one
-    half-open probe runs for real and closes the breaker on success.
-    """
-    breaker = _breaker(descriptor)
-    if breaker["open"]:
-        if breaker["cooldown_left"] > 0:
-            breaker["cooldown_left"] -= 1
-            stats.bump("gateway.fail_fast")
-            raise GatewayError(
-                f"foreign gateway to {descriptor.get('relation')!r} is "
-                "unavailable (circuit breaker open)")
-        stats.bump("gateway.half_open_probes")  # probe falls through
-    retries = int(descriptor.get("retries", 3))
-    base_latency = int(descriptor.get("latency", 2.0) * 100)
-    attempt = 0
-    while True:
-        try:
-            result = action()
-        except GatewayError:
-            if attempt < retries:
-                # Bounded deterministic backoff: the retry charges
-                # escalating latency units instead of wall-clock sleep.
-                stats.bump("gateway.retry.attempts")
-                stats.bump("gateway.retry.backoff_units",
-                           base_latency * (2 ** attempt))
-                attempt += 1
-                continue
-            stats.bump("gateway.retry.exhausted")
-            breaker["failures"] += 1
-            if breaker["failures"] >= int(
-                    descriptor.get("breaker_threshold", 3)):
-                breaker["open"] = True
-                breaker["cooldown_left"] = int(
-                    descriptor.get("breaker_cooldown", 8))
-                stats.bump("gateway.breaker.trips")
-            raise
-        if breaker["open"]:
-            stats.bump("gateway.breaker.closes")
-        breaker["open"] = False
-        breaker["failures"] = 0
-        breaker["cooldown_left"] = 0
-        return result
+    """Run one remote interaction behind retry + circuit breaker (see
+    :meth:`RemoteTransport.call`)."""
+    return TRANSPORT.call(descriptor, stats, action)
 
 
 class _ForeignHandler(ResourceHandler):

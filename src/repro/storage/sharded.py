@@ -1,0 +1,939 @@
+"""Horizontally sharded storage method: one relation over N databases.
+
+The paper's extension architecture lets a storage method translate relation
+accesses into accesses against *other* databases (the foreign gateway is
+the one-remote case).  This method generalises that to N remotes: records
+are partitioned by a key field across N child :class:`Database` instances,
+each reached through its own :class:`~repro.services.remote.RemoteTransport`
+channel (per-shard retry budget, latency charge, and circuit breaker).
+
+Partitioning is ``hash`` (:func:`~repro.core.hashing.shard_of` over the key
+value — stable across restarts and processes) or ``range`` (``bounds`` give
+the N-1 split points; shard *i* covers ``[bounds[i-1], bounds[i])``).
+
+Set-at-a-time operations fan out **one message per touched shard**, not one
+per record: a batch of B records over N shards costs about ``ceil(B/N)``
+rows per message on each channel, which is where the near-linear scaling
+measured by benchmark E21 comes from.  Scans block-fetch every available
+shard and either concatenate or — when the children report a key ordering
+(``AccessCost.ordered_by``) — merge the per-shard streams into one globally
+key-ordered stream.
+
+Cross-shard atomicity is presumed-abort two-phase commit built on the
+explicit participant API of :class:`~repro.services.transactions
+.TransactionManager` and driven by :class:`~repro.services.transactions
+.TwoPhaseCoordinator`:
+
+* The first write by a local transaction logs an ``enlist`` record naming
+  the global transaction id, so the coordinator durably knows a distributed
+  transaction existed before any child can promise anything.
+* At ``BEFORE_PREPARE`` the method runs phase 1 (force the local log, then
+  ``prepare`` every written child — each a remote call that can fail) and
+  logs the commit *decision* as an ordinary update record whose durability
+  rides the coordinator's COMMIT force.
+* At ``AT_COMMIT`` it delivers the decision; a dead channel leaves that
+  child prepared and **in doubt**, to be resolved by
+  :meth:`~repro.core.database.Database.resolve_indoubt` re-reading the
+  stable decision (the :meth:`resolve_decision` hook below).
+* Undoing the enlist/decision records — abort or coordinator restart — is
+  the presumed-abort path: every child transaction still found under the
+  global id is rolled back.  During a *partial* rollback of a live local
+  transaction the records are compensated but the children stay: the
+  mirrored savepoint rollback has already reversed their work.
+
+Savepoints mirror into the children (set and rollback, never release —
+matching the local protocol where release keeps the log records), so a
+statement-level rollback of a fan-out write is exact on every shard.
+
+Unprepared child transactions left behind by a local abort are rolled back
+directly at ``AT_END`` — connection-drop semantics: a remote DBMS aborts a
+lost client's unprepared work itself, so no message is charged.  Prepared
+children, by contrast, are only ever settled by a delivered decision or by
+presumed abort.
+
+DDL attributes: ``shards`` (create that many fresh child databases) or
+``databases`` (bring your own), ``key`` (partition field, default the first
+field), ``partition`` ("hash" default, or "range" with ``bounds``),
+``child_storage`` (storage method for the child relations, default
+"heap"), and the per-channel transport knobs ``latency`` (default 0.5 —
+shards are near peers, cheaper than a wide-area gateway), ``retries``,
+``breaker_threshold``, ``breaker_cooldown``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from typing import Dict, Optional, Sequence
+
+from ..core.context import ExecutionContext
+from ..core.hashing import shard_of
+from ..core.storage_method import RelationHandle, StorageMethod
+from ..errors import GatewayError, ScanError, StorageError
+from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
+from ..services import events as ev
+from ..services.predicate import Predicate
+from ..services.recovery import ResourceHandler
+from ..services.remote import RemoteTransport
+from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
+from ..services.transactions import TwoPhaseCoordinator, TxnState
+
+__all__ = ["ShardedStorageMethod", "ShardedScan"]
+
+
+def _mirror_name(name) -> str:
+    """Savepoints mirror into child transactions under a distinct prefix:
+    coordinator and child transaction ids come from unrelated sequences, so
+    a verbatim mirror could collide with the child's own operation
+    savepoints (``__op_<txn>.<seq>``)."""
+    return f"__peer_{name}"
+
+
+def _descriptor_for(services, payload: dict) -> dict:
+    database = getattr(services, "database", None)
+    if database is None:
+        raise StorageError("recovery handler needs services.database wired")
+    entry = database.catalog.entry_by_id(payload["relation_id"])
+    return entry.handle.descriptor.storage_descriptor
+
+
+class _ShardParticipant:
+    """One child database enlisted in a local transaction.
+
+    Implements the duck-typed participant protocol of
+    :class:`TwoPhaseCoordinator` (``wrote``/``prepare``/``commit_decided``/
+    ``abort``); every protocol message crosses the shard's transport, so
+    votes and decisions are subject to the same faults, retries and breaker
+    as data traffic.
+    """
+
+    __slots__ = ("index", "database", "txn", "channel", "transport", "stats",
+                 "services", "wrote")
+
+    def __init__(self, index, database, txn, channel, transport, stats,
+                 services):
+        self.index = index
+        self.database = database
+        self.txn = txn
+        self.channel = channel
+        self.transport = transport
+        self.stats = stats
+        self.services = services  # the *coordinator's* (owns the channel)
+        self.wrote = False
+
+    @property
+    def manager(self):
+        return self.database.services.transactions
+
+    def context(self) -> ExecutionContext:
+        return ExecutionContext(self.txn, self.database.services,
+                                self.database)
+
+    def call(self, action):
+        """One remote interaction: fault point, message charge, retry,
+        breaker — then the action against the child database.
+
+        Faults fire on the coordinator's injector: the channel (and what
+        can go wrong on it) belongs to the coordinator's side of the world,
+        not to the child it fails to reach.
+        """
+        def send():
+            self.transport.remote_call(self.services, self.channel,
+                                       self.stats)
+            return action()
+        return self.transport.call(self.channel, self.stats, send)
+
+    # -- 2PC participant protocol ------------------------------------------------
+    def prepare(self, gtid: str) -> None:
+        self.call(lambda: self.manager.prepare(self.txn, gtid))
+
+    def commit_decided(self) -> None:
+        if self.txn.settled:
+            return
+        self.call(lambda: self.manager.commit_decided(self.txn))
+
+    def abort_decided(self) -> None:
+        if self.txn.settled:
+            return
+        self.call(lambda: self.manager.abort_decided(self.txn))
+
+    def abort(self) -> None:
+        """Roll the child back — through the channel when it has voted.
+
+        An unprepared child is rolled back directly (connection-drop
+        semantics: the remote side aborts a lost client's active work
+        itself), so cleanup of never-prepared children cannot fail on a
+        dead channel.  A prepared child made a durable promise, so its
+        abort is a real decision message that can be lost.
+        """
+        if self.txn.settled:
+            return
+        if self.txn.state is TxnState.PREPARED:
+            self.abort_decided()
+        else:
+            self.manager.abort(self.txn)
+
+
+class _Enlistment:
+    """Per (local transaction, sharded relation) distributed-txn state."""
+
+    __slots__ = ("gtid", "relation_id", "participants", "logged", "hooked",
+                 "prepared")
+
+    def __init__(self, gtid: str, relation_id: int):
+        self.gtid = gtid
+        self.relation_id = relation_id
+        self.participants: Dict[int, _ShardParticipant] = {}
+        self.logged = False    # the enlist record is live (not compensated)
+        self.hooked = False    # commit hooks registered
+        self.prepared: list = []
+
+
+class _ShardedHandler(ResourceHandler):
+    """Presumed abort for the ``enlist``/``decision`` records."""
+
+    def __init__(self, method: "ShardedStorageMethod"):
+        self.method = method
+
+    def undo(self, services, payload: dict, clr_lsn: int) -> None:
+        txn = services.transactions.get(payload["txn_id"])
+        if not getattr(services, "in_restart", False) and txn is not None:
+            # A live rollback — partial (savepoint) or a full abort.  The
+            # mirrored savepoint rollback and the AT_END cleanup own the
+            # children here; compensating the record only means the next
+            # write must re-log it to keep the durable pointer.
+            ent = self.method._runtime.get(
+                payload["txn_id"], {}).get(payload["relation_id"])
+            if ent is not None and ent.gtid == payload["gtid"]:
+                ent.logged = False
+            return
+        # Full abort or coordinator restart: presume abort on every child
+        # still holding the global transaction.  Delivery is direct — this
+        # *is* the resolution channel, charging faults here could wedge
+        # restart itself.
+        descriptor = _descriptor_for(services, payload)
+        gtid = payload["gtid"]
+        for index in payload.get("shards", ()):
+            child = descriptor["databases"][index]
+            manager = child.services.transactions
+            child_txn = manager.find_gtid(gtid)
+            if child_txn is None or child_txn.settled:
+                continue
+            if child_txn.state is TxnState.PREPARED:
+                manager.abort_decided(child_txn)
+            else:
+                manager.abort(child_txn)
+            services.stats.bump("sharded.presumed_aborts")
+        self.method._runtime.get(payload["txn_id"], {}).pop(
+            payload["relation_id"], None)
+
+    def redo(self, services, lsn: int, payload: dict) -> None:
+        """Children are their own durability domains; nothing to redo."""
+
+
+class ShardedScan(Scan):
+    """A local scan over the merged block-fetched shard streams.
+
+    Every available shard ships its (filtered) rows in one message at open;
+    the position is an index into the merged batch, so save/restore under
+    partial rollback is trivial.
+    """
+
+    def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
+                 batch, fields: Optional[Sequence[int]]):
+        super().__init__(ctx.txn_id)
+        self.ctx = ctx
+        self.handle = handle
+        self.batch = batch
+        self.fields = tuple(fields) if fields is not None else None
+        self.state = BEFORE
+        self.position: Optional[int] = None
+
+    def _project(self, pair):
+        key, record = pair
+        if self.fields is None:
+            return key, record
+        return key, tuple(record[i] for i in self.fields)
+
+    def next(self):
+        self._check_open()
+        index = 0 if self.position is None else self.position + 1
+        if index >= len(self.batch):
+            self.state = AFTER
+            return None
+        self.position = index
+        self.state = ON
+        self.ctx.stats.bump("sharded.tuples_returned")
+        return self._project(self.batch[index])
+
+    def next_batch(self, n: int) -> list:
+        self._check_open()
+        if n < 1:
+            raise ScanError(f"next_batch needs a positive count, got {n}")
+        index = 0 if self.position is None else self.position + 1
+        chunk = self.batch[index:index + n]
+        if not chunk:
+            self.state = AFTER
+            return []
+        self.position = index + len(chunk) - 1
+        self.state = ON
+        self.ctx.stats.bump("sharded.tuples_returned", len(chunk))
+        return [self._project(pair) for pair in chunk]
+
+    def save_position(self) -> ScanPosition:
+        return ScanPosition(self.state, self.position)
+
+    def restore_position(self, saved: ScanPosition) -> None:
+        self.state = saved.state
+        self.position = saved.item
+
+
+class ShardedStorageMethod(StorageMethod):
+    """Relation operations fanned out over N child databases."""
+
+    name = "sharded"
+    recoverable = True   # enlist/decision records drive presumed abort
+    updatable = True
+    ordered_by_key = False
+
+    def __init__(self):
+        # local txn id -> relation id -> _Enlistment
+        self._runtime: Dict[int, Dict[int, _Enlistment]] = {}
+        self._transports: Dict[int, RemoteTransport] = {}
+        self._wired: set = set()
+
+    # -- DDL -------------------------------------------------------------------
+    def validate_attributes(self, schema, attributes):
+        attributes = dict(attributes)
+        databases = attributes.pop("databases", None)
+        shards = attributes.pop("shards", None)
+        key = attributes.pop("key", schema.fields[0].name)
+        partition = attributes.pop("partition", "hash")
+        bounds = attributes.pop("bounds", None)
+        child_storage = attributes.pop("child_storage", "heap")
+        child_attributes = attributes.pop("child_attributes", None)
+        latency = attributes.pop("latency", 0.5)
+        retries = attributes.pop("retries", 3)
+        threshold = attributes.pop("breaker_threshold", 3)
+        cooldown = attributes.pop("breaker_cooldown", 8)
+        if attributes:
+            raise StorageError(
+                f"sharded storage: unknown attributes {sorted(attributes)}")
+        if databases is not None:
+            databases = list(databases)
+            if not databases:
+                raise StorageError("sharded storage: 'databases' is empty")
+            if shards is not None and shards != len(databases):
+                raise StorageError(
+                    f"sharded storage: shards={shards} does not match the "
+                    f"{len(databases)} databases given")
+            shards = len(databases)
+        else:
+            if not isinstance(shards, int) or shards < 1:
+                raise StorageError(
+                    "sharded storage requires 'shards' (a positive int) or "
+                    "'databases' (a list of Database instances)")
+        key_index = None
+        for i, field in enumerate(schema.fields):
+            if field.name == key:
+                key_index = i
+                break
+        if key_index is None:
+            raise StorageError(
+                f"sharded storage: partition key {key!r} is not a field of "
+                f"the schema")
+        if partition not in ("hash", "range"):
+            raise StorageError(
+                f"sharded storage: partition must be 'hash' or 'range', "
+                f"got {partition!r}")
+        if partition == "range":
+            if bounds is None or len(bounds) != shards - 1:
+                raise StorageError(
+                    f"sharded storage: range partitioning over {shards} "
+                    f"shards needs exactly {shards - 1} bounds")
+            bounds = list(bounds)
+            if bounds != sorted(bounds):
+                raise StorageError(
+                    "sharded storage: bounds must be sorted ascending")
+        elif bounds is not None:
+            raise StorageError(
+                "sharded storage: 'bounds' only applies to range "
+                "partitioning")
+        if not isinstance(latency, (int, float)) or latency < 0:
+            raise StorageError(
+                f"sharded storage: latency must be non-negative, got "
+                f"{latency!r}")
+        for name, value in (("retries", retries),
+                            ("breaker_threshold", threshold),
+                            ("breaker_cooldown", cooldown)):
+            if not isinstance(value, int) or value < 0:
+                raise StorageError(
+                    f"sharded storage: {name} must be a non-negative "
+                    f"integer, got {value!r}")
+        if child_attributes is not None and not isinstance(child_attributes,
+                                                           dict):
+            raise StorageError(
+                "sharded storage: child_attributes must be a dict")
+        return {"databases": databases, "shards": shards,
+                "key": key, "key_index": key_index,
+                "partition": partition, "bounds": bounds,
+                "child_storage": child_storage,
+                "child_attributes": child_attributes,
+                "latency": float(latency),
+                "retries": retries, "breaker_threshold": threshold,
+                "breaker_cooldown": cooldown}
+
+    def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
+        databases = attributes["databases"]
+        if databases is None:
+            from ..core.database import Database
+            databases = [Database() for _ in range(attributes["shards"])]
+        relation = f"__shard_{relation_id}"
+        for child in databases:
+            if not child.catalog.exists(relation):
+                child.create_table(
+                    relation, schema,
+                    storage_method=attributes["child_storage"],
+                    attributes=attributes["child_attributes"])
+        channels = [{"relation": f"shard[{i}]",
+                     "latency": attributes["latency"],
+                     "retries": attributes["retries"],
+                     "breaker_threshold": attributes["breaker_threshold"],
+                     "breaker_cooldown": attributes["breaker_cooldown"]}
+                    for i in range(attributes["shards"])]
+        return {"relation_id": relation_id, "relation": relation,
+                "databases": databases, "channels": channels,
+                "shards": attributes["shards"],
+                "key_index": attributes["key_index"],
+                "partition": attributes["partition"],
+                "bounds": attributes["bounds"],
+                "latency": attributes["latency"]}
+
+    def destroy_instance(self, ctx, descriptor) -> None:
+        """Dropping the sharded relation never destroys the children."""
+
+    def recovery_handler(self) -> ResourceHandler:
+        return _ShardedHandler(self)
+
+    # -- routing / enlistment ---------------------------------------------------
+    @staticmethod
+    def _descriptor(handle: RelationHandle) -> dict:
+        return handle.descriptor.storage_descriptor
+
+    def _route(self, descriptor: dict, value) -> int:
+        if descriptor["partition"] == "hash":
+            return shard_of(value, descriptor["shards"])
+        return bisect_right(descriptor["bounds"], value)
+
+    def _transport(self, index: int) -> RemoteTransport:
+        transport = self._transports.get(index)
+        if transport is None:
+            transport = RemoteTransport(
+                fault_points=("shard.remote_call",
+                              f"shard.{index}.remote_call"),
+                message_counter="remote.messages",
+                latency_counter="remote.latency_units",
+                counter_prefix="remote.gateway")
+            self._transports[index] = transport
+        return transport
+
+    def _wire_events(self, ctx: ExecutionContext) -> None:
+        events = ctx.services.events
+        if id(events) in self._wired:
+            return
+        self._wired.add(id(events))
+        services = ctx.services
+        events.subscribe(ev.SAVEPOINT_SET, self._on_savepoint_set)
+        events.subscribe(ev.SAVEPOINT_ROLLBACK, self._on_savepoint_rollback)
+        events.subscribe(
+            ev.AT_END,
+            lambda txn_id, info: self._on_txn_end(services, txn_id, info))
+
+    def _enlist(self, ctx: ExecutionContext,
+                handle: RelationHandle) -> _Enlistment:
+        self._wire_events(ctx)
+        by_relation = self._runtime.setdefault(ctx.txn_id, {})
+        ent = by_relation.get(handle.relation_id)
+        if ent is None:
+            gtid = (f"s{handle.relation_id}.t{ctx.txn_id}"
+                    f".l{ctx.services.wal.current_lsn}")
+            ent = _Enlistment(gtid, handle.relation_id)
+            by_relation[handle.relation_id] = ent
+        return ent
+
+    def _participant(self, ctx: ExecutionContext, handle: RelationHandle,
+                     ent: _Enlistment, index: int) -> _ShardParticipant:
+        participant = ent.participants.get(index)
+        if participant is None:
+            descriptor = self._descriptor(handle)
+            child = descriptor["databases"][index]
+            child_txn = child.services.transactions.begin()
+            child.services.transactions.tag_gtid(child_txn, ent.gtid)
+            participant = _ShardParticipant(
+                index, child, child_txn, descriptor["channels"][index],
+                self._transport(index),
+                ctx.services.stats.namespace(f"shard.{index}"),
+                ctx.services)
+            # Mirror the live savepoint stack so a later partial rollback
+            # of the local transaction maps onto this late-joining child.
+            for name in ctx.txn._savepoint_order:
+                child.services.transactions.savepoint(
+                    child_txn, _mirror_name(name))
+            ent.participants[index] = participant
+            ctx.stats.bump("sharded.enlistments")
+        return participant
+
+    def _child_handle(self, descriptor: dict,
+                      participant: _ShardParticipant) -> RelationHandle:
+        return participant.database.catalog.handle(descriptor["relation"])
+
+    def _log_enlist(self, ctx: ExecutionContext, ent: _Enlistment,
+                    descriptor: dict) -> None:
+        """The durable pointer: a coordinator crash must still find every
+        child that may have voted, so the record names all shards."""
+        ctx.log(self.resource, {"op": "enlist", "gtid": ent.gtid,
+                                "relation_id": ent.relation_id,
+                                "txn_id": ctx.txn_id,
+                                "shards": list(range(descriptor["shards"]))})
+        ent.logged = True
+
+    def _mark_write(self, ctx: ExecutionContext, handle: RelationHandle,
+                    ent: _Enlistment) -> None:
+        if not ent.logged:
+            self._log_enlist(ctx, ent, self._descriptor(handle))
+        if not ent.hooked:
+            ent.hooked = True
+            ctx.defer(ev.BEFORE_PREPARE, self._phase_one, (ctx, handle))
+            ctx.defer(ev.AT_COMMIT, self._deliver, (ctx, handle))
+
+    # -- two-phase commit hooks -------------------------------------------------
+    def _phase_one(self, txn_id: int, data) -> None:
+        """Phase 1, run as a deferred BEFORE_PREPARE action at local commit.
+
+        Raising here vetoes the local commit (the transaction aborts), which
+        is exactly right while no child has been told to prepare — and once
+        one has, a later veto re-raises out of ``prepare_all`` after the
+        already-prepared children were rolled back.
+        """
+        ctx, handle = data
+        ent = self._runtime.get(txn_id, {}).get(handle.relation_id)
+        if ent is None:
+            return
+        voters = [p for p in ent.participants.values() if p.wrote]
+        if not voters:
+            return
+        if not ent.logged:
+            # Every write record was compensated by partial rollbacks; the
+            # children still vote, so the durable pointer must come back.
+            self._log_enlist(ctx, ent, self._descriptor(handle))
+        # The enlist record must be stable before any child makes a durable
+        # promise, or a coordinator crash could strand prepared children
+        # with nothing on stable storage pointing at them.
+        ctx.services.wal.flush()
+        coordinator = TwoPhaseCoordinator(ctx.services)
+        ent.prepared = coordinator.prepare_all(ent.gtid,
+                                              list(ent.participants.values()))
+        coordinator.log_decision(
+            txn_id, self.resource,
+            {"op": "decision", "gtid": ent.gtid,
+             "relation_id": ent.relation_id, "txn_id": txn_id,
+             "shards": [p.index for p in ent.prepared]})
+
+    def _deliver(self, txn_id: int, data) -> None:
+        """Phase 2, run as a deferred AT_COMMIT action.
+
+        The local COMMIT record is stable by now (pending AT_COMMIT work
+        forces a solo flush), and the decision record rode that force — so
+        a delivery failure leaves the child prepared and in doubt, never
+        in danger of divergence.
+        """
+        ctx, handle = data
+        ent = self._runtime.get(txn_id, {}).get(handle.relation_id)
+        if ent is None or not ent.prepared:
+            return
+        coordinator = TwoPhaseCoordinator(ctx.services)
+        left = coordinator.deliver_commit(ent.prepared)
+        if left:
+            ctx.stats.bump("sharded.indoubt_children", len(left))
+
+    # -- modification -----------------------------------------------------------
+    def insert(self, ctx, handle, record):
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        index = self._route(descriptor, record[descriptor["key_index"]])
+        participant = self._participant(ctx, handle, ent, index)
+        self._mark_write(ctx, handle, ent)
+        child_handle = self._child_handle(descriptor, participant)
+        remote_key = participant.call(
+            lambda: participant.database.data.insert(
+                participant.context(), child_handle, record))
+        participant.wrote = True
+        participant.stats.bump("remote.tuples_written")
+        ctx.stats.bump("sharded.inserts")
+        return (index, remote_key)
+
+    def update(self, ctx, handle, key, old_record, new_record):
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        old_index, remote_key = key
+        new_index = self._route(descriptor,
+                                new_record[descriptor["key_index"]])
+        self._mark_write(ctx, handle, ent)
+        if new_index == old_index:
+            participant = self._participant(ctx, handle, ent, old_index)
+            child_handle = self._child_handle(descriptor, participant)
+            new_remote = participant.call(
+                lambda: participant.database.data.update(
+                    participant.context(), child_handle, remote_key,
+                    new_record))
+            participant.wrote = True
+            participant.stats.bump("remote.tuples_written")
+            ctx.stats.bump("sharded.updates")
+            return (old_index, new_remote)
+        # The partition key moved: migrate the record across shards —
+        # delete here, insert there, both inside the same global txn.
+        source = self._participant(ctx, handle, ent, old_index)
+        target = self._participant(ctx, handle, ent, new_index)
+        source_handle = self._child_handle(descriptor, source)
+        target_handle = self._child_handle(descriptor, target)
+        source.call(lambda: source.database.data.delete(
+            source.context(), source_handle, remote_key))
+        new_remote = target.call(lambda: target.database.data.insert(
+            target.context(), target_handle, new_record))
+        source.wrote = True
+        target.wrote = True
+        source.stats.bump("remote.tuples_written")
+        target.stats.bump("remote.tuples_written")
+        ctx.stats.bump("sharded.updates")
+        ctx.stats.bump("sharded.migrations")
+        return (new_index, new_remote)
+
+    def delete(self, ctx, handle, key, old_record) -> None:
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        index, remote_key = key
+        participant = self._participant(ctx, handle, ent, index)
+        self._mark_write(ctx, handle, ent)
+        child_handle = self._child_handle(descriptor, participant)
+        participant.call(lambda: participant.database.data.delete(
+            participant.context(), child_handle, remote_key))
+        participant.wrote = True
+        participant.stats.bump("remote.tuples_written")
+        ctx.stats.bump("sharded.deletes")
+
+    # -- set-at-a-time modification ----------------------------------------------
+    def insert_batch(self, ctx, handle, records):
+        """Partition the batch, then one block-insert message per shard."""
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        groups: Dict[int, list] = {}
+        for position, record in enumerate(records):
+            index = self._route(descriptor, record[descriptor["key_index"]])
+            groups.setdefault(index, []).append((position, record))
+        self._mark_write(ctx, handle, ent)
+        keys: list = [None] * len(records)
+        for index in sorted(groups):
+            group = groups[index]
+            participant = self._participant(ctx, handle, ent, index)
+            child_handle = self._child_handle(descriptor, participant)
+            batch = [record for __, record in group]
+            remote_keys = participant.call(
+                lambda p=participant, h=child_handle, b=batch:
+                p.database.data.insert_batch(p.context(), h, b))
+            for (position, __), remote_key in zip(group, remote_keys):
+                keys[position] = (index, remote_key)
+            participant.wrote = True
+            participant.stats.bump("remote.tuples_written", len(batch))
+        ctx.stats.bump("sharded.inserts", len(records))
+        ctx.stats.bump("sharded.batch_fanout", len(groups))
+        return keys
+
+    def update_batch(self, ctx, handle, items):
+        """Route each (key, old, new) by its current shard; one message per
+        shard for in-place updates, migrations go record-at-a-time."""
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        self._mark_write(ctx, handle, ent)
+        keys: list = [None] * len(items)
+        in_place: Dict[int, list] = {}
+        for position, (key, old_record, new_record) in enumerate(items):
+            old_index, remote_key = key
+            new_index = self._route(descriptor,
+                                    new_record[descriptor["key_index"]])
+            if new_index == old_index:
+                in_place.setdefault(old_index, []).append(
+                    (position, remote_key, new_record))
+            else:
+                keys[position] = self.update(ctx, handle, key, old_record,
+                                             new_record)
+        for index in sorted(in_place):
+            group = in_place[index]
+            participant = self._participant(ctx, handle, ent, index)
+            child_handle = self._child_handle(descriptor, participant)
+            pairs = [(remote_key, new_record)
+                     for __, remote_key, new_record in group]
+            new_remotes = participant.call(
+                lambda p=participant, h=child_handle, b=pairs:
+                p.database.data.update_batch(p.context(), h, b))
+            for (position, __, ___), new_remote in zip(group, new_remotes):
+                keys[position] = (index, new_remote)
+            participant.wrote = True
+            participant.stats.bump("remote.tuples_written", len(pairs))
+        ctx.stats.bump("sharded.updates", len(items))
+        ctx.stats.bump("sharded.batch_fanout", len(in_place))
+        return keys
+
+    def delete_batch(self, ctx, handle, items) -> None:
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        self._mark_write(ctx, handle, ent)
+        groups: Dict[int, list] = {}
+        for key, __ in items:
+            index, remote_key = key
+            groups.setdefault(index, []).append(remote_key)
+        for index in sorted(groups):
+            participant = self._participant(ctx, handle, ent, index)
+            child_handle = self._child_handle(descriptor, participant)
+            remote_keys = groups[index]
+            participant.call(
+                lambda p=participant, h=child_handle, b=remote_keys:
+                p.database.data.delete_batch(p.context(), h, b))
+            participant.wrote = True
+            participant.stats.bump("remote.tuples_written", len(remote_keys))
+        ctx.stats.bump("sharded.deletes", len(items))
+        ctx.stats.bump("sharded.batch_fanout", len(groups))
+
+    # -- access -------------------------------------------------------------------
+    def fetch(self, ctx, handle, key, fields=None, predicate=None):
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        index, remote_key = key
+        participant = self._participant(ctx, handle, ent, index)
+        child_handle = self._child_handle(descriptor, participant)
+        try:
+            record = participant.call(
+                lambda: participant.database.data.fetch(
+                    participant.context(), child_handle, remote_key))
+        except GatewayError:
+            ctx.stats.bump("remote.degraded_fetches")
+            return None
+        if record is None:
+            return None
+        ctx.stats.bump("sharded.fetches")
+        if predicate is not None and not predicate.matches(record):
+            return None
+        if fields is None:
+            return record
+        return tuple(record[i] for i in fields)
+
+    def fetch_many(self, ctx, handle, keys, fields=None, predicate=None):
+        """Group the key set by shard: one block-fetch message per shard,
+        results stitched back into input order."""
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        groups: Dict[int, list] = {}
+        for key in keys:
+            index, remote_key = key
+            groups.setdefault(index, []).append(remote_key)
+        fetched: Dict = {}
+        for index in sorted(groups):
+            participant = self._participant(ctx, handle, ent, index)
+            child_handle = self._child_handle(descriptor, participant)
+            remote_keys = groups[index]
+            try:
+                pairs = participant.call(
+                    lambda p=participant, h=child_handle, b=remote_keys:
+                    p.database.data.fetch_many(p.context(), h, b))
+            except GatewayError:
+                ctx.stats.bump("remote.degraded_fetches")
+                continue
+            participant.stats.bump("remote.tuples_fetched", len(pairs))
+            for remote_key, record in pairs:
+                fetched[(index, remote_key)] = record
+        results = []
+        for key in keys:
+            record = fetched.get(key)
+            if record is None:
+                continue
+            if predicate is not None and not predicate.matches(record):
+                continue
+            if fields is None:
+                results.append((key, record))
+            else:
+                results.append((key, tuple(record[i] for i in fields)))
+        ctx.stats.bump("sharded.fetches", len(results))
+        return results
+
+    def _child_order(self, ctx, descriptor: dict):
+        """The key ordering the children report, or None.
+
+        Every shard runs the same child storage method over the same
+        schema, so shard 0's cost estimate speaks for all of them.
+        """
+        child = descriptor["databases"][0]
+        entry = child.catalog.entry(descriptor["relation"])
+        method = child.registry.storage_method(
+            entry.handle.descriptor.storage_method_id)
+        child_txn = child.services.transactions.begin()
+        try:
+            child_ctx = ExecutionContext(child_txn, child.services, child)
+            cost = method.estimate_cost(child_ctx, entry.handle, ())
+        finally:
+            child.services.transactions.abort(child_txn)
+        return cost.ordered_by
+
+    def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        streams = []
+        for index in range(descriptor["shards"]):
+            transport = self._transport(index)
+            if not transport.available(descriptor["channels"][index]):
+                # Degraded read: the dead shard contributes no rows rather
+                # than failing the whole scan.
+                ctx.stats.bump("remote.degraded_scans")
+                continue
+            participant = self._participant(ctx, handle, ent, index)
+            child_handle = self._child_handle(descriptor, participant)
+            child_predicate = None
+            if predicate is not None:
+                child_predicate = Predicate(predicate.expr,
+                                            child_handle.schema,
+                                            predicate.params)
+
+            def ship(p=participant, h=child_handle, where=child_predicate):
+                scan = p.database.data.open_scan(p.context(), h, None, where)
+                try:
+                    rows = []
+                    while True:
+                        chunk = scan.next_batch(256)
+                        if not chunk:
+                            break
+                        rows.extend(chunk)
+                finally:
+                    scan.close()
+                return rows
+
+            try:
+                rows = participant.call(ship)
+            except GatewayError:
+                ctx.stats.bump("remote.degraded_scans")
+                continue
+            participant.stats.bump("remote.tuples_scanned", len(rows))
+            streams.append([((index, remote_key), record)
+                            for remote_key, record in rows])
+        if len(streams) > 1 and self._child_order(ctx, descriptor):
+            # Key-ordered children: k-way merge on the remote key keeps the
+            # global stream ordered (remote keys are the child keys).
+            batch = list(heapq.merge(*streams, key=lambda pair: pair[0][1]))
+            ctx.stats.bump("sharded.merged_scans")
+        else:
+            batch = [pair for stream in streams for pair in stream]
+        scan = ShardedScan(ctx, handle, batch, fields)
+        ctx.services.scans.register(scan)
+        return scan
+
+    # -- planning -----------------------------------------------------------------
+    def record_count(self, ctx, handle) -> int:
+        descriptor = self._descriptor(handle)
+        total = 0
+        for index, child in enumerate(descriptor["databases"]):
+            transport = self._transport(index)
+            if not transport.available(descriptor["channels"][index]):
+                continue
+            total += child.table(descriptor["relation"]).count()
+        return total
+
+    def page_count(self, ctx, handle) -> int:
+        # Child pages are invisible; cost comes from per-shard messages.
+        return 0
+
+    def estimate_cost(self, ctx, handle, eligible) -> AccessCost:
+        descriptor = self._descriptor(handle)
+        tuples = max(1, self.record_count(ctx, handle))
+        selectivity = 1.0
+        for pred in eligible:
+            if pred.is_simple:
+                selectivity *= DEFAULT_SELECTIVITY.get(pred.op, 0.5)
+            else:
+                selectivity *= 0.5
+        expected = max(1.0, tuples * selectivity)
+        shards = descriptor["shards"]
+        latency = descriptor.get("latency", 0.5)
+        return AccessCost(io_pages=shards * latency + expected / 50.0,
+                          cpu_tuples=tuples,
+                          expected_tuples=expected,
+                          relevant=tuple(eligible),
+                          ordered_by=self._child_order(ctx, descriptor),
+                          route=("sharded_scan", shards))
+
+    # -- restart resolution --------------------------------------------------------
+    def resolve_decision(self, database, handle, payload: dict) -> int:
+        """Redeliver a stable commit decision to still-prepared children.
+
+        Called by :meth:`Database.resolve_indoubt` after a restart (or
+        after a crashed shard comes back).  Delivery is direct — this is
+        the resolution channel itself.
+        """
+        descriptor = handle.descriptor.storage_descriptor
+        gtid = payload["gtid"]
+        resolved = 0
+        for index in payload.get("shards", ()):
+            child = descriptor["databases"][index]
+            manager = child.services.transactions
+            child_txn = manager.find_gtid(gtid)
+            if child_txn is None or child_txn.settled:
+                continue
+            if child_txn.state is TxnState.PREPARED:
+                manager.commit_decided(child_txn)
+                resolved += 1
+        self._runtime.pop(payload["txn_id"], None)
+        return resolved
+
+    # -- event subscribers ---------------------------------------------------------
+    def _on_savepoint_set(self, txn_id: int, info: dict) -> None:
+        name = _mirror_name(info.get("name"))
+        for ent in self._runtime.get(txn_id, {}).values():
+            for participant in ent.participants.values():
+                child_txn = participant.txn
+                if child_txn.active and name not in child_txn.savepoints:
+                    participant.manager.savepoint(child_txn, name)
+
+    def _on_savepoint_rollback(self, txn_id: int, info: dict) -> None:
+        name = _mirror_name(info.get("name"))
+        for ent in self._runtime.get(txn_id, {}).values():
+            for participant in ent.participants.values():
+                child_txn = participant.txn
+                if child_txn.active and name in child_txn.savepoints:
+                    participant.manager.rollback_to(child_txn, name)
+
+    def _on_txn_end(self, services, txn_id: int, info: dict) -> None:
+        """End-of-transaction cleanup on the coordinator side.
+
+        Unprepared children are rolled back directly (connection-drop
+        semantics).  Prepared children depend on the local outcome: after
+        a local *abort* they receive the abort decision (a real message —
+        a dead channel leaves them prepared, to be drained by their own
+        database's close/restart under presumed abort); after a local
+        *commit* a still-prepared child is in doubt and must wait for the
+        decision to be redelivered, so it is left strictly alone.
+        """
+        by_relation = self._runtime.pop(txn_id, None)
+        if not by_relation:
+            return
+        local = services.transactions.get(txn_id)
+        committed = local is not None and local.state is TxnState.COMMITTED
+        for ent in by_relation.values():
+            for participant in ent.participants.values():
+                child_txn = participant.txn
+                if child_txn.settled:
+                    continue
+                if child_txn.state is TxnState.PREPARED:
+                    if committed:
+                        continue
+                    try:
+                        participant.abort_decided()
+                    except GatewayError:
+                        services.stats.bump("txn.2pc.indoubt")
+                    continue
+                participant.manager.abort(child_txn)

@@ -78,4 +78,5 @@ def test_builtin_registration_order_is_stable():
     assert [a.name for a in first.registry.attachment_types] \
         == [a.name for a in second.registry.attachment_types]
     assert [m.name for m in first.registry.storage_methods] \
-        == ["memory", "heap", "btree_file", "readonly", "foreign"]
+        == ["memory", "heap", "btree_file", "readonly", "foreign",
+            "sharded"]

@@ -1,0 +1,190 @@
+"""Explicit two-phase commit: participant API, coordinator, in-doubt restart."""
+
+import pytest
+
+from repro import Database
+from repro.core.context import ExecutionContext
+from repro.errors import (GatewayError, ReadOnlyTransactionError,
+                          TransactionError)
+from repro.services import wal as wal_records
+from repro.services.transactions import TwoPhaseCoordinator, TxnState
+
+
+def make_db():
+    db = Database(page_size=1024)
+    db.create_table("t", [("k", "INT"), ("v", "STRING")])
+    return db
+
+
+def write_one(db, txn, record=(1, "a")):
+    ctx = ExecutionContext(txn, db.services, db)
+    return db.data.insert(ctx, db.catalog.handle("t"), record)
+
+
+# -- participant API ---------------------------------------------------------------
+
+def test_prepare_forces_a_prepare_record_and_enters_prepared():
+    db = make_db()
+    mgr = db.services.transactions
+    txn = mgr.begin()
+    write_one(db, txn)
+    flushed_before = db.services.wal.flushed_lsn
+    mgr.prepare(txn, "g1")
+    assert txn.state is TxnState.PREPARED
+    assert txn.gtid == "g1"
+    assert mgr.find_gtid("g1") is txn
+    record = db.services.wal.record(db.services.wal.current_lsn)
+    assert record.kind == wal_records.PREPARE
+    assert record.payload["gtid"] == "g1"
+    # the vote is durable: the log was forced through the PREPARE record
+    assert db.services.wal.flushed_lsn > flushed_before
+    assert db.services.wal.flushed_lsn >= record.lsn
+    mgr.commit_decided(txn)
+    assert db.table("t").count() == 1
+
+
+def test_abort_decided_rolls_a_prepared_participant_back():
+    db = make_db()
+    mgr = db.services.transactions
+    txn = mgr.begin()
+    write_one(db, txn)
+    mgr.prepare(txn, "g1")
+    mgr.abort_decided(txn)
+    assert txn.state is TxnState.ABORTED
+    assert mgr.find_gtid("g1") is None
+    assert db.table("t").count() == 0
+
+
+def test_decisions_require_a_prepared_transaction():
+    db = make_db()
+    mgr = db.services.transactions
+    txn = mgr.begin()
+    write_one(db, txn)
+    with pytest.raises(TransactionError):
+        mgr.commit_decided(txn)
+    with pytest.raises(TransactionError):
+        mgr.abort_decided(txn)
+    mgr.abort(txn)
+
+
+def test_snapshot_readers_cannot_prepare():
+    db = make_db()
+    mgr = db.services.transactions
+    snap = mgr.begin(snapshot=True)
+    with pytest.raises(ReadOnlyTransactionError):
+        mgr.prepare(snap, "g1")
+    mgr.commit(snap)
+
+
+def test_gtid_collision_is_rejected():
+    db = make_db()
+    mgr = db.services.transactions
+    first = mgr.begin()
+    write_one(db, first, (1, "a"))
+    mgr.prepare(first, "g1")
+    second = mgr.begin()
+    write_one(db, second, (2, "b"))
+    with pytest.raises(TransactionError):
+        mgr.prepare(second, "g1")
+    mgr.commit_decided(first)
+    mgr.abort(second)
+
+
+# -- restart classification ---------------------------------------------------------
+
+def test_restart_keeps_prepared_transactions_in_doubt():
+    db = make_db()
+    mgr = db.services.transactions
+    txn = mgr.begin()
+    write_one(db, txn)
+    mgr.prepare(txn, "g-indoubt")
+    txn_id = txn.txn_id
+    summary = db.restart()
+    assert summary["indoubt"] == {txn_id: "g-indoubt"}
+    revived = db.services.transactions.find_gtid("g-indoubt")
+    assert revived is not None and revived.state is TxnState.PREPARED
+    # the in-doubt transaction's effects were redone, not rolled back:
+    # a commit decision completes it without replaying anything
+    db.services.transactions.commit_decided(revived)
+    assert db.table("t").count() == 1
+
+
+def test_restart_presumes_abort_when_the_vote_never_became_stable():
+    db = make_db()
+    mgr = db.services.transactions
+    txn = mgr.begin()
+    write_one(db, txn)
+    db.services.wal.flush()  # the writes are stable, the vote will not be
+    # stop the PREPARE force from reaching stable storage: the vote is
+    # lost with the crash, so restart must roll the transaction back
+    db.services.faults.arm("wal.flush", nth=1)
+    with pytest.raises(Exception):
+        mgr.prepare(txn, "g-lost")
+    db.services.faults.disarm()
+    db.restart()
+    assert db.services.transactions.find_gtid("g-lost") is None
+    assert db.table("t").count() == 0
+
+
+def test_close_drains_prepared_limbo():
+    db = make_db()
+    mgr = db.services.transactions
+    txn = mgr.begin()
+    write_one(db, txn)
+    mgr.prepare(txn, "g-limbo")
+    db.close()
+    assert db.services.stats.get("txn.indoubt.resolved") == 1
+    assert txn.state is TxnState.ABORTED
+
+
+# -- the coordinator over stub participants -----------------------------------------
+
+class StubParticipant:
+    def __init__(self, wrote=True, fail_prepare=False, fail_commit=False):
+        self.wrote = wrote
+        self.fail_prepare = fail_prepare
+        self.fail_commit = fail_commit
+        self.events = []
+
+    def prepare(self, gtid):
+        if self.fail_prepare:
+            raise GatewayError("vote lost")
+        self.events.append(("prepare", gtid))
+
+    def commit_decided(self):
+        if self.fail_commit:
+            raise GatewayError("decision lost")
+        self.events.append(("commit",))
+
+    def abort(self):
+        self.events.append(("abort",))
+
+
+def test_prepare_all_skips_read_only_participants():
+    db = make_db()
+    coordinator = TwoPhaseCoordinator(db.services)
+    writer, reader = StubParticipant(), StubParticipant(wrote=False)
+    prepared = coordinator.prepare_all("g", [writer, reader])
+    assert prepared == [writer]
+    assert reader.events == []
+    assert db.services.stats.get("txn.2pc.readonly_skips") == 1
+
+
+def test_failed_vote_aborts_the_other_voters_and_reraises():
+    db = make_db()
+    coordinator = TwoPhaseCoordinator(db.services)
+    good, bad = StubParticipant(), StubParticipant(fail_prepare=True)
+    with pytest.raises(GatewayError):
+        coordinator.prepare_all("g", [good, bad])
+    assert ("abort",) in good.events
+    assert db.services.stats.get("txn.2pc.votes_no") == 1
+
+
+def test_lost_commit_delivery_leaves_the_participant_in_doubt():
+    db = make_db()
+    coordinator = TwoPhaseCoordinator(db.services)
+    good, deaf = StubParticipant(), StubParticipant(fail_commit=True)
+    indoubt = coordinator.deliver_commit([good, deaf])
+    assert indoubt == [deaf]
+    assert ("commit",) in good.events
+    assert db.services.stats.get("txn.2pc.indoubt") == 1

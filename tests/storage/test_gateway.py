@@ -133,3 +133,66 @@ def test_success_resets_consecutive_failure_count():
             gateway.insert((99, 990))
     local.services.faults.disarm()
     assert local.services.stats.get("gateway.breaker.trips") == 0
+
+
+def test_fetch_many_retries_transient_failures_in_one_block_fetch():
+    local, __, gateway = make_federation()
+    keys = [key for key, __ in gateway.scan()][:3]
+    before = local.services.stats.get("foreign.messages")
+    arm_transient(local, nth=1)  # first attempt of the block-fetch is lost
+    with local.autocommit() as ctx:
+        pairs = local.data.fetch_many(ctx, local.catalog.handle("inventory_gw"),
+                                      keys)
+    local.services.faults.disarm()
+    assert len(pairs) == 3
+    assert local.services.stats.get("gateway.retry.attempts") == 1
+    # the whole key set still ships as one message (plus the lost attempt's
+    # accounting happens before the charge, so exactly the scan + retry)
+    assert local.services.stats.get("foreign.messages") - before == 1
+
+
+def test_fetch_many_degrades_while_the_breaker_is_open():
+    local, __, gateway = make_federation(breaker_cooldown=100)
+    keys = [key for key, __ in gateway.scan()][:3]
+    trip_breaker(local, gateway)
+    with local.autocommit() as ctx:
+        pairs = local.data.fetch_many(ctx, local.catalog.handle("inventory_gw"),
+                                      keys)
+    assert pairs == []
+    assert local.services.stats.get("gateway.degraded_fetches") == 1
+
+
+def test_half_open_probe_through_fetch_many_closes_the_breaker():
+    local, remote_table, gateway = make_federation(breaker_cooldown=1)
+    keys = [key for key, __ in gateway.scan()][:2]
+    trip_breaker(local, gateway)
+    handle = local.catalog.handle("inventory_gw")
+    with local.autocommit() as ctx:
+        assert local.data.fetch_many(ctx, handle, keys) == []  # fail fast
+    with local.autocommit() as ctx:
+        pairs = local.data.fetch_many(ctx, handle, keys)  # half-open probe
+    assert len(pairs) == 2
+    assert local.services.stats.get("gateway.half_open_probes") == 1
+    assert local.services.stats.get("gateway.breaker.closes") == 1
+
+
+def test_half_open_probe_through_open_scan_closes_the_breaker():
+    local, remote_table, gateway = make_federation(breaker_cooldown=1)
+    trip_breaker(local, gateway)
+    assert gateway.rows() == []  # fail fast, consumes the cooldown
+    # the next scan is the half-open probe: it reaches the healed remote,
+    # ships the batch, and closes the breaker for writes too
+    assert sorted(gateway.rows()) == sorted(remote_table.rows())
+    assert local.services.stats.get("gateway.breaker.closes") == 1
+    key = gateway.insert((77, 770))
+    assert remote_table.fetch(key) == (77, 770)
+
+
+def test_scan_mid_transaction_survives_a_transient_loss():
+    local, remote_table, gateway = make_federation()
+    arm_transient(local, nth=1)  # the scan's block-fetch loses one message
+    rows = gateway.rows()
+    local.services.faults.disarm()
+    assert sorted(rows) == sorted(remote_table.rows())
+    assert local.services.stats.get("gateway.retry.attempts") == 1
+    assert local.services.stats.get("gateway.degraded_scans") == 0
