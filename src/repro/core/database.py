@@ -349,11 +349,18 @@ class Database:
             self.services.transactions.abort(txn)
         # Drain PREPARED limbo: a participant whose coordinator died (or a
         # commit that failed between states) must not hold locks and
-        # undecided changes past shutdown.  Presumed abort applies — an
-        # orderly close is this database's heuristic decision point.
+        # undecided changes past shutdown.  An orderly close is this
+        # database's *heuristic* decision point: aborting a participant
+        # that voted may contradict a commit decision the coordinator
+        # durably logged but never delivered, so the gtid is remembered
+        # (durably, on the ABORT record) and a later decision redelivery
+        # reports the mismatch instead of silently resolving nothing.
         for txn in self.services.transactions.active_transactions():
             if txn.state is TxnState.PREPARED:
-                self.services.transactions.abort(txn)
+                if txn.gtid is not None:
+                    self.services.transactions.heuristic_abort(txn)
+                else:
+                    self.services.transactions.abort(txn)
                 self.services.stats.bump("txn.indoubt.resolved")
         self.services.transactions.commit_group()
         self.services.wal.flush()
@@ -394,12 +401,17 @@ class Database:
         self.services.transactions._by_gtid.clear()
         # In-doubt participants re-enter the active table in PREPARED
         # state: their stable PREPARE vote binds this database, so they
-        # hold their (redone) changes until the coordinator's decision
-        # arrives.  Their deferred actions were volatile and died with
-        # the crash.
+        # hold their (redone) changes — and re-acquire their record
+        # locks — until the coordinator's decision arrives.  Their
+        # deferred actions were volatile and died with the crash.
         for txn_id, gtid in summary.get("indoubt", {}).items():
             self.services.events.discard(txn_id)
             self.services.transactions.register_indoubt(txn_id, gtid)
+        # Heuristic-abort markers survive as marked ABORT records; rebuild
+        # the in-memory map so decision redelivery still detects mismatches
+        # after a restart.
+        self.services.transactions.heuristic_aborts.update(
+            summary.get("heuristic_aborts", {}))
 
         for entry in self.catalog.relations():
             handle = entry.handle

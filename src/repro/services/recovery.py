@@ -67,6 +67,20 @@ class ResourceHandler:
         performs the authoritative reversal afterwards.
         """
 
+    def locked_records(self, payload: dict):
+        """The ``(relation_id, record_key)`` pairs this logged operation
+        holds X record locks on while its transaction is live.
+
+        Restart uses this to re-acquire the locks of *in-doubt* PREPARED
+        participants: lock state is volatile, but a stable vote binds the
+        transaction to hold its writes until the coordinator decides, so
+        the records it touched must stay locked across the restart.
+        Handlers whose operations take no record locks (physical
+        allocations, attachment maintenance — protected by the base
+        relation's locks) keep the default empty answer.
+        """
+        return ()
+
 
 class RecoveryManager:
     """The common rollback / checkpoint / restart driver over the shared log."""
@@ -260,6 +274,12 @@ class RecoveryManager:
         prepared: Dict[int, object] = {
             txn_id: info.get("gtid") for txn_id, info in att.items()
             if info.get("state") == "prepared" and info.get("gtid")}
+        # Heuristic decisions: gtid -> txn_id for PREPARED participants
+        # this database unilaterally aborted (orderly shutdown with the
+        # coordinator's decision still unknown).  The marked ABORT record
+        # survives so a redelivered commit decision can detect the
+        # commit/abort mismatch instead of silently resolving nothing.
+        heuristic: Dict[object, int] = {}
         analyzed = 0
         for record in wal.forward(analysis_start):
             analyzed += 1
@@ -272,6 +292,9 @@ class RecoveryManager:
                 ended.add(record.txn_id)
             elif record.kind == wal_records.ABORT:
                 aborted.add(record.txn_id)
+                if record.payload and record.payload.get("heuristic") \
+                        and record.payload.get("gtid"):
+                    heuristic[record.payload["gtid"]] = record.txn_id
             elif record.kind == wal_records.PREPARE:
                 prepared[record.txn_id] = record.payload.get("gtid")
         # A stable PREPARE without a decision leaves the transaction *in
@@ -328,6 +351,7 @@ class RecoveryManager:
             buffer.flush_all()
         return {"losers": losers, "redone": redone, "undone": undone,
                 "indoubt": indoubt,
+                "heuristic_aborts": heuristic,
                 "committed": sorted(committed),
                 "checkpoint_lsn": master, "redo_from": redo_start,
                 "analysis_records": analyzed,

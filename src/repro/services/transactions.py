@@ -46,7 +46,7 @@ from ..errors import (GatewayError, ReadOnlyTransactionError, SnapshotError,
 from . import events as ev
 from . import wal as wal_records
 from .events import EventService
-from .locks import LockManager
+from .locks import LockManager, LockMode
 from .recovery import RecoveryManager
 from .scans import ABSENT, ScanService
 from .wal import LogManager
@@ -309,6 +309,12 @@ class TransactionManager:
         #: Two-phase commit: gtid -> prepared (or enlisted) transaction,
         #: so a remote coordinator can address participants by global id.
         self._by_gtid: Dict[str, Transaction] = {}
+        #: Heuristic decisions: gtid -> txn_id for in-doubt PREPARED
+        #: participants this database unilaterally aborted (orderly
+        #: shutdown with the coordinator's decision still unknown).  A
+        #: redelivered commit decision consults this to detect the
+        #: commit/abort mismatch instead of silently resolving nothing.
+        self.heuristic_aborts: Dict[str, int] = {}
         #: Group commit: 0 disables (every commit forces the log solo);
         #: N > 0 enqueues commits and auto-flushes once N are pending.
         self.group_commit_limit = 0
@@ -473,6 +479,10 @@ class TransactionManager:
         The transaction re-enters the active table in PREPARED state (its
         effects were redone from the log; restart undo skipped it) and is
         addressable by its global id, awaiting the coordinator's decision.
+        The record locks its operations held are re-acquired: without
+        them a post-restart transaction could overwrite a record the
+        in-doubt transaction wrote, and a later abort decision would roll
+        the newer committed write back with the stale before-image.
         """
         txn = Transaction(txn_id)
         txn.state = TxnState.PREPARED
@@ -481,16 +491,69 @@ class TransactionManager:
         if gtid is not None:
             self._by_gtid[gtid] = txn
         self._next_id = max(self._next_id, txn_id + 1)
+        self._relock_indoubt(txn)
         if self.stats is not None:
             self.stats.bump("txn.indoubt.registered")
         return txn
+
+    def _relock_indoubt(self, txn: Transaction) -> None:
+        """Re-acquire the X record locks an in-doubt participant held.
+
+        Lock state is volatile, but the stable PREPARE vote means the
+        transaction's writes stay pending until the coordinator decides.
+        Walks the transaction's retained log chain (truncation always
+        keeps active transactions' records) and asks each operation's
+        recovery handler which records it had locked.  CLRs are included:
+        under strict two-phase locking a compensated operation's locks
+        were still held, so re-locking them is conservative, never wrong.
+        No conflict is possible here — restart just reset the lock table
+        and in-doubt transactions' writes were X-serialized originally.
+        """
+        relocked = 0
+        lsn = self.wal.last_lsn(txn.txn_id)
+        while lsn:
+            record = self.wal.record(lsn)
+            if record.kind in (wal_records.UPDATE, wal_records.CLR):
+                handler = self.recovery.handler(record.resource)
+                for relation_id, key in handler.locked_records(record.payload):
+                    self.locks.acquire(txn.txn_id, ("rel", relation_id),
+                                       LockMode.IX)
+                    self.locks.acquire(txn.txn_id, ("rec", relation_id, key),
+                                       LockMode.X)
+                    relocked += 1
+            lsn = record.prev_lsn
+        if relocked and self.stats is not None:
+            self.stats.bump("txn.indoubt.locks_reacquired", relocked)
 
     def indoubt_transactions(self) -> tuple:
         """Active transactions sitting in PREPARED state under a gtid."""
         return tuple(t for t in self._active.values()
                      if t.state is TxnState.PREPARED and t.gtid is not None)
 
-    def abort(self, txn: Transaction) -> None:
+    def heuristic_abort(self, txn: Transaction) -> None:
+        """Unilaterally abort an in-doubt PREPARED participant.
+
+        Orderly shutdown is this database's heuristic decision point: the
+        limbo must drain, but the vote bound this transaction to the
+        coordinator's decision — which may turn out to have been a
+        durably logged COMMIT that simply never arrived.  The gtid is
+        remembered (and the ABORT record marked, so restart analysis can
+        rebuild the memory) so a later redelivery of the decision detects
+        and reports the commit/abort mismatch instead of silently
+        resolving nothing.
+        """
+        if txn.state is not TxnState.PREPARED:
+            raise TransactionError(
+                f"transaction {txn.txn_id} is {txn.state.value}; only a "
+                f"prepared transaction can be heuristically aborted")
+        gtid = txn.gtid
+        self.abort(txn, heuristic=True)
+        if gtid is not None:
+            self.heuristic_aborts[gtid] = txn.txn_id
+        if self.stats is not None:
+            self.stats.bump("txn.2pc.heuristic_aborts")
+
+    def abort(self, txn: Transaction, heuristic: bool = False) -> None:
         if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
             raise TransactionError(
                 f"transaction {txn.txn_id} already {txn.state.value}")
@@ -500,7 +563,10 @@ class TransactionManager:
         # A commit that failed between the COMMIT append and the flush is
         # being resolved here: withdraw its visibility stamp first.
         self._commit_lsns.pop(txn.txn_id, None)
-        self.wal.append(txn.txn_id, wal_records.ABORT)
+        payload = None
+        if heuristic and txn.gtid is not None:
+            payload = {"heuristic": True, "gtid": txn.gtid}
+        self.wal.append(txn.txn_id, wal_records.ABORT, payload=payload)
         self.recovery.rollback(txn.txn_id, to_lsn=0)
         # The rollback restored every before-image, so the transaction's
         # transitions never happened as far as any snapshot is concerned.
@@ -733,6 +799,13 @@ class TwoPhaseCoordinator:
                         other.abort()
                     except GatewayError:
                         self._bump("txn.2pc.indoubt")
+                    except Exception:
+                        # Any other cleanup failure (e.g. a racing state
+                        # change) must neither stop the remaining aborts
+                        # nor mask the original vote failure; the
+                        # participant stays unsettled, i.e. in doubt.
+                        self._bump("txn.2pc.indoubt")
+                        self._bump("txn.2pc.cleanup_failures")
                 raise
             prepared.append(participant)
         self._bump("txn.2pc.prepared", len(prepared))

@@ -78,6 +78,15 @@ class _BTreeFileHandler(ResourceHandler):
     """Undo/redo: pages are LSN-guarded; the directory is undo-only
     (it lives in non-volatile catalog storage and survives the crash)."""
 
+    def locked_records(self, payload: dict):
+        op = payload.get("op")
+        relation_id = payload["relation_id"]
+        if op in ("insert", "update", "delete"):
+            return [(relation_id, tuple(payload["key"]))]
+        if op in ("insert_multi", "delete_multi"):
+            return [(relation_id, tuple(key)) for key in payload["keys"]]
+        return ()  # new_page: physical allocation, no record lock
+
     def undo(self, services, payload: dict, clr_lsn: int) -> None:
         descriptor = _descriptor_for(services, payload)
         if descriptor is None:

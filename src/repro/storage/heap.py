@@ -60,6 +60,16 @@ def _ensure_formatted(page: PageView) -> None:
 class _HeapHandler(ResourceHandler):
     """Page-stamped undo/redo for heap operations."""
 
+    def locked_records(self, payload: dict):
+        op = payload.get("op")
+        relation_id = payload["relation_id"]
+        if op in ("insert", "update", "delete"):
+            return [(relation_id, (payload["page"], payload["slot"]))]
+        if op in ("insert_multi", "delete_multi"):
+            return [(relation_id, (payload["page"], slot))
+                    for slot in payload["slots"]]
+        return ()  # new_page: physical allocation, no record lock
+
     def undo(self, services, payload: dict, clr_lsn: int) -> None:
         op = payload["op"]
         descriptor = _descriptor_for(services, payload)

@@ -148,6 +148,15 @@ class MemoryScan(Scan):
 class _MemoryHandler(ResourceHandler):
     """Undo-only recovery: temporary relations do not survive restart."""
 
+    def locked_records(self, payload: dict):
+        op = payload.get("op")
+        relation_id = payload["relation_id"]
+        if op in ("insert", "update", "delete"):
+            return [(relation_id, payload["key"])]
+        if op in ("insert_multi", "delete_multi"):
+            return [(relation_id, key) for key in payload["keys"]]
+        return ()
+
     def undo(self, services, payload: dict, clr_lsn: int) -> None:
         descriptor = _descriptor_for(services, payload)
         if descriptor is None:

@@ -218,6 +218,9 @@ class _ShardedHandler(ResourceHandler):
             manager = child.services.transactions
             child_txn = manager.find_gtid(gtid)
             if child_txn is None or child_txn.settled:
+                # A heuristic abort that matches the presumed-abort outcome
+                # is no mismatch; retire the marker.
+                manager.heuristic_aborts.pop(gtid, None)
                 continue
             if child_txn.state is TxnState.PREPARED:
                 manager.abort_decided(child_txn)
@@ -300,7 +303,7 @@ class ShardedStorageMethod(StorageMethod):
         # local txn id -> relation id -> _Enlistment
         self._runtime: Dict[int, Dict[int, _Enlistment]] = {}
         self._transports: Dict[int, RemoteTransport] = {}
-        self._wired: set = set()
+        self._wired: list = []
 
     # -- DDL -------------------------------------------------------------------
     def validate_attributes(self, schema, attributes):
@@ -312,6 +315,7 @@ class ShardedStorageMethod(StorageMethod):
         bounds = attributes.pop("bounds", None)
         child_storage = attributes.pop("child_storage", "heap")
         child_attributes = attributes.pop("child_attributes", None)
+        degraded_reads = attributes.pop("degraded_reads", False)
         latency = attributes.pop("latency", 0.5)
         retries = attributes.pop("retries", 3)
         threshold = attributes.pop("breaker_threshold", 3)
@@ -374,11 +378,16 @@ class ShardedStorageMethod(StorageMethod):
                                                            dict):
             raise StorageError(
                 "sharded storage: child_attributes must be a dict")
+        if not isinstance(degraded_reads, bool):
+            raise StorageError(
+                f"sharded storage: degraded_reads must be a bool, got "
+                f"{degraded_reads!r}")
         return {"databases": databases, "shards": shards,
                 "key": key, "key_index": key_index,
                 "partition": partition, "bounds": bounds,
                 "child_storage": child_storage,
                 "child_attributes": child_attributes,
+                "degraded_reads": degraded_reads,
                 "latency": float(latency),
                 "retries": retries, "breaker_threshold": threshold,
                 "breaker_cooldown": cooldown}
@@ -407,6 +416,7 @@ class ShardedStorageMethod(StorageMethod):
                 "key_index": attributes["key_index"],
                 "partition": attributes["partition"],
                 "bounds": attributes["bounds"],
+                "degraded_reads": attributes["degraded_reads"],
                 "latency": attributes["latency"]}
 
     def destroy_instance(self, ctx, descriptor) -> None:
@@ -439,9 +449,11 @@ class ShardedStorageMethod(StorageMethod):
 
     def _wire_events(self, ctx: ExecutionContext) -> None:
         events = ctx.services.events
-        if id(events) in self._wired:
+        if any(wired is events for wired in self._wired):
             return
-        self._wired.add(id(events))
+        # Keep the service itself, not id(): holding the reference pins the
+        # object so a recycled address can never masquerade as "already wired".
+        self._wired.append(events)
         services = ctx.services
         events.subscribe(ev.SAVEPOINT_SET, self._on_savepoint_set)
         events.subscribe(ev.SAVEPOINT_ROLLBACK, self._on_savepoint_rollback)
@@ -715,6 +727,8 @@ class ShardedStorageMethod(StorageMethod):
                 lambda: participant.database.data.fetch(
                     participant.context(), child_handle, remote_key))
         except GatewayError:
+            if not descriptor.get("degraded_reads"):
+                raise
             ctx.stats.bump("remote.degraded_fetches")
             return None
         if record is None:
@@ -745,6 +759,8 @@ class ShardedStorageMethod(StorageMethod):
                     lambda p=participant, h=child_handle, b=remote_keys:
                     p.database.data.fetch_many(p.context(), h, b))
             except GatewayError:
+                if not descriptor.get("degraded_reads"):
+                    raise
                 ctx.stats.bump("remote.degraded_fetches")
                 continue
             participant.stats.bump("remote.tuples_fetched", len(pairs))
@@ -789,8 +805,13 @@ class ShardedStorageMethod(StorageMethod):
         for index in range(descriptor["shards"]):
             transport = self._transport(index)
             if not transport.available(descriptor["channels"][index]):
-                # Degraded read: the dead shard contributes no rows rather
-                # than failing the whole scan.
+                if not descriptor.get("degraded_reads"):
+                    raise GatewayError(
+                        f"shard {index} is unavailable (circuit breaker "
+                        f"open); create the relation with "
+                        f"degraded_reads=True to read around dead shards")
+                # Degraded read (opted in): the dead shard contributes no
+                # rows rather than failing the whole scan.
                 ctx.stats.bump("remote.degraded_scans")
                 continue
             participant = self._participant(ctx, handle, ent, index)
@@ -817,6 +838,8 @@ class ShardedStorageMethod(StorageMethod):
             try:
                 rows = participant.call(ship)
             except GatewayError:
+                if not descriptor.get("degraded_reads"):
+                    raise
                 ctx.stats.bump("remote.degraded_scans")
                 continue
             participant.stats.bump("remote.tuples_scanned", len(rows))
@@ -840,6 +863,11 @@ class ShardedStorageMethod(StorageMethod):
         for index, child in enumerate(descriptor["databases"]):
             transport = self._transport(index)
             if not transport.available(descriptor["channels"][index]):
+                if not descriptor.get("degraded_reads"):
+                    raise GatewayError(
+                        f"shard {index} is unavailable (circuit breaker "
+                        f"open); create the relation with "
+                        f"degraded_reads=True to read around dead shards")
                 continue
             total += child.table(descriptor["relation"]).count()
         return total
@@ -883,6 +911,12 @@ class ShardedStorageMethod(StorageMethod):
             manager = child.services.transactions
             child_txn = manager.find_gtid(gtid)
             if child_txn is None or child_txn.settled:
+                # A vanished prepared child that heuristically aborted
+                # contradicts this durable COMMIT: its changes are gone
+                # while its siblings' are committed.  Surface the damage
+                # instead of silently counting the child as resolved.
+                if manager.heuristic_aborts.pop(gtid, None) is not None:
+                    database.services.stats.bump("txn.2pc.heuristic_mismatches")
                 continue
             if child_txn.state is TxnState.PREPARED:
                 manager.commit_decided(child_txn)

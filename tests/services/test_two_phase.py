@@ -4,7 +4,7 @@ import pytest
 
 from repro import Database
 from repro.core.context import ExecutionContext
-from repro.errors import (GatewayError, ReadOnlyTransactionError,
+from repro.errors import (GatewayError, LockError, ReadOnlyTransactionError,
                           TransactionError)
 from repro.services import wal as wal_records
 from repro.services.transactions import TwoPhaseCoordinator, TxnState
@@ -126,6 +126,37 @@ def test_restart_presumes_abort_when_the_vote_never_became_stable():
     assert db.table("t").count() == 0
 
 
+def test_restart_reacquires_indoubt_record_locks():
+    """An in-doubt participant must re-hold its X locks after restart:
+    without them a new transaction could overwrite its record, and a
+    later abort decision would clobber the newer write with the stale
+    before-image."""
+    db = make_db()
+    mgr = db.services.transactions
+    setup = mgr.begin()
+    key = write_one(db, setup, (1, "a"))
+    mgr.commit(setup)
+    txn = mgr.begin()
+    ctx = ExecutionContext(txn, db.services, db)
+    key = db.data.update(ctx, db.catalog.handle("t"), key, (1, "b"))
+    mgr.prepare(txn, "g-locked")
+    db.restart()
+    assert db.services.stats.get("txn.indoubt.locks_reacquired") >= 1
+    intruder = db.services.transactions.begin()
+    ictx = ExecutionContext(intruder, db.services, db)
+    with pytest.raises(LockError):
+        db.data.update(ictx, db.catalog.handle("t"), key, (1, "c"))
+    db.services.transactions.abort(intruder)
+    revived = db.services.transactions.find_gtid("g-locked")
+    db.services.transactions.commit_decided(revived)
+    # the decision released the locks; the record is writable again
+    later = db.services.transactions.begin()
+    lctx = ExecutionContext(later, db.services, db)
+    db.data.update(lctx, db.catalog.handle("t"), key, (1, "c"))
+    db.services.transactions.commit(later)
+    assert [r for __, r in db.table("t").scan()] == [(1, "c")]
+
+
 def test_close_drains_prepared_limbo():
     db = make_db()
     mgr = db.services.transactions
@@ -140,10 +171,12 @@ def test_close_drains_prepared_limbo():
 # -- the coordinator over stub participants -----------------------------------------
 
 class StubParticipant:
-    def __init__(self, wrote=True, fail_prepare=False, fail_commit=False):
+    def __init__(self, wrote=True, fail_prepare=False, fail_commit=False,
+                 fail_abort=False):
         self.wrote = wrote
         self.fail_prepare = fail_prepare
         self.fail_commit = fail_commit
+        self.fail_abort = fail_abort
         self.events = []
 
     def prepare(self, gtid):
@@ -157,6 +190,8 @@ class StubParticipant:
         self.events.append(("commit",))
 
     def abort(self):
+        if self.fail_abort:
+            raise TransactionError("participant state changed underfoot")
         self.events.append(("abort",))
 
 
@@ -178,6 +213,21 @@ def test_failed_vote_aborts_the_other_voters_and_reraises():
         coordinator.prepare_all("g", [good, bad])
     assert ("abort",) in good.events
     assert db.services.stats.get("txn.2pc.votes_no") == 1
+
+
+def test_failed_vote_cleanup_survives_a_dead_voter():
+    """A cleanup abort that fails with a non-gateway error must neither
+    stop the remaining voters' rollback nor mask the vote failure."""
+    db = make_db()
+    coordinator = TwoPhaseCoordinator(db.services)
+    dead = StubParticipant(fail_abort=True)
+    good = StubParticipant()
+    bad = StubParticipant(fail_prepare=True)
+    with pytest.raises(GatewayError):
+        coordinator.prepare_all("g", [dead, good, bad])
+    assert ("abort",) in good.events
+    assert db.services.stats.get("txn.2pc.indoubt") == 1
+    assert db.services.stats.get("txn.2pc.cleanup_failures") == 1
 
 
 def test_lost_commit_delivery_leaves_the_participant_in_doubt():

@@ -229,6 +229,30 @@ def test_shard_dies_after_prepare_then_resolves_to_commit():
     assert shard_union(db) == sorted(ROWS)
 
 
+def test_child_heuristic_abort_reports_commit_mismatch():
+    """A shard that drains its limbo (orderly close) after its commit
+    decision was lost contradicts the durable COMMIT; redelivery must
+    report the mismatch instead of silently resolving nothing."""
+    db, table = make_sharded(shards=2)
+    txn, ctx = begin_ctx(db)
+    handle = db.catalog.handle("emp")
+    ctx.defer(ev.AT_COMMIT, lambda __, ___: db.services.faults.arm(
+        "shard.0.remote_call", error=GatewayError, nth=1, one_shot=False))
+    db.data.insert_batch(ctx, handle, ROWS)
+    db.services.transactions.commit(txn)  # decision to shard 0 lost
+    db.services.faults.disarm()
+    __, dbs = children(db)
+    # Shard 0 shuts down on its own: its heuristic abort is remembered
+    # durably (marked ABORT record) and survives the shard's restart.
+    dbs[0].close()
+    assert dbs[0].services.stats.get("txn.2pc.heuristic_aborts") == 1
+    dbs[0].restart()
+    assert db.resolve_indoubt() == 0
+    assert db.services.stats.get("txn.2pc.heuristic_mismatches") == 1
+    # the damage is real — shard 1 committed, shard 0 rolled back
+    assert 0 < len(shard_union(db)) < 10
+
+
 def test_coordinator_restart_redelivers_the_decision():
     db, table = make_sharded(shards=2)
     txn, ctx = begin_ctx(db)
@@ -281,7 +305,7 @@ def test_live_abort_after_prepare_delivers_the_abort():
 
 
 def test_breaker_open_shard_fails_writes_closed_and_degrades_reads():
-    db, table = make_sharded(shards=2)
+    db, table = make_sharded(shards=2, degraded_reads=True)
     table.insert_many(ROWS)
     shard0_rows = [(v, "zz") for v in range(100, 400)
                    if shard_of(v, 2) == 0][:4]
@@ -315,3 +339,29 @@ def test_breaker_open_shard_fails_writes_closed_and_degrades_reads():
     assert healed
     assert len(table.scan()) == 10
     assert db.services.stats.get("remote.gateway.breaker.closes") == 1
+
+
+def test_reads_fail_closed_without_degraded_opt_in():
+    """Without degraded_reads=True a dead shard fails reads loudly rather
+    than silently returning a partial answer."""
+    db, table = make_sharded(shards=2)
+    table.insert_many(ROWS)
+    shard0_rows = [(v, "zz") for v in range(100, 400)
+                   if shard_of(v, 2) == 0][:4]
+    db.services.faults.arm("shard.0.remote_call", error=GatewayError,
+                           nth=1, one_shot=False)
+    for __ in range(3):  # breaker_threshold exhausted calls
+        with pytest.raises(GatewayError):
+            table.insert_many(shard0_rows)
+    db.services.faults.disarm()
+    descriptor, __ = children(db)
+    method = db.registry.storage_method(6)
+    assert not method._transport(0).available(descriptor["channels"][0])
+    with pytest.raises(GatewayError):
+        table.scan()
+    assert db.services.stats.get("remote.degraded_scans") == 0
+
+
+def test_degraded_reads_attribute_must_be_bool():
+    with pytest.raises(StorageError):
+        make_sharded(shards=2, degraded_reads="yes")
