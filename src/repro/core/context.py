@@ -22,13 +22,17 @@ __all__ = ["ExecutionContext"]
 class ExecutionContext:
     """Per-operation bundle: transaction + services + database."""
 
-    __slots__ = ("txn", "services", "database")
+    __slots__ = ("txn", "services", "database", "read_report")
 
     def __init__(self, txn: Transaction, services: SystemServices,
                  database=None):
         self.txn = txn
         self.services = services
         self.database = database
+        #: Structured outcome of the last degraded-capable read through
+        #: this context (set by storage methods that can serve partial or
+        #: stale results — see the sharded method), or None.
+        self.read_report = None
 
     # -- convenience passthroughs used by every extension ----------------------
     @property

@@ -130,25 +130,40 @@ class Relation:
     # Access
     # ------------------------------------------------------------------
     def fetch(self, key, fields: Optional[Sequence[str]] = None,
-              access_path: Optional[AccessPath] = None):
+              access_path: Optional[AccessPath] = None,
+              with_report: bool = False):
         """Direct-by-key access; returns the record tuple (or selected
-        fields), or None."""
+        fields), or None.
+
+        With ``with_report=True`` returns ``(record, report)`` where
+        ``report`` is the storage method's structured read outcome (which
+        shards were skipped or served stale, and the staleness bound) —
+        or None for methods that always read complete and current data.
+        """
         db = self.database
         db.authorization.check(db.principal, self.name, SELECT)
         handle = self.handle
         indexes = handle.schema.indexes_of(fields) if fields else None
         with db.autocommit() as ctx:
-            return db.data.fetch(ctx, handle, key, indexes,
-                                 access_path=access_path)
+            record = db.data.fetch(ctx, handle, key, indexes,
+                                   access_path=access_path)
+            if with_report:
+                return record, ctx.read_report
+            return record
 
     def scan(self, where=None, fields: Optional[Sequence[str]] = None,
-             params: Optional[dict] = None) -> List[Tuple]:
+             params: Optional[dict] = None, with_report: bool = False):
         """Key-sequential access; returns ``[(key, values), ...]``.
 
         ``where`` may be a predicate string (parsed and evaluated by the
         common predicate service, inside the storage method, while records
         are still in the buffer pool) or a pre-built
         :class:`~repro.services.predicate.Predicate`.
+
+        With ``with_report=True`` returns ``(rows, report)`` where
+        ``report`` is the storage method's structured read outcome (which
+        shards were skipped or served stale, and the staleness bound) —
+        or None for methods that always read complete and current data.
         """
         db = self.database
         db.authorization.check(db.principal, self.name, SELECT)
@@ -156,8 +171,10 @@ class Relation:
         predicate = self._predicate(where, params)
         indexes = handle.schema.indexes_of(fields) if fields else None
         out: List[Tuple] = []
+        report = None
         with db.autocommit() as ctx:
             scan = db.data.open_scan(ctx, handle, indexes, predicate)
+            report = ctx.read_report
             try:
                 while True:
                     batch = scan.next_batch(256)
@@ -167,6 +184,8 @@ class Relation:
             finally:
                 scan.close()
                 db.services.scans.unregister(scan)
+        if with_report:
+            return out, report
         return out
 
     def rows(self, where=None, fields: Optional[Sequence[str]] = None,

@@ -223,6 +223,23 @@ class GatewayError(ForeignError):
     """
 
 
+class ReplicationError(StorageError):
+    """The replication service could not complete a protocol step (no
+    promotable standby, nothing to readmit, a broken parity invariant)."""
+
+
+class FencingError(GatewayError):
+    """A message carried a deposed primary's epoch and was rejected.
+
+    Raised on the coordinator side when a participant bound to an old
+    epoch tries to send, and on the standby side when a stale ship
+    arrives.  A :class:`GatewayError` subclass so existing channel-failure
+    cleanup (abort, in-doubt accounting) treats fenced work as
+    undeliverable — but fenced sends are never retried: the fence is a
+    decision, not a transient.
+    """
+
+
 class InjectedFault(ReproError):
     """The default error raised by a fired fault-injection point."""
 

@@ -72,6 +72,23 @@ class BlockDevice:
         self.stats.bump(f"{self.name}.allocations")
         return page_id
 
+    def ensure_allocated(self, page_id: int) -> None:
+        """Install ``page_id`` as an allocated, zeroed page.
+
+        Replication apply uses this to materialise the primary's page
+        allocations on a standby by id, instead of replaying the
+        allocator's own order.  A no-op when the page already exists.
+        """
+        if page_id in self._pages:
+            return
+        if page_id in self._free:
+            self._free.remove(page_id)
+            self._freed.discard(page_id)
+        self._pages[page_id] = bytes(self.page_size)
+        if page_id >= self._next_id:
+            self._next_id = page_id + 1
+        self.stats.bump(f"{self.name}.allocations")
+
     def free(self, page_id: int) -> None:
         """Return a page to the free list."""
         self._check(page_id)

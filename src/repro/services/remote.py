@@ -11,16 +11,32 @@ the unreliable-messaging discipline:
   exactly the Nth message to exactly one peer;
 * transient :class:`~repro.errors.GatewayError`\\ s are retried with
   bounded deterministic exponential backoff, charged as latency units
-  rather than wall-clock sleep;
+  rather than wall-clock sleep; the backoff is *jittered* (equal jitter:
+  each wait lands in ``[cap/2, cap]``, seeded by the channel name and
+  attempt number so runs reproduce exactly) to keep synchronized
+  retriers from hammering a recovering peer in lockstep;
+* an optional per-call **deadline** (channel knob ``deadline``, same
+  I/O-page-equivalent scale as ``latency``) bounds the retry tail: when
+  the attempt round trips plus backoff waits would exceed the budget the
+  call stops retrying, counts ``remote.deadline_exceeded`` (and the
+  prefixed ``{prefix}.deadline_exceeded``), and registers a breaker
+  failure;
 * repeated exhausted calls trip a per-channel **circuit breaker**: calls
   then fail fast (no message attempted) for a cooldown of calls, after
   which one half-open probe either closes the breaker or re-opens it.
+  Only one probe may be in flight per channel: a second session racing
+  the probe fails fast (``{prefix}.probe_conflicts``) instead of
+  stacking probes — so a slow probe can neither be double-counted as a
+  close nor wedge the breaker for everyone else.
 
 A *channel* is a plain descriptor dict (the storage descriptor for the
 foreign method; one per shard for the sharded method) carrying the knobs
-``latency``, ``retries``, ``breaker_threshold``, ``breaker_cooldown``;
-the breaker state itself lives in the channel under ``"breaker"``, so
-every remote relation (or shard) fails independently.
+``latency``, ``retries``, ``breaker_threshold``, ``breaker_cooldown``,
+and optionally ``deadline`` and a channel-specific ``fault_point`` (an
+extra injection point naming the *endpoint* behind the channel, so tests
+can kill one peer while its successors stay reachable); the breaker
+state itself lives in the channel under ``"breaker"``, so every remote
+relation (or shard) fails independently.
 
 A :class:`RemoteTransport` is configuration only — fault-point names and
 counter names — and holds no mutable state, so one instance can serve any
@@ -31,9 +47,10 @@ gateway's historical counter names exactly (``foreign.messages``,
 
 from __future__ import annotations
 
+import zlib
 from typing import Sequence
 
-from ..errors import GatewayError
+from ..errors import FencingError, GatewayError
 
 __all__ = ["RemoteTransport"]
 
@@ -63,6 +80,9 @@ class RemoteTransport:
         if faults is not None and faults.armed:
             for point in self.fault_points:
                 faults.fire(point)
+            endpoint = channel.get("fault_point")
+            if endpoint is not None:
+                faults.fire(endpoint)
         stats.bump(self.message_counter)
         stats.bump(self.latency_counter,
                    int(channel.get("latency", 2.0) * 100))
@@ -83,6 +103,21 @@ class RemoteTransport:
         channel["breaker"] = {"failures": 0, "open": False,
                               "cooldown_left": 0}
 
+    # -- backoff ---------------------------------------------------------------
+    @staticmethod
+    def backoff_units(channel: dict, base_latency: int, attempt: int) -> int:
+        """Jittered exponential backoff for one retry, in latency units.
+
+        Equal jitter: the wait lands in ``[cap/2, cap]`` where ``cap`` is
+        ``base_latency * 2**attempt``.  The jitter is seeded by the channel
+        name and the attempt number (no wall clock, no global RNG), so
+        every run of the same scenario charges identical units while
+        distinct channels still spread their retries apart.
+        """
+        cap = base_latency * (2 ** attempt)
+        seed = zlib.crc32(f"{channel.get('relation')}|{attempt}".encode())
+        return int(cap * (0.5 + (seed % 1000) / 2000.0))
+
     # -- the guarded call ------------------------------------------------------
     def call(self, channel: dict, stats, action):
         """Run one remote interaction behind retry + circuit breaker.
@@ -90,15 +125,19 @@ class RemoteTransport:
         ``action()`` performs the message round trip (including its
         :meth:`remote_call` accounting) and returns the result.  Transient
         :class:`GatewayError`\\ s are retried up to the channel's
-        ``retries`` with deterministic exponential backoff charged as
-        latency units.  An exhausted call counts a breaker failure;
-        ``breaker_threshold`` of them in a row open the breaker, and while
-        it is open every call fails fast until ``breaker_cooldown``
-        fail-fast calls have passed — then one half-open probe runs for
-        real and closes the breaker on success.
+        ``retries`` with jittered exponential backoff charged as latency
+        units; a channel ``deadline`` caps the attempt-plus-backoff budget
+        so the retry tail is bounded.  An exhausted (or deadlined) call
+        counts a breaker failure; ``breaker_threshold`` of them in a row
+        open the breaker, and while it is open every call fails fast until
+        ``breaker_cooldown`` fail-fast calls have passed — then one
+        half-open probe runs for real and closes the breaker on success.
+        Concurrent sessions never stack probes: while one probe is in
+        flight, other callers fail fast.
         """
         prefix = self.counter_prefix
         breaker = self.breaker(channel)
+        probing = False
         if breaker["open"]:
             if breaker["cooldown_left"] > 0:
                 breaker["cooldown_left"] -= 1
@@ -106,34 +145,73 @@ class RemoteTransport:
                 raise GatewayError(
                     f"remote channel to {channel.get('relation')!r} is "
                     "unavailable (circuit breaker open)")
+            if breaker.get("probing"):
+                # Another session's half-open probe is in flight.  Joining
+                # it would let two callers observe one success and close
+                # the breaker twice — or, with an interleaved failure,
+                # leave the state machine wedged half-open.
+                stats.bump(f"{prefix}.fail_fast")
+                stats.bump(f"{prefix}.probe_conflicts")
+                raise GatewayError(
+                    f"remote channel to {channel.get('relation')!r} is "
+                    "unavailable (half-open probe already in flight)")
+            breaker["probing"] = True
+            probing = True
             stats.bump(f"{prefix}.half_open_probes")  # probe falls through
         retries = int(channel.get("retries", 3))
         base_latency = int(channel.get("latency", 2.0) * 100)
+        deadline = channel.get("deadline")
+        budget = None if deadline is None else int(float(deadline) * 100)
+        spent = 0
         attempt = 0
-        while True:
-            try:
-                result = action()
-            except GatewayError:
-                if attempt < retries:
-                    # Bounded deterministic backoff: the retry charges
-                    # escalating latency units instead of wall-clock sleep.
-                    stats.bump(f"{prefix}.retry.attempts")
-                    stats.bump(f"{prefix}.retry.backoff_units",
-                               base_latency * (2 ** attempt))
-                    attempt += 1
-                    continue
-                stats.bump(f"{prefix}.retry.exhausted")
-                breaker["failures"] += 1
-                if breaker["failures"] >= int(
-                        channel.get("breaker_threshold", 3)):
-                    breaker["open"] = True
-                    breaker["cooldown_left"] = int(
-                        channel.get("breaker_cooldown", 8))
-                    stats.bump(f"{prefix}.breaker.trips")
-                raise
-            if breaker["open"]:
-                stats.bump(f"{prefix}.breaker.closes")
-            breaker["open"] = False
-            breaker["failures"] = 0
-            breaker["cooldown_left"] = 0
-            return result
+        try:
+            while True:
+                spent += base_latency  # the attempt's own round trip
+                try:
+                    result = action()
+                except FencingError:
+                    # A fence is a decision, not a transient: retrying a
+                    # deposed sender can never succeed, and the channel
+                    # itself is healthy, so no breaker failure either.
+                    raise
+                except GatewayError as exc:
+                    if attempt < retries:
+                        backoff = self.backoff_units(channel, base_latency,
+                                                     attempt)
+                        if (budget is None
+                                or spent + backoff + base_latency <= budget):
+                            # Bounded jittered backoff: the retry charges
+                            # escalating latency units, not wall-clock sleep.
+                            stats.bump(f"{prefix}.retry.attempts")
+                            stats.bump(f"{prefix}.retry.backoff_units",
+                                       backoff)
+                            spent += backoff
+                            attempt += 1
+                            continue
+                        stats.bump(f"{prefix}.deadline_exceeded")
+                        stats.bump("remote.deadline_exceeded")
+                        self._breaker_failure(channel, breaker, stats)
+                        raise GatewayError(
+                            f"remote call to {channel.get('relation')!r} "
+                            f"exceeded its deadline ({deadline} latency "
+                            f"units) after {attempt + 1} attempt(s)"
+                        ) from exc
+                    stats.bump(f"{prefix}.retry.exhausted")
+                    self._breaker_failure(channel, breaker, stats)
+                    raise
+                if breaker["open"]:
+                    stats.bump(f"{prefix}.breaker.closes")
+                breaker["open"] = False
+                breaker["failures"] = 0
+                breaker["cooldown_left"] = 0
+                return result
+        finally:
+            if probing:
+                breaker["probing"] = False
+
+    def _breaker_failure(self, channel: dict, breaker: dict, stats) -> None:
+        breaker["failures"] += 1
+        if breaker["failures"] >= int(channel.get("breaker_threshold", 3)):
+            breaker["open"] = True
+            breaker["cooldown_left"] = int(channel.get("breaker_cooldown", 8))
+            stats.bump(f"{self.counter_prefix}.breaker.trips")

@@ -27,6 +27,7 @@ rewriting.
 
 from __future__ import annotations
 
+from copy import deepcopy
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..errors import RecoveryError
@@ -248,6 +249,63 @@ class LogManager:
             self._checkpoint_callback()
         finally:
             self._in_checkpoint_trigger = False
+
+    # -- replication ------------------------------------------------------------------
+    def ship_since(self, after_lsn: int,
+                   up_to: Optional[int] = None) -> List[dict]:
+        """Serialize records with ``after_lsn < lsn <= up_to`` for shipping.
+
+        Returns plain wire dicts (payloads deep-copied: what crosses the
+        channel is a serialization, never a shared object).  ``up_to``
+        defaults to the whole log; replication callers pass the stable
+        prefix (``flushed_lsn``) so a standby never holds records its
+        primary could still lose.  Raises :class:`RecoveryError` when
+        ``after_lsn`` falls below the truncation horizon — the standby has
+        fallen off the retained log and must be rebuilt.
+        """
+        if after_lsn + 1 < self.oldest_lsn:
+            raise RecoveryError(
+                f"cannot ship from LSN {after_lsn + 1}: the log was "
+                f"truncated (oldest retained LSN is {self.oldest_lsn}); "
+                f"the standby needs a full rebuild")
+        top = self.current_lsn if up_to is None else min(up_to,
+                                                         self.current_lsn)
+        wire = []
+        for record in self.forward(after_lsn + 1):
+            if record.lsn > top:
+                break
+            wire.append({"lsn": record.lsn, "prev_lsn": record.prev_lsn,
+                         "txn_id": record.txn_id, "kind": record.kind,
+                         "resource": record.resource,
+                         "payload": deepcopy(record.payload),
+                         "undo_next": record.undo_next})
+        return wire
+
+    def append_replicated(self, wire: dict) -> bool:
+        """Append one shipped record at its original LSN.
+
+        Returns False for a duplicate (at-least-once delivery: a lost ack
+        makes the primary re-ship records the standby already holds) and
+        raises :class:`RecoveryError` on a gap — a standby must never hold
+        a log with holes, or redo from it would silently skip effects.
+        Bypasses fault points and the auto-checkpoint trigger: the append
+        is the standby's half of a ship, not a local operation.
+        """
+        lsn = wire["lsn"]
+        if lsn <= self.current_lsn:
+            return False
+        if lsn != self.current_lsn + 1:
+            raise RecoveryError(
+                f"replication gap: expected LSN {self.current_lsn + 1}, "
+                f"got {lsn}")
+        record = LogRecord(lsn, wire["prev_lsn"], wire["txn_id"],
+                           wire["kind"], wire.get("resource"),
+                           wire.get("payload"), wire.get("undo_next"))
+        self._records.append(record)
+        self._last_lsn[record.txn_id] = lsn
+        if record.txn_id not in self._first_lsn:
+            self._first_lsn[record.txn_id] = lsn
+        return True
 
     # -- reading ----------------------------------------------------------------------
     def record(self, lsn: int) -> LogRecord:

@@ -197,6 +197,7 @@ class ForeignStorageMethod(StorageMethod):
         retries = attributes.pop("retries", 3)
         threshold = attributes.pop("breaker_threshold", 3)
         cooldown = attributes.pop("breaker_cooldown", 8)
+        deadline = attributes.pop("deadline", None)
         if attributes:
             raise StorageError(
                 f"foreign storage: unknown attributes {sorted(attributes)}")
@@ -215,6 +216,11 @@ class ForeignStorageMethod(StorageMethod):
                 raise StorageError(
                     f"foreign storage: {name} must be a non-negative "
                     f"integer, got {value!r}")
+        if deadline is not None and (
+                not isinstance(deadline, (int, float)) or deadline <= 0):
+            raise StorageError(
+                f"foreign storage: deadline must be a positive number, got "
+                f"{deadline!r}")
         remote_schema = remote_db.catalog.handle(remote_relation).schema
         if tuple(f.type_code for f in remote_schema.fields) != \
                 tuple(f.type_code for f in schema.fields):
@@ -223,16 +229,20 @@ class ForeignStorageMethod(StorageMethod):
                 "matching field types")
         return {"database": remote_db, "relation": remote_relation,
                 "latency": float(latency), "retries": retries,
-                "breaker_threshold": threshold, "breaker_cooldown": cooldown}
+                "breaker_threshold": threshold, "breaker_cooldown": cooldown,
+                "deadline": deadline}
 
     def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
-        return {"relation_id": relation_id,
-                "database": attributes["database"],
-                "relation": attributes["relation"],
-                "latency": attributes["latency"],
-                "retries": attributes["retries"],
-                "breaker_threshold": attributes["breaker_threshold"],
-                "breaker_cooldown": attributes["breaker_cooldown"]}
+        descriptor = {"relation_id": relation_id,
+                      "database": attributes["database"],
+                      "relation": attributes["relation"],
+                      "latency": attributes["latency"],
+                      "retries": attributes["retries"],
+                      "breaker_threshold": attributes["breaker_threshold"],
+                      "breaker_cooldown": attributes["breaker_cooldown"]}
+        if attributes.get("deadline") is not None:
+            descriptor["deadline"] = float(attributes["deadline"])
+        return descriptor
 
     def destroy_instance(self, ctx, descriptor) -> None:
         """Dropping the gateway never touches the foreign relation."""

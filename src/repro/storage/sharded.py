@@ -57,7 +57,20 @@ field), ``partition`` ("hash" default, or "range" with ``bounds``),
 ``child_storage`` (storage method for the child relations, default
 "heap"), and the per-channel transport knobs ``latency`` (default 0.5 —
 shards are near peers, cheaper than a wide-area gateway), ``retries``,
-``breaker_threshold``, ``breaker_cooldown``.
+``breaker_threshold``, ``breaker_cooldown``, ``deadline`` (per-call retry
+budget in latency units).
+
+Replication (see :mod:`~repro.services.replication`): ``replicas`` gives
+every shard that many WAL-shipped standby databases; ``replication``
+picks the durability mode (``async``/``semi-sync``/``quorum``);
+``heartbeat_every`` probes shard health every that many operations.  With
+standbys, reads route around a dead primary to the most-caught-up standby
+(counted per shard under ``shard.<i>.stale_reads``, with the staleness
+bound in the read report), and under quorum mode a primary declared down
+is replaced by automatic promotion — fenced by an epoch so its late
+writes are rejected.  Every degraded-capable read leaves a structured
+report on ``ctx.read_report`` (and :attr:`ShardedScan.report`):
+``{"complete", "skipped_shards", "stale_shards", "max_lag_lsn"}``.
 """
 
 from __future__ import annotations
@@ -69,16 +82,27 @@ from typing import Dict, Optional, Sequence
 from ..core.context import ExecutionContext
 from ..core.hashing import shard_of
 from ..core.storage_method import RelationHandle, StorageMethod
-from ..errors import GatewayError, ScanError, StorageError
+from ..errors import FencingError, GatewayError, ScanError, StorageError
 from ..query.cost import AccessCost, DEFAULT_SELECTIVITY
 from ..services import events as ev
 from ..services.predicate import Predicate
 from ..services.recovery import ResourceHandler
 from ..services.remote import RemoteTransport
+from ..services.replication import DOWN, MODES, ReplicationService
 from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
 from ..services.transactions import TwoPhaseCoordinator, TxnState
 
 __all__ = ["ShardedStorageMethod", "ShardedScan"]
+
+
+#: Distinguishes "shard unreached" from a legitimate None/empty result.
+_UNREACHED = object()
+
+
+def _fresh_report() -> dict:
+    """The structured outcome of one degraded-capable read."""
+    return {"complete": True, "skipped_shards": [], "stale_shards": [],
+            "max_lag_lsn": 0}
 
 
 def _mirror_name(name) -> str:
@@ -108,10 +132,10 @@ class _ShardParticipant:
     """
 
     __slots__ = ("index", "database", "txn", "channel", "transport", "stats",
-                 "services", "wrote")
+                 "services", "wrote", "repl", "epoch")
 
     def __init__(self, index, database, txn, channel, transport, stats,
-                 services):
+                 services, repl=None):
         self.index = index
         self.database = database
         self.txn = txn
@@ -120,6 +144,11 @@ class _ShardParticipant:
         self.stats = stats
         self.services = services  # the *coordinator's* (owns the channel)
         self.wrote = False
+        self.repl = repl
+        # The fencing token: bound at creation.  A promotion bumps the
+        # shard epoch, after which every send by this participant is
+        # rejected — the deposed primary's late writes can never land.
+        self.epoch = 0 if repl is None else repl.epoch(index)
 
     @property
     def manager(self):
@@ -136,26 +165,62 @@ class _ShardParticipant:
         Faults fire on the coordinator's injector: the channel (and what
         can go wrong on it) belongs to the coordinator's side of the world,
         not to the child it fails to reach.
+
+        With replication, every send checks the fencing token first, and
+        the outcome feeds the shard health state machine; a shard declared
+        down escalates to promotion when the durability mode permits it.
         """
+        if self.repl is not None and self.repl.epoch(self.index) != self.epoch:
+            self.services.stats.bump("repl.fenced")
+            raise FencingError(
+                f"shard {self.index}: participant bound to deposed epoch "
+                f"{self.epoch} (current epoch "
+                f"{self.repl.epoch(self.index)})")
+
         def send():
             self.transport.remote_call(self.services, self.channel,
                                        self.stats)
             return action()
-        return self.transport.call(self.channel, self.stats, send)
+        try:
+            result = self.transport.call(self.channel, self.stats, send)
+        except FencingError:
+            raise
+        except GatewayError:
+            if self.repl is not None:
+                self.repl.report_failure(self.index)
+                if self.repl.health(self.index) == DOWN:
+                    # This transaction is already lost on this shard, but
+                    # promotion lets the *next* one bind a live primary.
+                    self.repl.maybe_promote(self.index)
+            raise
+        if self.repl is not None:
+            self.repl.report_success(self.index)
+        return result
 
     # -- 2PC participant protocol ------------------------------------------------
     def prepare(self, gtid: str) -> None:
         self.call(lambda: self.manager.prepare(self.txn, gtid))
+        if self.repl is not None:
+            # The child's log is forced through its PREPARE record; ship
+            # it and gate the vote on the mode's standby acks.  Raising
+            # here withholds the vote — the global transaction aborts, so
+            # no write is ever acknowledged beyond its replication level.
+            self.repl.on_prepared(self.index,
+                                  self.database.services.wal.flushed_lsn)
 
     def commit_decided(self) -> None:
         if self.txn.settled:
             return
         self.call(lambda: self.manager.commit_decided(self.txn))
+        if self.repl is not None:
+            self.repl.on_decided(self.index)
 
     def abort_decided(self) -> None:
         if self.txn.settled:
             return
         self.call(lambda: self.manager.abort_decided(self.txn))
+        if self.repl is not None:
+            self.repl.on_decided(self.index)
 
     def abort(self) -> None:
         """Roll the child back — through the channel when it has voted.
@@ -240,10 +305,16 @@ class ShardedScan(Scan):
     Every available shard ships its (filtered) rows in one message at open;
     the position is an index into the merged batch, so save/restore under
     partial rollback is trivial.
+
+    :attr:`report` is the structured read outcome: ``complete`` (no shard
+    was skipped), ``skipped_shards`` (unreachable, contributed nothing),
+    ``stale_shards`` (served by a standby), and ``max_lag_lsn`` (worst
+    staleness bound among the stale shards, in log records).
     """
 
     def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
-                 batch, fields: Optional[Sequence[int]]):
+                 batch, fields: Optional[Sequence[int]],
+                 report: Optional[dict] = None):
         super().__init__(ctx.txn_id)
         self.ctx = ctx
         self.handle = handle
@@ -251,6 +322,7 @@ class ShardedScan(Scan):
         self.fields = tuple(fields) if fields is not None else None
         self.state = BEFORE
         self.position: Optional[int] = None
+        self.report = report if report is not None else _fresh_report()
 
     def _project(self, pair):
         key, record = pair
@@ -320,6 +392,10 @@ class ShardedStorageMethod(StorageMethod):
         retries = attributes.pop("retries", 3)
         threshold = attributes.pop("breaker_threshold", 3)
         cooldown = attributes.pop("breaker_cooldown", 8)
+        deadline = attributes.pop("deadline", None)
+        replicas = attributes.pop("replicas", 0)
+        replication = attributes.pop("replication", "async")
+        heartbeat_every = attributes.pop("heartbeat_every", 0)
         if attributes:
             raise StorageError(
                 f"sharded storage: unknown attributes {sorted(attributes)}")
@@ -382,6 +458,35 @@ class ShardedStorageMethod(StorageMethod):
             raise StorageError(
                 f"sharded storage: degraded_reads must be a bool, got "
                 f"{degraded_reads!r}")
+        if deadline is not None and (not isinstance(deadline, (int, float))
+                                     or deadline <= 0):
+            raise StorageError(
+                f"sharded storage: deadline must be a positive number, "
+                f"got {deadline!r}")
+        for name, value in (("replicas", replicas),
+                            ("heartbeat_every", heartbeat_every)):
+            if not isinstance(value, int) or value < 0:
+                raise StorageError(
+                    f"sharded storage: {name} must be a non-negative "
+                    f"integer, got {value!r}")
+        if replication not in MODES:
+            raise StorageError(
+                f"sharded storage: replication must be one of {MODES}, "
+                f"got {replication!r}")
+        if replicas:
+            # Physical log shipping demands the parity invariant: standby
+            # children must be byte-for-byte rebuildable by replaying the
+            # primary child's log, so the primaries must be databases this
+            # method created itself, running the one storage method whose
+            # recovery handler the standby applier understands.
+            if databases is not None:
+                raise StorageError(
+                    "sharded storage: replicas requires method-created "
+                    "children ('shards'), not caller-supplied 'databases'")
+            if child_storage != "heap":
+                raise StorageError(
+                    f"sharded storage: replicas requires child_storage="
+                    f"'heap', got {child_storage!r}")
         return {"databases": databases, "shards": shards,
                 "key": key, "key_index": key_index,
                 "partition": partition, "bounds": bounds,
@@ -390,7 +495,10 @@ class ShardedStorageMethod(StorageMethod):
                 "degraded_reads": degraded_reads,
                 "latency": float(latency),
                 "retries": retries, "breaker_threshold": threshold,
-                "breaker_cooldown": cooldown}
+                "breaker_cooldown": cooldown,
+                "deadline": None if deadline is None else float(deadline),
+                "replicas": replicas, "replication": replication,
+                "heartbeat_every": heartbeat_every}
 
     def create_instance(self, ctx, relation_id, schema, attributes) -> dict:
         databases = attributes["databases"]
@@ -404,20 +512,41 @@ class ShardedStorageMethod(StorageMethod):
                     relation, schema,
                     storage_method=attributes["child_storage"],
                     attributes=attributes["child_attributes"])
-        channels = [{"relation": f"shard[{i}]",
-                     "latency": attributes["latency"],
-                     "retries": attributes["retries"],
-                     "breaker_threshold": attributes["breaker_threshold"],
-                     "breaker_cooldown": attributes["breaker_cooldown"]}
-                    for i in range(attributes["shards"])]
-        return {"relation_id": relation_id, "relation": relation,
-                "databases": databases, "channels": channels,
-                "shards": attributes["shards"],
-                "key_index": attributes["key_index"],
-                "partition": attributes["partition"],
-                "bounds": attributes["bounds"],
-                "degraded_reads": attributes["degraded_reads"],
-                "latency": attributes["latency"]}
+        channels = []
+        for i in range(attributes["shards"]):
+            channel = {"relation": f"shard[{i}]",
+                       "latency": attributes["latency"],
+                       "retries": attributes["retries"],
+                       "breaker_threshold": attributes["breaker_threshold"],
+                       "breaker_cooldown": attributes["breaker_cooldown"],
+                       # The endpoint fault point names the *instance*
+                       # behind the channel: arming it kills this primary
+                       # while its promoted successor stays reachable.
+                       "fault_point": f"shard.{i}.primary"}
+            if attributes["deadline"] is not None:
+                channel["deadline"] = attributes["deadline"]
+            channels.append(channel)
+        descriptor = {"relation_id": relation_id, "relation": relation,
+                      "databases": databases, "channels": channels,
+                      "shards": attributes["shards"],
+                      "key_index": attributes["key_index"],
+                      "partition": attributes["partition"],
+                      "bounds": attributes["bounds"],
+                      "degraded_reads": attributes["degraded_reads"],
+                      "latency": attributes["latency"],
+                      "replicas": attributes["replicas"],
+                      "replication_mode": attributes["replication"],
+                      "replication": None}
+        if attributes["replicas"]:
+            descriptor["replication"] = ReplicationService(
+                descriptor, ctx.services,
+                mode=attributes["replication"],
+                replicas=attributes["replicas"],
+                schema=schema,
+                child_storage=attributes["child_storage"],
+                child_attributes=attributes["child_attributes"],
+                heartbeat_every=attributes["heartbeat_every"])
+        return descriptor
 
     def destroy_instance(self, ctx, descriptor) -> None:
         """Dropping the sharded relation never destroys the children."""
@@ -464,6 +593,11 @@ class ShardedStorageMethod(StorageMethod):
     def _enlist(self, ctx: ExecutionContext,
                 handle: RelationHandle) -> _Enlistment:
         self._wire_events(ctx)
+        repl = self._descriptor(handle).get("replication")
+        if repl is not None:
+            # The operation-driven heartbeat clock: the simulation has no
+            # wall time, so "every N operations" stands in for "every N ms".
+            repl.tick()
         by_relation = self._runtime.setdefault(ctx.txn_id, {})
         ent = by_relation.get(handle.relation_id)
         if ent is None:
@@ -485,7 +619,7 @@ class ShardedStorageMethod(StorageMethod):
                 index, child, child_txn, descriptor["channels"][index],
                 self._transport(index),
                 ctx.services.stats.namespace(f"shard.{index}"),
-                ctx.services)
+                ctx.services, descriptor.get("replication"))
             # Mirror the live savepoint stack so a later partial rollback
             # of the local transaction maps onto this late-joining child.
             for name in ctx.txn._savepoint_order:
@@ -715,21 +849,78 @@ class ShardedStorageMethod(StorageMethod):
         ctx.stats.bump("sharded.deletes", len(items))
         ctx.stats.bump("sharded.batch_fanout", len(groups))
 
+    # -- degraded / failed-over reads ---------------------------------------------
+    @staticmethod
+    def _start_report(ctx: ExecutionContext) -> dict:
+        """Begin a structured read outcome and publish it on the context."""
+        report = _fresh_report()
+        ctx.read_report = report
+        return report
+
+    @staticmethod
+    def _stale_read(descriptor: dict, index: int, report: dict, action):
+        """Try the shard's standbys; the result, or ``_UNREACHED``.
+
+        A successful standby read marks the shard stale in the report and
+        widens its staleness bound by the standby's lag.
+        """
+        repl = descriptor.get("replication")
+        if repl is None or not repl.standbys(index):
+            return _UNREACHED
+        try:
+            result, lag = repl.failover_read(index, action)
+        except GatewayError:
+            return _UNREACHED
+        report["stale_shards"].append(index)
+        report["max_lag_lsn"] = max(report["max_lag_lsn"], lag)
+        return result
+
+    @staticmethod
+    def _skip_shard(ctx: ExecutionContext, descriptor: dict, index: int,
+                    report: dict, counter: str,
+                    failure: Optional[GatewayError]) -> None:
+        """Degraded skip (opted in) or fail closed with the original error."""
+        if not descriptor.get("degraded_reads"):
+            if failure is not None:
+                raise failure
+            raise GatewayError(
+                f"shard {index} is unavailable (circuit breaker open); "
+                f"create the relation with degraded_reads=True to read "
+                f"around dead shards")
+        ctx.stats.bump(counter)
+        ctx.stats.bump(f"shard.{index}.degraded_skips")
+        report["complete"] = False
+        report["skipped_shards"].append(index)
+
     # -- access -------------------------------------------------------------------
     def fetch(self, ctx, handle, key, fields=None, predicate=None):
         descriptor = self._descriptor(handle)
         ent = self._enlist(ctx, handle)
+        report = self._start_report(ctx)
         index, remote_key = key
         participant = self._participant(ctx, handle, ent, index)
         child_handle = self._child_handle(descriptor, participant)
+        record = _UNREACHED
+        failure = None
         try:
             record = participant.call(
                 lambda: participant.database.data.fetch(
                     participant.context(), child_handle, remote_key))
-        except GatewayError:
-            if not descriptor.get("degraded_reads"):
-                raise
-            ctx.stats.bump("remote.degraded_fetches")
+        except GatewayError as exc:
+            failure = exc
+        if record is _UNREACHED:
+
+            def fetch_standby(db, relation=descriptor["relation"],
+                              rk=remote_key):
+                h = db.catalog.handle(relation)
+                with db.autocommit() as sctx:
+                    return db.data.fetch(sctx, h, rk)
+
+            record = self._stale_read(descriptor, index, report,
+                                      fetch_standby)
+        if record is _UNREACHED:
+            self._skip_shard(ctx, descriptor, index, report,
+                             "remote.degraded_fetches", failure)
             return None
         if record is None:
             return None
@@ -745,6 +936,7 @@ class ShardedStorageMethod(StorageMethod):
         results stitched back into input order."""
         descriptor = self._descriptor(handle)
         ent = self._enlist(ctx, handle)
+        report = self._start_report(ctx)
         groups: Dict[int, list] = {}
         for key in keys:
             index, remote_key = key
@@ -754,16 +946,30 @@ class ShardedStorageMethod(StorageMethod):
             participant = self._participant(ctx, handle, ent, index)
             child_handle = self._child_handle(descriptor, participant)
             remote_keys = groups[index]
+            pairs = _UNREACHED
+            failure = None
             try:
                 pairs = participant.call(
                     lambda p=participant, h=child_handle, b=remote_keys:
                     p.database.data.fetch_many(p.context(), h, b))
-            except GatewayError:
-                if not descriptor.get("degraded_reads"):
-                    raise
-                ctx.stats.bump("remote.degraded_fetches")
+            except GatewayError as exc:
+                failure = exc
+            else:
+                participant.stats.bump("remote.tuples_fetched", len(pairs))
+            if pairs is _UNREACHED:
+
+                def fetch_standby(db, relation=descriptor["relation"],
+                                  rks=remote_keys):
+                    h = db.catalog.handle(relation)
+                    with db.autocommit() as sctx:
+                        return db.data.fetch_many(sctx, h, rks)
+
+                pairs = self._stale_read(descriptor, index, report,
+                                         fetch_standby)
+            if pairs is _UNREACHED:
+                self._skip_shard(ctx, descriptor, index, report,
+                                 "remote.degraded_fetches", failure)
                 continue
-            participant.stats.bump("remote.tuples_fetched", len(pairs))
             for remote_key, record in pairs:
                 fetched[(index, remote_key)] = record
         results = []
@@ -801,48 +1007,77 @@ class ShardedStorageMethod(StorageMethod):
     def open_scan(self, ctx, handle, fields=None, predicate=None) -> Scan:
         descriptor = self._descriptor(handle)
         ent = self._enlist(ctx, handle)
+        report = self._start_report(ctx)
         streams = []
         for index in range(descriptor["shards"]):
             transport = self._transport(index)
-            if not transport.available(descriptor["channels"][index]):
-                if not descriptor.get("degraded_reads"):
-                    raise GatewayError(
-                        f"shard {index} is unavailable (circuit breaker "
-                        f"open); create the relation with "
-                        f"degraded_reads=True to read around dead shards")
+            rows = _UNREACHED
+            failure = None
+            if transport.available(descriptor["channels"][index]):
+                participant = self._participant(ctx, handle, ent, index)
+                child_handle = self._child_handle(descriptor, participant)
+                child_predicate = None
+                if predicate is not None:
+                    child_predicate = Predicate(predicate.expr,
+                                                child_handle.schema,
+                                                predicate.params)
+
+                def ship(p=participant, h=child_handle,
+                         where=child_predicate):
+                    scan = p.database.data.open_scan(p.context(), h, None,
+                                                     where)
+                    try:
+                        rows = []
+                        while True:
+                            chunk = scan.next_batch(256)
+                            if not chunk:
+                                break
+                            rows.extend(chunk)
+                    finally:
+                        scan.close()
+                    return rows
+
+                try:
+                    rows = participant.call(ship)
+                except GatewayError as exc:
+                    failure = exc
+                else:
+                    participant.stats.bump("remote.tuples_scanned",
+                                           len(rows))
+            if rows is _UNREACHED:
+                # Fail over to the most-caught-up standby: a stale-but-
+                # bounded stream beats no stream, and the report says
+                # exactly which shards are stale and by how much.
+
+                def drain_standby(db, relation=descriptor["relation"],
+                                  where=predicate):
+                    h = db.catalog.handle(relation)
+                    child_where = None
+                    if where is not None:
+                        child_where = Predicate(where.expr, h.schema,
+                                                where.params)
+                    with db.autocommit() as sctx:
+                        scan = db.data.open_scan(sctx, h, None, child_where)
+                        try:
+                            out = []
+                            while True:
+                                chunk = scan.next_batch(256)
+                                if not chunk:
+                                    break
+                                out.extend(chunk)
+                        finally:
+                            scan.close()
+                            db.services.scans.unregister(scan)
+                    return out
+
+                rows = self._stale_read(descriptor, index, report,
+                                        drain_standby)
+            if rows is _UNREACHED:
                 # Degraded read (opted in): the dead shard contributes no
                 # rows rather than failing the whole scan.
-                ctx.stats.bump("remote.degraded_scans")
+                self._skip_shard(ctx, descriptor, index, report,
+                                 "remote.degraded_scans", failure)
                 continue
-            participant = self._participant(ctx, handle, ent, index)
-            child_handle = self._child_handle(descriptor, participant)
-            child_predicate = None
-            if predicate is not None:
-                child_predicate = Predicate(predicate.expr,
-                                            child_handle.schema,
-                                            predicate.params)
-
-            def ship(p=participant, h=child_handle, where=child_predicate):
-                scan = p.database.data.open_scan(p.context(), h, None, where)
-                try:
-                    rows = []
-                    while True:
-                        chunk = scan.next_batch(256)
-                        if not chunk:
-                            break
-                        rows.extend(chunk)
-                finally:
-                    scan.close()
-                return rows
-
-            try:
-                rows = participant.call(ship)
-            except GatewayError:
-                if not descriptor.get("degraded_reads"):
-                    raise
-                ctx.stats.bump("remote.degraded_scans")
-                continue
-            participant.stats.bump("remote.tuples_scanned", len(rows))
             streams.append([((index, remote_key), record)
                             for remote_key, record in rows])
         if len(streams) > 1 and self._child_order(ctx, descriptor):
@@ -852,22 +1087,30 @@ class ShardedStorageMethod(StorageMethod):
             ctx.stats.bump("sharded.merged_scans")
         else:
             batch = [pair for stream in streams for pair in stream]
-        scan = ShardedScan(ctx, handle, batch, fields)
+        ctx.read_report = report  # _child_order spawns child reads
+        scan = ShardedScan(ctx, handle, batch, fields, report)
         ctx.services.scans.register(scan)
         return scan
 
     # -- planning -----------------------------------------------------------------
     def record_count(self, ctx, handle) -> int:
         descriptor = self._descriptor(handle)
+        report = self._start_report(ctx)
         total = 0
         for index, child in enumerate(descriptor["databases"]):
             transport = self._transport(index)
             if not transport.available(descriptor["channels"][index]):
-                if not descriptor.get("degraded_reads"):
-                    raise GatewayError(
-                        f"shard {index} is unavailable (circuit breaker "
-                        f"open); create the relation with "
-                        f"degraded_reads=True to read around dead shards")
+
+                def count_standby(db, relation=descriptor["relation"]):
+                    return db.table(relation).count()
+
+                count = self._stale_read(descriptor, index, report,
+                                         count_standby)
+                if count is not _UNREACHED:
+                    total += count
+                    continue
+                self._skip_shard(ctx, descriptor, index, report,
+                                 "remote.degraded_scans", None)
                 continue
             total += child.table(descriptor["relation"]).count()
         return total

@@ -1,0 +1,162 @@
+"""RemoteTransport discipline: jittered backoff, deadlines, probe races."""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.services.remote import RemoteTransport
+from repro.services.stats import StatsService
+
+
+def make(**knobs):
+    channel = {"relation": "peer", "latency": 1.0}
+    channel.update(knobs)
+    return RemoteTransport(), StatsService(), channel
+
+
+def failing():
+    raise GatewayError("lost message")
+
+
+# -- jittered exponential backoff -------------------------------------------------
+
+def test_backoff_is_jittered_within_equal_jitter_bounds():
+    transport, __, channel = make()
+    for attempt in range(5):
+        cap = 100 * (2 ** attempt)
+        units = transport.backoff_units(channel, 100, attempt)
+        assert cap // 2 <= units <= cap
+    # The jitter actually moves the waits off the exact caps.
+    assert any(transport.backoff_units(channel, 100, a) != 100 * (2 ** a)
+               for a in range(5))
+
+
+def test_backoff_is_deterministic_per_channel_and_attempt():
+    transport, stats, channel = make()
+    first = [transport.backoff_units(channel, 100, a) for a in range(4)]
+    again = [RemoteTransport().backoff_units(dict(channel), 100, a)
+             for a in range(4)]
+    assert first == again
+    other = [transport.backoff_units({"relation": "other"}, 100, a)
+             for a in range(4)]
+    assert first != other  # distinct channels spread their retries apart
+
+
+def test_exhausted_call_charges_the_jittered_sum():
+    transport, stats, channel = make(retries=3)
+    with pytest.raises(GatewayError):
+        transport.call(channel, stats, failing)
+    expected = sum(transport.backoff_units(channel, 100, a) for a in range(3))
+    assert stats.get("gateway.retry.backoff_units") == expected
+    assert stats.get("gateway.retry.attempts") == 3
+    assert stats.get("gateway.retry.exhausted") == 1
+
+
+# -- per-call deadline -------------------------------------------------------------
+
+def test_deadline_bounds_the_retry_tail():
+    # Budget of 2.0 latency units = 200: the first attempt costs 100, and
+    # 100 + backoff + 100 > 200 for any backoff, so no retry is admitted.
+    transport, stats, channel = make(deadline=2.0)
+    with pytest.raises(GatewayError, match="deadline"):
+        transport.call(channel, stats, failing)
+    assert stats.get("gateway.retry.attempts") == 0
+    assert stats.get("gateway.deadline_exceeded") == 1
+    assert stats.get("remote.deadline_exceeded") == 1
+    assert stats.get("gateway.retry.exhausted") == 0
+
+
+def test_generous_deadline_does_not_interfere():
+    transport, stats, channel = make(deadline=100.0)
+    attempts = {"n": 0}
+
+    def flaky():
+        attempts["n"] += 1
+        if attempts["n"] == 1:
+            raise GatewayError("lost")
+        return "ok"
+
+    assert transport.call(channel, stats, flaky) == "ok"
+    assert stats.get("gateway.retry.attempts") == 1
+    assert stats.get("gateway.deadline_exceeded") == 0
+
+
+def test_deadline_failures_trip_the_breaker():
+    transport, stats, channel = make(deadline=2.0, breaker_threshold=2,
+                                     breaker_cooldown=5)
+    for __ in range(2):
+        with pytest.raises(GatewayError):
+            transport.call(channel, stats, failing)
+    assert stats.get("gateway.breaker.trips") == 1
+    assert not transport.available(channel)
+
+
+# -- half-open probe under concurrent sessions -------------------------------------
+
+def trip(transport, stats, channel):
+    for __ in range(int(channel.get("breaker_threshold", 3))):
+        with pytest.raises(GatewayError):
+            transport.call(channel, stats, failing)
+    assert not transport.available(channel)
+
+
+def test_racing_session_cannot_join_a_probe():
+    transport, stats, channel = make(retries=0, breaker_threshold=1,
+                                     breaker_cooldown=1)
+    trip(transport, stats, channel)
+    with pytest.raises(GatewayError):  # fail fast consumes the cooldown
+        transport.call(channel, stats, failing)
+
+    # The probe's action simulates a second session racing the same
+    # channel mid-probe: the inner call must fail fast, not run, and not
+    # disturb the probe's own close.
+    inner = {"ran": False}
+
+    def racing_probe():
+        with pytest.raises(GatewayError, match="probe already in flight"):
+            transport.call(channel, stats,
+                           lambda: inner.__setitem__("ran", True))
+        return "primary-probe-ok"
+
+    assert transport.call(channel, stats, racing_probe) == "primary-probe-ok"
+    assert inner["ran"] is False
+    assert stats.get("gateway.probe_conflicts") == 1
+    assert stats.get("gateway.half_open_probes") == 1
+    assert stats.get("gateway.breaker.closes") == 1  # closed exactly once
+    assert transport.available(channel)
+
+
+def test_failed_probe_does_not_wedge_the_breaker():
+    transport, stats, channel = make(retries=0, breaker_threshold=1,
+                                     breaker_cooldown=1)
+    trip(transport, stats, channel)
+    with pytest.raises(GatewayError):  # consume the cooldown
+        transport.call(channel, stats, failing)
+    with pytest.raises(GatewayError):  # the probe runs and fails
+        transport.call(channel, stats, failing)
+    assert stats.get("gateway.breaker.trips") == 2
+    assert channel["breaker"]["probing"] is False  # flag released
+    # The next cycle can still probe and heal.
+    with pytest.raises(GatewayError):  # fail fast (new cooldown)
+        transport.call(channel, stats, failing)
+    assert transport.call(channel, stats, lambda: "healed") == "healed"
+    assert stats.get("gateway.half_open_probes") == 2
+    assert stats.get("gateway.breaker.closes") == 1
+    assert transport.available(channel)
+
+
+def test_probe_conflict_does_not_consume_the_real_probe():
+    transport, stats, channel = make(retries=0, breaker_threshold=1,
+                                     breaker_cooldown=0)
+
+    def nested_then_fail():
+        # Racing session rejected while this probe is still in flight...
+        with pytest.raises(GatewayError):
+            transport.call(channel, stats, lambda: "never")
+        raise GatewayError("probe peer still down")
+
+    trip(transport, stats, channel)
+    with pytest.raises(GatewayError, match="still down"):
+        transport.call(channel, stats, nested_then_fail)
+    # ...and the failed probe re-trips rather than half-closing.
+    assert stats.get("gateway.probe_conflicts") == 1
+    assert not transport.available(channel)

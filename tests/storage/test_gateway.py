@@ -4,6 +4,7 @@ import pytest
 
 from repro import Database
 from repro.errors import GatewayError, StorageError
+from repro.services.remote import RemoteTransport
 
 
 def make_federation(**attributes):
@@ -38,8 +39,14 @@ def test_backoff_units_are_deterministic():
     arm_transient(local, nth=1, one_shot=False)  # every attempt fails
     with pytest.raises(GatewayError):
         gateway.insert((99, 990))
-    # retries=3 -> backoff 100*(2^0 + 2^1 + 2^2) latency units.
-    assert local.services.stats.get("gateway.retry.backoff_units") == 700
+    # retries=3 -> three jittered waits, each in [cap/2, cap] for caps
+    # 100, 200, 400 — and exactly reproducible from the channel name.
+    channel = local.catalog.handle(
+        "inventory_gw").descriptor.storage_descriptor
+    expected = sum(RemoteTransport.backoff_units(channel, 100, attempt)
+                   for attempt in range(3))
+    assert 350 <= expected <= 700
+    assert local.services.stats.get("gateway.retry.backoff_units") == expected
     assert local.services.stats.get("gateway.retry.attempts") == 3
     assert local.services.stats.get("gateway.retry.exhausted") == 1
 

@@ -1,0 +1,376 @@
+"""Replication: WAL shipping, durability modes, fencing, and failover."""
+
+import pytest
+
+from repro import Database
+from repro.core.context import ExecutionContext
+from repro.core.hashing import shard_of
+from repro.errors import GatewayError, StorageError
+from repro.services import events as ev
+from repro.services.replication import DOWN, HEALTHY, SUSPECT
+
+
+def make_replicated(shards=2, replicas=2, mode="quorum", **attributes):
+    db = Database(page_size=1024)
+    attrs = {"shards": shards, "replicas": replicas, "replication": mode,
+             "retries": 1, "breaker_threshold": 1}
+    attrs.update(attributes)
+    db.create_table("emp", [("id", "INT"), ("name", "STRING")],
+                    storage_method="sharded", attributes=attrs)
+    return db, db.table("emp")
+
+
+def replication_of(db, name="emp"):
+    descriptor = db.catalog.handle(name).descriptor.storage_descriptor
+    return descriptor, descriptor["replication"]
+
+
+def child_ntuples(database, descriptor):
+    handle = database.catalog.handle(descriptor["relation"])
+    return handle.descriptor.storage_descriptor["ntuples"]
+
+
+def kill_primary(db, index):
+    """Persistently fail every message to shard ``index``'s primary."""
+    db.services.faults.arm(f"shard.{index}.primary", error=GatewayError,
+                           nth=1, one_shot=False)
+
+
+def begin_ctx(db):
+    txn = db.services.transactions.begin()
+    return txn, ExecutionContext(txn, db.services, db)
+
+
+ROWS = [(i, f"n{i}") for i in range(20)]
+
+
+# -- shipping and apply ------------------------------------------------------------
+
+def test_committed_writes_ship_to_every_standby():
+    db, table = make_replicated()
+    table.insert_many(ROWS)
+    table.insert((100, "tail"))
+    descriptor, repl = replication_of(db)
+    for replica_set in repl.sets:
+        primary = descriptor["databases"][replica_set.index]
+        want = child_ntuples(primary, descriptor)
+        for standby in replica_set.standbys:
+            assert standby.acked_lsn == primary.services.wal.flushed_lsn
+            assert standby.applied_lsn == standby.received_lsn
+            assert child_ntuples(standby.database, descriptor) == want
+    assert db.services.stats.get("repl.acks") > 0
+
+
+def test_standby_apply_stalls_behind_an_in_doubt_transaction():
+    """The apply horizon is commit-boundary: a shipped-but-undecided txn
+    (prepared, decision delivery lost) keeps its records out of the
+    standby's visible state — no dirty reads from a standby, ever."""
+    db, table = make_replicated(shards=1)
+    table.insert_many(ROWS)
+    descriptor, repl = replication_of(db)
+    standby = repl.sets[0].standbys[0]
+    settled_applied = standby.applied_lsn
+    settled_ntuples = child_ntuples(standby.database, descriptor)
+    # Phase 1 ships through the child's PREPARE; kill the primary channel
+    # right after it (an AT_COMMIT action queued before the write runs
+    # between phase 1 and delivery), so the decision never lands.
+    txn, ctx = begin_ctx(db)
+    handle = db.catalog.handle("emp")
+    ctx.defer(ev.AT_COMMIT, lambda __, ___: kill_primary(db, 0))
+    db.data.insert(ctx, handle, (100, "limbo"))
+    db.services.transactions.commit(txn)  # local commit; child in doubt
+    assert db.services.stats.get("sharded.indoubt_children") == 1
+    assert standby.received_lsn > settled_applied
+    # The horizon may advance over the previous txn's trailing END, but it
+    # stalls at the in-doubt txn's first record — nothing of it is visible.
+    assert standby.applied_lsn < standby.received_lsn
+    assert child_ntuples(standby.database, descriptor) == settled_ntuples
+    # The shard heals (fault disarmed, breaker administratively closed);
+    # the stable decision settles the child, and the next ship carries its
+    # COMMIT — the standby's horizon advances past it.
+    db.services.faults.disarm()
+    descriptor["channels"][0]["breaker"] = {
+        "failures": 0, "open": False, "cooldown_left": 0}
+    assert db.resolve_indoubt() == 1
+    table.insert((101, "after"))
+    assert standby.applied_lsn == standby.received_lsn
+    assert (child_ntuples(standby.database, descriptor)
+            == settled_ntuples + 2)
+
+
+def test_duplicate_ship_after_lost_ack_is_idempotent():
+    db, table = make_replicated(shards=1, replicas=1, mode="async")
+    table.insert_many(ROWS)
+    descriptor, repl = replication_of(db)
+    standby = repl.sets[0].standbys[0]
+    applied = standby.applied_lsn
+    # Lose the ack of the next ship.  The standby has already appended and
+    # applied the records; the transport retries the whole interaction, so
+    # the same wire records arrive a second time and must be dropped as
+    # duplicates (at-least-once delivery, exactly-once apply).
+    db.services.faults.arm("repl.0.ack", error=GatewayError, nth=1)
+    table.insert((100, "once"))
+    db.services.faults.disarm()
+    assert db.services.stats.get("repl.gateway.retry.attempts") >= 1
+    assert standby.acked_lsn == standby.received_lsn  # retry recovered it
+    assert standby.applied_lsn > applied
+    # Exactly one copy of each record: count matches the primary.
+    primary = descriptor["databases"][0]
+    assert (child_ntuples(standby.database, descriptor)
+            == child_ntuples(primary, descriptor))
+
+
+# -- durability modes --------------------------------------------------------------
+
+def test_quorum_mode_vetoes_the_vote_when_replicas_are_dead():
+    db, table = make_replicated(shards=1, replicas=2, mode="quorum")
+    table.insert((1, "ok"))
+    # Kill both standbys: quorum needs (2+1)//2 = 1 standby ack.
+    db.services.faults.arm("repl.0.standby.0", error=GatewayError,
+                           nth=1, one_shot=False)
+    db.services.faults.arm("repl.0.standby.1", error=GatewayError,
+                           nth=1, one_shot=False)
+    with pytest.raises(GatewayError):
+        table.insert((2, "lost"))
+    assert db.services.stats.get("repl.quorum_failures") >= 1
+    # Fail-closed: the global transaction aborted, nothing half-committed.
+    assert sorted(r[0] for r in table.rows()) == [1]
+
+
+def test_semi_sync_needs_one_ack_and_async_needs_none():
+    for mode, survives in (("semi-sync", True), ("async", True)):
+        db, table = make_replicated(shards=1, replicas=2, mode=mode)
+        # One standby dead: semi-sync (1 ack) and async (0 acks) both cope.
+        db.services.faults.arm("repl.0.standby.0", error=GatewayError,
+                               nth=1, one_shot=False)
+        table.insert((1, "ok"))
+        assert [r[0] for r in table.rows()] == [1]
+    # Both standbys dead: semi-sync fails, async still commits.
+    db, table = make_replicated(shards=1, replicas=2, mode="semi-sync")
+    for j in (0, 1):
+        db.services.faults.arm(f"repl.0.standby.{j}", error=GatewayError,
+                               nth=1, one_shot=False)
+    with pytest.raises(GatewayError):
+        table.insert((1, "no"))
+    db2, table2 = make_replicated(shards=1, replicas=2, mode="async")
+    for j in (0, 1):
+        db2.services.faults.arm(f"repl.0.standby.{j}", error=GatewayError,
+                                nth=1, one_shot=False)
+    table2.insert((1, "yes"))
+    assert [r[0] for r in table2.rows()] == [1]
+
+
+# -- failover ----------------------------------------------------------------------
+
+def test_write_failover_promotes_and_loses_no_acknowledged_write():
+    db, table = make_replicated()
+    table.insert_many(ROWS)
+    kill_primary(db, 0)
+    committed, failed = [], 0
+    for i in range(100, 140):
+        try:
+            table.insert((i, "storm"))
+            committed.append(i)
+        except GatewayError:
+            failed += 1
+    db.services.faults.disarm()
+    descriptor, repl = replication_of(db)
+    assert db.services.stats.get("repl.promotions") == 1
+    assert repl.epoch(0) == 1
+    assert failed > 0  # the strikes before the shard was declared down
+    ids = {r[0] for r in table.rows()}
+    assert all(i in ids for i in committed)            # zero lost
+    assert not any(i in ids for i in range(100, 140)   # zero phantom
+                   if i not in committed)
+
+
+def test_deposed_primary_participant_is_fenced():
+    db, table = make_replicated()
+    table.insert_many(ROWS)
+    descriptor, repl = replication_of(db)
+    # Bind a participant to epoch 0 by starting (not committing) a write,
+    # then promote the shard underneath it: every later send by that
+    # participant must be rejected by the fence, not retried.
+    txn, ctx = begin_ctx(db)
+    handle = db.catalog.handle("emp")
+    index = shard_of(100, 2)
+    db.data.insert(ctx, handle, (100, "pre-promotion"))
+    repl.promote(index, reason="test")
+    follow_up = next(v for v in range(101, 200) if shard_of(v, 2) == index)
+    with pytest.raises(GatewayError):
+        db.data.insert(ctx, handle, (follow_up, "fenced"))
+    db.services.transactions.abort(txn)
+    stats = db.services.stats
+    assert stats.get("repl.fenced") >= 1
+    # A fence is a decision, not a transient: no retries were charged.
+    assert stats.get("remote.gateway.retry.exhausted") == 0
+    ids = {r[0] for r in table.rows()}
+    assert 100 not in ids and follow_up not in ids
+
+
+def test_promotion_failure_is_absorbed_and_retried_later():
+    db, table = make_replicated()
+    table.insert_many(ROWS)
+    kill_primary(db, 0)
+    db.services.faults.arm("repl.promote", error=GatewayError, nth=1)
+    committed = []
+    for i in range(100, 140):
+        try:
+            table.insert((i, "storm"))
+            committed.append(i)
+        except GatewayError:
+            pass
+    db.services.faults.disarm()
+    stats = db.services.stats
+    assert stats.get("repl.promote_failures") >= 1
+    assert stats.get("repl.promotions") == 1
+    ids = {r[0] for r in table.rows()}
+    assert all(i in ids for i in committed)
+
+
+def test_heartbeat_partition_drives_health_to_down_then_promotes():
+    db, table = make_replicated(shards=1, heartbeat_every=1)
+    table.insert_many(ROWS)
+    descriptor, repl = replication_of(db)
+    assert repl.health(0) == HEALTHY
+    # Partition the heartbeat path only: data writes would still work, but
+    # the probes fail and the health state machine walks to DOWN.
+    db.services.faults.arm("repl.0.heartbeat", error=GatewayError,
+                           nth=1, one_shot=False)
+    seen = set()
+    for i in range(100, 120):
+        try:
+            table.insert((i, "hb"))
+        except GatewayError:
+            pass
+        seen.add(repl.health(0))
+        if db.services.stats.get("repl.promotions"):
+            break
+    db.services.faults.disarm()
+    assert SUSPECT in seen or DOWN in seen
+    assert db.services.stats.get("repl.promotions") == 1
+    assert db.services.stats.get("repl.heartbeat_failures") >= 2
+
+
+def test_indoubt_write_survives_promotion_and_resolves_to_commit():
+    """The crown jewel: a write acknowledged under quorum, with the shard
+    killed between its PREPARE and the decision delivery, must commit on
+    the *promoted* standby — the coordinator's stable decision record is
+    re-applied against the new primary."""
+    db, table = make_replicated(shards=1, replicas=2, mode="quorum")
+    table.insert_many(ROWS)
+    descriptor, repl = replication_of(db)
+    # Phase 1 (prepare + quorum ship) succeeds; the primary dies at the
+    # commit point, so the decision delivery is lost and the child is left
+    # prepared and in doubt on its (already quorum-acked) log.
+    txn, ctx = begin_ctx(db)
+    handle = db.catalog.handle("emp")
+    ctx.defer(ev.AT_COMMIT, lambda __, ___: kill_primary(db, 0))
+    db.data.insert(ctx, handle, (100, "indoubt"))
+    db.services.transactions.commit(txn)  # local commit; child in doubt
+    assert db.services.stats.get("sharded.indoubt_children") >= 1
+    # The next write finds the shard down and (after strikes) promotes;
+    # promotion force-applies the standby's log, restarts it — which
+    # re-registers the prepared txn in doubt — and re-resolves from the
+    # coordinator's stable decision.
+    for i in range(101, 140):
+        try:
+            table.insert((i, "after"))
+        except GatewayError:
+            continue
+        break
+    db.services.faults.disarm()
+    assert db.services.stats.get("repl.promotions") == 1
+    ids = {r[0] for r in table.rows()}
+    assert 100 in ids  # the acknowledged in-doubt write committed
+    assert db.services.stats.get("txn.2pc.heuristic_mismatches") == 0
+
+
+def test_replica_rejoins_and_catches_up_from_acked_lsn():
+    db, table = make_replicated(shards=1, replicas=2, mode="semi-sync")
+    table.insert_many(ROWS)
+    descriptor, repl = replication_of(db)
+    victim = repl.sets[0].standbys[0]
+    caught_up = victim.acked_lsn
+    db.services.faults.arm("repl.0.standby.0", error=GatewayError,
+                           nth=1, one_shot=False)
+    for i in range(100, 110):
+        table.insert((i, "while-down"))  # the other standby keeps acking
+    db.services.faults.disarm()
+    assert victim.acked_lsn == caught_up  # fell behind while dead
+    gained = repl.rejoin(0, victim)
+    assert gained > 0
+    assert victim.acked_lsn == victim.received_lsn
+    primary = descriptor["databases"][0]
+    assert (child_ntuples(victim.database, descriptor)
+            == child_ntuples(primary, descriptor))
+    assert db.services.stats.get("repl.rejoins") == 1
+
+
+# -- reads -------------------------------------------------------------------------
+
+def test_reads_fail_over_to_standby_and_report_staleness():
+    db, table = make_replicated()
+    table.insert_many(ROWS)
+    kill_primary(db, 1)
+    rows, report = table.scan(with_report=True)
+    assert len(rows) == len(ROWS)  # standby holds everything committed
+    assert report["complete"] is True
+    assert report["stale_shards"] == [1]
+    assert report["skipped_shards"] == []
+    assert db.services.stats.get("shard.1.stale_reads") >= 1
+    # Direct-by-key failover too.
+    key = next(k for k, record in rows if k[0] == 1)
+    record, fetch_report = table.fetch(key, with_report=True)
+    assert record is not None
+    assert fetch_report["stale_shards"] == [1]
+    assert fetch_report["max_lag_lsn"] >= 0
+
+
+def test_degraded_skip_is_reported_when_no_standby_exists():
+    db, table = make_replicated(replicas=0, degraded_reads=True)
+    table.insert_many(ROWS)
+    kill_primary(db, 1)
+    rows, report = table.scan(with_report=True)
+    assert 0 < len(rows) < len(ROWS)
+    assert report["complete"] is False
+    assert report["skipped_shards"] == [1]
+    assert report["stale_shards"] == []
+    assert db.services.stats.get("shard.1.degraded_skips") >= 1
+    # Without the opt-in the same failure stays fail-closed.
+    db2, table2 = make_replicated(replicas=0)
+    table2.insert_many(ROWS)
+    kill_primary(db2, 1)
+    with pytest.raises(GatewayError):
+        table2.scan()
+
+
+def test_healthy_read_reports_complete_and_current():
+    db, table = make_replicated()
+    table.insert_many(ROWS)
+    rows, report = table.scan(with_report=True)
+    assert len(rows) == len(ROWS)
+    assert report == {"complete": True, "skipped_shards": [],
+                      "stale_shards": [], "max_lag_lsn": 0}
+
+
+# -- DDL ---------------------------------------------------------------------------
+
+def test_replication_attributes_are_validated():
+    db = Database(page_size=1024)
+    cases = [
+        ({"shards": 2, "replicas": -1}, "replicas"),
+        ({"shards": 2, "replicas": 1, "replication": "sync"}, "replication"),
+        ({"shards": 2, "replicas": 1, "heartbeat_every": -2},
+         "heartbeat_every"),
+        ({"shards": 2, "deadline": 0}, "deadline"),
+        ({"databases": [Database(page_size=1024)], "replicas": 1},
+         "method-created"),
+        ({"shards": 2, "replicas": 1, "child_storage": "btree"},
+         "child_storage"),
+    ]
+    for attrs, needle in cases:
+        with pytest.raises(StorageError, match=needle):
+            db.create_table(f"bad_{needle.strip('-')}",
+                            [("id", "INT"), ("name", "STRING")],
+                            storage_method="sharded", attributes=attrs)
