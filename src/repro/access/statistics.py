@@ -40,7 +40,8 @@ from ..core.hashing import HASH_SPACE, stable_hash
 from ..errors import StorageError
 from ..services.recovery import ResourceHandler
 
-__all__ = ["StatisticsAttachment", "TableStatistics", "statistics_for"]
+__all__ = ["StatisticsAttachment", "TableStatistics", "statistics_for",
+           "kmv_union", "kmv_union_estimate", "sketch_state"]
 
 #: KMV sketch size: exact distinct counts up to this many values, an
 #: unbiased estimate beyond.
@@ -71,6 +72,47 @@ def _kmv_estimate(kmv: list) -> int:
     if len(kmv) < _KMV_K:
         return len(kmv)
     return max(len(kmv), int((_KMV_K - 1) * _HASH_SPACE / kmv[-1]))
+
+
+def kmv_union(sketches) -> list:
+    """The union of several KMV sketches — itself a valid KMV sketch.
+
+    The hash function is shared and salt-free, so the same value hashes
+    identically on every shard; keeping the K smallest hashes of the
+    merged distinct set yields exactly the sketch a single pass over the
+    union of the inputs would have built.  This is how the sharded
+    method estimates a *global* distinct count from per-shard
+    statistics without moving any data.
+    """
+    if not sketches:
+        return []
+    return sorted(set().union(*sketches))[:_KMV_K]
+
+
+def kmv_union_estimate(sketches) -> int:
+    """Distinct-count estimate for the union of per-shard sketches."""
+    return _kmv_estimate(kmv_union(sketches))
+
+
+def sketch_state(database, handle, index: int):
+    """The raw per-column statistics state for ``handle`` inside
+    ``database`` (``{"nulls", "min", "max", "stale", "kmv"}``), or
+    ``None`` when no statistics instance tracks the column.
+
+    Unlike :func:`statistics_for` this needs no execution context — the
+    sharded coordinator reads child sketches directly when gating
+    pushdown, without opening a child transaction.
+    """
+    try:
+        attachment = database.registry.attachment_type_by_name("statistics")
+    except Exception:
+        return None
+    field = handle.descriptor.attachment_field(attachment.type_id)
+    if field is None:
+        return None
+    for instance in field["instances"].values():
+        return instance["state"]["columns"].get(index)
+    return None
 
 
 def _copy_state(state: dict) -> dict:

@@ -26,7 +26,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.records import RecordView
 from ..errors import QueryError
-from . import ir
+from . import fragments, ir
 from .cost import EligiblePredicate
 from .ir import KernelFallback as _ColumnarFallback
 from .ir import OrderKey as _OrderKey
@@ -50,6 +50,12 @@ class Executor:
         #: Route vectorizable plans down the columnar path (benchmarks
         #: and equivalence tests toggle this to measure the row path).
         self.columnar_enabled = True
+        #: Offer eligible single-table plans to the storage method as
+        #: pushed-down query fragments (sharded: parallel per-shard
+        #: partial aggregation; foreign: the whole query in one remote
+        #: message).  Results are bit-identical to the pull-up path —
+        #: equivalence tests and benchmarks toggle this to compare.
+        self.pushdown_enabled = True
         #: Below this (statistics-attested) table size the columnar
         #: path's per-batch setup outweighs its per-row savings; plans
         #: on smaller relations stay row-at-a-time.  Only applies when a
@@ -70,6 +76,9 @@ class Executor:
         fast = self._aggregate_fast_path(ctx, plan)
         if fast is not None:
             return fast
+        pushed = self._try_pushdown(ctx, plan, params)
+        if pushed is not None:
+            return pushed
         program = (self._columnar_program(plan)
                    if self.columnar_enabled else None)
         if program is not None and program.join is not None \
@@ -89,6 +98,40 @@ class Executor:
                 # columnar path costs performance, never answers.
                 ctx.stats.bump("executor.columnar.fallbacks")
         return self._run_rows(ctx, plan, params)
+
+    def _try_pushdown(self, ctx, plan: SelectPlan,
+                      params: dict) -> Optional[List[Tuple]]:
+        """Offer the plan to the storage method as a pushed-down
+        fragment; ``None`` means "not attempted" (the caller continues
+        on the local paths — a fragment that *ran* returns its rows,
+        even an empty list).
+
+        Snapshot readers never push down: a fragment reads the remote
+        side's current state, not the local transaction's snapshot.
+        """
+        if not self.pushdown_enabled or ctx.txn.snapshot is not None:
+            return None
+        if plan.join is not None or getattr(plan, "covering", False) \
+                or not plan.access.is_storage:
+            return None
+        handle = plan.handles[plan.alias]
+        method = self.database.registry.storage_method(
+            handle.descriptor.storage_method_id)
+        run_fragment = getattr(method, "run_fragment", None)
+        if run_fragment is None:
+            return None
+        fragment = fragments.fragment_for(plan)
+        if fragment is None:
+            return None
+        if not method.fragment_worthwhile(ctx, handle, plan, fragment):
+            return None
+        try:
+            return run_fragment(ctx, handle, fragment, params)
+        except fragments.FragmentFallback:
+            # Fail closed: the pull-up path recomputes the whole answer
+            # (and applies its own degraded-read semantics).
+            ctx.stats.bump("executor.pushdown.fallbacks")
+            return None
 
     def _run_rows(self, ctx, plan: SelectPlan, params: dict) -> List[Tuple]:
         left_handle = plan.handles[plan.alias]

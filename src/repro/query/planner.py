@@ -133,7 +133,8 @@ class SelectPlan:
     __slots__ = ("statement_text", "table", "alias", "access", "join",
                  "combined_schema", "items", "star", "where",
                  "order_by", "needs_sort", "limit", "group_index",
-                 "handles", "covering", "where_cache", "columnar")
+                 "handles", "covering", "where_cache", "columnar",
+                 "fragment")
 
     def __init__(self, **kw):
         for name in self.__slots__:

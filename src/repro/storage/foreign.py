@@ -406,6 +406,63 @@ class ForeignStorageMethod(StorageMethod):
         ctx.services.scans.register(scan)
         return scan
 
+    # -- query pushdown -------------------------------------------------------------------
+    def fragment_worthwhile(self, ctx, handle, plan, fragment) -> bool:
+        """Gate pushdown on expected wire savings (aggregates, top-k, or
+        a narrowing projection); results are bit-identical either way."""
+        from ..access.statistics import statistics_for
+        from ..query import fragments
+        descriptor = handle.descriptor.storage_descriptor
+        if not gateway_available(descriptor):
+            # Breaker open: the pull-up path's degraded empty scan is
+            # the established contract; don't race the probe.
+            ctx.stats.bump("foreign.pushdown.gated_off")
+            return False
+        expected = getattr(plan.access.cost, "expected_tuples", 0.0) or 0.0
+        distinct = None
+        if fragment.kind == "group":
+            table_stats = statistics_for(ctx, handle)
+            if table_stats is not None:
+                distinct = table_stats.distinct(plan.group_index)
+        wire, pull = fragments.pushdown_estimate(fragment, 1, expected,
+                                                 distinct)
+        if wire < pull or fragments.projection_narrows(
+                fragment, len(handle.schema.fields)):
+            return True
+        ctx.stats.bump("foreign.pushdown.gated_off")
+        return False
+
+    def run_fragment(self, ctx, handle, fragment, params):
+        """Run the *whole* query remotely in one gateway message.
+
+        With a single remote there is nothing to merge: the remote
+        database executes the original query shape (storage route
+        pinned, so row order — and with it tie order and 'first'
+        semantics — matches what the pull-up scan would have shipped)
+        and only the final rows cross the wire.  Any gateway failure
+        falls back to the pull-up path, whose degraded-read semantics
+        stay authoritative.
+        """
+        from ..query import fragments
+        descriptor = handle.descriptor.storage_descriptor
+        remote = descriptor["database"]
+
+        def send():
+            _remote_call(ctx, descriptor, ctx.stats)
+            with remote.autocommit() as remote_ctx:
+                return fragments.run_fragment_on(
+                    remote, remote_ctx, descriptor["relation"], fragment,
+                    params, final=True)
+
+        try:
+            rows = _gateway(descriptor, ctx.stats, send)
+        except GatewayError as exc:
+            ctx.stats.bump("foreign.pushdown.fallbacks")
+            raise fragments.FragmentFallback(str(exc)) from exc
+        ctx.stats.bump_many({"foreign.pushdown.queries": 1,
+                             "foreign.fragment.rows": len(rows)})
+        return rows
+
     # -- planning ---------------------------------------------------------------------------
     def record_count(self, ctx, handle) -> int:
         descriptor = handle.descriptor.storage_descriptor

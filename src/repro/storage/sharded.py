@@ -16,8 +16,20 @@ per record: a batch of B records over N shards costs about ``ceil(B/N)``
 rows per message on each channel, which is where the near-linear scaling
 measured by benchmark E21 comes from.  Scans block-fetch every available
 shard and either concatenate or — when the children report a key ordering
-(``AccessCost.ordered_by``) — merge the per-shard streams into one globally
-key-ordered stream.
+(``AccessCost.ordered_by``) — lazily k-way merge the per-shard streams
+into one globally key-ordered stream (batch-pulled; ``sharded.merge
+.batches`` counts the pulls).
+
+Eligible single-table queries go further: the executor compiles the plan
+into a **shard-local fragment** (filters, projections, partial aggregates
+— see :mod:`~repro.query.fragments`) that :meth:`ShardedStorageMethod
+.run_fragment` dispatches to every shard **concurrently** through the
+scatter-gather pool, one remote call per shard, merging the partial
+results at the coordinator.  Statistics-fed gating (per-shard KMV
+sketches unioned across shards when ``child_statistics`` is set) decides
+pushdown vs. pull-up per query; any fragment failure falls back to the
+pull-up path (``sharded.pushdown.fallbacks``) so answers are never
+partial unless ``degraded_reads`` says so.
 
 Cross-shard atomicity is presumed-abort two-phase commit built on the
 explicit participant API of :class:`~repro.services.transactions
@@ -55,7 +67,9 @@ DDL attributes: ``shards`` (create that many fresh child databases) or
 ``databases`` (bring your own), ``key`` (partition field, default the first
 field), ``partition`` ("hash" default, or "range" with ``bounds``),
 ``child_storage`` (storage method for the child relations, default
-"heap"), and the per-channel transport knobs ``latency`` (default 0.5 —
+"heap"), ``child_statistics`` (give every child its own statistics
+attachment, feeding pushdown gating), and the per-channel transport
+knobs ``latency`` (default 0.5 —
 shards are near peers, cheaper than a wide-area gateway), ``retries``,
 ``breaker_threshold``, ``breaker_cooldown``, ``deadline`` (per-call retry
 budget in latency units).
@@ -77,6 +91,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_right
+from time import perf_counter
 from typing import Dict, Optional, Sequence
 
 from ..core.context import ExecutionContext
@@ -90,6 +105,8 @@ from ..services.recovery import ResourceHandler
 from ..services.remote import RemoteTransport
 from ..services.replication import DOWN, MODES, ReplicationService
 from ..services.scans import AFTER, BEFORE, ON, Scan, ScanPosition
+from ..services.scatter import StatsBuffer, shared_pool
+from ..services.stats import NamespacedStats
 from ..services.transactions import TwoPhaseCoordinator, TxnState
 
 __all__ = ["ShardedStorageMethod", "ShardedScan"]
@@ -299,12 +316,77 @@ class _ShardedHandler(ResourceHandler):
         """Children are their own durability domains; nothing to redo."""
 
 
-class ShardedScan(Scan):
-    """A local scan over the merged block-fetched shard streams.
+class _ListSource:
+    """Already-flat shard streams (the unordered concatenation case)."""
 
-    Every available shard ships its (filtered) rows in one message at open;
-    the position is an index into the merged batch, so save/restore under
-    partial rollback is trivial.
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: list):
+        self.rows = rows
+
+    def read(self, start: int, n: int) -> list:
+        return self.rows[start:start + n]
+
+
+class _MergeSource:
+    """Lazy k-way merge of key-ordered per-shard streams.
+
+    The merged stream is never materialized: each ``read`` pulls at most
+    the requested batch off a k-entry heap, so the merge's working set
+    is bounded by the batch size instead of the relation.  Heap entries
+    break key ties by shard index, reproducing :func:`heapq.merge`'s
+    stable stream order exactly.  A backward position restore (partial
+    rollback) replays the — deterministic — merge from the start rather
+    than keeping consumed rows around.
+    """
+
+    __slots__ = ("streams", "stats", "heap", "produced")
+
+    def __init__(self, streams: list, stats):
+        self.streams = streams
+        self.stats = stats
+        self._reset()
+
+    def _reset(self) -> None:
+        self.produced = 0
+        heap = [(rows[0][0][1], index, 0)
+                for index, rows in enumerate(self.streams) if rows]
+        heapq.heapify(heap)
+        self.heap = heap
+
+    def _advance(self):
+        __, index, position = heapq.heappop(self.heap)
+        pair = self.streams[index][position]
+        position += 1
+        if position < len(self.streams[index]):
+            heapq.heappush(
+                self.heap,
+                (self.streams[index][position][0][1], index, position))
+        self.produced += 1
+        return pair
+
+    def read(self, start: int, n: int) -> list:
+        if start < self.produced:
+            self._reset()
+        while self.produced < start and self.heap:
+            self._advance()
+        out = []
+        while len(out) < n and self.heap:
+            out.append(self._advance())
+        if out:
+            self.stats.bump("sharded.merge.batches")
+        return out
+
+
+class ShardedScan(Scan):
+    """A local scan over the block-fetched shard streams.
+
+    Every available shard ships its (filtered) rows in one message at
+    open; the scan then pulls from a *source* — a flat concatenation,
+    or a lazy k-way merge when the children report a key ordering.  The
+    position is an index into the logical merged stream, so save/restore
+    under partial rollback stays trivial (the merge source replays
+    deterministically on a backward seek).
 
     :attr:`report` is the structured read outcome: ``complete`` (no shard
     was skipped), ``skipped_shards`` (unreachable, contributed nothing),
@@ -313,12 +395,14 @@ class ShardedScan(Scan):
     """
 
     def __init__(self, ctx: ExecutionContext, handle: RelationHandle,
-                 batch, fields: Optional[Sequence[int]],
+                 source, fields: Optional[Sequence[int]],
                  report: Optional[dict] = None):
         super().__init__(ctx.txn_id)
         self.ctx = ctx
         self.handle = handle
-        self.batch = batch
+        if isinstance(source, list):
+            source = _ListSource(source)
+        self.source = source
         self.fields = tuple(fields) if fields is not None else None
         self.state = BEFORE
         self.position: Optional[int] = None
@@ -333,20 +417,21 @@ class ShardedScan(Scan):
     def next(self):
         self._check_open()
         index = 0 if self.position is None else self.position + 1
-        if index >= len(self.batch):
+        chunk = self.source.read(index, 1)
+        if not chunk:
             self.state = AFTER
             return None
         self.position = index
         self.state = ON
         self.ctx.stats.bump("sharded.tuples_returned")
-        return self._project(self.batch[index])
+        return self._project(chunk[0])
 
     def next_batch(self, n: int) -> list:
         self._check_open()
         if n < 1:
             raise ScanError(f"next_batch needs a positive count, got {n}")
         index = 0 if self.position is None else self.position + 1
-        chunk = self.batch[index:index + n]
+        chunk = self.source.read(index, n)
         if not chunk:
             self.state = AFTER
             return []
@@ -387,6 +472,7 @@ class ShardedStorageMethod(StorageMethod):
         bounds = attributes.pop("bounds", None)
         child_storage = attributes.pop("child_storage", "heap")
         child_attributes = attributes.pop("child_attributes", None)
+        child_statistics = attributes.pop("child_statistics", False)
         degraded_reads = attributes.pop("degraded_reads", False)
         latency = attributes.pop("latency", 0.5)
         retries = attributes.pop("retries", 3)
@@ -458,6 +544,10 @@ class ShardedStorageMethod(StorageMethod):
             raise StorageError(
                 f"sharded storage: degraded_reads must be a bool, got "
                 f"{degraded_reads!r}")
+        if not isinstance(child_statistics, bool):
+            raise StorageError(
+                f"sharded storage: child_statistics must be a bool, got "
+                f"{child_statistics!r}")
         if deadline is not None and (not isinstance(deadline, (int, float))
                                      or deadline <= 0):
             raise StorageError(
@@ -487,11 +577,20 @@ class ShardedStorageMethod(StorageMethod):
                 raise StorageError(
                     f"sharded storage: replicas requires child_storage="
                     f"'heap', got {child_storage!r}")
+            if child_statistics:
+                # Standby children are rebuilt by replaying the primary
+                # child's physical log, which cannot reconstruct an
+                # attachment created outside that log — the parity
+                # invariant would silently break.
+                raise StorageError(
+                    "sharded storage: child_statistics cannot be combined "
+                    "with replicas")
         return {"databases": databases, "shards": shards,
                 "key": key, "key_index": key_index,
                 "partition": partition, "bounds": bounds,
                 "child_storage": child_storage,
                 "child_attributes": child_attributes,
+                "child_statistics": child_statistics,
                 "degraded_reads": degraded_reads,
                 "latency": float(latency),
                 "retries": retries, "breaker_threshold": threshold,
@@ -512,6 +611,18 @@ class ShardedStorageMethod(StorageMethod):
                     relation, schema,
                     storage_method=attributes["child_storage"],
                     attributes=attributes["child_attributes"])
+            if attributes["child_statistics"]:
+                # Per-shard statistics: each child maintains its own row
+                # count, min/max and KMV distinct sketch; the coordinator
+                # unions the sketches to gate query pushdown.
+                handle = child.catalog.handle(relation)
+                attachment = child.registry.attachment_type_by_name(
+                    "statistics")
+                field = handle.descriptor.attachment_field(
+                    attachment.type_id)
+                if field is None or not field["instances"]:
+                    child.create_attachment(relation, "statistics",
+                                            f"__stats_{relation}")
         channels = []
         for i in range(attributes["shards"]):
             channel = {"relation": f"shard[{i}]",
@@ -1081,16 +1192,208 @@ class ShardedStorageMethod(StorageMethod):
             streams.append([((index, remote_key), record)
                             for remote_key, record in rows])
         if len(streams) > 1 and self._child_order(ctx, descriptor):
-            # Key-ordered children: k-way merge on the remote key keeps the
-            # global stream ordered (remote keys are the child keys).
-            batch = list(heapq.merge(*streams, key=lambda pair: pair[0][1]))
+            # Key-ordered children: lazy k-way merge on the remote key
+            # keeps the global stream ordered (remote keys are the child
+            # keys) while the merge itself stays batch-pulled — memory
+            # bounded by the batch size, not the relation.
+            source = _MergeSource(streams, ctx.stats)
             ctx.stats.bump("sharded.merged_scans")
         else:
-            batch = [pair for stream in streams for pair in stream]
+            source = _ListSource(
+                [pair for stream in streams for pair in stream])
         ctx.read_report = report  # _child_order spawns child reads
-        scan = ShardedScan(ctx, handle, batch, fields, report)
+        scan = ShardedScan(ctx, handle, source, fields, report)
         ctx.services.scans.register(scan)
         return scan
+
+    # -- cross-shard query pushdown ------------------------------------------------
+    def fragment_worthwhile(self, ctx, handle, plan, fragment) -> bool:
+        """Statistics-fed gating: push the fragment down only when it is
+        expected to ship fewer rows than the pull-up scan would (results
+        are bit-identical either way, so this is purely a cost call).
+
+        Key-ordered children are gated off outright: per-shard fragments
+        cannot reproduce the interleaved tie order of the merged global
+        stream the pull-up path feeds to stable sorts and 'first' items.
+        """
+        from ..query import fragments
+        descriptor = self._descriptor(handle)
+        if self._child_order(ctx, descriptor):
+            ctx.stats.bump("sharded.pushdown.gated_off")
+            return False
+        shards = descriptor["shards"]
+        expected = getattr(plan.access.cost, "expected_tuples", 0.0) or 0.0
+        distinct = None
+        if fragment.kind == "group":
+            distinct = self._group_distinct(ctx, handle, descriptor,
+                                            plan.group_index)
+        wire, pull = fragments.pushdown_estimate(fragment, shards, expected,
+                                                 distinct)
+        if wire < pull or fragments.projection_narrows(
+                fragment, len(handle.schema.fields)):
+            return True
+        ctx.stats.bump("sharded.pushdown.gated_off")
+        return False
+
+    def _group_distinct(self, ctx, handle, descriptor: dict,
+                        group_index: int) -> Optional[float]:
+        """Global distinct estimate for the grouping column: the union of
+        the per-shard KMV sketches when every child tracks statistics,
+        else the coordinator's own statistics, else ``None``."""
+        from ..access.statistics import (kmv_union_estimate, sketch_state,
+                                         statistics_for)
+        sketches = []
+        for child in descriptor["databases"]:
+            child_handle = child.catalog.handle(descriptor["relation"])
+            column = sketch_state(child, child_handle, group_index)
+            if column is None:
+                sketches = None
+                break
+            sketches.append(column["kmv"])
+        if sketches is not None:
+            ctx.stats.bump("sharded.pushdown.kmv_unions")
+            return float(kmv_union_estimate(sketches))
+        table_stats = statistics_for(ctx, handle)
+        if table_stats is not None:
+            distinct = table_stats.distinct(group_index)
+            if distinct is not None:
+                return float(distinct)
+        return None
+
+    def run_fragment(self, ctx, handle, fragment, params):
+        """Execute one shard-local fragment per shard — a single remote
+        call each, dispatched concurrently — and run the coordinator
+        merge program over the partial results.
+
+        Per shard, the read ladder matches :meth:`open_scan` exactly:
+        primary through the channel (retry/breaker/fencing), then the
+        most-caught-up standby (marked stale in the read report), then a
+        degraded skip when opted in.  *Any* other failure — fencing, an
+        injected kernel fault, an unreachable shard without
+        ``degraded_reads`` — raises :class:`FragmentFallback` so the
+        executor transparently re-runs the query on the pull-up path:
+        fail closed, never a partial answer.
+        """
+        from ..query import fragments
+        descriptor = self._descriptor(handle)
+        ent = self._enlist(ctx, handle)
+        report = self._start_report(ctx)
+        repl = descriptor.get("replication")
+        relation = descriptor["relation"]
+        shards = descriptor["shards"]
+        sources = [_UNREACHED] * shards
+        failures: Dict[int, GatewayError] = {}
+        members, tasks, buffers = [], [], []
+        for index in range(shards):
+            transport = self._transport(index)
+            channel = descriptor["channels"][index]
+            if not transport.available(channel):
+                continue
+            participant = self._participant(ctx, handle, ent, index)
+            # Touch the lazy engine in the coordinator thread; workers
+            # must never race its first construction.
+            participant.database.query_engine
+            buffer = StatsBuffer()
+            members.append(index)
+            buffers.append(buffer)
+            tasks.append(self._fragment_task(ctx, descriptor, fragment,
+                                             params, index, participant,
+                                             channel, transport, buffer))
+        results = shared_pool().run(tasks)
+        # Gather serially: stats buffers, replication health and failure
+        # classification all touch single-threaded machinery.
+        fallback = None
+        for index, buffer, (rows, error) in zip(members, buffers, results):
+            buffer.merge_into(ctx.services.stats)
+            if error is None:
+                sources[index] = rows
+                if repl is not None:
+                    repl.report_success(index)
+                continue
+            if isinstance(error, FencingError) \
+                    or not isinstance(error, GatewayError):
+                # A fence or a child-side fault is not a dead channel;
+                # no failover, no degraded skip — fall back whole.
+                if fallback is None:
+                    fallback = error
+                continue
+            failures[index] = error
+            if repl is not None:
+                repl.report_failure(index)
+                if repl.health(index) == DOWN:
+                    repl.maybe_promote(index)
+        if fallback is not None:
+            ctx.stats.bump("sharded.pushdown.fallbacks")
+            raise fragments.FragmentFallback(str(fallback)) from fallback
+        for index in range(shards):
+            if sources[index] is not _UNREACHED:
+                continue
+
+            def run_standby(db, relation=relation):
+                with db.autocommit() as standby_ctx:
+                    return fragments.run_fragment_on(
+                        db, standby_ctx, relation, fragment, params)
+
+            rows = self._stale_read(descriptor, index, report, run_standby)
+            if rows is _UNREACHED:
+                if not descriptor.get("degraded_reads"):
+                    ctx.stats.bump("sharded.pushdown.fallbacks")
+                    raise fragments.FragmentFallback(
+                        f"shard {index} unreachable"
+                    ) from failures.get(index)
+                self._skip_shard(ctx, descriptor, index, report,
+                                 "remote.degraded_fragments",
+                                 failures.get(index))
+                continue
+            ctx.services.stats.namespace(f"shard.{index}").bump(
+                "fragment.rows", len(rows))
+            sources[index] = rows
+        merged = fragments.merge_fragment_results(
+            fragment,
+            [rows for rows in sources if rows is not _UNREACHED], params)
+        ctx.stats.bump("sharded.pushdown.queries")
+        ctx.stats.bump("sharded.pushdown.fragments", len(tasks))
+        ctx.read_report = report
+        return merged
+
+    def _fragment_task(self, ctx, descriptor, fragment, params, index,
+                       participant, channel, transport, buffer):
+        """One worker thunk: the whole fragment as one remote call.
+
+        The worker writes counters only into its private buffer (mirrored
+        under ``shard.<i>.``), owns the channel's breaker state for the
+        duration, and reports nothing to replication — the gather loop
+        applies health transitions serially.
+        """
+        from ..query import fragments
+        repl = descriptor.get("replication")
+        relation = descriptor["relation"]
+        services = ctx.services
+        shard_stats = NamespacedStats(buffer, f"shard.{index}")
+
+        def task():
+            if repl is not None \
+                    and repl.epoch(index) != participant.epoch:
+                raise FencingError(
+                    f"shard {index}: fragment bound to deposed epoch "
+                    f"{participant.epoch}")
+
+            def send():
+                transport.remote_call(services, channel, shard_stats)
+                started = perf_counter()
+                rows = fragments.run_fragment_on(
+                    participant.database, participant.context(), relation,
+                    fragment, params, cache_key=participant.database)
+                shard_stats.bump("fragment.micros",
+                                 int((perf_counter() - started) * 1e6))
+                return rows
+
+            rows = transport.call(channel, shard_stats, send)
+            shard_stats.bump("fragment.calls")
+            shard_stats.bump("fragment.rows", len(rows))
+            return rows
+
+        return task
 
     # -- planning -----------------------------------------------------------------
     def record_count(self, ctx, handle) -> int:
